@@ -1,0 +1,27 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Each benchmark module regenerates one table/figure/claim from the paper
+(see the experiment index in DESIGN.md), asserts its *shape* (who wins,
+by roughly what factor, where crossovers fall), and appends a
+human-readable record to ``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    """Directory where benchmark modules drop their measurement records."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Persist one experiment's record (and echo it to stdout)."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(text, encoding="utf-8")
+    print(f"\n[{name}]\n{text}")

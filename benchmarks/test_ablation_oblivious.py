@@ -1,0 +1,139 @@
+"""E12 — ablation: oblivious key generation is load-bearing (Thm 2.7).
+
+The sortition construction's core trick: an adversary who corrupts
+*after seeing the bulletin board* (exactly the paper's corruption model)
+must not learn who can sign.  This benchmark runs the same
+setup-adaptive adversary against the real scheme and against the
+ablated variant whose verification keys carry a signer flag:
+
+* real scheme — the adversary corrupts a *random* t-subset (it can do no
+  better), the honest signer majority survives, robustness holds;
+* ablated scheme — the adversary corrupts exactly the flagged signers
+  (there are only ~polylog of them, far under budget) and the honest
+  contribution collapses below the threshold.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.net.adversary import targeted_corruption, random_corruption
+from repro.srds.ablation import RevealingOwfSRDS
+from repro.srds.owf import OwfSRDS
+from repro.utils.randomness import Randomness
+
+N = 512
+TRIALS = 3
+
+
+def _run_trial(scheme, reveal: bool, trial: int):
+    rng = Randomness(4000 + trial)
+    pp = scheme.setup(N, rng.fork("s"))
+    vks, sks = {}, {}
+    for i in range(N):
+        vks[i], sks[i] = scheme.keygen(pp, rng.fork(f"k{i}"))
+
+    budget = N // 6
+    if reveal:
+        # Setup-adaptive adversary: read the board, corrupt the signers.
+        flagged = [
+            i for i in range(N)
+            if RevealingOwfSRDS.is_flagged_signer(vks[i])
+        ]
+        plan = targeted_corruption(N, flagged[:budget])
+    else:
+        # Against oblivious keys the board is useless: random corruption
+        # is optimal.
+        plan = random_corruption(N, budget, rng.fork("c"))
+
+    message = b"oblivious-ablation"
+    honest_signatures = [
+        s for s in (
+            scheme.sign(pp, i, sks[i], message)
+            for i in range(N)
+            if not plan.is_corrupt(i)
+        )
+        if s is not None
+    ]
+    aggregate = scheme.aggregate(pp, vks, message, honest_signatures)
+    robust = (
+        aggregate is not None
+        and scheme.verify(pp, vks, message, aggregate)
+    )
+
+    # The dual break: the corrupted signer set forges on its own message.
+    forged_message = b"FORGED-by-adaptive-corruption"
+    corrupt_signatures = [
+        s for s in (
+            scheme.sign(pp, i, sks[i], forged_message)
+            for i in range(N)
+            if plan.is_corrupt(i)
+        )
+        if s is not None
+    ]
+    forged = scheme.aggregate(pp, vks, forged_message, corrupt_signatures)
+    forgery = (
+        forged is not None
+        and scheme.verify(pp, vks, forged_message, forged)
+    )
+    return {
+        "honest_signers": len(honest_signatures),
+        "corrupt_signers": len(corrupt_signatures),
+        "threshold": pp.acceptance_threshold,
+        "corrupted": plan.t,
+        "robust": robust,
+        "forgery": forgery,
+    }
+
+
+def _measure():
+    results = {"oblivious": [], "revealing": []}
+    for trial in range(TRIALS):
+        results["oblivious"].append(
+            _run_trial(
+                OwfSRDS(message_bits=32, sortition_factor=2),
+                reveal=False, trial=trial,
+            )
+        )
+        results["revealing"].append(
+            _run_trial(
+                RevealingOwfSRDS(message_bits=32, sortition_factor=2),
+                reveal=True, trial=trial,
+            )
+        )
+    return results
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_oblivious_keygen_ablation(benchmark, results_dir):
+    results = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    lines = [
+        f"E12 — setup-adaptive corruption vs sortition, n={N}, "
+        f"budget={N // 6}:",
+        f"{'variant':<11} {'trial':>6} {'honest sigs':>12} "
+        f"{'corrupt sigs':>13} {'threshold':>10} {'robust?':>8} "
+        f"{'forged?':>8}",
+    ]
+    for variant, rows in results.items():
+        for trial, row in enumerate(rows):
+            lines.append(
+                f"{variant:<11} {trial:>6} {row['honest_signers']:>12} "
+                f"{row['corrupt_signers']:>13} {row['threshold']:>10} "
+                f"{row['robust']!s:>8} {row['forgery']!s:>8}"
+            )
+    write_result(results_dir, "ablation_oblivious", "\n".join(lines))
+
+    # Oblivious keys: robust in every trial, never forged (a random
+    # t-subset catches only ~beta of the hidden signers).
+    assert all(row["robust"] for row in results["oblivious"])
+    assert not any(row["forgery"] for row in results["oblivious"])
+    # Revealed signer flags: the adaptive adversary, on the same budget,
+    # forges a majority certificate in every trial (its corrupt signer
+    # set alone clears the threshold) and usually starves robustness too.
+    assert all(row["forgery"] for row in results["revealing"])
+    assert sum(
+        1 for row in results["revealing"] if not row["robust"]
+    ) >= 2
+    assert all(
+        row["corrupted"] <= N // 6 for row in results["revealing"]
+    )

@@ -1,0 +1,92 @@
+"""E11 — ablation: the one-time-signature choice inside the OWF SRDS.
+
+Lamport (the paper's instantiation) vs Winternitz at several chunk
+widths: aggregate size shrinks ~w-fold while signing/verification cost
+grows ~2^w/2 hash calls per chunk — the classic hash-based-signature
+trade, measured end to end through the SRDS aggregate.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.srds.ots import LamportOts, WinternitzOts
+from repro.srds.owf import OwfSRDS
+from repro.utils.randomness import Randomness
+
+N = 256
+MESSAGE_BITS = 128
+
+VARIANTS = [
+    ("lamport", lambda: LamportOts(message_bits=MESSAGE_BITS)),
+    ("wots w=2", lambda: WinternitzOts(message_bits=MESSAGE_BITS, w=2)),
+    ("wots w=4", lambda: WinternitzOts(message_bits=MESSAGE_BITS, w=4)),
+    ("wots w=8", lambda: WinternitzOts(message_bits=MESSAGE_BITS, w=8)),
+]
+
+
+def _measure():
+    rows = []
+    for label, factory in VARIANTS:
+        rng = Randomness(91)
+        scheme = OwfSRDS(ots=factory(), sortition_factor=2)
+        pp = scheme.setup(N, rng.fork("s"))
+        vks, sks = {}, {}
+        keygen_start = time.perf_counter()
+        for i in range(N):
+            vks[i], sks[i] = scheme.keygen(pp, rng.fork(f"k{i}"))
+        keygen_time = time.perf_counter() - keygen_start
+        message = b"ots-ablation"
+        signatures = [
+            s for s in (
+                scheme.sign(pp, i, sks[i], message) for i in range(N)
+            )
+            if s is not None
+        ]
+        aggregate = scheme.aggregate(pp, vks, message, signatures)
+        scheme._verify_cache.clear()  # time a cold verification
+        verify_start = time.perf_counter()
+        assert scheme.verify(pp, vks, message, aggregate)
+        verify_time = time.perf_counter() - verify_start
+        rows.append({
+            "label": label,
+            "aggregate_bytes": aggregate.size_bytes(),
+            "vk_bytes": scheme.ots.verification_key_bytes(),
+            "keygen_s": keygen_time,
+            "verify_s": verify_time,
+            "signers": len(signatures),
+        })
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ots_ablation(benchmark, results_dir):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    lines = [
+        f"E11 — OTS choice inside the OWF SRDS (n={N}, "
+        f"{rows[0]['signers']} signers):",
+        f"{'variant':<10} {'aggregate':>11} {'vk size':>9} "
+        f"{'keygen(all)':>12} {'verify(agg)':>12}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['label']:<10} {row['aggregate_bytes']:>10,}B "
+            f"{row['vk_bytes']:>8,}B {row['keygen_s'] * 1000:>10.0f}ms "
+            f"{row['verify_s'] * 1000:>10.1f}ms"
+        )
+    write_result(results_dir, "ablation_ots", "\n".join(lines))
+
+    by_label = {row["label"]: row for row in rows}
+    # Aggregate size: w=4 shrinks Lamport by > 3x, w=8 by > 6x.
+    assert (
+        by_label["lamport"]["aggregate_bytes"]
+        > 3 * by_label["wots w=4"]["aggregate_bytes"]
+    )
+    assert (
+        by_label["lamport"]["aggregate_bytes"]
+        > 6 * by_label["wots w=8"]["aggregate_bytes"]
+    )
+    # Compute cost: w=8 pays far more hashing than w=4 (chains of 256).
+    assert by_label["wots w=8"]["keygen_s"] > by_label["wots w=4"]["keygen_s"]

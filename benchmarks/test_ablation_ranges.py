@@ -1,0 +1,83 @@
+"""E7 — ablation: the anti-double-counting discipline is load-bearing.
+
+Runs the replay-forgery attack (aggregate your own sub-n/3 coalition
+with itself until the claimed count passes the majority threshold)
+against the real SNARK-based SRDS and against the ablated variant with
+the disjoint-range checks removed.  The paper's §2.2 subtlety —
+"since the partially aggregated signature must be succinct, the parties
+cannot afford to keep track of which base signatures were already
+incorporated" — is exactly what this attack exploits when the CRH-backed
+range discipline is absent.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.srds.ablation import NoRangeCheckSnarkSRDS
+from repro.srds.base_sigs import HashRegistryBase
+from repro.srds.snark_based import SnarkSRDS
+from repro.utils.randomness import Randomness
+
+N = 90
+COALITION = 29  # strictly below N/3
+REPLAYS = [1, 2, 3, 4]
+
+
+def _attack(scheme_cls):
+    rng = Randomness(33)
+    scheme = scheme_cls(base_scheme=HashRegistryBase())
+    pp = scheme.setup(N, rng.fork("setup"))
+    vks, sks = {}, {}
+    for i in range(N):
+        vks[i], sks[i] = scheme.keygen(pp, rng.fork(f"k{i}"))
+    message = b"forged-majority"
+    coalition = [
+        scheme.sign(pp, i, sks[i], message) for i in range(COALITION)
+    ]
+    aggregate = scheme.aggregate(pp, vks, message, coalition)
+    outcomes = []
+    for replays in REPLAYS:
+        replayed = scheme.aggregate(
+            pp, vks, message, [aggregate] * (replays + 1)
+        )
+        outcomes.append(
+            (replays, replayed.count,
+             scheme.verify(pp, vks, message, replayed))
+        )
+    return outcomes
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_range_check_ablation(benchmark, results_dir):
+    def run_both():
+        return {
+            "secure": _attack(SnarkSRDS),
+            "ablated": _attack(NoRangeCheckSnarkSRDS),
+        }
+
+    outcomes = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    threshold = N // 2 + 1
+    lines = [
+        f"E7 — replay attack, n={N}, coalition={COALITION} "
+        f"(threshold {threshold}):",
+        f"{'variant':<9} {'replays':>8} {'claimed count':>14} {'forged?':>8}",
+    ]
+    for variant, rows in outcomes.items():
+        for replays, count, forged in rows:
+            lines.append(
+                f"{variant:<9} {replays:>8} {count:>14} {forged!s:>8}"
+            )
+    write_result(results_dir, "ablation_ranges", "\n".join(lines))
+
+    # Secure scheme: count pinned at the coalition size, never forged.
+    for replays, count, forged in outcomes["secure"]:
+        assert count == COALITION
+        assert not forged
+    # Ablated scheme: counts multiply and the forgery lands once the
+    # claimed count crosses the majority threshold.
+    ablated = outcomes["ablated"]
+    assert any(forged for _, _, forged in ablated)
+    for replays, count, forged in ablated:
+        assert count == COALITION * (replays + 1)
+        assert forged == (count >= threshold)

@@ -1,0 +1,90 @@
+"""E8 — ablation: the sortition rate of the OWF-based SRDS.
+
+Sweeps the sortition factor (expected signers = factor * log^2 n) and
+measures (a) aggregate signature size — the cost of more signers — and
+(b) the security margin: the gap between the honest signer count and the
+acceptance threshold, and between the threshold and the adversarial
+ceiling.  Too small a factor and concentration fails (robustness margin
+evaporates); larger factors buy margin linearly while the signature
+grows linearly in the factor — the polylog knob the construction rides.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.net.adversary import random_corruption
+from repro.params import ProtocolParameters
+from repro.srds.owf import OwfSRDS
+from repro.utils.randomness import Randomness
+
+N = 1024
+FACTORS = [1, 2, 3, 4, 6]
+PARAMS = ProtocolParameters()
+
+
+def _sweep():
+    rng = Randomness(44)
+    t = PARAMS.max_corruptions(N)
+    plan = random_corruption(N, t, rng.fork("plan"))
+    rows = []
+    for factor in FACTORS:
+        scheme = OwfSRDS(message_bits=32, sortition_factor=factor)
+        pp = scheme.setup(N, rng.fork(f"s{factor}"))
+        vks, sks = {}, {}
+        for i in range(N):
+            vks[i], sks[i] = scheme.keygen(pp, rng.fork(f"k{factor}.{i}"))
+        message = b"sortition-sweep"
+        honest_signatures = [
+            s for s in (
+                scheme.sign(pp, i, sks[i], message)
+                for i in range(N)
+                if not plan.is_corrupt(i)
+            )
+            if s is not None
+        ]
+        corrupt_signers = sum(
+            1 for i in range(N)
+            if plan.is_corrupt(i) and sks[i] is not None
+        )
+        aggregate = scheme.aggregate(pp, vks, message, honest_signatures)
+        rows.append({
+            "factor": factor,
+            "threshold": pp.acceptance_threshold,
+            "honest_signers": len(honest_signatures),
+            "corrupt_signers": corrupt_signers,
+            "aggregate_bytes": aggregate.size_bytes(),
+            "verifies": scheme.verify(pp, vks, message, aggregate),
+        })
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_sortition_sweep(benchmark, results_dir):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    lines = [
+        f"E8 — sortition-factor sweep, n={N}, beta={PARAMS.corruption_ratio:.3f}:",
+        f"{'factor':>7} {'threshold':>10} {'honest':>7} {'corrupt':>8} "
+        f"{'agg bytes':>10} {'robust?':>8} {'margin':>7}",
+    ]
+    for row in rows:
+        margin = row["honest_signers"] - row["threshold"]
+        lines.append(
+            f"{row['factor']:>7} {row['threshold']:>10} "
+            f"{row['honest_signers']:>7} {row['corrupt_signers']:>8} "
+            f"{row['aggregate_bytes']:>10,} {row['verifies']!s:>8} "
+            f"{margin:>7}"
+        )
+    write_result(results_dir, "ablation_sortition", "\n".join(lines))
+
+    for row in rows:
+        # Robustness: honest signers clear the threshold at every factor
+        # (beta = 1/6 leaves slack even at factor 1)...
+        assert row["verifies"]
+        # ...and unforgeability margin: corrupt signers stay below it.
+        assert row["corrupt_signers"] < row["threshold"]
+    # Cost: aggregate size grows ~linearly with the factor.
+    assert rows[-1]["aggregate_bytes"] > 3 * rows[0]["aggregate_bytes"]
+    # Margin grows with the factor (the knob buys robustness slack).
+    margins = [row["honest_signers"] - row["threshold"] for row in rows]
+    assert margins[-1] > margins[0]

@@ -1,0 +1,74 @@
+"""E4 — Corollary 1.2(1): ell broadcasts cost ell * Õ(1) per party.
+
+Runs a BroadcastService through a sequence of executions and measures
+cumulative max-bits-per-party after each: the marginal cost per
+execution must be flat (the tree/PKI setup is paid once), which is the
+amortization the corollary claims.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.analysis.tables import format_bits
+from repro.net.adversary import random_corruption
+from repro.params import ProtocolParameters
+from repro.protocols.broadcast import BroadcastService
+from repro.srds.base_sigs import HashRegistryBase
+from repro.srds.snark_based import SnarkSRDS
+from repro.utils.randomness import Randomness
+
+N = 96
+NUM_EXECUTIONS = 10
+
+
+def _run_sequence():
+    params = ProtocolParameters()
+    rng = Randomness(64)
+    plan = random_corruption(N, params.max_corruptions(N), rng.fork("c"))
+    service = BroadcastService(
+        N, plan, SnarkSRDS(base_scheme=HashRegistryBase()), params,
+        rng.fork("svc"),
+    )
+    service.setup()
+    checkpoints = [service.snapshot().max_bits_per_party]
+    senders = plan.honest
+    outcomes = []
+    for execution in range(NUM_EXECUTIONS):
+        outcome = service.broadcast(
+            senders[execution % len(senders)], execution % 2
+        )
+        outcomes.append(outcome)
+        checkpoints.append(service.snapshot().max_bits_per_party)
+    return checkpoints, outcomes
+
+
+@pytest.mark.benchmark(group="broadcast")
+def test_broadcast_amortization(benchmark, results_dir):
+    checkpoints, outcomes = benchmark.pedantic(
+        _run_sequence, rounds=1, iterations=1
+    )
+
+    marginals = [
+        checkpoints[i + 1] - checkpoints[i]
+        for i in range(len(checkpoints) - 1)
+    ]
+    lines = [
+        f"E4 — broadcast amortization, n={N}:",
+        f"setup cost: {format_bits(checkpoints[0])} max/party",
+        f"{'execution':>10} {'marginal max bits/party':>24}",
+    ]
+    for index, marginal in enumerate(marginals):
+        lines.append(f"{index:>10} {format_bits(marginal):>24}")
+    mean_marginal = sum(marginals) / len(marginals)
+    lines.append(f"mean marginal: {format_bits(mean_marginal)}")
+    write_result(results_dir, "broadcast_amortized", "\n".join(lines))
+
+    # Correctness of every execution.
+    for outcome in outcomes:
+        assert outcome.agreement and outcome.consistent_with_sender
+    # Flat amortization: every marginal within 2x of the mean, and the
+    # ell-execution total is ~ setup + ell * marginal (not ell * setup).
+    for marginal in marginals:
+        assert 0 < marginal < 2 * mean_marginal
+    total = checkpoints[-1]
+    assert total < checkpoints[0] + NUM_EXECUTIONS * 2 * mean_marginal

@@ -1,0 +1,83 @@
+"""F2 — Figure 2: the SRDS forgery experiment, executed.
+
+Runs Expt^forge for both constructions against every implemented forgery
+adversary, plus the threshold-tightness sanity check: a coalition that
+*illegally* exceeds the n/3 budget does forge, demonstrating the game
+has teeth and the threshold is where the security lives.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.params import ProtocolParameters
+from repro.pki.registry import PKIMode
+from repro.srds import adversaries as adv
+from repro.srds.base_sigs import HashRegistryBase
+from repro.srds.experiments import run_forgery_experiment
+from repro.srds.owf import OwfSRDS
+from repro.srds.snark_based import SnarkSRDS
+from repro.utils.randomness import Randomness
+
+N, T, TRIALS = 64, 10, 5
+
+SCHEMES = [
+    ("owf/trusted-pki", lambda: OwfSRDS(message_bits=32), PKIMode.TRUSTED),
+    ("snark/bare-pki", lambda: SnarkSRDS(base_scheme=HashRegistryBase()),
+     PKIMode.BARE),
+]
+
+ADVERSARIES = [
+    ("coalition", adv.CoalitionForgeryAdversary),
+    ("replay", adv.ReplayForgeryAdversary),
+    ("random-proof", adv.RandomProofForgeryAdversary),
+]
+
+
+def _run_grid():
+    params = ProtocolParameters()
+    results = {}
+    for scheme_name, factory, mode in SCHEMES:
+        for adv_name, adversary_cls in ADVERSARIES:
+            wins = 0
+            for trial in range(TRIALS):
+                if run_forgery_experiment(
+                    factory(), N, T, mode, adversary_cls(), params,
+                    Randomness(2000 + trial),
+                ):
+                    wins += 1
+            results[(scheme_name, adv_name)] = wins / TRIALS
+
+    # Threshold tightness: a >majority coalition forges directly.
+    rng = Randomness(3000)
+    scheme = SnarkSRDS(base_scheme=HashRegistryBase())
+    pp = scheme.setup(60, rng.fork("s"))
+    vks, sks = {}, {}
+    for i in range(60):
+        vks[i], sks[i] = scheme.keygen(pp, rng.fork(f"k{i}"))
+    message = b"illegal-majority"
+    coalition = [scheme.sign(pp, i, sks[i], message) for i in range(40)]
+    forged = scheme.aggregate(pp, vks, message, coalition)
+    results[("snark/bare-pki", "ILLEGAL-majority-sanity")] = float(
+        scheme.verify(pp, vks, message, forged)
+    )
+    return results
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_forgery_experiment(benchmark, results_dir):
+    results = benchmark.pedantic(_run_grid, rounds=1, iterations=1)
+
+    lines = [
+        f"Expt^forge (Fig. 2): n={N}, t={T}, {TRIALS} trials per cell",
+        f"{'scheme':<18} {'adversary':<26} {'adversary win rate':>20}",
+    ]
+    for (scheme_name, adv_name), rate in sorted(results.items()):
+        lines.append(f"{scheme_name:<18} {adv_name:<26} {rate:>19.0%}")
+    write_result(results_dir, "fig2_forgery", "\n".join(lines))
+
+    for (scheme_name, adv_name), rate in results.items():
+        if adv_name.startswith("ILLEGAL"):
+            # Sanity: an over-budget coalition must succeed.
+            assert rate == 1.0
+        else:
+            assert rate == 0.0, f"forgery in cell {(scheme_name, adv_name)}"

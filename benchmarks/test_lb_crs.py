@@ -1,0 +1,52 @@
+"""E2 — Thm 1.3: no single-round o(n)-message boost in the CRS model.
+
+Sweeps the per-party message budget and measures the isolated victim's
+error rate under the simulation attack, in the CRS model and in the
+PKI/SRDS control.  The theorem's shape: error stays bounded away from 0
+for every o(n) budget without private setup, and collapses to ~0 with
+it.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.lowerbounds.crs_attack import attack_success_rate
+from repro.utils.randomness import Randomness
+
+N, T, TRIALS = 200, 30, 40
+BUDGETS = [2, 4, 8, 16, 32, 64]
+
+
+def _sweep():
+    rng = Randomness(17)
+    crs = [
+        attack_success_rate(N, T, budget, TRIALS, rng.fork(f"c{budget}"))
+        for budget in BUDGETS
+    ]
+    pki = [
+        attack_success_rate(N, T, budget, TRIALS, rng.fork(f"p{budget}"),
+                            with_pki=True)
+        for budget in BUDGETS
+    ]
+    return crs, pki
+
+
+@pytest.mark.benchmark(group="lowerbounds")
+def test_crs_lower_bound(benchmark, results_dir):
+    crs, pki = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    lines = [
+        f"E2 — single-round boost attack, n={N}, t={T}, {TRIALS} trials:",
+        f"{'msgs/party':>11} {'CRS victim error':>17} {'PKI victim error':>17}",
+    ]
+    for budget, crs_rate, pki_rate in zip(BUDGETS, crs, pki):
+        lines.append(f"{budget:>11} {crs_rate:>16.0%} {pki_rate:>16.0%}")
+    write_result(results_dir, "lb_crs", "\n".join(lines))
+
+    # Thm 1.3 shape: CRS-model error is large at every o(n) budget...
+    for budget, rate in zip(BUDGETS, crs):
+        assert rate >= 0.4, f"CRS attack too weak at budget {budget}"
+    # ...while private setup collapses it (one honest certified message
+    # suffices; only the tiniest budgets may fail to deliver any).
+    for budget, rate in zip(BUDGETS[1:], pki[1:]):
+        assert rate <= 0.15, f"PKI control failed at budget {budget}"

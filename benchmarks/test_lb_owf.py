@@ -1,0 +1,52 @@
+"""E3 — Thm 1.4: one-way functions are necessary in the PKI model.
+
+Sweeps the key-generation hardness (secret bits) against a fixed
+inversion budget and measures the isolated victim's error rate.  The
+theorem's shape is a phase transition at the point where the adversary's
+work budget covers the key space: invertible keys ⇒ the CRS attack
+revives; one-way keys ⇒ the boost survives.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.lowerbounds.owf_attack import attack_success_rate
+from repro.utils.randomness import Randomness
+
+N, T, TRIALS = 80, 12, 15
+EFFORT_BITS = 12
+SECRET_BITS = [4, 8, 12, 16, 24, 40]
+
+
+def _sweep():
+    rng = Randomness(23)
+    return [
+        attack_success_rate(
+            N, T, messages_per_party=6, secret_bits=bits,
+            effort_bits=EFFORT_BITS, trials=TRIALS,
+            rng=rng.fork(f"s{bits}"),
+        )
+        for bits in SECRET_BITS
+    ]
+
+
+@pytest.mark.benchmark(group="lowerbounds")
+def test_owf_lower_bound(benchmark, results_dir):
+    rates = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    lines = [
+        f"E3 — PKI-inversion attack, n={N}, t={T}, "
+        f"adversary work 2^{EFFORT_BITS}, {TRIALS} trials:",
+        f"{'secret bits':>12} {'victim error':>13} {'keys one-way?':>14}",
+    ]
+    for bits, rate in zip(SECRET_BITS, rates):
+        one_way = "no" if bits <= EFFORT_BITS else "yes"
+        lines.append(f"{bits:>12} {rate:>12.0%} {one_way:>14}")
+    write_result(results_dir, "lb_owf", "\n".join(lines))
+
+    # Phase transition at secret_bits == effort_bits.
+    for bits, rate in zip(SECRET_BITS, rates):
+        if bits <= EFFORT_BITS:
+            assert rate >= 0.6, f"inversion attack too weak at {bits} bits"
+        if bits > EFFORT_BITS + 4:
+            assert rate <= 0.1, f"one-way keys failed at {bits} bits"

@@ -1,0 +1,88 @@
+"""E9 — Corollary 1.2(2): MPC with n·polylog·(l_in + l_out) total bits.
+
+Two sweeps: total communication vs n at fixed input size (the per-party
+average must be polylog — total/n flat-ish), and total communication vs
+input length at fixed n (linear in l_in, the ciphertext payload).
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.analysis.scaling import classify_growth, fit_power_law
+from repro.analysis.tables import format_bits
+from repro.net.adversary import random_corruption
+from repro.params import ProtocolParameters
+from repro.mpc.scalable_mpc import run_scalable_mpc
+from repro.utils.randomness import Randomness
+
+NS = [64, 128, 256, 512]
+INPUT_SIZES = [1, 8, 32, 128]
+PARAMS = ProtocolParameters()
+
+
+def _sum_first_bytes(plaintexts):
+    return (sum(p[0] for p in plaintexts) % 256).to_bytes(1, "big")
+
+
+def _sweep():
+    rng = Randomness(66)
+    by_n = []
+    for n in NS:
+        plan = random_corruption(
+            n, PARAMS.max_corruptions(n), rng.fork(f"c{n}")
+        )
+        result = run_scalable_mpc(
+            {i: b"\x01" for i in range(n)}, _sum_first_bytes, 1,
+            plan, PARAMS, rng.fork(f"r{n}"),
+        )
+        assert result.all_honest_correct
+        by_n.append(result.metrics)
+
+    n = 128
+    plan = random_corruption(n, PARAMS.max_corruptions(n), rng.fork("ci"))
+    by_input = []
+    for size in INPUT_SIZES:
+        result = run_scalable_mpc(
+            {i: bytes([1] * size) for i in range(n)}, _sum_first_bytes, 1,
+            plan, PARAMS, rng.fork(f"ri{size}"),
+        )
+        assert result.all_honest_correct
+        by_input.append(result.metrics)
+    return by_n, by_input
+
+
+@pytest.mark.benchmark(group="mpc")
+def test_mpc_corollary(benchmark, results_dir):
+    by_n, by_input = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    per_party_avg = [m.total_bits / n for n, m in zip(NS, by_n)]
+    lines = ["E9 — Corollary 1.2(2): scalable MPC totals", "",
+             f"{'n':>6} {'total bits':>12} {'avg/party':>12}"]
+    for n, metrics, avg in zip(NS, by_n, per_party_avg):
+        lines.append(
+            f"{n:>6} {format_bits(metrics.total_bits):>12} "
+            f"{format_bits(avg):>12}"
+        )
+    lines.append("")
+    lines.append(f"{'l_in (B)':>9} {'total bits (n=128)':>19}")
+    for size, metrics in zip(INPUT_SIZES, by_input):
+        lines.append(f"{size:>9} {format_bits(metrics.total_bits):>19}")
+
+    avg_class = classify_growth(NS, per_party_avg)
+    input_fit = fit_power_law(
+        INPUT_SIZES, [m.total_bits for m in by_input]
+    )
+    lines.append("")
+    lines.append(f"avg-per-party growth class: {avg_class}")
+    lines.append(f"total vs l_in exponent: {input_fit.exponent:.2f}")
+    write_result(results_dir, "mpc_corollary", "\n".join(lines))
+
+    # Total = n * polylog * (l_in + l_out): the per-party average must be
+    # genuinely sublinear (polylog window shape).
+    assert avg_class in ("polylog", "sublinear", "sqrt-like")
+    avg_fit = fit_power_law(NS, per_party_avg)
+    assert avg_fit.exponent < 0.85
+    # Linear in the input length once the payload dominates the fixed
+    # per-ciphertext overhead.
+    large_ratio = by_input[-1].total_bits / by_input[-2].total_bits
+    assert 2.0 < large_ratio < 4.5  # l_in 32 -> 128 with 64B overhead

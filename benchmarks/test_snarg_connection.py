@@ -1,0 +1,95 @@
+"""E10 — the §1.2 SNARG connection, quantified.
+
+Measures what the paper's barrier is about: verifying that a
+multisignature aggregates >= k contributions *without* a succinct
+argument means either shipping the witness (Theta(k log n) bits) or
+solving an average-case NP-complete subset instance (exponential
+search), while the SNARG-certified scheme verifies a constant-size
+certificate in constant time.  Also times the exact brute-force solver's
+blow-up on planted Subset-XOR instances.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.crypto.snark import SnarkSystem
+from repro.snarg_connection.multisig_link import CountCertifiedMultisig
+from repro.snarg_connection.subset_problems import (
+    XorGroup,
+    sample_planted_instance,
+    solve_brute_force,
+)
+from repro.snarg_connection.subset_problems import encode_witness
+from repro.utils.randomness import Randomness
+
+SOLVER_NS = [12, 16, 20, 22]   # subset size = n/2: C(n, n/2) growth
+BOARD_SIZES = [64, 256, 1024, 4096]
+
+
+def _measure():
+    rng = Randomness(77)
+    group = XorGroup(32)
+
+    solver_times = []
+    for n in SOLVER_NS:
+        instance, _ = sample_planted_instance(
+            group, n, n // 2, rng.fork(f"i{n}")
+        )
+        start = time.perf_counter()
+        solution = solve_brute_force(instance)
+        elapsed = time.perf_counter() - start
+        assert solution is not None
+        solver_times.append(elapsed)
+
+    scheme = CountCertifiedMultisig(SnarkSystem(b"bench-crs"))
+    certificate_sizes = []
+    witness_sizes = []
+    for board in BOARD_SIZES:
+        tags = [group.random_element(rng.fork(f"t{board}.{i}"))
+                for i in range(board)]
+        contributors = list(range(board // 2 + 1))
+        certificate = scheme.aggregate(tags, contributors)
+        assert scheme.verify(tags, certificate)
+        certificate_sizes.append(certificate.size_bytes())
+        witness_sizes.append(len(encode_witness(contributors)))
+    return solver_times, certificate_sizes, witness_sizes
+
+
+@pytest.mark.benchmark(group="snarg-connection")
+def test_snarg_connection(benchmark, results_dir):
+    solver_times, certificate_sizes, witness_sizes = benchmark.pedantic(
+        _measure, rounds=1, iterations=1
+    )
+
+    lines = ["E10 — the multisig/SNARG connection (§1.2)", "",
+             "exact subset search (n elements, k = n/2):"]
+    for n, elapsed in zip(SOLVER_NS, solver_times):
+        lines.append(f"  n={n:>3}: {elapsed * 1000:>10.2f} ms")
+    lines.append("")
+    lines.append(f"{'board n':>8} {'witness bytes':>14} "
+                 f"{'SNARG certificate':>18}")
+    for board, witness, certificate in zip(
+        BOARD_SIZES, witness_sizes, certificate_sizes
+    ):
+        lines.append(f"{board:>8} {witness:>14,} {certificate:>18}")
+    write_result(results_dir, "snarg_connection", "\n".join(lines))
+
+    # Exponential search blow-up: doubling-ish per +4 elements.
+    assert solver_times[-1] > 5 * solver_times[0]
+    # The SNARG certificate is constant-size while the witness grows.
+    assert len(set(certificate_sizes)) == 1
+    assert witness_sizes[-1] > 30 * witness_sizes[0]
+
+
+@pytest.mark.benchmark(group="snarg-connection")
+def test_timing_certified_verify(benchmark):
+    """Constant-time verification of the count certificate."""
+    rng = Randomness(78)
+    group = XorGroup(32)
+    scheme = CountCertifiedMultisig(SnarkSystem(b"bench-crs-2"))
+    tags = [group.random_element(rng.fork(str(i))) for i in range(1024)]
+    certificate = scheme.aggregate(tags, list(range(600)))
+    result = benchmark(lambda: scheme.verify(tags, certificate))
+    assert result

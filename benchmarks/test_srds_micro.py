@@ -1,0 +1,155 @@
+"""E5 — SRDS micro-costs: succinctness (Def. 2.2) and operation timing.
+
+* signature sizes vs n — the SNARK aggregate is constant-size, the OWF
+  aggregate is polylog * poly(kappa), and the multisig baseline is
+  Theta(n);
+* the Aggregate1 filtered set stays polylog-sized;
+* timed micro-benchmarks of sign / aggregate / verify for both
+  constructions (this module is where pytest-benchmark's timing table
+  is most meaningful).
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.analysis.scaling import fit_power_law
+from repro.protocols.baselines.multisig import MultisigScheme
+from repro.srds.base_sigs import HashRegistryBase
+from repro.srds.owf import OwfSRDS
+from repro.srds.snark_based import SnarkSRDS
+from repro.utils.randomness import Randomness
+
+NS = [128, 256, 512, 1024]
+
+
+def _deploy(scheme, n, rng):
+    pp = scheme.setup(n, rng.fork("setup"))
+    vks, sks = {}, {}
+    for i in range(n):
+        vks[i], sks[i] = scheme.keygen(pp, rng.fork(f"k{i}"))
+    return pp, vks, sks
+
+
+def _aggregate_size_series(scheme_factory):
+    rng = Randomness(6)
+    sizes = []
+    for n in NS:
+        scheme = scheme_factory()
+        pp, vks, sks = _deploy(scheme, n, rng.fork(f"d{n}"))
+        message = b"size-series"
+        signatures = [
+            s for s in (
+                scheme.sign(pp, i, sks[i], message) for i in range(n)
+            )
+            if s is not None
+        ]
+        aggregate = scheme.aggregate(pp, vks, message, signatures)
+        sizes.append(len(aggregate.encode()))
+    return sizes
+
+
+@pytest.mark.benchmark(group="srds-micro")
+def test_signature_size_scaling(benchmark, results_dir):
+    def collect():
+        return {
+            "snark": _aggregate_size_series(
+                lambda: SnarkSRDS(base_scheme=HashRegistryBase())
+            ),
+            "owf": _aggregate_size_series(
+                lambda: OwfSRDS(message_bits=32, sortition_factor=1)
+            ),
+            "multisig": _aggregate_size_series(MultisigScheme),
+        }
+
+    sizes = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    lines = ["E5 — aggregate signature size (bytes) vs n:",
+             f"{'n':>8}" + "".join(f"{name:>12}" for name in sizes)]
+    for index, n in enumerate(NS):
+        lines.append(
+            f"{n:>8}" + "".join(
+                f"{series[index]:>12,}" for series in sizes.values()
+            )
+        )
+    fits = {name: fit_power_law(NS, series)
+            for name, series in sizes.items()}
+    lines.append("")
+    for name, fit in fits.items():
+        lines.append(f"{name}: size ~ n^{fit.exponent:.2f}")
+    write_result(results_dir, "srds_micro_sizes", "\n".join(lines))
+
+    # Succinctness: SNARK aggregates are constant up to varint jitter in
+    # the encoded count (1 byte across this sweep).
+    assert max(sizes["snark"]) - min(sizes["snark"]) <= 2
+    # OWF aggregates grow polylog (signer set ~ log^2 n): sub-sqrt here.
+    assert fits["owf"].exponent < 0.45
+    # Multisig grows linearly: the bitmap adds exactly one bit per added
+    # party on top of the constant tag/framing.
+    bitmap_growth = sizes["multisig"][-1] - sizes["multisig"][0]
+    assert bitmap_growth >= (NS[-1] - NS[0]) // 8 - 4
+
+
+@pytest.mark.benchmark(group="srds-micro")
+def test_aggregate1_output_polylog(benchmark, results_dir):
+    def collect():
+        rng = Randomness(8)
+        message = b"filter-series"
+        series = []
+        for n in NS:
+            scheme = OwfSRDS(message_bits=32, sortition_factor=1)
+            pp, vks, sks = _deploy(scheme, n, rng.fork(f"d{n}"))
+            signatures = [
+                s for s in (
+                    scheme.sign(pp, i, sks[i], message) for i in range(n)
+                )
+                if s is not None
+            ]
+            filtered = scheme.aggregate1(pp, vks, message, signatures)
+            series.append(len(filtered))
+        return series
+
+    series = benchmark.pedantic(collect, rounds=1, iterations=1)
+    lines = ["E5 — |Aggregate1 output| (filtered set) vs n:"]
+    for n, size in zip(NS, series):
+        lines.append(f"  n={n:>5}: {size} signatures")
+    fit = fit_power_law(NS, series)
+    lines.append(f"growth ~ n^{fit.exponent:.2f} (polylog: signer set)")
+    write_result(results_dir, "srds_micro_filter", "\n".join(lines))
+    assert fit.exponent < 0.45
+    # Absolute bound: far below n (Def. 2.2 polylog requirement, scaled).
+    assert series[-1] < NS[-1] // 4
+
+
+N_TIMING = 256
+
+
+@pytest.fixture(scope="module")
+def snark_deployment():
+    rng = Randomness(9)
+    scheme = SnarkSRDS(base_scheme=HashRegistryBase())
+    pp, vks, sks = _deploy(scheme, N_TIMING, rng)
+    message = b"timing"
+    signatures = [
+        scheme.sign(pp, i, sks[i], message) for i in range(N_TIMING)
+    ]
+    aggregate = scheme.aggregate(pp, vks, message, signatures)
+    return scheme, pp, vks, sks, message, signatures, aggregate
+
+
+@pytest.mark.benchmark(group="srds-timing")
+def test_timing_sign(benchmark, snark_deployment):
+    scheme, pp, _, sks, message, _, _ = snark_deployment
+    benchmark(lambda: scheme.sign(pp, 0, sks[0], message))
+
+
+@pytest.mark.benchmark(group="srds-timing")
+def test_timing_aggregate(benchmark, snark_deployment):
+    scheme, pp, vks, _, message, signatures, _ = snark_deployment
+    benchmark(lambda: scheme.aggregate(pp, vks, message, signatures))
+
+
+@pytest.mark.benchmark(group="srds-timing")
+def test_timing_verify(benchmark, snark_deployment):
+    scheme, pp, vks, _, message, _, aggregate = snark_deployment
+    result = benchmark(lambda: scheme.verify(pp, vks, message, aggregate))
+    assert result

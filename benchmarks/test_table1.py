@@ -1,0 +1,186 @@
+"""T1 — regenerate Table 1: max communication per party, measured.
+
+For every protocol row we can execute, sweep n, measure max bits per
+party on the shared ledger, fit the growth exponent, and render the
+measured table next to the paper's claims.  The assertions pin the
+*shape*: the paper's two protocols grow strictly slower than the
+sqrt-boost, which grows strictly slower than the Theta(n) rows.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.analysis.scaling import classify_growth, fit_power_law
+from repro.analysis.tables import Table1Row, render_table
+from repro.net.adversary import random_corruption
+from repro.params import ProtocolParameters
+from repro.protocols.balanced_ba import run_balanced_ba
+from repro.protocols.baselines import (
+    MultisigScheme,
+    all_to_all_ba,
+    central_party_boost,
+    ks09_boost,
+    sqrt_boost,
+)
+from repro.srds.base_sigs import HashRegistryBase
+from repro.srds.owf import OwfSRDS
+from repro.srds.registered import RegisteredSRDS
+from repro.srds.snark_based import SnarkSRDS
+from repro.utils.randomness import Randomness
+
+PI_BA_NS = [64, 128, 256, 512]
+BASELINE_NS = [64, 128, 256, 512, 1024, 2048, 4096]
+PARAMS = ProtocolParameters()
+
+
+def _run_pi_ba(scheme_factory, ns):
+    series = []
+    rng = Randomness(1)
+    for n in ns:
+        plan = random_corruption(
+            n, PARAMS.max_corruptions(n), rng.fork(f"c{n}")
+        )
+        result = run_balanced_ba(
+            {i: 1 for i in range(n)}, plan, scheme_factory(), PARAMS,
+            rng.fork(f"r{n}"),
+        )
+        assert result.agreement and result.validity
+        series.append(result.metrics.max_bits_per_party)
+    return series
+
+
+def _run_boost(boost, ns):
+    series = []
+    rng = Randomness(2)
+    for n in ns:
+        plan = random_corruption(
+            n, PARAMS.max_corruptions(n), rng.fork(f"c{n}")
+        )
+        isolated = set(range(n - max(1, n // 50), n))
+        result = boost(1, isolated, plan, rng.fork(f"r{n}"))
+        assert result.agreement
+        series.append(result.metrics.max_bits_per_party)
+    return series
+
+
+def _collect_rows():
+    rows = []
+
+    snark = _run_pi_ba(
+        lambda: SnarkSRDS(base_scheme=HashRegistryBase()), PI_BA_NS
+    )
+    rows.append(("this work (snark srds)", "Õ(1)", "pki+crs",
+                 "snarks*+crh", PI_BA_NS, snark))
+
+    owf = _run_pi_ba(lambda: OwfSRDS(message_bits=64), PI_BA_NS)
+    rows.append(("this work (owf srds)", "Õ(1)", "trusted pki",
+                 "owf", PI_BA_NS, owf))
+
+    registered = _run_pi_ba(lambda: RegisteredSRDS(), PI_BA_NS)
+    rows.append(("natural approach (registered)", "Õ(1)",
+                 "registered-pki", "multisig+snarg", PI_BA_NS, registered))
+
+    multisig = _run_pi_ba(lambda: MultisigScheme(), PI_BA_NS)
+    rows.append(("BGT'13 (multisig certs)", "Õ(n)", "pki",
+                 "owf", PI_BA_NS, multisig))
+
+    sqrt_series = _run_boost(sqrt_boost, BASELINE_NS)
+    rows.append(("KS'11/KLST'11 (sqrt polling)", "Õ(sqrt n)", "-",
+                 "-", BASELINE_NS, sqrt_series))
+
+    ks09 = _run_boost(ks09_boost, BASELINE_NS)
+    rows.append(("KS'09 (quorum relay)", "Õ(n·sqrt n)", "-",
+                 "-", BASELINE_NS, ks09))
+
+    central = _run_boost(central_party_boost, BASELINE_NS)
+    rows.append(("CM'19/ACD+'19 (central committee)", "Õ(n)",
+                 "trusted-pki", "ro/vrf/...", BASELINE_NS, central))
+
+    all_to_all = []
+    rng = Randomness(3)
+    for n in BASELINE_NS:
+        plan = random_corruption(
+            n, PARAMS.max_corruptions(n), rng.fork(f"c{n}")
+        )
+        result = all_to_all_ba({i: 1 for i in range(n)}, plan,
+                               rng.fork(f"r{n}"))
+        assert result.agreement
+        all_to_all.append(result.metrics.max_bits_per_party)
+    rows.append(("full-network phase-king", "Theta(n·t)", "-", "-",
+                 BASELINE_NS, all_to_all))
+
+    return rows
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_reproduction(benchmark, results_dir):
+    raw_rows = benchmark.pedantic(_collect_rows, rounds=1, iterations=1)
+
+    table_rows = []
+    fits = {}
+    for name, claim, setup, assumptions, ns, series in raw_rows:
+        fit = fit_power_law(ns, series)
+        fits[name] = fit
+        table_rows.append(
+            Table1Row(
+                protocol=name,
+                paper_claim=claim,
+                setup=setup,
+                assumptions=assumptions,
+                ns=ns,
+                max_bits_per_party=series,
+                fitted_exponent=fit.exponent,
+                growth_class=classify_growth(ns, series),
+            )
+        )
+
+    rendered = render_table(table_rows)
+    write_result(results_dir, "table1", rendered)
+
+    # Shape assertions — the paper's ordering of the max-com column.
+    #
+    # On a finite n-window a polylog series masquerades as a small power
+    # law (log^4 n fits n^0.8 over [64, 512]), so raw exponent
+    # comparison against the sqrt row would be meaningless.  The shape
+    # tests are therefore: (1) model classification — the polylog model
+    # fits this work's rows strictly better than any power law, while
+    # every baseline classifies as its claimed power; (2) local-slope
+    # decay — polylog series flatten as n grows, power laws do not;
+    # (3) endpoint ordering at the largest common n.
+    classes = {row.protocol: row.growth_class for row in table_rows}
+    assert classes["this work (snark srds)"] == "polylog"
+    assert classes["this work (owf srds)"] == "polylog"
+    assert classes["natural approach (registered)"] == "polylog"
+    assert classes["KS'11/KLST'11 (sqrt polling)"] == "sqrt-like"
+    assert classes["CM'19/ACD+'19 (central committee)"] == "linear"
+    assert classes["BGT'13 (multisig certs)"] == "superlinear"
+    assert classes["KS'09 (quorum relay)"] in ("linear", "superlinear")
+    assert classes["full-network phase-king"] == "superlinear"
+
+    def local_slope(ns, series, first, second):
+        import math
+
+        return (
+            math.log(series[second] / series[first])
+            / math.log(ns[second] / ns[first])
+        )
+
+    for name in ("this work (snark srds)", "this work (owf srds)"):
+        _, _, _, _, ns, series = next(r for r in raw_rows if r[0] == name)
+        early = local_slope(ns, series, 0, 1)
+        late = local_slope(ns, series, len(ns) - 2, len(ns) - 1)
+        assert late < early, f"{name} slope should decay (polylog)"
+
+    # Endpoint ordering at n = 512: pi_ba/SNARK already beats the
+    # multisig-certificate variant by a wide factor.
+    by_name = {r[0]: r[5] for r in raw_rows}
+    n_index = PI_BA_NS.index(512)
+    assert (
+        by_name["BGT'13 (multisig certs)"][n_index]
+        > 3 * by_name["this work (snark srds)"][n_index]
+    )
+    # Theta(n)-class baselines grow with n; their exponents are near 1+.
+    assert fits["CM'19/ACD+'19 (central committee)"].exponent > 0.85
+    assert fits["KS'09 (quorum relay)"].exponent > 1.2
+    assert fits["full-network phase-king"].exponent > 1.2
+    assert 0.35 < fits["KS'11/KLST'11 (sqrt polling)"].exponent < 0.8

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Domain scenario: a private salary survey via scalable MPC.
+
+Corollary 1.2(2): with the pi_ba communication graph plus threshold FHE,
+n parties compute any function of their inputs with total communication
+n * polylog(n) * poly(kappa) * (l_in + l_out) — no party ever sees
+another's input in the clear.
+
+This example runs an anonymous compensation survey over n employees:
+each submits a salary band (one byte); the computed outputs are the
+band histogram and the median band.  Corrupt parties may submit junk —
+the protocol still terminates with every honest party holding the same
+(correctly computed) result.
+
+Usage::
+
+    python examples/private_survey.py [n]
+"""
+
+import sys
+
+from repro.analysis.tables import format_bits
+from repro.net.adversary import random_corruption
+from repro.params import ProtocolParameters
+from repro.mpc.scalable_mpc import run_scalable_mpc
+from repro.utils.randomness import Randomness
+
+BANDS = 8
+
+
+def survey_function(plaintexts):
+    """Histogram over salary bands plus the median band."""
+    histogram = [0] * BANDS
+    for submission in plaintexts:
+        band = submission[0] if submission else 0
+        histogram[min(band, BANDS - 1)] += 1
+    total = sum(histogram)
+    running, median = 0, 0
+    for band, count in enumerate(histogram):
+        running += count
+        if 2 * running >= total:
+            median = band
+            break
+    return bytes(histogram[b] % 256 for b in range(BANDS)) + bytes([median])
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 96
+    params = ProtocolParameters()
+    rng = Randomness(13)
+    t = params.max_corruptions(n)
+    plan = random_corruption(n, t, rng.fork("corruption"))
+
+    # Honest employees report a band clustered around 3-5; corrupt
+    # parties will try to poison with band 7.
+    inputs = {
+        i: bytes([3 + (i % 3)])
+        for i in range(n)
+    }
+    print(f"Private salary survey: n={n} employees, {t} corrupt\n")
+
+    result = run_scalable_mpc(
+        inputs,
+        survey_function,
+        output_size=BANDS + 1,
+        plan=plan,
+        params=params,
+        rng=rng.fork("run"),
+        corrupt_input=lambda party, value: bytes([7]),  # poisoning attempt
+    )
+
+    histogram = list(result.expected_output[:BANDS])
+    median = result.expected_output[BANDS]
+    print("band  count")
+    for band, count in enumerate(histogram):
+        bar = "#" * count
+        print(f"  {band}   {count:>4}  {bar}")
+    print(f"\nmedian band: {median}")
+    print(f"all honest parties agree on the result: "
+          f"{result.all_honest_correct}")
+    print(f"committee size: {result.committee_size}")
+    print(f"total communication: {format_bits(result.metrics.total_bits)} "
+          f"(~{format_bits(result.metrics.total_bits / n)}/party)")
+    print("\nNo employee's band ever left their machine unencrypted; the")
+    print("corrupt parties' poisoned inputs shift only their own survey")
+    print("entries (input substitution is inherent to any MPC).")
+
+
+if __name__ == "__main__":
+    main()

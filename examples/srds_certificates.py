@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Standalone SRDS usage: succinct majority certificates for a release.
+
+Scenario: a software vendor wants a *succinct* certificate that a
+majority of its n validator nodes approved a release hash.  A classic
+multi-signature needs Theta(n) bits just to say who signed (§1.2's
+"culprit"); an SRDS certificate is constant-size.
+
+The script builds both kinds of certificate over the same validator set,
+aggregates recursively in committee-sized batches (as the communication
+tree would), and prints sizes plus tamper-rejection checks.
+
+Usage::
+
+    python examples/srds_certificates.py [n]
+"""
+
+import sys
+
+from repro.protocols.baselines.multisig import MultisigScheme
+from repro.srds.base_sigs import HashRegistryBase
+from repro.srds.snark_based import SnarkSRDS
+from repro.utils.randomness import Randomness
+
+
+def batched(items, size):
+    """Yield consecutive batches of at most `size` items."""
+    for start in range(0, len(items), size):
+        yield items[start: start + size]
+
+
+def build_certificate(scheme, n, message, rng, batch=32):
+    """Deploy a scheme, sign with everyone, aggregate tree-style."""
+    pp = scheme.setup(n, rng.fork("setup"))
+    verification_keys, signing_keys = {}, {}
+    for index in range(n):
+        vk, sk = scheme.keygen(pp, rng.fork(f"kg-{index}"))
+        verification_keys[index] = vk
+        signing_keys[index] = sk
+
+    signatures = [
+        scheme.sign(pp, index, signing_keys[index], message)
+        for index in range(n)
+    ]
+    # Recursive aggregation in polylog-size batches, like the tree does.
+    layer = signatures
+    while len(layer) > 1:
+        layer = [
+            scheme.aggregate(pp, verification_keys, message, group)
+            for group in batched(layer, batch)
+        ]
+    certificate = layer[0]
+    return pp, verification_keys, certificate
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 1024
+    message = b"release-v2.1.0:sha256:9c1185a5c5e9fc54612808977ee8f548b2258d31"
+    rng = Randomness(99)
+
+    print(f"Majority certificate over n={n} validators for:\n  {message.decode()}\n")
+
+    srds = SnarkSRDS(base_scheme=HashRegistryBase())
+    pp, vks, certificate = build_certificate(srds, n, message, rng.fork("srds"))
+    size_srds = len(certificate.encode())
+    print("SRDS (SNARK-based) certificate:")
+    print(f"  size:       {size_srds} bytes (independent of n)")
+    print(f"  contributors attested: {certificate.count}/{n}")
+    print(f"  verifies:   {srds.verify(pp, vks, message, certificate)}")
+    print(f"  tampered:   {srds.verify(pp, vks, b'release-v6.6.6', certificate)}"
+          "  (certificate bound to the message)")
+    print()
+
+    multisig = MultisigScheme()
+    pp2, vks2, bitmap_cert = build_certificate(
+        multisig, n, message, rng.fork("multisig")
+    )
+    size_multisig = len(bitmap_cert.encode())
+    print("Multi-signature (bitmap) certificate:")
+    print(f"  size:       {size_multisig} bytes (32B tag + n-bit signer "
+          "bitmap — the Theta(n) culprit)")
+    print(f"  verifies:   {multisig.verify(pp2, vks2, message, bitmap_cert)}")
+    print()
+
+    # The size race: constant vs Theta(n).
+    print(f"{'n':>8} {'SRDS':>8} {'multisig':>10}")
+    for scale in (256, 1024, 4096, 16384, 1 << 20):
+        # SRDS certificates carry no per-party payload; the multisig
+        # bitmap is (n + 7) // 8 bytes plus the fixed tag/framing.
+        multisig_bytes = len(bitmap_cert.encode()) - (n + 7) // 8 + (
+            (scale + 7) // 8
+        )
+        print(f"{scale:>8} {size_srds:>7}B {multisig_bytes:>9}B")
+    print("\nThe multisig bitmap overtakes the ~141B SRDS certificate near"
+          " n = 1000 and grows linearly forever after — the reason pi_ba")
+    print("with multi-signatures is stuck at Theta(n) per-party"
+          " communication (§1.2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""repro — a reproduction of Boyle, Cohen & Goel (PODC 2021):
+"Breaking the O(sqrt(n))-Bit Barrier: Byzantine Agreement with Polylog
+Bits Per Party".
+
+Public API tour:
+
+* :class:`repro.params.ProtocolParameters` — every tunable in one place.
+* :mod:`repro.srds` — the paper's core primitive (SRDS) and its two
+  constructions (:class:`~repro.srds.owf.OwfSRDS`,
+  :class:`~repro.srds.snark_based.SnarkSRDS`), plus the Fig. 1/2 security
+  experiments in :mod:`repro.srds.experiments`.
+* :func:`repro.protocols.balanced_ba.run_balanced_ba` — the headline
+  pi_ba protocol (Fig. 3) with full per-party communication accounting.
+* :class:`repro.protocols.broadcast.BroadcastService` — the amortized
+  broadcast corollary (Corollary 1.2(1)).
+* :mod:`repro.protocols.baselines` — the Table-1 comparison protocols.
+* :mod:`repro.lowerbounds` — executable companions to Thms 1.3/1.4.
+* :mod:`repro.aetree`, :mod:`repro.net`, :mod:`repro.crypto`,
+  :mod:`repro.fields`, :mod:`repro.pki` — the substrates, all built from
+  scratch.
+
+Quickstart::
+
+    from repro import quick_ba
+
+    result = quick_ba(n=64, input_bit=1, seed=7)
+    assert result.agreement and result.validity
+"""
+
+from repro.params import DEFAULT_PARAMETERS, ProtocolParameters
+from repro.protocols.balanced_ba import (
+    AdversaryBehavior,
+    BalancedBA,
+    BAResult,
+    run_balanced_ba,
+)
+from repro.srds.owf import OwfSRDS
+from repro.srds.snark_based import SnarkSRDS
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdversaryBehavior",
+    "BAResult",
+    "BalancedBA",
+    "DEFAULT_PARAMETERS",
+    "OwfSRDS",
+    "ProtocolParameters",
+    "SnarkSRDS",
+    "quick_ba",
+    "run_balanced_ba",
+]
+
+
+def quick_ba(n: int = 64, input_bit: int = 1, seed: int = 0,
+             corrupt_fraction: float = None):
+    """Run one pi_ba execution with sensible defaults (see README).
+
+    Uses the SNARK-based SRDS with the fast simulated base-signature
+    scheme; all honest parties hold ``input_bit``; corruption is a random
+    set at the parameter default (or ``corrupt_fraction``).
+    """
+    from repro.net.adversary import random_corruption
+    from repro.srds.base_sigs import HashRegistryBase
+    from repro.utils.randomness import Randomness
+
+    params = (
+        ProtocolParameters(corruption_ratio=corrupt_fraction)
+        if corrupt_fraction is not None
+        else DEFAULT_PARAMETERS
+    )
+    rng = Randomness(seed)
+    plan = random_corruption(n, params.max_corruptions(n), rng.fork("corrupt"))
+    inputs = {i: input_bit for i in range(n)}
+    scheme = SnarkSRDS(base_scheme=HashRegistryBase())
+    return run_balanced_ba(inputs, plan, scheme, params, rng.fork("run"))

@@ -1,0 +1,115 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+
+* ``ba [n]`` — run pi_ba with both SRDS constructions; print agreement,
+  certificate size, and per-party communication.
+* ``attacks`` — the Thm 1.3 (CRS) and Thm 1.4 (OWF) attacks, summarized.
+* ``tree [n]`` — build an almost-everywhere tree under random corruption
+  and print its Def. 2.3 guarantees.
+* ``report [path]`` — assemble the benchmark records from
+  ``benchmarks/results/`` into one measured-experiment report (stdout,
+  or written to ``path``).
+
+Longer, annotated versions of these demos live in ``examples/``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.tables import format_bits
+from repro.net.adversary import random_corruption
+from repro.params import ProtocolParameters
+from repro.utils.randomness import Randomness
+
+
+def _cmd_ba(n: int) -> int:
+    from repro.protocols.balanced_ba import run_balanced_ba
+    from repro.srds.base_sigs import HashRegistryBase
+    from repro.srds.owf import OwfSRDS
+    from repro.srds.snark_based import SnarkSRDS
+
+    params = ProtocolParameters()
+    rng = Randomness(2021)
+    plan = random_corruption(n, params.max_corruptions(n), rng.fork("c"))
+    inputs = {i: i % 2 for i in range(n)}
+    print(f"pi_ba: n={n}, t={plan.t}, split inputs")
+    for label, scheme in (
+        ("snark-srds", SnarkSRDS(base_scheme=HashRegistryBase())),
+        ("owf-srds", OwfSRDS(message_bits=64)),
+    ):
+        result = run_balanced_ba(inputs, plan, scheme, params,
+                                 rng.fork(label))
+        print(
+            f"  {label:<11} agree={result.agreement} y={result.agreed_value} "
+            f"cert={result.certificate_bytes:,}B "
+            f"max/party={format_bits(result.metrics.max_bits_per_party)} "
+            f"imbalance={result.metrics.imbalance:.2f}"
+        )
+    return 0
+
+
+def _cmd_attacks() -> int:
+    from repro.lowerbounds.crs_attack import attack_success_rate as crs_rate
+    from repro.lowerbounds.owf_attack import attack_success_rate as owf_rate
+
+    rng = Randomness(1)
+    crs = crs_rate(200, 30, 10, 40, rng.fork("crs"))
+    pki = crs_rate(200, 30, 10, 40, rng.fork("pki"), with_pki=True)
+    print(f"Thm 1.3  CRS-only single-round boost: victim errs {crs:.0%}")
+    print(f"         with PKI/SRDS certificates:  victim errs {pki:.0%}")
+    weak = owf_rate(80, 12, 6, secret_bits=8, effort_bits=12, trials=15,
+                    rng=rng.fork("w"))
+    strong = owf_rate(80, 12, 6, secret_bits=40, effort_bits=12, trials=15,
+                      rng=rng.fork("s"))
+    print(f"Thm 1.4  invertible (8-bit) PKI keys: victim errs {weak:.0%}")
+    print(f"         one-way (40-bit) PKI keys:   victim errs {strong:.0%}")
+    return 0
+
+
+def _cmd_tree(n: int) -> int:
+    from repro.aetree import analyze, build_tree
+
+    params = ProtocolParameters()
+    rng = Randomness(7)
+    plan = random_corruption(n, params.max_corruptions(n), rng.fork("c"))
+    tree = build_tree(n, params, rng.fork("t"), honest_root_hint=plan.honest)
+    report = analyze(tree, plan)
+    print(f"(n, I)-tree for n={n}, t={plan.t}:")
+    print(f"  leaves={report.num_leaves} height={report.height} "
+          f"z={tree.z} z*={tree.z_star}")
+    print(f"  good-path leaves: {report.good_path_leaf_fraction:.1%}")
+    print(f"  well-connected parties: {report.well_connected_fraction:.1%}")
+    print(f"  supreme committee 2/3-honest: {report.root_is_good}")
+    return 0
+
+
+def main(argv) -> int:
+    if not argv:
+        print(__doc__)
+        return 2
+    command, *args = argv
+    if command == "ba":
+        return _cmd_ba(int(args[0]) if args else 64)
+    if command == "attacks":
+        return _cmd_attacks()
+    if command == "tree":
+        return _cmd_tree(int(args[0]) if args else 256)
+    if command == "report":
+        import pathlib
+
+        from repro.analysis.report import assemble_report, write_report
+
+        if args:
+            write_report(pathlib.Path(args[0]))
+            print(f"report written to {args[0]}")
+        else:
+            print(assemble_report())
+        return 0
+    print(__doc__)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

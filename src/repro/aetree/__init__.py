@@ -1,0 +1,31 @@
+"""Almost-everywhere communication trees (Def. 2.3 / Def. 3.4)."""
+
+from repro.aetree.analysis import (
+    TreeReport,
+    analyze,
+    good_nodes,
+    good_path_fraction,
+    good_path_leaves,
+    is_good_node,
+    isolated_parties,
+    validate_against_plan,
+    validate_structure,
+    well_connected_parties,
+)
+from repro.aetree.tree import CommTree, TreeNode, build_tree
+
+__all__ = [
+    "CommTree",
+    "TreeNode",
+    "TreeReport",
+    "analyze",
+    "build_tree",
+    "good_nodes",
+    "good_path_fraction",
+    "good_path_leaves",
+    "is_good_node",
+    "isolated_parties",
+    "validate_against_plan",
+    "validate_structure",
+    "well_connected_parties",
+]

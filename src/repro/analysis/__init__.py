@@ -1,0 +1,24 @@
+"""Scaling fits and Table-1-style rendering for benchmark output."""
+
+from repro.analysis.scaling import (
+    PolylogFit,
+    PowerLawFit,
+    classify_growth,
+    crossover_point,
+    fit_polylog,
+    fit_power_law,
+)
+from repro.analysis.tables import Table1Row, format_bits, render_series, render_table
+
+__all__ = [
+    "PolylogFit",
+    "PowerLawFit",
+    "Table1Row",
+    "classify_growth",
+    "crossover_point",
+    "fit_polylog",
+    "fit_power_law",
+    "format_bits",
+    "render_series",
+    "render_table",
+]

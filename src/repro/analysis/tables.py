@@ -1,0 +1,64 @@
+"""Rendering measured results in the shape of the paper's Table 1."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One protocol row: metadata plus the measured scaling series."""
+
+    protocol: str
+    paper_claim: str          # the paper's max-com-per-party column
+    setup: str
+    assumptions: str
+    ns: Sequence[int]
+    max_bits_per_party: Sequence[int]
+    fitted_exponent: Optional[float] = None
+    growth_class: Optional[str] = None
+
+
+def format_bits(bits: float) -> str:
+    """Human-readable bit counts."""
+    units = ["b", "Kb", "Mb", "Gb", "Tb"]
+    value = float(bits)
+    for unit in units:
+        if value < 1024 or unit == units[-1]:
+            return f"{value:.1f}{unit}"
+        value /= 1024
+    return f"{value:.1f}Tb"
+
+
+def render_table(rows: Sequence[Table1Row]) -> str:
+    """Render measured rows alongside the paper's claims (Table 1 shape)."""
+    header = (
+        f"{'protocol':<34} {'paper claim':<14} {'setup':<14} "
+        f"{'assumptions':<18} {'fit n^e':>8} {'class':<10} "
+        + " ".join(f"{f'n={n}':>12}" for n in (rows[0].ns if rows else []))
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        exponent = (
+            f"{row.fitted_exponent:+.2f}" if row.fitted_exponent is not None
+            else "n/a"
+        )
+        cells = " ".join(
+            f"{format_bits(bits):>12}" for bits in row.max_bits_per_party
+        )
+        lines.append(
+            f"{row.protocol:<34} {row.paper_claim:<14} {row.setup:<14} "
+            f"{row.assumptions:<18} {exponent:>8} "
+            f"{(row.growth_class or ''):<10} {cells}"
+        )
+    return "\n".join(lines)
+
+
+def render_series(title: str, ns: Sequence[int],
+                  series: Sequence[float], unit: str = "") -> str:
+    """A one-line measurement series for benchmark stdout."""
+    points = ", ".join(
+        f"n={n}: {value:,.0f}{unit}" for n, value in zip(ns, series)
+    )
+    return f"{title}: {points}"

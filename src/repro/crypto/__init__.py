@@ -1,0 +1,37 @@
+"""Cryptographic substrates built from scratch.
+
+Layout:
+
+* :mod:`repro.crypto.hashing`, :mod:`repro.crypto.merkle` — CRH + Merkle.
+* :mod:`repro.crypto.prf`, :mod:`repro.crypto.prg` — keyed PRF / PRG.
+* :mod:`repro.crypto.lamport` — one-time signatures with oblivious keygen
+  (the OWF-based SRDS substrate).
+* :mod:`repro.crypto.ec`, :mod:`repro.crypto.schnorr` — secp256k1 group and
+  Schnorr signatures (bare-PKI base signatures).
+* :mod:`repro.crypto.shamir`, :mod:`repro.crypto.vss` — Shamir + Feldman
+  VSS (coin-toss substrate).
+* :mod:`repro.crypto.snark` — simulated SNARK/PCD (see DESIGN.md
+  substitutions).
+"""
+
+from repro.crypto.hashing import hash_bytes, hash_chain, hash_domain, hash_to_int
+from repro.crypto.merkle import MerkleProof, MerkleTree, merkle_root, verify_inclusion
+from repro.crypto.prf import SubsetPRF, prf_int
+from repro.crypto.prg import PRG
+from repro.crypto.snark import Proof, SnarkSystem
+
+__all__ = [
+    "MerkleProof",
+    "MerkleTree",
+    "PRG",
+    "Proof",
+    "SnarkSystem",
+    "SubsetPRF",
+    "hash_bytes",
+    "hash_chain",
+    "hash_domain",
+    "hash_to_int",
+    "merkle_root",
+    "prf_int",
+    "verify_inclusion",
+]

@@ -1,0 +1,134 @@
+"""The secp256k1 elliptic-curve group, implemented from scratch.
+
+The coin-tossing substrate uses Feldman VSS, whose share commitments live
+in a prime-order group with hard discrete log; Schnorr signatures (base
+signatures for the SNARK-based SRDS) use the same group.  Points are
+represented affinely with ``None`` for the identity; scalar multiplication
+is double-and-add.  Pure Python is fast enough for committee-sized
+workloads (hundreds of scalar mults per protocol run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import CryptoError
+from repro.utils.serialization import int_to_fixed_bytes
+
+# secp256k1 parameters: y^2 = x^3 + 7 over GF(P), group order N.
+P = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFC2F
+N = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEBAAEDCE6AF48A03BBFD25E8CD0364141
+A = 0
+B = 7
+GX = 0x79BE667EF9DCBBAC55A06295CE870B07029BFCDB2DCE28D959F2815B16F81798
+GY = 0x483ADA7726A3C4655DA4FBFC0E1108A8FD17B448A68554199C47D08FFB10D4B8
+
+
+@dataclass(frozen=True)
+class Point:
+    """An affine point on secp256k1; ``x is None`` encodes the identity."""
+
+    x: Optional[int]
+    y: Optional[int]
+
+    def is_identity(self) -> bool:
+        """Whether this is the group identity (point at infinity)."""
+        return self.x is None
+
+    def __add__(self, other: "Point") -> "Point":
+        return point_add(self, other)
+
+    def __mul__(self, scalar: int) -> "Point":
+        return scalar_mult(scalar, self)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Point":
+        if self.is_identity():
+            return self
+        return Point(self.x, (-self.y) % P)
+
+    def encode(self) -> bytes:
+        """Compressed SEC1-style encoding (33 bytes; identity is 1 byte)."""
+        if self.is_identity():
+            return b"\x00"
+        prefix = b"\x03" if self.y % 2 else b"\x02"
+        return prefix + int_to_fixed_bytes(self.x, 32)
+
+
+IDENTITY = Point(None, None)
+GENERATOR = Point(GX, GY)
+
+
+def is_on_curve(point: Point) -> bool:
+    """Check the curve equation (identity counts as on-curve)."""
+    if point.is_identity():
+        return True
+    return (point.y * point.y - point.x * point.x * point.x - A * point.x - B) % P == 0
+
+
+def point_add(p: Point, q: Point) -> Point:
+    """Group addition."""
+    if p.is_identity():
+        return q
+    if q.is_identity():
+        return p
+    if p.x == q.x and (p.y + q.y) % P == 0:
+        return IDENTITY
+    if p.x == q.x:
+        # Doubling.
+        slope = (3 * p.x * p.x + A) * pow(2 * p.y, -1, P) % P
+    else:
+        slope = (q.y - p.y) * pow(q.x - p.x, -1, P) % P
+    x = (slope * slope - p.x - q.x) % P
+    y = (slope * (p.x - x) - p.y) % P
+    return Point(x, y)
+
+
+def scalar_mult(scalar: int, point: Point) -> Point:
+    """Double-and-add scalar multiplication; scalar reduced mod N."""
+    scalar %= N
+    result = IDENTITY
+    addend = point
+    while scalar:
+        if scalar & 1:
+            result = point_add(result, addend)
+        addend = point_add(addend, addend)
+        scalar >>= 1
+    return result
+
+
+def decode_point(data: bytes) -> Point:
+    """Inverse of :meth:`Point.encode` (compressed form)."""
+    if data == b"\x00":
+        return IDENTITY
+    if len(data) != 33 or data[0] not in (2, 3):
+        raise CryptoError("malformed compressed point")
+    x = int.from_bytes(data[1:], "big")
+    if x >= P:
+        raise CryptoError("point x-coordinate out of range")
+    y_squared = (x * x * x + A * x + B) % P
+    # P % 4 == 3 so a square root is a straightforward power.
+    y = pow(y_squared, (P + 1) // 4, P)
+    if y * y % P != y_squared:
+        raise CryptoError("x-coordinate is not on the curve")
+    if (y % 2 == 1) != (data[0] == 3):
+        y = P - y
+    point = Point(x, y)
+    if not is_on_curve(point):
+        raise CryptoError("decoded point fails curve equation")
+    return point
+
+
+def commit(scalar: int) -> Point:
+    """The Pedersen-free commitment ``scalar * G`` used by Feldman VSS."""
+    return scalar_mult(scalar, GENERATOR)
+
+
+def multi_scalar_mult(pairs: Tuple[Tuple[int, Point], ...]) -> Point:
+    """Naive multi-scalar multiplication (sum of scalar*point)."""
+    result = IDENTITY
+    for scalar, point in pairs:
+        result = point_add(result, scalar_mult(scalar, point))
+    return result

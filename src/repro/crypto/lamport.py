@@ -1,0 +1,186 @@
+"""Lamport one-time signatures with oblivious key generation.
+
+This is the substrate of the paper's OWF-based SRDS (Thm 2.7).  Two
+properties matter beyond plain one-time unforgeability:
+
+* **Oblivious key generation** — a verification key can be sampled
+  *without* any corresponding signing key, and such keys are
+  indistinguishable from honestly generated ones given only the public
+  material.  The sortition-based SRDS gives most parties oblivious keys so
+  that only a hidden polylog-size subset can sign.
+* **Determinism from seeds** — keys expand from short seeds via the PRG,
+  so the trusted-PKI dealer ships 32-byte seeds rather than kilobytes of
+  hash preimages.
+
+Messages of arbitrary length are first hashed to ``message_bits`` bits;
+the scheme signs that digest bit-by-bit in the classic two-row Lamport
+layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.crypto.hashing import hash_domain
+from repro.crypto.prg import PRG
+from repro.errors import KeyError_, SignatureError
+from repro.utils.serialization import encode_uint
+
+_SECRET_DOMAIN = "lamport/secret"
+_PUBLIC_DOMAIN = "lamport/public"
+_MESSAGE_DOMAIN = "lamport/message"
+_OBLIVIOUS_DOMAIN = "lamport/oblivious"
+
+DEFAULT_MESSAGE_BITS = 128
+
+
+def _message_digest_bits(message: bytes, message_bits: int) -> List[int]:
+    """Hash a message down to ``message_bits`` bits (list of 0/1)."""
+    needed_bytes = (message_bits + 7) // 8
+    stream = b""
+    counter = 0
+    while len(stream) < needed_bytes:
+        stream += hash_domain(_MESSAGE_DOMAIN, encode_uint(counter), message)
+        counter += 1
+    bits: List[int] = []
+    for byte in stream[:needed_bytes]:
+        for position in range(8):
+            bits.append((byte >> (7 - position)) & 1)
+            if len(bits) == message_bits:
+                return bits
+    return bits
+
+
+@dataclass(frozen=True)
+class LamportVerificationKey:
+    """A Lamport verification key: two hash values per message bit."""
+
+    message_bits: int
+    rows: Tuple[Tuple[bytes, bytes], ...]
+
+    def encode(self) -> bytes:
+        """Flat concatenation (fixed width: 64 bytes per message bit)."""
+        return b"".join(zero + one for zero, one in self.rows)
+
+    def size_bytes(self) -> int:
+        """Wire size of the key."""
+        return sum(len(zero) + len(one) for zero, one in self.rows)
+
+
+@dataclass(frozen=True)
+class LamportSigningKey:
+    """A Lamport signing key: two secret preimages per message bit."""
+
+    message_bits: int
+    rows: Tuple[Tuple[bytes, bytes], ...]
+
+
+@dataclass(frozen=True)
+class LamportSignature:
+    """A Lamport signature: one revealed preimage per message bit."""
+
+    preimages: Tuple[bytes, ...]
+
+    def encode(self) -> bytes:
+        """Flat concatenation (32 bytes per message bit)."""
+        return b"".join(self.preimages)
+
+    def size_bytes(self) -> int:
+        """Wire size of the signature."""
+        return sum(len(p) for p in self.preimages)
+
+
+def keygen_from_seed(
+    seed: bytes, message_bits: int = DEFAULT_MESSAGE_BITS
+) -> Tuple[LamportVerificationKey, LamportSigningKey]:
+    """Deterministically expand a seed into a full Lamport key pair."""
+    prg = PRG(seed, domain=_SECRET_DOMAIN)
+    secret_rows: List[Tuple[bytes, bytes]] = []
+    public_rows: List[Tuple[bytes, bytes]] = []
+    for bit_index in range(message_bits):
+        zero_secret = prg.block(2 * bit_index)
+        one_secret = prg.block(2 * bit_index + 1)
+        secret_rows.append((zero_secret, one_secret))
+        public_rows.append(
+            (
+                hash_domain(_PUBLIC_DOMAIN, zero_secret),
+                hash_domain(_PUBLIC_DOMAIN, one_secret),
+            )
+        )
+    verification_key = LamportVerificationKey(
+        message_bits=message_bits, rows=tuple(public_rows)
+    )
+    signing_key = LamportSigningKey(
+        message_bits=message_bits, rows=tuple(secret_rows)
+    )
+    return verification_key, signing_key
+
+
+def oblivious_keygen(
+    seed: bytes, message_bits: int = DEFAULT_MESSAGE_BITS
+) -> LamportVerificationKey:
+    """Sample a verification key with *no* corresponding signing key.
+
+    The rows are PRG outputs used directly as "hash values"; since the
+    honest rows are hashes of PRG outputs, both distributions are uniform
+    256-bit strings to any observer without preimages.  Inverting a row
+    back to a usable preimage is exactly inverting the OWF.
+    """
+    prg = PRG(seed, domain=_OBLIVIOUS_DOMAIN)
+    rows = tuple(
+        (prg.block(2 * i), prg.block(2 * i + 1)) for i in range(message_bits)
+    )
+    return LamportVerificationKey(message_bits=message_bits, rows=rows)
+
+
+def sign(
+    signing_key: LamportSigningKey, message: bytes
+) -> LamportSignature:
+    """Sign a message by revealing one preimage per digest bit."""
+    bits = _message_digest_bits(message, signing_key.message_bits)
+    preimages = tuple(
+        signing_key.rows[index][bit] for index, bit in enumerate(bits)
+    )
+    return LamportSignature(preimages=preimages)
+
+
+def verify(
+    verification_key: LamportVerificationKey,
+    message: bytes,
+    signature: LamportSignature,
+) -> bool:
+    """Verify a signature; returns False on any mismatch."""
+    if len(signature.preimages) != verification_key.message_bits:
+        return False
+    bits = _message_digest_bits(message, verification_key.message_bits)
+    for index, bit in enumerate(bits):
+        expected = verification_key.rows[index][bit]
+        if hash_domain(_PUBLIC_DOMAIN, signature.preimages[index]) != expected:
+            return False
+    return True
+
+
+def decode_signature(
+    data: bytes, message_bits: int = DEFAULT_MESSAGE_BITS
+) -> LamportSignature:
+    """Decode a flat signature encoding (32 bytes per bit)."""
+    if len(data) != 32 * message_bits:
+        raise SignatureError("malformed Lamport signature encoding")
+    preimages = tuple(
+        data[32 * i: 32 * (i + 1)] for i in range(message_bits)
+    )
+    return LamportSignature(preimages=preimages)
+
+
+def decode_verification_key(
+    data: bytes, message_bits: int = DEFAULT_MESSAGE_BITS
+) -> LamportVerificationKey:
+    """Decode a flat verification-key encoding (64 bytes per bit)."""
+    if len(data) != 64 * message_bits:
+        raise KeyError_("malformed Lamport verification key encoding")
+    rows = tuple(
+        (data[64 * i: 64 * i + 32], data[64 * i + 32: 64 * (i + 1)])
+        for i in range(message_bits)
+    )
+    return LamportVerificationKey(message_bits=message_bits, rows=rows)

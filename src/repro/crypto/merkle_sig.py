@@ -1,0 +1,154 @@
+"""XMSS-style Merkle many-time signatures over the OTS layer.
+
+A hash-based many-time signature: generate 2^h one-time key pairs,
+commit to their verification keys with a Merkle tree, and publish the
+root as the long-lived public key.  The i-th signature reveals the i-th
+OTS public key, an OTS signature, and the Merkle authentication path.
+
+Used by services that sign repeatedly under a single trusted-PKI
+identity (e.g. multi-execution broadcast with the OWF-model toolchain),
+keeping the whole stack OWF-only — the same assumption budget as
+Thm 2.7.  Signing is *stateful*: reusing a leaf index breaks one-time
+security, so the signer object tracks and refuses reuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.crypto.merkle import MerkleProof, MerkleTree, verify_inclusion
+from repro.errors import ConfigurationError, SignatureError
+from repro.srds.ots import OneTimeSignatureScheme, WinternitzOts
+from repro.utils.serialization import (
+    decode_bytes,
+    decode_uint,
+    encode_bytes,
+    encode_uint,
+)
+
+
+@dataclass(frozen=True)
+class MerkleSignature:
+    """One many-time signature: leaf index, OTS material, Merkle path."""
+
+    leaf_index: int
+    ots_verification_key: bytes
+    ots_signature: bytes
+    proof: MerkleProof
+
+    def encode(self) -> bytes:
+        parts = [
+            encode_uint(self.leaf_index),
+            encode_bytes(self.ots_verification_key),
+            encode_bytes(self.ots_signature),
+            encode_uint(len(self.proof.siblings)),
+        ]
+        for digest, is_right in self.proof.siblings:
+            parts.append(encode_bytes(digest))
+            parts.append(encode_uint(1 if is_right else 0))
+        return b"".join(parts)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "MerkleSignature":
+        leaf_index, pos = decode_uint(data, 0)
+        ots_vk, pos = decode_bytes(data, pos)
+        ots_sig, pos = decode_bytes(data, pos)
+        count, pos = decode_uint(data, pos)
+        siblings = []
+        for _ in range(count):
+            digest, pos = decode_bytes(data, pos)
+            flag, pos = decode_uint(data, pos)
+            siblings.append((digest, bool(flag)))
+        if pos != len(data):
+            raise SignatureError("trailing bytes in Merkle signature")
+        return cls(
+            leaf_index=leaf_index,
+            ots_verification_key=ots_vk,
+            ots_signature=ots_sig,
+            proof=MerkleProof(leaf_index=leaf_index,
+                              siblings=tuple(siblings)),
+        )
+
+
+class MerkleSigner:
+    """A stateful many-time signer with capacity ``2^height``."""
+
+    def __init__(
+        self,
+        seed: bytes,
+        height: int = 4,
+        ots: Optional[OneTimeSignatureScheme] = None,
+    ) -> None:
+        if not 1 <= height <= 16:
+            raise ConfigurationError("height must lie in [1, 16]")
+        self.height = height
+        self.capacity = 1 << height
+        self.ots = ots if ots is not None else WinternitzOts(
+            message_bits=128, w=4
+        )
+        self._keys = []
+        leaves = []
+        for index in range(self.capacity):
+            vk, sk = self.ots.keygen_from_seed(
+                seed + encode_uint(index)
+            )
+            self._keys.append((vk, sk))
+            leaves.append(vk)
+        self._tree = MerkleTree(leaves)
+        self._used = set()
+
+    @property
+    def public_key(self) -> bytes:
+        """The long-lived public key: the Merkle root (32 bytes)."""
+        return self._tree.root
+
+    @property
+    def remaining(self) -> int:
+        """How many signatures are left."""
+        return self.capacity - len(self._used)
+
+    def sign(self, message: bytes,
+             leaf_index: Optional[int] = None) -> MerkleSignature:
+        """Sign with the next unused leaf (or a chosen one, once)."""
+        if leaf_index is None:
+            leaf_index = next(
+                (i for i in range(self.capacity) if i not in self._used),
+                None,
+            )
+            if leaf_index is None:
+                raise SignatureError("signer capacity exhausted")
+        if leaf_index in self._used:
+            raise SignatureError(
+                f"leaf {leaf_index} already used; reuse breaks one-time "
+                "security"
+            )
+        if not 0 <= leaf_index < self.capacity:
+            raise SignatureError("leaf index out of range")
+        self._used.add(leaf_index)
+        vk, sk = self._keys[leaf_index]
+        return MerkleSignature(
+            leaf_index=leaf_index,
+            ots_verification_key=vk,
+            ots_signature=self.ots.sign(sk, message),
+            proof=self._tree.prove(leaf_index),
+        )
+
+
+def verify(
+    public_key: bytes,
+    message: bytes,
+    signature: MerkleSignature,
+    ots: Optional[OneTimeSignatureScheme] = None,
+) -> bool:
+    """Verify a Merkle signature against the long-lived root."""
+    ots = ots if ots is not None else WinternitzOts(message_bits=128, w=4)
+    if signature.proof.leaf_index != signature.leaf_index:
+        return False
+    if not verify_inclusion(
+        public_key, signature.ots_verification_key, signature.proof
+    ):
+        return False
+    return ots.verify(
+        signature.ots_verification_key, message, signature.ots_signature
+    )

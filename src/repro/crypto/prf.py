@@ -1,0 +1,81 @@
+"""Pseudorandom functions.
+
+Step 7 of the BA protocol (Fig. 3) has every party send its certified pair
+``(y, s)`` to the pseudorandom recipient set ``F_s(i)``; step 8 has
+receivers check membership ``j in F_s(i)``.  Both directions are served by
+:class:`SubsetPRF`.  The generic keyed PRF is HMAC-SHA256.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import List
+
+from repro.utils.serialization import canonical_tuple, encode_str, encode_uint
+
+
+def prf(key: bytes, domain: str, *fields: bytes) -> bytes:
+    """HMAC-SHA256 with injective, domain-separated input encoding."""
+    message = canonical_tuple(encode_str(domain), *fields)
+    return hmac.new(key, message, hashlib.sha256).digest()
+
+
+def prf_int(key: bytes, domain: str, upper_exclusive: int, *fields: bytes) -> int:
+    """A PRF output reduced to ``[0, upper_exclusive)``.
+
+    Rejection sampling over successive counters removes modulo bias; with a
+    256-bit PRF output the expected number of iterations is < 2.
+    """
+    if upper_exclusive <= 0:
+        raise ValueError("upper_exclusive must be positive")
+    bound = (1 << 256) - ((1 << 256) % upper_exclusive)
+    counter = 0
+    while True:
+        sample = int.from_bytes(
+            prf(key, domain, encode_uint(counter), *fields), "big"
+        )
+        if sample < bound:
+            return sample % upper_exclusive
+        counter += 1
+
+
+class SubsetPRF:
+    """The committee-selection PRF family F_s of Fig. 3.
+
+    ``F_s`` maps a party id ``i`` in ``[n]`` to a size-``k`` subset of
+    ``[n]``.  The subset is derived by PRF-driven sampling without
+    replacement so membership can be recomputed by any holder of the seed.
+    """
+
+    def __init__(self, seed: bytes, n: int, subset_size: int) -> None:
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if not 0 < subset_size <= n:
+            raise ValueError("subset size must lie in [1, n]")
+        self._seed = seed
+        self._n = n
+        self._k = subset_size
+
+    def subset(self, party_id: int) -> List[int]:
+        """The recipient set F_s(party_id), sorted ascending."""
+        chosen: List[int] = []
+        taken = set()
+        counter = 0
+        while len(chosen) < self._k:
+            candidate = prf_int(
+                self._seed,
+                "subset-prf",
+                self._n,
+                encode_uint(party_id),
+                encode_uint(counter),
+            )
+            counter += 1
+            if candidate not in taken:
+                taken.add(candidate)
+                chosen.append(candidate)
+        return sorted(chosen)
+
+    def contains(self, party_id: int, candidate: int) -> bool:
+        """Membership test ``candidate in F_s(party_id)`` (step 8, Fig. 3)."""
+        return candidate in self.subset(party_id)

@@ -1,0 +1,35 @@
+"""A hash-chain pseudorandom generator.
+
+Used to expand short seeds into long key material (Lamport key
+generation) deterministically, so an oblivious verification key can be
+re-derived from the public seed alone.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hashing import hash_domain
+from repro.utils.serialization import encode_uint
+
+
+class PRG:
+    """Counter-mode expansion of a seed into pseudorandom blocks."""
+
+    def __init__(self, seed: bytes, domain: str = "prg") -> None:
+        self._seed = seed
+        self._domain = domain
+
+    def block(self, index: int) -> bytes:
+        """The 32-byte block at position ``index`` (random access)."""
+        return hash_domain(self._domain, self._seed, encode_uint(index))
+
+    def expand(self, num_bytes: int) -> bytes:
+        """The first ``num_bytes`` of the output stream."""
+        blocks = []
+        produced = 0
+        index = 0
+        while produced < num_bytes:
+            block = self.block(index)
+            blocks.append(block)
+            produced += len(block)
+            index += 1
+        return b"".join(blocks)[:num_bytes]

@@ -1,0 +1,95 @@
+"""Schnorr signatures over secp256k1.
+
+These serve as the per-party "base" signatures in the SNARK-based SRDS
+construction (Thm 2.8): every party locally generates a key pair (bare
+PKI) and signs the agreed pair ``(y, s)``.  The scheme is the standard
+Fiat-Shamir Schnorr with RFC-6979-style deterministic nonces (derived by
+hashing the secret key and message) so signing is reproducible and never
+reuses a nonce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto import ec
+from repro.crypto.hashing import hash_to_int
+from repro.errors import KeyError_
+from repro.utils.serialization import (
+    fixed_bytes_to_int,
+    int_to_fixed_bytes,
+)
+
+
+@dataclass(frozen=True)
+class SchnorrKeyPair:
+    """A Schnorr key pair: secret scalar and public point."""
+
+    secret: int
+    public: ec.Point
+
+    @property
+    def public_bytes(self) -> bytes:
+        """Compressed public key (33 bytes)."""
+        return self.public.encode()
+
+
+@dataclass(frozen=True)
+class SchnorrSignature:
+    """A Schnorr signature (R, s); 65 bytes on the wire."""
+
+    nonce_point: ec.Point
+    response: int
+
+    def encode(self) -> bytes:
+        """Canonical 65-byte encoding."""
+        return self.nonce_point.encode() + int_to_fixed_bytes(self.response, 32)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "SchnorrSignature":
+        """Inverse of :meth:`encode`."""
+        if len(data) != 65:
+            raise KeyError_("malformed Schnorr signature encoding")
+        return cls(
+            nonce_point=ec.decode_point(data[:33]),
+            response=fixed_bytes_to_int(data[33:]),
+        )
+
+
+def keygen(rng) -> SchnorrKeyPair:
+    """Generate a key pair from a :class:`Randomness` source."""
+    secret = 1 + rng.random_int(ec.N - 1)
+    return SchnorrKeyPair(secret=secret, public=ec.commit(secret))
+
+
+def _challenge(nonce_point: ec.Point, public: ec.Point, message: bytes) -> int:
+    return hash_to_int(
+        "schnorr/challenge", nonce_point.encode(), public.encode(), message
+    ) % ec.N
+
+
+def sign(keypair: SchnorrKeyPair, message: bytes) -> SchnorrSignature:
+    """Sign a message (deterministic nonce derivation)."""
+    nonce = hash_to_int(
+        "schnorr/nonce", int_to_fixed_bytes(keypair.secret, 32), message
+    ) % ec.N
+    if nonce == 0:
+        nonce = 1
+    nonce_point = ec.commit(nonce)
+    challenge = _challenge(nonce_point, keypair.public, message)
+    response = (nonce + challenge * keypair.secret) % ec.N
+    return SchnorrSignature(nonce_point=nonce_point, response=response)
+
+
+def verify(public: ec.Point, message: bytes, signature: SchnorrSignature) -> bool:
+    """Verify a Schnorr signature; returns False on any failure."""
+    if public.is_identity() or not ec.is_on_curve(public):
+        return False
+    if not 0 <= signature.response < ec.N:
+        return False
+    challenge = _challenge(signature.nonce_point, public, message)
+    lhs = ec.commit(signature.response)
+    rhs = ec.point_add(
+        signature.nonce_point, ec.scalar_mult(challenge, public)
+    )
+    return lhs == rhs

@@ -1,0 +1,79 @@
+"""Shamir secret sharing over a prime field.
+
+Dealing evaluates a random degree-``threshold`` polynomial whose constant
+term is the secret at the points ``1..n``; any ``threshold + 1`` shares
+reconstruct via Lagrange interpolation at zero, and any ``threshold``
+shares are information-theoretically independent of the secret.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import SecretSharingError
+from repro.fields.polynomial import Polynomial, lagrange_interpolate_at_zero
+from repro.fields.prime_field import FieldElement, PrimeField
+
+
+@dataclass(frozen=True)
+class Share:
+    """One Shamir share: the evaluation point x and value y."""
+
+    x: FieldElement
+    y: FieldElement
+
+
+def deal(
+    field: PrimeField,
+    secret: int,
+    num_shares: int,
+    threshold: int,
+    rng,
+) -> List[Share]:
+    """Split ``secret`` into ``num_shares`` shares with the given threshold.
+
+    ``threshold`` is the maximum number of shares that reveal nothing;
+    ``threshold + 1`` shares reconstruct.
+    """
+    if not 0 <= threshold < num_shares:
+        raise SecretSharingError(
+            f"threshold {threshold} must lie in [0, num_shares={num_shares})"
+        )
+    polynomial = Polynomial.random(field, threshold, rng, constant_term=secret)
+    return [
+        Share(x=point, y=polynomial.evaluate(point))
+        for point in field.elements_range(num_shares)
+    ]
+
+
+def reconstruct(field: PrimeField, shares: Sequence[Share]) -> FieldElement:
+    """Reconstruct the secret from a set of shares (distinct x values)."""
+    if not shares:
+        raise SecretSharingError("cannot reconstruct from an empty share set")
+    return lagrange_interpolate_at_zero(
+        field, [(share.x, share.y) for share in shares]
+    )
+
+
+def deal_with_polynomial(
+    field: PrimeField,
+    secret: int,
+    num_shares: int,
+    threshold: int,
+    rng,
+) -> "tuple[List[Share], Polynomial]":
+    """Like :func:`deal` but also returns the dealing polynomial.
+
+    Feldman VSS needs the polynomial to build coefficient commitments.
+    """
+    if not 0 <= threshold < num_shares:
+        raise SecretSharingError(
+            f"threshold {threshold} must lie in [0, num_shares={num_shares})"
+        )
+    polynomial = Polynomial.random(field, threshold, rng, constant_term=secret)
+    shares = [
+        Share(x=point, y=polynomial.evaluate(point))
+        for point in field.elements_range(num_shares)
+    ]
+    return shares, polynomial

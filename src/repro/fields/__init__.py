@@ -1,0 +1,23 @@
+"""Prime-field and polynomial arithmetic for the secret-sharing substrates."""
+
+from repro.fields.polynomial import (
+    Polynomial,
+    lagrange_coefficients_at_zero,
+    lagrange_interpolate_at_zero,
+)
+from repro.fields.prime_field import (
+    SECP256K1_ORDER,
+    FieldElement,
+    PrimeField,
+    default_field,
+)
+
+__all__ = [
+    "SECP256K1_ORDER",
+    "FieldElement",
+    "Polynomial",
+    "PrimeField",
+    "default_field",
+    "lagrange_coefficients_at_zero",
+    "lagrange_interpolate_at_zero",
+]

@@ -1,0 +1,144 @@
+"""Polynomials over a prime field, with Lagrange interpolation.
+
+These are the workhorses of Shamir secret sharing (dealing = evaluating a
+random degree-t polynomial; reconstruction = interpolating at zero).
+Coefficients are stored low-degree-first and trailing zeros are trimmed so
+``degree`` is well defined.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import SecretSharingError
+from repro.fields.prime_field import FieldElement, PrimeField
+
+
+class Polynomial:
+    """An immutable polynomial over GF(p), low-degree-first coefficients."""
+
+    def __init__(self, field: PrimeField, coefficients: Iterable) -> None:
+        coeffs = [field.element(c) for c in coefficients]
+        while len(coeffs) > 1 and coeffs[-1].value == 0:
+            coeffs.pop()
+        if not coeffs:
+            coeffs = [field.zero()]
+        self.field = field
+        self.coefficients: Tuple[FieldElement, ...] = tuple(coeffs)
+
+    @classmethod
+    def random(cls, field: PrimeField, degree: int, rng,
+               constant_term=None) -> "Polynomial":
+        """A uniformly random polynomial of exactly the given degree bound.
+
+        If ``constant_term`` is given it becomes the evaluation at zero —
+        this is how Shamir hides a secret.
+        """
+        if degree < 0:
+            raise SecretSharingError(f"degree must be non-negative, got {degree}")
+        coeffs = [field.random_element(rng) for _ in range(degree + 1)]
+        if constant_term is not None:
+            coeffs[0] = field.element(constant_term)
+        return cls(field, coeffs)
+
+    @property
+    def degree(self) -> int:
+        """Degree of the polynomial (0 for constants, including zero)."""
+        return len(self.coefficients) - 1
+
+    def evaluate(self, point) -> FieldElement:
+        """Horner evaluation at an arbitrary field point."""
+        x = self.field.element(point)
+        accumulator = self.field.zero()
+        for coefficient in reversed(self.coefficients):
+            accumulator = accumulator * x + coefficient
+        return accumulator
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        if other.field != self.field:
+            raise SecretSharingError("cannot add polynomials over different fields")
+        size = max(len(self.coefficients), len(other.coefficients))
+        coeffs = []
+        for i in range(size):
+            a = self.coefficients[i] if i < len(self.coefficients) else self.field.zero()
+            b = other.coefficients[i] if i < len(other.coefficients) else self.field.zero()
+            coeffs.append(a + b)
+        return Polynomial(self.field, coeffs)
+
+    def __mul__(self, other: "Polynomial") -> "Polynomial":
+        if other.field != self.field:
+            raise SecretSharingError("cannot multiply polynomials over different fields")
+        coeffs = [self.field.zero()] * (len(self.coefficients) + len(other.coefficients) - 1)
+        for i, a in enumerate(self.coefficients):
+            for j, b in enumerate(other.coefficients):
+                coeffs[i + j] = coeffs[i + j] + a * b
+        return Polynomial(self.field, coeffs)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Polynomial)
+            and other.field == self.field
+            and other.coefficients == self.coefficients
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.field.modulus, tuple(c.value for c in self.coefficients)))
+
+    def __repr__(self) -> str:
+        terms = ", ".join(str(c.value) for c in self.coefficients)
+        return f"Polynomial([{terms}])"
+
+
+def lagrange_interpolate_at_zero(
+    field: PrimeField,
+    points: Sequence[Tuple[FieldElement, FieldElement]],
+) -> FieldElement:
+    """Interpolate the unique degree-(k-1) polynomial through ``points``
+    and evaluate it at zero.
+
+    This is the Shamir reconstruction primitive: ``points`` are
+    ``(x_i, share_i)`` pairs with distinct x-coordinates.
+    """
+    xs = [field.element(x) for x, _ in points]
+    if len({x.value for x in xs}) != len(xs):
+        raise SecretSharingError("interpolation points must have distinct x values")
+    if not points:
+        raise SecretSharingError("cannot interpolate an empty point set")
+    result = field.zero()
+    for i, (x_i, y_i) in enumerate(points):
+        x_i = field.element(x_i)
+        y_i = field.element(y_i)
+        numerator = field.one()
+        denominator = field.one()
+        for j, (x_j, _) in enumerate(points):
+            if i == j:
+                continue
+            x_j = field.element(x_j)
+            numerator = numerator * (-x_j)
+            denominator = denominator * (x_i - x_j)
+        result = result + y_i * numerator / denominator
+    return result
+
+
+def lagrange_coefficients_at_zero(
+    field: PrimeField, xs: Sequence[FieldElement]
+) -> List[FieldElement]:
+    """The Lagrange basis evaluated at zero for the given x-coordinates.
+
+    Useful when the same reconstruction set is reused across many secrets
+    (e.g. batched coin tossing): reconstruction becomes a dot product.
+    """
+    xs = [field.element(x) for x in xs]
+    if len({x.value for x in xs}) != len(xs):
+        raise SecretSharingError("x-coordinates must be distinct")
+    coefficients: List[FieldElement] = []
+    for i, x_i in enumerate(xs):
+        numerator = field.one()
+        denominator = field.one()
+        for j, x_j in enumerate(xs):
+            if i == j:
+                continue
+            numerator = numerator * (-x_j)
+            denominator = denominator * (x_i - x_j)
+        coefficients.append(numerator / denominator)
+    return coefficients

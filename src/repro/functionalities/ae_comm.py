@@ -1,0 +1,100 @@
+"""The reactive almost-everywhere communication functionality f_ae-comm.
+
+§3.1: on first invocation the functionality establishes the communication
+tree (the adversary — or here, the simulated KSSV'06 protocol — picks an
+(n, I)-tree per Def. 3.4) and reveals to each party its local view.  In
+every later invocation, the supreme committee can send a message that is
+delivered to all parties *except* the isolated set D (the parties without
+a majority of good-path leaves), whose identities no honest party learns.
+
+Communication is charged per the cost model (see
+:mod:`repro.protocols.cost_model`): KSSV's realization costs polylog(n)
+bits/party for establishment and payload * polylog for each send-down.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.aetree.analysis import isolated_parties, validate_structure
+from repro.aetree.tree import CommTree, build_tree
+from repro.errors import ProtocolError
+from repro.net.adversary import CorruptionPlan
+from repro.net.metrics import CommunicationMetrics
+from repro.params import ProtocolParameters
+from repro.protocols import cost_model
+from repro.utils.randomness import Randomness
+
+
+class AlmostEverywhereComm:
+    """One instance of f_ae-comm for one protocol execution."""
+
+    def __init__(
+        self,
+        n: int,
+        params: ProtocolParameters,
+        plan: CorruptionPlan,
+        metrics: CommunicationMetrics,
+        rng: Randomness,
+        tree: Optional[CommTree] = None,
+    ) -> None:
+        self.n = n
+        self.params = params
+        self.plan = plan
+        self.metrics = metrics
+        if tree is None:
+            tree = build_tree(
+                n, params, rng.fork("ae-comm-tree"),
+                honest_root_hint=plan.honest,
+            )
+        validate_structure(tree, params)
+        self.tree = tree
+        self.isolated: Set[int] = isolated_parties(tree, plan)
+        if committee_corruption_reaches_third(plan, tree.supreme_committee):
+            raise ProtocolError(
+                "supreme committee lost its 2/3-honest majority; the "
+                "corruption budget violates the model"
+            )
+        charge = cost_model.ae_comm_establish(n, params)
+        metrics.charge_functionality(
+            range(n),
+            bits_per_party=charge.bits_per_party,
+            peers_per_party=charge.peers_per_party,
+            rounds=charge.rounds,
+        )
+
+    @property
+    def supreme_committee(self) -> Sequence[int]:
+        """Parties assigned to the root node."""
+        return self.tree.supreme_committee
+
+    def send_down(self, payload_bits: int, value: object) -> Dict[int, object]:
+        """Supreme committee broadcasts down the tree.
+
+        Returns the per-party delivery map: every party except the
+        isolated set receives ``value``; isolated parties receive
+        nothing (they are absent from the map).  The adversary could
+        substitute values for *corrupt* recipients, but corrupt parties'
+        views are adversary-internal anyway, so the map reports the
+        honest deliveries.
+        """
+        charge = cost_model.ae_comm_send_down(self.n, self.params, payload_bits)
+        self.metrics.charge_functionality(
+            range(self.n),
+            bits_per_party=charge.bits_per_party,
+            peers_per_party=charge.peers_per_party,
+            rounds=charge.rounds,
+        )
+        return {
+            party: value
+            for party in range(self.n)
+            if party not in self.isolated
+        }
+
+
+def committee_corruption_reaches_third(
+    plan: CorruptionPlan, committee: Sequence[int]
+) -> bool:
+    """Whether at least 1/3 of a committee is corrupt (= node is bad)."""
+    corrupt = sum(1 for member in committee if plan.is_corrupt(member))
+    return 3 * corrupt >= len(committee)

@@ -1,0 +1,5 @@
+"""Executable companions to the paper's lower bounds (Thms 1.3, 1.4)."""
+
+from repro.lowerbounds import crs_attack, owf_attack
+
+__all__ = ["crs_attack", "owf_attack"]

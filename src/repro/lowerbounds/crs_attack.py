@@ -1,0 +1,250 @@
+"""Empirical companion to Theorem 1.3: no single-shot boost in the CRS model.
+
+The theorem: there is no single-round protocol boosting almost-everywhere
+agreement to full agreement in the common-random-string model where every
+party sends o(n) messages — even with dynamic message filtering.
+
+This module makes the *attack* from the proof sketch executable against a
+concrete family of candidate protocols.  The candidate
+(:func:`run_candidate_boost`) is the natural one: every certified party
+sends ``(value, certificate)`` to a random polylog subset, where — lacking
+private setup — the certificate can only be computed from the CRS and the
+protocol transcript, both of which the adversary also knows.  The attack
+(:class:`SimulationAttack`) exploits exactly that: the adversary's t
+parties simulate an alternate execution with the flipped value, producing
+messages that are *distributionally identical* to honest ones from the
+isolated victim's point of view.  Whatever (dynamic!) filter the victim
+applies treats both message populations alike, so its decision cannot be
+correct in both worlds — we measure its error over many trials.
+
+Contrast: with a PKI (pi_ba steps 7-8), honest messages carry SRDS
+certificates the adversary cannot simulate, and the same experiment shows
+the victim deciding correctly — the separation the paper's Table 1 rows
+encode (crs row: lower bound; pki rows: protocols).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.crypto.hashing import hash_domain
+from repro.crypto.prf import prf
+from repro.utils.randomness import Randomness
+from repro.utils.serialization import encode_uint
+
+
+@dataclass(frozen=True)
+class BoostMessage:
+    """One message of the candidate single-round boost protocol."""
+
+    claimed_sender: int
+    value: int
+    certificate: bytes
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """Result of one attack trial."""
+
+    victim_decided: Optional[int]
+    true_value: int
+    victim_correct: bool
+    honest_messages_received: int
+    adversarial_messages_received: int
+
+
+def crs_certificate(crs: bytes, sender: int, value: int) -> bytes:
+    """The best a CRS-model protocol can attach: a public-coin tag.
+
+    Any function of (CRS, sender id, value) is computable by the
+    adversary too — that is the crux of Thm 1.3.
+    """
+    return hash_domain("crs-boost/cert", crs, encode_uint(sender),
+                       encode_uint(value))
+
+
+def pki_certificate(secret_key: bytes, sender: int, value: int) -> bytes:
+    """With private setup, the tag binds to a secret the adversary lacks."""
+    return prf(secret_key, "pki-boost/cert", encode_uint(sender),
+               encode_uint(value))
+
+
+def run_crs_attack_trial(
+    n: int,
+    t: int,
+    messages_per_party: int,
+    rng: Randomness,
+) -> AttackOutcome:
+    """One trial of the simulation attack in the CRS model.
+
+    The victim is an isolated honest party.  Honest senders whose random
+    recipient sets include the victim deliver correctly certified
+    messages for the true value y; the adversary's t parties target the
+    victim directly with *perfectly simulated* messages for 1 - y,
+    impersonating honest-looking senders (identities are free without a
+    PKI: the adversary claims plausible sender ids, and an isolated party
+    has no basis to distrust them).  The victim applies the natural
+    dynamic filter — verify the CRS certificate — and decides by
+    majority of surviving messages.  With the adversary sending at least
+    as many valid messages as honest chance delivers, the victim errs
+    with constant probability.
+    """
+    crs = rng.random_bytes(32)
+    true_value = rng.random_bit()
+    victim = n - 1
+
+    inbox: List[BoostMessage] = []
+    honest_count = 0
+    # Honest senders: each certified party sends to `messages_per_party`
+    # random recipients; only those hitting the victim matter.
+    num_honest = n - t - 1
+    for sender in range(num_honest):
+        recipients = rng.sample(range(n), min(n, messages_per_party))
+        if victim in recipients:
+            inbox.append(
+                BoostMessage(
+                    claimed_sender=sender,
+                    value=true_value,
+                    certificate=crs_certificate(crs, sender, true_value),
+                )
+            )
+            honest_count += 1
+
+    # Adversary: each corrupt party spends its whole o(n) budget on the
+    # victim, simulating honest senders of the flipped value.  It fakes
+    # sender identities the victim has not heard from.
+    flipped = 1 - true_value
+    adversarial_count = 0
+    fake_sender = 0
+    for _ in range(t * messages_per_party):
+        if adversarial_count >= honest_count + messages_per_party:
+            break  # No need to overshoot: parity already guarantees a coin flip.
+        inbox.append(
+            BoostMessage(
+                claimed_sender=fake_sender,
+                value=flipped,
+                certificate=crs_certificate(crs, fake_sender, flipped),
+            )
+        )
+        fake_sender = (fake_sender + 1) % max(1, num_honest)
+        adversarial_count += 1
+
+    decided = _victim_decide(inbox, crs)
+    return AttackOutcome(
+        victim_decided=decided,
+        true_value=true_value,
+        victim_correct=decided == true_value,
+        honest_messages_received=honest_count,
+        adversarial_messages_received=adversarial_count,
+    )
+
+
+def _victim_decide(inbox: List[BoostMessage], crs: bytes) -> Optional[int]:
+    """The victim's dynamic filter + majority decision."""
+    votes = {0: 0, 1: 0}
+    seen_senders = set()
+    for message in inbox:
+        if (message.claimed_sender, message.value) in seen_senders:
+            continue
+        expected = crs_certificate(crs, message.claimed_sender, message.value)
+        if message.certificate != expected:
+            continue  # Dynamic filtering: drop invalid certificates.
+        seen_senders.add((message.claimed_sender, message.value))
+        votes[message.value] += 1
+    if votes[0] == votes[1] == 0:
+        return None
+    if votes[0] == votes[1]:
+        return 0  # Deterministic tie-break; either way errs half the time.
+    return 0 if votes[0] > votes[1] else 1
+
+
+def run_pki_control_trial(
+    n: int,
+    t: int,
+    messages_per_party: int,
+    rng: Randomness,
+) -> AttackOutcome:
+    """The control experiment: same attack against the SRDS-style boost.
+
+    With private-coin setup, honest messages carry an unforgeable
+    majority certificate for the true value (in pi_ba: the SRDS root
+    aggregate, here modeled by a PRF tag under a key the adversary does
+    not hold — the honest majority's joint signing power).  The victim's
+    dynamic filter accepts *any single* message with a valid certificate
+    (step 8 of Fig. 3), so the adversary's flood of flipped-value
+    messages is discarded wholesale and one honest delivery suffices.
+    """
+    true_value = rng.random_bit()
+    victim = n - 1
+    # The honest majority's certification capability: a secret no
+    # t < n/3 coalition can reconstruct.
+    certification_key = rng.random_bytes(32)
+
+    inbox: List[BoostMessage] = []
+    honest_count = 0
+    num_honest = n - t - 1
+    for sender in range(num_honest):
+        recipients = rng.sample(range(n), min(n, messages_per_party))
+        if victim in recipients:
+            inbox.append(
+                BoostMessage(
+                    claimed_sender=sender,
+                    value=true_value,
+                    certificate=pki_certificate(
+                        certification_key, sender, true_value
+                    ),
+                )
+            )
+            honest_count += 1
+
+    flipped = 1 - true_value
+    adversarial_count = 0
+    for index in range(t * messages_per_party):
+        # Without the certification key the best the adversary can do is
+        # guess tags (or replay true-value certificates, which carry the
+        # wrong value and only help the victim).
+        inbox.append(
+            BoostMessage(
+                claimed_sender=index % n,
+                value=flipped,
+                certificate=rng.random_bytes(32),
+            )
+        )
+        adversarial_count += 1
+        if adversarial_count >= 3 * max(1, messages_per_party):
+            break
+
+    decided: Optional[int] = None
+    for message in inbox:
+        expected = pki_certificate(
+            certification_key, message.claimed_sender, message.value
+        )
+        if message.certificate == expected:
+            decided = message.value
+            break
+    return AttackOutcome(
+        victim_decided=decided,
+        true_value=true_value,
+        victim_correct=decided == true_value,
+        honest_messages_received=honest_count,
+        adversarial_messages_received=adversarial_count,
+    )
+
+
+def attack_success_rate(
+    n: int,
+    t: int,
+    messages_per_party: int,
+    trials: int,
+    rng: Randomness,
+    with_pki: bool = False,
+) -> float:
+    """Fraction of trials in which the isolated victim errs (or hangs)."""
+    runner = run_pki_control_trial if with_pki else run_crs_attack_trial
+    failures = 0
+    for trial in range(trials):
+        outcome = runner(n, t, messages_per_party, rng.fork(f"trial-{trial}"))
+        if not outcome.victim_correct:
+            failures += 1
+    return failures / trials

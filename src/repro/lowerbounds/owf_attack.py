@@ -1,0 +1,186 @@
+"""Empirical companion to Theorem 1.4: OWF is necessary in the PKI model.
+
+The theorem's intuition (§1.2): "if one-way functions do not exist, an
+adversary can invert the PKI algorithm with noticeable probability to
+find a preimage for each public key.  In this case, the adversary can
+carry out the attack for the CRS model."
+
+We make that executable with a key-generation function of *tunable
+hardness*: secret keys are ``secret_bits``-bit strings and the public key
+is a hash of the secret.  An inversion adversary with a work budget of
+``2^effort_bits`` hash evaluations recovers secrets iff
+``effort_bits >= secret_bits`` — i.e. iff the keygen function fails to be
+one-way against that adversary.  Once the adversary holds honest parties'
+signing secrets, the simulation attack of Thm 1.3 goes through verbatim
+in the PKI model: it manufactures certified flipped-value messages that
+pass the victim's dynamic filter.
+
+The experiment sweeps ``secret_bits`` and shows the phase transition:
+victim error is ~1/2 when keys are invertible and ~0 when they are not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.crypto.hashing import hash_domain
+from repro.utils.randomness import Randomness
+from repro.utils.serialization import encode_uint, int_to_fixed_bytes
+
+
+@dataclass(frozen=True)
+class WeakKeyPair:
+    """A key pair from the tunable-hardness keygen."""
+
+    secret: int
+    public: bytes
+    secret_bits: int
+
+
+def weak_keygen(secret_bits: int, rng: Randomness) -> WeakKeyPair:
+    """Key generation whose one-wayness is governed by ``secret_bits``."""
+    secret = rng.random_int(1 << secret_bits)
+    public = hash_domain(
+        "weak-owf/pk",
+        encode_uint(secret_bits),
+        int_to_fixed_bytes(secret, 8),
+    )
+    return WeakKeyPair(secret=secret, public=public, secret_bits=secret_bits)
+
+
+def sign_with_secret(secret: int, secret_bits: int, value: int) -> bytes:
+    """The toy signature tied to the weak keys."""
+    return hash_domain(
+        "weak-owf/sig",
+        encode_uint(secret_bits),
+        int_to_fixed_bytes(secret, 8),
+        encode_uint(value),
+    )
+
+
+def invert_public_key(
+    public: bytes, secret_bits: int, effort_bits: int
+) -> Optional[int]:
+    """Brute-force inversion with a 2^effort_bits work budget."""
+    budget = 1 << min(effort_bits, 26)  # hard cap keeps trials bounded
+    space = 1 << secret_bits
+    for candidate in range(min(space, budget)):
+        probe = hash_domain(
+            "weak-owf/pk",
+            encode_uint(secret_bits),
+            int_to_fixed_bytes(candidate, 8),
+        )
+        if probe == public:
+            return candidate
+    return None
+
+
+@dataclass(frozen=True)
+class OwfAttackOutcome:
+    """Result of one inversion-attack trial."""
+
+    victim_correct: bool
+    keys_inverted: int
+    true_value: int
+    victim_decided: Optional[int]
+
+
+def run_owf_attack_trial(
+    n: int,
+    t: int,
+    messages_per_party: int,
+    secret_bits: int,
+    effort_bits: int,
+    rng: Randomness,
+) -> OwfAttackOutcome:
+    """One trial of the PKI-inversion attack.
+
+    Setup: every party publishes a weak public key.  Honest senders whose
+    recipient sets include the isolated victim deliver signed true-value
+    messages; the adversary tries to invert a few honest public keys and,
+    on success, signs flipped-value messages *as those honest parties* —
+    indistinguishable from genuine traffic, reviving the CRS-model
+    attack.  The victim verifies signatures against the bulletin board
+    and decides by majority of distinct authenticated senders.
+    """
+    true_value = rng.random_bit()
+    victim = n - 1
+    keypairs: Dict[int, WeakKeyPair] = {
+        party: weak_keygen(secret_bits, rng.fork(f"kg-{party}"))
+        for party in range(n)
+    }
+
+    # Honest deliveries.
+    votes: Dict[int, int] = {}
+    honest_senders = list(range(n - t - 1))
+    for sender in honest_senders:
+        recipients = rng.sample(range(n), min(n, messages_per_party))
+        if victim in recipients:
+            votes[sender] = true_value
+
+    # Adversary: invert as many honest keys as the budget allows, then
+    # overwrite those senders' votes with flipped-value forgeries.  (It
+    # targets senders who have NOT reached the victim first — their
+    # forged messages arrive as fresh authenticated traffic.)
+    flipped = 1 - true_value
+    inverted = 0
+    inversion_targets = [
+        sender for sender in honest_senders if sender not in votes
+    ]
+    # Each corrupt party can afford a bounded number of inversions.
+    max_inversions = t * max(1, messages_per_party)
+    for sender in inversion_targets:
+        if inverted >= max_inversions:
+            break
+        if len([s for s, v in votes.items() if v == flipped]) > len(
+            [s for s, v in votes.items() if v == true_value]
+        ):
+            break  # Majority already flipped; stop spending work.
+        secret = invert_public_key(
+            keypairs[sender].public, secret_bits, effort_bits
+        )
+        if secret is None:
+            break  # Inversion infeasible: OWF holds, the attack dies here.
+        inverted += 1
+        # The forged signature verifies because it is exactly the honest
+        # tag for (sender, flipped): possession of the secret makes the
+        # adversary's message literally identical to an honest one.
+        votes[sender] = flipped
+
+    tally = {0: 0, 1: 0}
+    for value in votes.values():
+        tally[value] += 1
+    if tally[0] == tally[1] == 0:
+        decided: Optional[int] = None
+    elif tally[0] == tally[1]:
+        decided = 0
+    else:
+        decided = 0 if tally[0] > tally[1] else 1
+    return OwfAttackOutcome(
+        victim_correct=decided == true_value,
+        keys_inverted=inverted,
+        true_value=true_value,
+        victim_decided=decided,
+    )
+
+
+def attack_success_rate(
+    n: int,
+    t: int,
+    messages_per_party: int,
+    secret_bits: int,
+    effort_bits: int,
+    trials: int,
+    rng: Randomness,
+) -> float:
+    """Fraction of trials where the victim errs, for one hardness point."""
+    failures = 0
+    for trial in range(trials):
+        outcome = run_owf_attack_trial(
+            n, t, messages_per_party, secret_bits, effort_bits,
+            rng.fork(f"trial-{trial}"),
+        )
+        if not outcome.victim_correct:
+            failures += 1
+    return failures / trials

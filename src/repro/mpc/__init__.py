@@ -1,0 +1,12 @@
+"""Corollary 1.2(2): scalable MPC over the pi_ba communication graph."""
+
+from repro.mpc.fhe import Ciphertext, DecryptionShare, ThresholdFHE
+from repro.mpc.scalable_mpc import MPCResult, run_scalable_mpc
+
+__all__ = [
+    "Ciphertext",
+    "DecryptionShare",
+    "MPCResult",
+    "ThresholdFHE",
+    "run_scalable_mpc",
+]

@@ -1,0 +1,172 @@
+"""Simulated threshold fully homomorphic encryption.
+
+Corollary 1.2(2) assumes FHE; real FHE cannot be built in a
+dependency-free offline repo, so — per the DESIGN.md substitution rule —
+this module implements the closest synthetic equivalent that exercises
+the same code path:
+
+* **Interface parity**: key ceremony producing a public key and n' secret
+  shares with threshold reconstruction; ``encrypt``, ``evaluate`` (apply
+  an arbitrary function to ciphertexts), and share-based
+  ``threshold_decrypt``.
+* **Communication realism**: ciphertext wire size is
+  ``plaintext_size * EXPANSION + OVERHEAD`` and decryption shares are
+  constant-size, so protocols metered over this oracle charge the same
+  shape a lattice FHE would (up to the constant).
+* **Security against modeled adversaries**: ciphertext handles are
+  opaque 32-byte identifiers; plaintexts live inside the oracle and are
+  only released by ``threshold_decrypt`` when at least ``threshold``
+  distinct genuine shares are presented.  Experiment adversaries hold
+  only their own shares and fewer than the threshold of them.
+
+What is *not* modeled is security against an adversary attacking the
+encryption itself — exactly parallel to the SNARK substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.crypto.prf import prf
+from repro.errors import CryptoError
+from repro.utils.randomness import Randomness
+from repro.utils.serialization import encode_uint
+
+EXPANSION = 8          # ciphertext bytes per plaintext byte
+OVERHEAD_BYTES = 64    # per-ciphertext header
+SHARE_BYTES = 48       # decryption-share wire size
+
+
+@dataclass(frozen=True)
+class Ciphertext:
+    """An opaque handle plus its metered wire size."""
+
+    handle: bytes
+    size_bytes: int
+
+
+@dataclass(frozen=True)
+class DecryptionShare:
+    """One party's contribution to a threshold decryption."""
+
+    ciphertext_handle: bytes
+    holder_index: int
+    tag: bytes
+
+    def size_bytes(self) -> int:
+        """Constant wire size."""
+        return SHARE_BYTES
+
+
+class ThresholdFHE:
+    """One FHE deployment: keys, the plaintext oracle, and operations."""
+
+    def __init__(self, num_holders: int, threshold: int,
+                 rng: Randomness) -> None:
+        if not 0 < threshold <= num_holders:
+            raise CryptoError("threshold must lie in [1, num_holders]")
+        self.num_holders = num_holders
+        self.threshold = threshold
+        self._master_secret = rng.random_bytes(32)
+        self.public_key = prf(self._master_secret, "fhe/public-key")
+        self._holder_secrets: List[bytes] = [
+            prf(self._master_secret, "fhe/holder", encode_uint(i))
+            for i in range(num_holders)
+        ]
+        self._plaintexts: Dict[bytes, bytes] = {}
+        self._counter = 0
+
+    # -- key ceremony ------------------------------------------------------------
+
+    def holder_secret(self, index: int) -> bytes:
+        """The secret share handed to holder ``index`` at the ceremony."""
+        if not 0 <= index < self.num_holders:
+            raise CryptoError(f"holder index {index} out of range")
+        return self._holder_secrets[index]
+
+    # -- operations ----------------------------------------------------------------
+
+    def encrypt(self, plaintext: bytes, rng: Randomness) -> Ciphertext:
+        """Encrypt under the deployment's public key."""
+        self._counter += 1
+        handle = prf(
+            self.public_key,
+            "fhe/handle",
+            encode_uint(self._counter),
+            rng.random_bytes(16),
+        )
+        self._plaintexts[handle] = bytes(plaintext)
+        return Ciphertext(
+            handle=handle,
+            size_bytes=len(plaintext) * EXPANSION + OVERHEAD_BYTES,
+        )
+
+    def evaluate(
+        self,
+        function: Callable[[List[bytes]], bytes],
+        ciphertexts: Sequence[Ciphertext],
+        output_size: int,
+    ) -> Ciphertext:
+        """Homomorphically apply ``function`` to the ciphertexts.
+
+        ``output_size`` bounds the result's plaintext length (FHE
+        parameters fix the output shape in advance); the evaluated
+        plaintext is truncated/padded to it so wire sizes are
+        input-independent.
+        """
+        inputs = []
+        for ciphertext in ciphertexts:
+            plaintext = self._plaintexts.get(ciphertext.handle)
+            if plaintext is None:
+                raise CryptoError("unknown ciphertext handle")
+            inputs.append(plaintext)
+        result = function(inputs)[:output_size].ljust(output_size, b"\x00")
+        self._counter += 1
+        handle = prf(
+            self.public_key, "fhe/eval-handle", encode_uint(self._counter)
+        )
+        self._plaintexts[handle] = result
+        return Ciphertext(
+            handle=handle,
+            size_bytes=output_size * EXPANSION + OVERHEAD_BYTES,
+        )
+
+    def decryption_share(self, index: int,
+                         ciphertext: Ciphertext) -> DecryptionShare:
+        """Holder ``index``'s share for one ciphertext."""
+        secret = self.holder_secret(index)
+        return DecryptionShare(
+            ciphertext_handle=ciphertext.handle,
+            holder_index=index,
+            tag=prf(secret, "fhe/dec-share", ciphertext.handle),
+        )
+
+    def threshold_decrypt(
+        self,
+        ciphertext: Ciphertext,
+        shares: Sequence[DecryptionShare],
+    ) -> bytes:
+        """Combine shares; raises unless >= threshold genuine ones."""
+        valid_holders = set()
+        for share in shares:
+            if share.ciphertext_handle != ciphertext.handle:
+                continue
+            if not 0 <= share.holder_index < self.num_holders:
+                continue
+            expected = prf(
+                self._holder_secrets[share.holder_index],
+                "fhe/dec-share",
+                ciphertext.handle,
+            )
+            if share.tag == expected:
+                valid_holders.add(share.holder_index)
+        if len(valid_holders) < self.threshold:
+            raise CryptoError(
+                f"{len(valid_holders)} valid shares below threshold "
+                f"{self.threshold}"
+            )
+        plaintext = self._plaintexts.get(ciphertext.handle)
+        if plaintext is None:
+            raise CryptoError("unknown ciphertext handle")
+        return plaintext

@@ -1,0 +1,27 @@
+"""Synchronous network simulator with exact communication accounting."""
+
+from repro.net.adversary import (
+    CorruptionPlan,
+    corrupt_after_setup,
+    prefix_corruption,
+    random_corruption,
+    targeted_corruption,
+)
+from repro.net.metrics import CommunicationMetrics, MetricsSnapshot, PartyTally
+from repro.net.party import Envelope, Party, SilentParty
+from repro.net.simulator import SynchronousNetwork
+
+__all__ = [
+    "CommunicationMetrics",
+    "CorruptionPlan",
+    "Envelope",
+    "MetricsSnapshot",
+    "Party",
+    "PartyTally",
+    "SilentParty",
+    "SynchronousNetwork",
+    "corrupt_after_setup",
+    "prefix_corruption",
+    "random_corruption",
+    "targeted_corruption",
+]

@@ -1,0 +1,94 @@
+"""Static-corruption machinery.
+
+The paper's model (§1.1 "One remark regarding the corruption model"): the
+adversary corrupts parties *adaptively during the setup phase* — as a
+function of all public setup information (CRS, bulletin board) — and is
+static once the online phase starts.  :class:`CorruptionPlan` captures
+exactly that: a strategy object inspects the public setup and commits to
+a corrupted set of at most ``t`` parties before any protocol message
+flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.utils.randomness import Randomness
+
+
+@dataclass(frozen=True)
+class CorruptionPlan:
+    """An immutable static corruption set."""
+
+    corrupted: FrozenSet[int]
+    n: int
+
+    def __post_init__(self) -> None:
+        if any(not 0 <= i < self.n for i in self.corrupted):
+            raise ConfigurationError("corrupted id out of range")
+
+    def is_corrupt(self, party_id: int) -> bool:
+        """Whether a party is under adversarial control."""
+        return party_id in self.corrupted
+
+    @property
+    def honest(self) -> List[int]:
+        """Sorted list of honest party ids."""
+        return [i for i in range(self.n) if i not in self.corrupted]
+
+    @property
+    def t(self) -> int:
+        """Number of corrupted parties."""
+        return len(self.corrupted)
+
+
+def random_corruption(n: int, t: int, rng: Randomness) -> CorruptionPlan:
+    """Corrupt a uniformly random t-subset (the baseline adversary)."""
+    if not 0 <= t < n:
+        raise ConfigurationError(f"cannot corrupt {t} of {n} parties")
+    return CorruptionPlan(corrupted=frozenset(rng.sample(range(n), t)), n=n)
+
+
+def prefix_corruption(n: int, t: int) -> CorruptionPlan:
+    """Corrupt parties 0..t-1 (a worst-case clustered adversary for
+    structures keyed by party index)."""
+    if not 0 <= t < n:
+        raise ConfigurationError(f"cannot corrupt {t} of {n} parties")
+    return CorruptionPlan(corrupted=frozenset(range(t)), n=n)
+
+
+def targeted_corruption(n: int, targets: Sequence[int]) -> CorruptionPlan:
+    """Corrupt an explicit set (setup-dependent adversaries use this after
+    inspecting the bulletin board)."""
+    return CorruptionPlan(corrupted=frozenset(targets), n=n)
+
+
+# A setup-adaptive corruption strategy: receives the public setup
+# transcript (opaque bytes chosen by the experiment) and the randomness
+# source, returns the corrupted set.
+SetupAdaptiveStrategy = Callable[[bytes, int, int, Randomness], CorruptionPlan]
+
+
+def corrupt_after_setup(
+    public_setup: bytes,
+    n: int,
+    t: int,
+    rng: Randomness,
+    strategy: Optional[SetupAdaptiveStrategy] = None,
+) -> CorruptionPlan:
+    """Run the setup-adaptive corruption step of the paper's model.
+
+    With no strategy the corruption is uniformly random; experiments pass
+    strategies that, e.g., target parties whose published keys have some
+    property (the bare-PKI adversary's power).
+    """
+    if strategy is None:
+        return random_corruption(n, t, rng)
+    plan = strategy(public_setup, n, t, rng)
+    if plan.t > t:
+        raise ConfigurationError(
+            f"strategy corrupted {plan.t} parties, budget is {t}"
+        )
+    return plan

@@ -1,0 +1,64 @@
+"""The party abstraction for the synchronous simulator.
+
+A protocol is a set of :class:`Party` objects; the simulator repeatedly
+collects each party's outgoing envelopes for the round and delivers them
+at the start of the next round.  Honest protocol logic subclasses
+:class:`Party`; Byzantine behaviors subclass it too and simply misbehave
+(the simulator treats both identically — corruption is a property of the
+object, not of the transport).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One point-to-point message on the simulated wire."""
+
+    sender: int
+    recipient: int
+    payload: bytes
+
+    def size_bits(self) -> int:
+        """Size charged by the metrics ledger."""
+        return 8 * len(self.payload)
+
+
+class Party(abc.ABC):
+    """A state machine driven by the synchronous network.
+
+    Subclasses implement :meth:`step`, which is called once per round with
+    the envelopes delivered this round and returns the envelopes to send.
+    A party signals completion by setting :attr:`halted`; its
+    :attr:`output` is then read by the driver.
+    """
+
+    def __init__(self, party_id: int) -> None:
+        self.party_id = party_id
+        self.halted = False
+        self.output: Optional[Any] = None
+
+    @abc.abstractmethod
+    def step(self, round_index: int, inbox: Sequence[Envelope]) -> List[Envelope]:
+        """Process this round's inbox and return outgoing envelopes."""
+
+    def send(self, recipient: int, payload: bytes) -> Envelope:
+        """Convenience constructor for an outgoing envelope."""
+        return Envelope(sender=self.party_id, recipient=recipient, payload=payload)
+
+    def halt(self, output: Any = None) -> List[Envelope]:
+        """Mark this party finished with the given output; returns []."""
+        self.halted = True
+        self.output = output
+        return []
+
+
+class SilentParty(Party):
+    """A party that never sends anything (models a crashed/isolated node)."""
+
+    def step(self, round_index: int, inbox: Sequence[Envelope]) -> List[Envelope]:
+        return []

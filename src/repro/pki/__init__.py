@@ -1,0 +1,5 @@
+"""PKI models: trusted, bare, and registered bulletin boards, plus CRS."""
+
+from repro.pki.registry import CRS, PKIMode, PKIRegistry
+
+__all__ = ["CRS", "PKIMode", "PKIRegistry"]

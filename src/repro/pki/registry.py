@@ -1,0 +1,144 @@
+"""Public-key infrastructure models.
+
+The paper distinguishes three PKI flavors (§1.2, §2.1):
+
+* **trusted PKI** — keys are honestly generated (by the parties or a
+  dealer); corrupted parties *cannot* replace their verification keys.
+  The OWF-based SRDS lives here.
+* **bare PKI** — every party locally generates its keys and publishes the
+  verification key on a bulletin board; the adversary may corrupt parties
+  *as a function of all public setup* and replace their keys arbitrarily.
+  The SNARK-based SRDS lives here.
+* **registered PKI** — like bare PKI, but publishing requires proving
+  knowledge of the secret key (footnote 13).  Provided for completeness
+  and for the SNARG-connection discussion.
+
+The registry is the bulletin board: an append-only map from (virtual)
+party id to verification-key bytes, with mutation rules enforced per
+model.  The robustness/forgery experiments (Figs. 1–2) drive corruption
+through :meth:`PKIRegistry.replace_key`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, Optional, Set, Tuple
+
+from repro.errors import PKIError
+
+
+class PKIMode(enum.Enum):
+    """Which trust model the registry enforces."""
+
+    TRUSTED = "trusted-pki"
+    BARE = "bare-pki"
+    REGISTERED = "registered-pki"
+
+
+@dataclass(frozen=True)
+class CRS:
+    """A common random string (public-coin setup).
+
+    Both SRDS constructions may consume a CRS: the SNARK-based one uses it
+    to seed the argument system; lower-bound experiments study the
+    CRS-only model (Thm 1.3).
+    """
+
+    seed: bytes
+
+    def size_bytes(self) -> int:
+        """Wire size of the CRS."""
+        return len(self.seed)
+
+
+# A knowledge check for registered PKI: (verification_key, pop) -> bool,
+# where pop is a proof-of-possession byte string.
+KnowledgeCheck = Callable[[bytes, bytes], bool]
+
+
+class PKIRegistry:
+    """The bulletin board of verification keys for one protocol instance."""
+
+    def __init__(
+        self,
+        mode: PKIMode,
+        knowledge_check: Optional[KnowledgeCheck] = None,
+    ) -> None:
+        if mode is PKIMode.REGISTERED and knowledge_check is None:
+            raise PKIError("registered PKI requires a knowledge check")
+        self.mode = mode
+        self._keys: Dict[int, bytes] = {}
+        self._replaced: Set[int] = set()
+        self._knowledge_check = knowledge_check
+
+    # -- registration --------------------------------------------------------
+
+    def register(self, party_id: int, verification_key: bytes,
+                 proof_of_possession: bytes = b"") -> None:
+        """Publish a party's verification key (setup phase).
+
+        In registered mode the proof of possession is checked; duplicate
+        registration is always an error (the board is append-only during
+        setup).
+        """
+        if party_id in self._keys:
+            raise PKIError(f"party {party_id} already registered a key")
+        self._check_knowledge(verification_key, proof_of_possession)
+        self._keys[party_id] = verification_key
+
+    def replace_key(self, party_id: int, verification_key: bytes,
+                    proof_of_possession: bytes = b"") -> None:
+        """Adversarial key replacement for a corrupted party.
+
+        Allowed only in bare and registered modes — in a trusted PKI the
+        whole point is that corrupted parties cannot alter their keys
+        (step A.4(b) of Fig. 1 applies only when ``mode = b-pki``).
+        """
+        if self.mode is PKIMode.TRUSTED:
+            raise PKIError("trusted PKI forbids key replacement")
+        if party_id not in self._keys:
+            raise PKIError(f"party {party_id} has no registered key to replace")
+        self._check_knowledge(verification_key, proof_of_possession)
+        self._keys[party_id] = verification_key
+        self._replaced.add(party_id)
+
+    def _check_knowledge(self, verification_key: bytes, pop: bytes) -> None:
+        if self.mode is PKIMode.REGISTERED:
+            assert self._knowledge_check is not None
+            if not self._knowledge_check(verification_key, pop):
+                raise PKIError("proof of possession failed")
+
+    # -- queries ---------------------------------------------------------------
+
+    def key_of(self, party_id: int) -> bytes:
+        """The currently published key of a party."""
+        try:
+            return self._keys[party_id]
+        except KeyError as exc:
+            raise PKIError(f"party {party_id} is not registered") from exc
+
+    def has_key(self, party_id: int) -> bool:
+        """Whether a party has published a key."""
+        return party_id in self._keys
+
+    def was_replaced(self, party_id: int) -> bool:
+        """Whether a party's key was adversarially replaced."""
+        return party_id in self._replaced
+
+    def all_keys(self) -> Dict[int, bytes]:
+        """A snapshot of the full bulletin board."""
+        return dict(self._keys)
+
+    def party_ids(self) -> Iterator[int]:
+        """All registered (virtual) party ids, ascending."""
+        return iter(sorted(self._keys))
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def total_size_bytes(self) -> int:
+        """Total size of all published keys (setup cost, not charged to
+        per-party protocol communication — the paper's model makes the
+        bulletin board part of setup)."""
+        return sum(len(key) for key in self._keys.values())

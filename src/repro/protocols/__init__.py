@@ -1,0 +1,1 @@
+"""Protocol layer: committee sub-protocols, cost models, and pi_ba."""

@@ -1,0 +1,497 @@
+"""pi_ba — Byzantine agreement with balanced polylog communication (Fig. 3).
+
+The headline protocol of the paper: boost almost-everywhere agreement to
+full agreement using an SRDS scheme, with every party communicating
+polylog(n) * poly(kappa) bits.
+
+Execution model.  The protocol is stated in the (f_ae-comm, f_ba, f_ct,
+f_aggr-sig)-hybrid model; this implementation follows that statement
+literally.  All *protocol* messages — base-signature sends (step 4),
+within-committee set broadcasts (step 5b), child-to-parent aggregate
+sends (step 5d), and the final one-round boost (steps 7-8) — are charged
+at their exact encoded sizes, party by party, to the shared metrics
+ledger.  The four functionalities are evaluated functionally with their
+realization costs charged per :mod:`repro.protocols.cost_model`; their
+concrete message-passing realizations (phase-king, VSS coin toss) live in
+sibling modules and a consistency test pins the analytic charges above
+the measured concrete costs.
+
+Adversary.  Corruption is static (fixed by a :class:`CorruptionPlan`
+chosen after the public setup, per the paper's model).  Corrupt behaviour
+is injected through :class:`AdversaryBehavior` hooks at every point where
+the paper gives the adversary a move: choice of corrupt signing messages,
+outputs of bad tree nodes, and extra messages in the final boost round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.aetree.analysis import is_good_node
+from repro.aetree.tree import CommTree, TreeNode
+from repro.crypto.prf import SubsetPRF
+from repro.errors import ProtocolError
+from repro.functionalities.ae_comm import AlmostEverywhereComm
+from repro.net.adversary import CorruptionPlan
+from repro.net.metrics import CommunicationMetrics, MetricsSnapshot
+from repro.params import ProtocolParameters
+from repro.protocols import cost_model
+from repro.protocols.aggregate_mpc import run_aggregate_sig
+from repro.protocols.coin_toss import ideal_f_ct
+from repro.protocols.phase_king import ideal_f_ba
+from repro.srds.base import SRDSScheme, SRDSSignature, check_index_range
+from repro.utils.randomness import Randomness
+from repro.utils.serialization import canonical_tuple, encode_uint
+
+
+@dataclass
+class AdversaryBehavior:
+    """Hooks for corrupt-party behaviour inside pi_ba.
+
+    Every hook has a conservative default (do nothing / drop), which is
+    the worst case for *robustness*; attack-specific tests override them.
+
+    Attributes:
+        sign_message: given (party_id, virtual_id, honest_pair_message),
+            return the message the corrupt party signs, or ``None`` to
+            stay silent.
+        bad_node_output: given (node, message, adversary_view_signatures),
+            return the aggregate the adversary emits for a bad node, or
+            ``None`` to drop the subtree.
+        boost_messages: extra ``(sender, recipient, y, seed, signature)``
+            tuples injected in the final round.
+        ba_choice: the value f_ba lets the adversary pick when honest
+            inputs are split.
+    """
+
+    sign_message: Optional[Callable[[int, int, bytes], Optional[bytes]]] = None
+    bad_node_output: Optional[
+        Callable[[TreeNode, bytes, List[SRDSSignature]], Optional[SRDSSignature]]
+    ] = None
+    boost_messages: Optional[
+        Callable[[], List[Tuple[int, int, int, bytes, Optional[SRDSSignature]]]]
+    ] = None
+    ba_choice: int = 0
+
+
+@dataclass(frozen=True)
+class BAResult:
+    """Outcome of one pi_ba execution."""
+
+    outputs: Dict[int, Optional[int]]
+    agreed_value: Optional[int]
+    agreement: bool
+    validity: bool
+    metrics: MetricsSnapshot
+    certificate_bytes: int
+    num_virtual: int
+    isolated_before_boost: int
+    supreme_committee_size: int
+
+
+def encode_pair(y: int, seed: bytes) -> bytes:
+    """The signed message (y, s) of Fig. 3, canonically encoded."""
+    return canonical_tuple(encode_uint(y), seed)
+
+
+class BalancedBA:
+    """One pi_ba execution for a fixed scheme, corruption, and inputs."""
+
+    def __init__(
+        self,
+        inputs: Dict[int, int],
+        plan: CorruptionPlan,
+        scheme: SRDSScheme,
+        params: ProtocolParameters,
+        rng: Randomness,
+        adversary: Optional[AdversaryBehavior] = None,
+        metrics: Optional[CommunicationMetrics] = None,
+    ) -> None:
+        self.n = len(inputs)
+        if plan.n != self.n:
+            raise ProtocolError("corruption plan size mismatch")
+        if plan.t * 3 >= self.n:
+            raise ProtocolError("corruption budget must be below n/3")
+        self.inputs = dict(inputs)
+        self.plan = plan
+        self.scheme = scheme
+        self.params = params
+        self.rng = rng
+        self.adversary = adversary if adversary is not None else AdversaryBehavior()
+        self.metrics = metrics if metrics is not None else CommunicationMetrics()
+
+    # -- the protocol ----------------------------------------------------------
+
+    def run(self) -> BAResult:
+        """Execute Fig. 3 end to end and evaluate agreement/validity."""
+        # Setup (pre-protocol): SRDS public parameters and per-virtual-id
+        # keys.  Each party owns z virtual identities; in the bare-PKI
+        # model the adversary could replace corrupt keys here — hooks for
+        # that live in the SRDS experiments; for BA runs corrupt parties
+        # keep honestly formed keys (key replacement only weakens them).
+        ae = AlmostEverywhereComm(
+            self.n, self.params, self.plan, self.metrics, self.rng
+        )
+        tree = ae.tree
+        self.tree = tree
+        pp = self.scheme.setup(tree.num_virtual, self.rng.fork("srds-setup"))
+        verification_keys: Dict[int, bytes] = {}
+        signing_keys: Dict[int, object] = {}
+        for virtual_id in range(tree.num_virtual):
+            vk, sk = self.scheme.keygen(pp, self.rng.fork(f"kg-{virtual_id}"))
+            verification_keys[virtual_id] = vk
+            signing_keys[virtual_id] = sk
+
+        # Step 2: the supreme committee runs f_ba on its inputs and f_ct.
+        committee = list(tree.supreme_committee)
+        committee_inputs = {i: self.inputs[i] for i in committee}
+        corrupt_in_committee = sum(
+            1 for i in committee if self.plan.is_corrupt(i)
+        )
+        y = ideal_f_ba(
+            committee_inputs,
+            corrupt_in_committee,
+            adversary_choice=self.adversary.ba_choice,
+        )
+        charge = cost_model.committee_ba(len(committee))
+        self.metrics.charge_functionality(
+            committee, charge.bits_per_party, charge.peers_per_party,
+            charge.rounds,
+        )
+        seed = ideal_f_ct(self.rng.fork("coin"))
+        charge = cost_model.committee_coin_toss(len(committee))
+        self.metrics.charge_functionality(
+            committee, charge.bits_per_party, charge.peers_per_party,
+            charge.rounds,
+        )
+
+        # Steps 3-8: certified propagation and the one-round boost.
+        outputs, certificate_bytes = self.certified_propagation(
+            ae, pp, verification_keys, signing_keys, y, seed
+        )
+
+        return self._evaluate(
+            outputs, y, certificate_bytes, tree, ae, committee
+        )
+
+    def certified_propagation(
+        self,
+        ae: AlmostEverywhereComm,
+        pp,
+        verification_keys: Dict[int, bytes],
+        signing_keys: Dict[int, object],
+        y: int,
+        seed: bytes,
+    ) -> Tuple[Dict[int, Optional[int]], int]:
+        """Steps 3-8 of Fig. 3 for an already-agreed (y, seed).
+
+        Factored out so the broadcast corollary (Corollary 1.2(1)) can
+        reuse the propagation over a long-lived tree and key set.
+        Returns ``(per-party outputs, certificate size in bytes)``.
+        """
+        tree = ae.tree
+        self.tree = tree
+
+        # Step 3: propagate (y, s) via f_ae-comm.
+        pair_message = encode_pair(y, seed)
+        deliveries = ae.send_down(8 * len(pair_message), (y, seed))
+
+        # Step 4: every party signs for each virtual identity and sends
+        # the signature to its leaf committee.
+        leaf_inboxes: Dict[int, Dict[int, List[SRDSSignature]]] = {
+            leaf.node_id: {member: [] for member in leaf.committee}
+            for leaf in tree.leaves
+        }
+        for party in range(self.n):
+            messages = self._signing_messages(party, deliveries, pair_message)
+            if messages is None:
+                continue
+            for virtual_id, message in messages:
+                signature = self.scheme.sign(
+                    pp, virtual_id, signing_keys[virtual_id], message
+                )
+                if signature is None:
+                    continue
+                leaf = tree.leaf_of_virtual(virtual_id)
+                encoded_bits = 8 * len(signature.encode())
+                for recipient in leaf.committee:
+                    self.metrics.record_message(party, recipient, encoded_bits)
+                    leaf_inboxes[leaf.node_id][recipient].append(signature)
+
+        # Step 5: recursive aggregation up the tree.
+        node_outputs: Dict[int, Optional[SRDSSignature]] = {}
+        for level in range(1, tree.height + 1):
+            for node in tree.level_nodes(level):
+                inbox = self._node_inbox(
+                    tree, node, leaf_inboxes, node_outputs
+                )
+                node_outputs[node.node_id] = self._aggregate_node(
+                    tree, node, inbox, pp, verification_keys, pair_message
+                )
+        certificate = node_outputs.get(tree.root_id)
+
+        # Step 6: supreme committee sends (y, s, sigma_root) down.
+        certificate_bytes = (
+            len(certificate.encode()) if certificate is not None else 0
+        )
+        payload_bits = 8 * (len(pair_message) + certificate_bytes)
+        certified = ae.send_down(payload_bits, (y, seed, certificate))
+
+        # Steps 7-8: the one-round boost.
+        outputs = self._boost_round(
+            tree, pp, verification_keys, certified, pair_message
+        )
+        return outputs, certificate_bytes
+
+    # -- step helpers -----------------------------------------------------------
+
+    def _signing_messages(
+        self,
+        party: int,
+        deliveries: Dict[int, Tuple[int, bytes]],
+        pair_message: bytes,
+    ) -> Optional[List[Tuple[int, bytes]]]:
+        """What (virtual_id, message) pairs a party signs in step 4."""
+        tree_virtuals = self.tree.virtuals_of_party(party)
+        if self.plan.is_corrupt(party):
+            if self.adversary.sign_message is None:
+                return None
+            chosen: List[Tuple[int, bytes]] = []
+            for virtual_id in tree_virtuals:
+                message = self.adversary.sign_message(
+                    party, virtual_id, pair_message
+                )
+                if message is not None:
+                    chosen.append((virtual_id, message))
+            return chosen
+        if party not in deliveries:
+            # Isolated honest party: never received (y, s), signs nothing.
+            return None
+        return [(virtual_id, pair_message) for virtual_id in tree_virtuals]
+
+    def _node_inbox(
+        self,
+        tree: CommTree,
+        node: TreeNode,
+        leaf_inboxes: Dict[int, Dict[int, List[SRDSSignature]]],
+        node_outputs: Dict[int, Optional[SRDSSignature]],
+    ) -> Dict[int, List[SRDSSignature]]:
+        """S_sig^{i,l,1}: per-member received signatures for this node."""
+        if node.is_leaf:
+            return leaf_inboxes[node.node_id]
+        inbox: Dict[int, List[SRDSSignature]] = {
+            member: [] for member in node.committee
+        }
+        for child_id in node.children:
+            child = tree.nodes[child_id]
+            child_output = node_outputs.get(child_id)
+            if child_output is None:
+                continue
+            encoded_bits = 8 * len(child_output.encode())
+            # Step 5d: every member of the child sends sigma_v to every
+            # member of the parent.
+            for sender in child.committee:
+                for recipient in node.committee:
+                    self.metrics.record_message(
+                        sender, recipient, encoded_bits
+                    )
+                    inbox[recipient].append(child_output)
+        return inbox
+
+    def _aggregate_node(
+        self,
+        tree: CommTree,
+        node: TreeNode,
+        inbox: Dict[int, List[SRDSSignature]],
+        pp,
+        verification_keys: Dict[int, bytes],
+        pair_message: bytes,
+    ) -> Optional[SRDSSignature]:
+        """Steps 5a-5c + f_aggr-sig for one node."""
+        members = list(node.committee)
+        good = is_good_node(node, self.plan.corrupted)
+        honest_members = [m for m in members if not self.plan.is_corrupt(m)]
+
+        # Step 5b: within-committee broadcast of received sets (charged
+        # at actual encoded sizes); honest members end with the union.
+        # S_sig^{i,l,1} is a *set*: duplicates received from multiple
+        # senders are collapsed before re-broadcasting.
+        union: Dict[bytes, SRDSSignature] = {}
+        for member in members:
+            received = inbox.get(member, [])
+            unique: Dict[bytes, SRDSSignature] = {}
+            for signature in received:
+                unique.setdefault(signature.encode(), signature)
+            set_bits = 8 * sum(len(encoding) for encoding in unique)
+            for peer in members:
+                if peer != member:
+                    self.metrics.record_message(member, peer, set_bits)
+            if not self.plan.is_corrupt(member):
+                union.update(unique)
+
+        if not good:
+            # Bad node: the adversary controls the output.
+            view = list(union.values())
+            if self.adversary.bad_node_output is None:
+                return None
+            return self.adversary.bad_node_output(node, pair_message, view)
+
+        # Step 5c: Aggregate1 + Fig. 3 range checks (identical for every
+        # honest member since the union is common; computed once).
+        filtered = self.scheme.aggregate1(
+            pp, verification_keys, pair_message, list(union.values())
+        )
+        filtered = [
+            item
+            for item in filtered
+            if self._range_check_passes(tree, node, item)
+        ]
+        submissions = {
+            member: (pair_message, filtered) for member in honest_members
+        }
+        return run_aggregate_sig(
+            self.scheme, pp, members, submissions, self.metrics
+        )
+
+    def _range_check_passes(self, tree: CommTree, node: TreeNode,
+                            item: object) -> bool:
+        """The step-5c index-range check (can be disabled for ablation E7
+        by subclassing)."""
+        lo_bound, hi_bound = node.virtual_range
+        signature = getattr(item, "base", item)  # CertifiedBaseSignature
+        if node.is_leaf:
+            return (
+                signature.min_index == signature.max_index
+                and lo_bound <= signature.min_index < hi_bound
+            )
+        for child_id in node.children:
+            child = tree.nodes[child_id]
+            child_lo, child_hi = child.virtual_range
+            if (
+                child_lo <= signature.min_index
+                and signature.max_index < child_hi
+            ):
+                return True
+        return False
+
+    def _boost_round(
+        self,
+        tree: CommTree,
+        pp,
+        verification_keys: Dict[int, bytes],
+        certified: Dict[int, Tuple[int, bytes, Optional[SRDSSignature]]],
+        pair_message: bytes,
+    ) -> Dict[int, Optional[int]]:
+        """Steps 7-8: PRF-fanout send, verify, decide."""
+        fanout = self.params.fanout(self.n)
+        received: Dict[int, List[Tuple[int, int, bytes, SRDSSignature]]] = {
+            party: [] for party in range(self.n)
+        }
+        # Step 7: every certified party sends to F_s(i).
+        for party, triple in certified.items():
+            if self.plan.is_corrupt(party):
+                continue  # Corrupt sends are injected via the hook below.
+            y, seed, certificate = triple
+            if certificate is None:
+                continue
+            prf = SubsetPRF(seed, self.n, fanout)
+            payload_bits = 8 * (
+                len(encode_pair(y, seed)) + len(certificate.encode())
+            )
+            for recipient in prf.subset(party):
+                self.metrics.record_message(party, recipient, payload_bits)
+                received[recipient].append((party, y, seed, certificate))
+        if self.adversary.boost_messages is not None:
+            for sender, recipient, y, seed, signature in (
+                self.adversary.boost_messages()
+            ):
+                bits = 8 * (
+                    len(encode_pair(y, seed))
+                    + (len(signature.encode()) if signature else 0)
+                )
+                self.metrics.record_message(sender, recipient, bits)
+                if signature is not None:
+                    received[recipient].append((sender, y, seed, signature))
+
+        # Step 8: verify PRF membership and the SRDS certificate.
+        outputs: Dict[int, Optional[int]] = {}
+        for party in range(self.n):
+            outputs[party] = self._decide(
+                party, received[party], pp, verification_keys
+            )
+        return outputs
+
+    def _decide(
+        self,
+        party: int,
+        messages: List[Tuple],
+        pp,
+        verification_keys: Dict[int, bytes],
+    ) -> Optional[int]:
+        for entry in messages:
+            sender, y, seed, certificate = entry
+            prf = SubsetPRF(seed, self.n, self.params.fanout(self.n))
+            if not prf.contains(sender, party):
+                continue
+            message = encode_pair(y, seed)
+            if self.scheme.verify(pp, verification_keys, message, certificate):
+                return y
+        return None
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def _evaluate(
+        self,
+        outputs: Dict[int, Optional[int]],
+        y: int,
+        certificate_bytes: int,
+        tree: CommTree,
+        ae: AlmostEverywhereComm,
+        committee: List[int],
+    ) -> BAResult:
+        honest_outputs = [
+            outputs[party]
+            for party in range(self.n)
+            if not self.plan.is_corrupt(party)
+        ]
+        decided = [value for value in honest_outputs if value is not None]
+        agreement = (
+            len(decided) == len(honest_outputs)
+            and len(set(decided)) == 1
+        )
+        honest_inputs = {
+            self.inputs[party]
+            for party in range(self.n)
+            if not self.plan.is_corrupt(party)
+        }
+        validity = True
+        if len(honest_inputs) == 1:
+            (unanimous,) = honest_inputs
+            validity = bool(
+                agreement and decided and decided[0] == unanimous
+            )
+        return BAResult(
+            outputs=outputs,
+            agreed_value=decided[0] if decided else None,
+            agreement=bool(agreement),
+            validity=bool(validity),
+            metrics=self.metrics.snapshot(),
+            certificate_bytes=certificate_bytes,
+            num_virtual=tree.num_virtual,
+            isolated_before_boost=len(ae.isolated),
+            supreme_committee_size=len(committee),
+        )
+
+
+def run_balanced_ba(
+    inputs: Dict[int, int],
+    plan: CorruptionPlan,
+    scheme: SRDSScheme,
+    params: ProtocolParameters,
+    rng: Randomness,
+    adversary: Optional[AdversaryBehavior] = None,
+) -> BAResult:
+    """Convenience wrapper: construct and run one pi_ba execution."""
+    protocol = BalancedBA(inputs, plan, scheme, params, rng, adversary)
+    return protocol.run()

@@ -1,0 +1,20 @@
+"""Comparison baselines for the Table-1 reproduction."""
+
+from repro.protocols.baselines.boosts import (
+    BoostResult,
+    all_to_all_ba,
+    central_party_boost,
+    ks09_boost,
+    sqrt_boost,
+)
+from repro.protocols.baselines.multisig import MultisigScheme, MultisigSignature
+
+__all__ = [
+    "BoostResult",
+    "MultisigScheme",
+    "MultisigSignature",
+    "all_to_all_ba",
+    "central_party_boost",
+    "ks09_boost",
+    "sqrt_boost",
+]

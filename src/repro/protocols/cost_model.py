@@ -1,0 +1,135 @@
+"""Analytic communication costs for hybrid-model functionalities.
+
+Fig. 3 is stated in the (f_ae-comm, f_ba, f_ct, f_aggr-sig)-hybrid model,
+and §3.1 pins each functionality's realization cost:
+
+* f_ae-comm (King et al. SODA'06) — polylog(n) rounds per invocation;
+  every party sends and processes polylog(n) bits; locality polylog(n);
+* f_ba (Garay–Moses / phase-king in a polylog committee) — polylog(n)
+  rounds and communication;
+* f_ct (Chor et al. VSS coin toss in a polylog committee) — polylog(n)
+  rounds and polylog(n)·poly(kappa) communication;
+* f_aggr-sig (Damgård–Ishai MPC in a polylog committee on a polylog-size
+  input) — polylog(n)·poly(kappa) communication.
+
+When the big protocol executes these functionally, the formulas below
+are charged per participant through
+:meth:`~repro.net.metrics.CommunicationMetrics.charge_functionality`.
+The constants are *calibrated upward* from the concrete message-passing
+realizations in this repo (phase-king, VSS coin toss) — a consistency
+test (`tests/protocols/test_cost_model.py`) asserts the analytic charge
+dominates the measured concrete cost at the committee sizes we run, so
+the benchmark numbers can only over-charge the paper's protocol, never
+flatter it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.params import ProtocolParameters, ceil_log2
+
+
+@dataclass(frozen=True)
+class FunctionalityCharge:
+    """One functionality invocation's per-participant charge."""
+
+    bits_per_party: int
+    peers_per_party: int
+    rounds: int
+
+
+def ae_comm_establish(n: int, params: ProtocolParameters) -> FunctionalityCharge:
+    """Tree establishment (first f_ae-comm invocation): KSSV'06 costs.
+
+    KSSV build the tree with polylog(n) bits and polylog(n) peers per
+    party over polylog(n) rounds; we charge committee^2 * log n bits —
+    committee-size messages exchanged within each of the O(log n)
+    committees a party serves in.
+    """
+    log_n = ceil_log2(n)
+    committee = params.committee_size(n)
+    return FunctionalityCharge(
+        bits_per_party=committee * committee * log_n,
+        peers_per_party=committee * 2,
+        rounds=log_n,
+    )
+
+
+def ae_comm_send_down(
+    n: int, params: ProtocolParameters, payload_bits: int
+) -> FunctionalityCharge:
+    """Subsequent f_ae-comm calls: root committee payload to everyone.
+
+    Each party relays the payload along each tree committee it belongs
+    to: payload * committee-size * height bits.
+    """
+    committee = params.committee_size(n)
+    height = max(2, ceil_log2(n) // 2)
+    return FunctionalityCharge(
+        bits_per_party=payload_bits * committee * height,
+        peers_per_party=committee,
+        rounds=height,
+    )
+
+
+def committee_ba(committee_size: int, value_bits: int = 16) -> FunctionalityCharge:
+    """f_ba realized by phase-king inside a committee.
+
+    f+1 phases, 3 rounds each, all-to-all value-size messages, counted
+    in both directions (sent + received) per party.
+    """
+    f = max(1, (committee_size - 1) // 3)
+    rounds = 3 * (f + 1)
+    return FunctionalityCharge(
+        bits_per_party=2 * rounds * committee_size * value_bits,
+        peers_per_party=committee_size,
+        rounds=rounds,
+    )
+
+
+def committee_coin_toss(
+    committee_size: int, security_bits: int = 256
+) -> FunctionalityCharge:
+    """f_ct realized by Feldman-VSS coin toss inside a committee.
+
+    Dominated by the reveal round: every member forwards every qualified
+    dealer's share (64B) plus the dealing round's commitments
+    ((f+1) * 33B each to all members).
+    """
+    f = max(1, (committee_size - 1) // 3)
+    # Wire sizes include framing: a revealed share is two 32-byte field
+    # elements plus tags (~80B); a commitment is f+1 compressed points.
+    share_bits = 8 * 80
+    commitment_bits = (f + 1) * 33 * 8 + 128
+    deal_bits = 2 * committee_size * (share_bits + commitment_bits)
+    complaint_bits = 2 * committee_size * 128
+    reveal_bits = 2 * committee_size * committee_size * share_bits
+    return FunctionalityCharge(
+        bits_per_party=deal_bits + complaint_bits + reveal_bits,
+        peers_per_party=committee_size,
+        rounds=4,
+    )
+
+
+def committee_aggregate_sig(
+    committee_size: int, input_bits: int, security_bits: int = 256
+) -> FunctionalityCharge:
+    """f_aggr-sig realized by Damgård–Ishai MPC inside a node committee.
+
+    DI'05 evaluates a circuit of size |Aggregate2| with communication
+    poly(committee) * circuit size; with the Def. 2.2 decomposition the
+    circuit input is the already-filtered polylog-size set.  Per member we
+    charge committee * input bits (sharing its input to every member) plus
+    committee^2 * kappa (the PRG-compressed per-gate traffic and the
+    committee-internal broadcasts) over O(1) rounds.
+    """
+    per_party = (
+        committee_size * input_bits
+        + committee_size * committee_size * security_bits
+    )
+    return FunctionalityCharge(
+        bits_per_party=per_party,
+        peers_per_party=committee_size,
+        rounds=4,
+    )

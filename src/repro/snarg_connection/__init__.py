@@ -1,0 +1,41 @@
+"""Executable §1.2 "Connections to succinct arguments".
+
+* :mod:`repro.snarg_connection.subset_problems` — the NP-complete group
+  subset family (generalizing Subset-Sum / Subset-Product), with
+  average-case planted instance sampling and an exact small-instance
+  solver.
+* :mod:`repro.snarg_connection.multisig_link` — the two-way link: the
+  natural multisig-plus-count-proof SRDS candidate consumes a subset
+  SNARG, and any succinct count-certifier yields an average-case subset
+  SNARG back (the paper's barrier, as code).
+"""
+
+from repro.snarg_connection.multisig_link import (
+    CountCertificate,
+    CountCertifiedMultisig,
+    SubsetSnarg,
+    register_subset_relation,
+    snarg_for_subset_from_certifier,
+)
+from repro.snarg_connection.subset_problems import (
+    AdditiveGroup,
+    MultiplicativeGroup,
+    SubsetInstance,
+    XorGroup,
+    sample_planted_instance,
+    solve_brute_force,
+)
+
+__all__ = [
+    "AdditiveGroup",
+    "CountCertificate",
+    "CountCertifiedMultisig",
+    "MultiplicativeGroup",
+    "SubsetInstance",
+    "SubsetSnarg",
+    "XorGroup",
+    "register_subset_relation",
+    "sample_planted_instance",
+    "snarg_for_subset_from_certifier",
+    "solve_brute_force",
+]

@@ -1,0 +1,225 @@
+"""The two-way link between count-certified multisignatures and SNARGs.
+
+§1.2 / full version: the natural route to SRDS in weak PKI models is
+"multi-signature + a succinct proof that it contains >= k contributions".
+This module makes both directions of the paper's observation executable:
+
+**Forward (construction)** — :class:`CountCertifiedMultisig` builds that
+natural scheme: an XOR-homomorphic multisignature whose aggregate carries
+(combined tag, count k, SNARG proof that some size-k subset of the
+published per-party tags XORs to the combined tag).  The certificate is
+succinct and counts contributions without naming contributors — i.e. it
+has the SRDS verification interface — but it visibly consumes a SNARG
+for the subset problem.
+
+**Backward (barrier)** — :func:`snarg_for_subset_from_certifier` shows
+the converse: *any* succinct count-certifier for this multisignature
+yields an average-case SNARG for the group subset problem, because a
+planted subset instance *is* a multisig transcript (uniform tags, target
+= combination of a hidden size-k subset).  The wrapper literally re-types
+a certifier into a (prove, verify) pair for random subset instances —
+the paper's barrier, as code: you cannot get the certificate without
+getting the SNARG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.crypto.snark import Proof, SnarkSystem
+from repro.errors import ProofError
+from repro.snarg_connection.subset_problems import (
+    SubsetInstance,
+    XorGroup,
+    decode_witness,
+    encode_witness,
+)
+from repro.utils.randomness import Randomness
+
+_SUBSET_RELATION = "snarg-connection/subset"
+
+
+def register_subset_relation(snark_system: SnarkSystem,
+                             group: XorGroup) -> None:
+    """Register the subset NP relation with an argument system.
+
+    The statement is :meth:`SubsetInstance.statement_bytes`; the witness
+    is the encoded index subset.  Idempotent per system.
+    """
+    if snark_system.has_relation(_SUBSET_RELATION):
+        return
+
+    def relation(statement: bytes, witness: bytes) -> bool:
+        instance = _decode_statement(statement, group)
+        if instance is None:
+            return False
+        try:
+            indices = decode_witness(witness)
+        except Exception:
+            return False
+        return instance.check_witness(indices)
+
+    snark_system.register_relation(_SUBSET_RELATION, relation)
+
+
+def _decode_statement(statement: bytes, group: XorGroup
+                      ) -> Optional[SubsetInstance]:
+    from repro.utils.serialization import decode_sequence, decode_uint
+
+    try:
+        fields, _ = decode_sequence(statement, 0)
+        if len(fields) < 4 or fields[0] != group.name.encode("utf-8"):
+            return None
+        n, _ = decode_uint(fields[1], 0)
+        subset_size, _ = decode_uint(fields[2], 0)
+        target = fields[3]
+        elements = tuple(fields[4:])
+        if len(elements) != n:
+            return None
+        if any(len(e) != group.width_bytes for e in elements):
+            return None
+        if len(target) != group.width_bytes:
+            return None
+    except Exception:
+        return None
+    return SubsetInstance(
+        group=group, elements=elements, target=target,
+        subset_size=subset_size,
+    )
+
+
+@dataclass(frozen=True)
+class CountCertificate:
+    """A succinct 'at least k signed' certificate for a multisig."""
+
+    combined_tag: bytes
+    count: int
+    proof: Proof
+
+    def size_bytes(self) -> int:
+        """Constant: tag + count + SNARG proof."""
+        return len(self.combined_tag) + 8 + self.proof.size_bytes()
+
+
+class CountCertifiedMultisig:
+    """The 'natural approach': multisig + SNARG-certified count.
+
+    Per-party tags are published on the bulletin board (registered-PKI
+    flavor: a tag plays the role of a public key here — in the real
+    scheme tags are message-bound; for the connection only the
+    homomorphic structure matters, so the module works directly over the
+    tag vector).  Aggregation XORs a subset of tags and proves, with the
+    subset SNARG, that ``count`` of the published tags entered the
+    combination — without revealing which.
+    """
+
+    def __init__(self, snark_system: SnarkSystem,
+                 group: Optional[XorGroup] = None) -> None:
+        self.group = group if group is not None else XorGroup(32)
+        self.snark_system = snark_system
+        register_subset_relation(snark_system, self.group)
+
+    def aggregate(
+        self,
+        published_tags: Sequence[bytes],
+        contributing_indices: Sequence[int],
+    ) -> CountCertificate:
+        """Combine the chosen tags and certify their count."""
+        indices = sorted(set(contributing_indices))
+        combined = self.group.combine_all(
+            [published_tags[i] for i in indices]
+        )
+        instance = SubsetInstance(
+            group=self.group,
+            elements=tuple(published_tags),
+            target=combined,
+            subset_size=len(indices),
+        )
+        proof = self.snark_system.prove(
+            _SUBSET_RELATION,
+            instance.statement_bytes(),
+            encode_witness(indices),
+        )
+        return CountCertificate(
+            combined_tag=combined, count=len(indices), proof=proof
+        )
+
+    def verify(
+        self,
+        published_tags: Sequence[bytes],
+        certificate: CountCertificate,
+    ) -> bool:
+        """Check the count certificate against the bulletin board."""
+        instance = SubsetInstance(
+            group=self.group,
+            elements=tuple(published_tags),
+            target=certificate.combined_tag,
+            subset_size=certificate.count,
+        )
+        return self.snark_system.verify(
+            _SUBSET_RELATION, instance.statement_bytes(), certificate.proof
+        )
+
+
+# A count-certifier, abstractly: given the published tag vector and a
+# contributing subset, produce an opaque succinct certificate; plus a
+# verifier for (tags, combined, count, certificate).
+CertifierProve = Callable[[Sequence[bytes], Sequence[int]], CountCertificate]
+CertifierVerify = Callable[[Sequence[bytes], CountCertificate], bool]
+
+
+@dataclass(frozen=True)
+class SubsetSnarg:
+    """A non-interactive argument for average-case subset instances."""
+
+    prove: Callable[[SubsetInstance, Sequence[int]], CountCertificate]
+    verify: Callable[[SubsetInstance, CountCertificate], bool]
+    proof_size_bytes: int
+
+
+def snarg_for_subset_from_certifier(
+    certifier_prove: CertifierProve,
+    certifier_verify: CertifierVerify,
+) -> SubsetSnarg:
+    """The barrier direction, as code.
+
+    Any succinct count-certifier for the XOR multisig *is* an
+    average-case SNARG for the subset problem: an average-case subset
+    instance (uniform elements, planted size-k target) is literally a
+    multisig bulletin board plus an honest aggregate, so the certifier's
+    (prove, verify) pair transfers verbatim.  The returned object proves
+    and verifies subset instances using nothing but the certifier.
+    """
+
+    def prove(instance: SubsetInstance,
+              witness: Sequence[int]) -> CountCertificate:
+        if not instance.check_witness(witness):
+            raise ProofError("witness does not satisfy the instance")
+        certificate = certifier_prove(list(instance.elements), witness)
+        if (
+            certificate.count != instance.subset_size
+            or certificate.combined_tag != instance.group.encode(
+                instance.target
+            )
+        ):
+            raise ProofError("certifier output does not match the instance")
+        return certificate
+
+    def verify(instance: SubsetInstance,
+               certificate: CountCertificate) -> bool:
+        if certificate.count != instance.subset_size:
+            return False
+        if certificate.combined_tag != instance.group.encode(instance.target):
+            return False
+        return certifier_verify(list(instance.elements), certificate)
+
+    probe = CountCertificate(
+        combined_tag=bytes(32), count=0,
+        proof=Proof(relation_name=_SUBSET_RELATION, tag=bytes(32)),
+    )
+    return SubsetSnarg(
+        prove=prove,
+        verify=verify,
+        proof_size_bytes=probe.size_bytes(),
+    )

@@ -1,0 +1,237 @@
+"""The NP-complete subset family behind the paper's SNARG barrier.
+
+§1.2 ("Connections to succinct arguments"): a natural route to SRDS in
+weak PKI models is to augment a multi-signature with a succinct proof
+that sufficiently many parties contributed — and the paper shows this
+*necessitates* average-case succinct arguments for a particular type of
+NP-complete problems "generalizing Subset-Sum and Subset-Product".
+
+This module makes that family concrete and executable: the
+*group subset problem* over a commutative group G —
+
+    given elements g_1..g_n in G, a target T, and a count k:
+    is there a size-k subset S of [n] with  (+)_{i in S} g_i = T ?
+
+Instantiating G = (Z_M, +) gives Subset-Sum; G = (Z_M*, *) gives
+Subset-Product; G = GF(2)^256 with XOR gives the instance class that
+XOR-homomorphic multi-signature counting induces (see
+:mod:`repro.snarg_connection.multisig_link`).  Average-case instances
+are sampled with a planted solution, matching the distribution the
+reduction produces from honestly generated signature tags.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from itertools import combinations
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.utils.randomness import Randomness
+from repro.utils.serialization import (
+    canonical_tuple,
+    encode_uint,
+    int_to_fixed_bytes,
+)
+
+
+class CommutativeGroup(abc.ABC):
+    """A finite commutative group: the carrier of a subset problem."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def identity(self) -> object:
+        """The neutral element."""
+
+    @abc.abstractmethod
+    def combine(self, left: object, right: object) -> object:
+        """The group operation."""
+
+    @abc.abstractmethod
+    def random_element(self, rng: Randomness) -> object:
+        """A uniform element."""
+
+    @abc.abstractmethod
+    def encode(self, element: object) -> bytes:
+        """Canonical byte encoding."""
+
+    def combine_all(self, elements: Sequence[object]) -> object:
+        """Fold the operation over a sequence."""
+        accumulator = self.identity()
+        for element in elements:
+            accumulator = self.combine(accumulator, element)
+        return accumulator
+
+
+class AdditiveGroup(CommutativeGroup):
+    """(Z_M, +) — the Subset-Sum carrier."""
+
+    name = "additive"
+
+    def __init__(self, modulus: int) -> None:
+        if modulus < 2:
+            raise ConfigurationError("modulus must be at least 2")
+        self.modulus = modulus
+
+    def identity(self) -> int:
+        return 0
+
+    def combine(self, left: int, right: int) -> int:
+        return (left + right) % self.modulus
+
+    def random_element(self, rng: Randomness) -> int:
+        return rng.random_int(self.modulus)
+
+    def encode(self, element: int) -> bytes:
+        width = (self.modulus.bit_length() + 7) // 8
+        return int_to_fixed_bytes(element, max(1, width))
+
+
+class MultiplicativeGroup(CommutativeGroup):
+    """(Z_P^*, *) for prime P — the Subset-Product carrier."""
+
+    name = "multiplicative"
+
+    def __init__(self, prime_modulus: int) -> None:
+        if prime_modulus < 3:
+            raise ConfigurationError("prime modulus must exceed 2")
+        self.modulus = prime_modulus
+
+    def identity(self) -> int:
+        return 1
+
+    def combine(self, left: int, right: int) -> int:
+        return left * right % self.modulus
+
+    def random_element(self, rng: Randomness) -> int:
+        return 1 + rng.random_int(self.modulus - 1)
+
+    def encode(self, element: int) -> bytes:
+        width = (self.modulus.bit_length() + 7) // 8
+        return int_to_fixed_bytes(element, max(1, width))
+
+
+class XorGroup(CommutativeGroup):
+    """GF(2)^(8*width) under XOR — what multisig tags live in."""
+
+    name = "xor"
+
+    def __init__(self, width_bytes: int = 32) -> None:
+        if width_bytes < 1:
+            raise ConfigurationError("width must be positive")
+        self.width_bytes = width_bytes
+
+    def identity(self) -> bytes:
+        return bytes(self.width_bytes)
+
+    def combine(self, left: bytes, right: bytes) -> bytes:
+        return bytes(a ^ b for a, b in zip(left, right))
+
+    def random_element(self, rng: Randomness) -> bytes:
+        return rng.random_bytes(self.width_bytes)
+
+    def encode(self, element: bytes) -> bytes:
+        return element
+
+
+@dataclass(frozen=True)
+class SubsetInstance:
+    """One instance of the group subset problem."""
+
+    group: CommutativeGroup
+    elements: Tuple[object, ...]
+    target: object
+    subset_size: int
+
+    def statement_bytes(self) -> bytes:
+        """Canonical statement encoding (what a SNARG signs off on)."""
+        return canonical_tuple(
+            self.group.name.encode("utf-8"),
+            encode_uint(len(self.elements)),
+            encode_uint(self.subset_size),
+            self.group.encode(self.target),
+            *[self.group.encode(element) for element in self.elements],
+        )
+
+    def check_witness(self, indices: Sequence[int]) -> bool:
+        """Verify a claimed size-k subset (the NP verifier)."""
+        index_list = list(indices)
+        if len(index_list) != self.subset_size:
+            return False
+        if len(set(index_list)) != len(index_list):
+            return False
+        if any(not 0 <= i < len(self.elements) for i in index_list):
+            return False
+        combined = self.group.combine_all(
+            [self.elements[i] for i in index_list]
+        )
+        return self.group.encode(combined) == self.group.encode(self.target)
+
+
+def sample_planted_instance(
+    group: CommutativeGroup,
+    n: int,
+    subset_size: int,
+    rng: Randomness,
+) -> Tuple[SubsetInstance, List[int]]:
+    """Average-case instance with a planted solution.
+
+    All n elements are uniform; the target is the combination of a
+    uniformly random size-k subset.  This is exactly the distribution
+    induced by honestly generated multisignature tags (uniform PRF
+    outputs) and an honest aggregation of k of them.
+    """
+    if not 0 < subset_size <= n:
+        raise ConfigurationError("subset size must lie in [1, n]")
+    elements = tuple(group.random_element(rng) for _ in range(n))
+    witness = sorted(rng.sample(range(n), subset_size))
+    target = group.combine_all([elements[i] for i in witness])
+    return (
+        SubsetInstance(
+            group=group, elements=elements, target=target,
+            subset_size=subset_size,
+        ),
+        witness,
+    )
+
+
+def solve_brute_force(
+    instance: SubsetInstance, limit_combinations: int = 2_000_000
+) -> Optional[List[int]]:
+    """Exact solver by exhaustive search (the problem is NP-complete;
+    this is for small test instances only).
+
+    Raises :class:`ConfigurationError` if the search space exceeds the
+    limit, so tests cannot accidentally explode.
+    """
+    from math import comb
+
+    n = len(instance.elements)
+    k = instance.subset_size
+    if comb(n, k) > limit_combinations:
+        raise ConfigurationError(
+            f"C({n},{k}) exceeds the brute-force limit"
+        )
+    for candidate in combinations(range(n), k):
+        if instance.check_witness(candidate):
+            return list(candidate)
+    return None
+
+
+def encode_witness(indices: Sequence[int]) -> bytes:
+    """Canonical witness encoding for argument systems."""
+    return canonical_tuple(*[encode_uint(i) for i in sorted(indices)])
+
+
+def decode_witness(data: bytes) -> List[int]:
+    """Inverse of :func:`encode_witness`."""
+    from repro.utils.serialization import decode_sequence, decode_uint
+
+    encoded, _ = decode_sequence(data, 0)
+    indices = []
+    for blob in encoded:
+        value, _ = decode_uint(blob, 0)
+        indices.append(value)
+    return indices

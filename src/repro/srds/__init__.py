@@ -1,0 +1,7 @@
+"""SRDS: the paper's core primitive, its two constructions, and games."""
+
+from repro.srds.base import PublicParameters, SRDSScheme, SRDSSignature
+from repro.srds.owf import OwfSRDS
+from repro.srds.snark_based import SnarkSRDS
+
+__all__ = ["OwfSRDS", "PublicParameters", "SRDSScheme", "SRDSSignature", "SnarkSRDS"]

@@ -1,0 +1,122 @@
+"""Pluggable base-signature schemes for the SNARK-based SRDS.
+
+Thm 2.8 only needs an EUF-CMA signature scheme for the per-party "base"
+signatures; the construction is black-box in it.  Two implementations:
+
+* :class:`SchnorrBase` — real Schnorr over secp256k1 (the default; used
+  by tests, examples, and moderate-n benchmarks).
+* :class:`HashRegistryBase` — a *simulated* designated-verifier scheme
+  (HMAC tags checked via a registry held by the scheme object).  It is
+  sound against the modeled adversaries, runs three orders of magnitude
+  faster, and is offered **only** so large-n benchmark sweeps stay
+  tractable; DESIGN.md records the substitution.  Communication sizes are
+  realistic (32-byte keys/signatures, like BLS).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Tuple
+
+from repro.crypto import schnorr
+from repro.crypto.prf import prf
+from repro.errors import KeyError_
+
+
+class BaseSignatureScheme(abc.ABC):
+    """An ordinary signature scheme: keygen / sign / verify over bytes."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def keygen(self, rng) -> Tuple[bytes, object]:
+        """Generate ``(verification_key_bytes, signing_handle)``."""
+
+    @abc.abstractmethod
+    def sign(self, signing_key: object, message: bytes) -> bytes:
+        """Sign; returns signature bytes."""
+
+    @abc.abstractmethod
+    def verify(self, verification_key: bytes, message: bytes,
+               signature: bytes) -> bool:
+        """Verify; False on any failure, never raises for bad inputs."""
+
+
+class SchnorrBase(BaseSignatureScheme):
+    """Schnorr over secp256k1 (real public-key cryptography).
+
+    Verification results are memoized: pi_ba re-checks each base
+    signature once per committee member on its aggregation path, and
+    Schnorr verification (two scalar multiplications in pure Python) is
+    by far the most expensive operation in a run.
+    """
+
+    name = "schnorr-secp256k1"
+
+    def __init__(self) -> None:
+        self._verify_cache: Dict[Tuple[bytes, bytes, bytes], bool] = {}
+
+    def keygen(self, rng) -> Tuple[bytes, object]:
+        keypair = schnorr.keygen(rng)
+        return keypair.public_bytes, keypair
+
+    def sign(self, signing_key: object, message: bytes) -> bytes:
+        if not isinstance(signing_key, schnorr.SchnorrKeyPair):
+            raise KeyError_("wrong signing-key type for SchnorrBase")
+        return schnorr.sign(signing_key, message).encode()
+
+    def verify(self, verification_key: bytes, message: bytes,
+               signature: bytes) -> bool:
+        cache_key = (verification_key, message, signature)
+        cached = self._verify_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        result = self._verify_uncached(verification_key, message, signature)
+        self._verify_cache[cache_key] = result
+        return result
+
+    def _verify_uncached(self, verification_key: bytes, message: bytes,
+                         signature: bytes) -> bool:
+        try:
+            from repro.crypto import ec
+
+            public = ec.decode_point(verification_key)
+            decoded = schnorr.SchnorrSignature.decode(signature)
+        except Exception:
+            return False
+        return schnorr.verify(public, message, decoded)
+
+
+class HashRegistryBase(BaseSignatureScheme):
+    """Simulated designated-verifier signatures (benchmark accelerator).
+
+    ``keygen`` returns ``vk = PRF(sk, "vk")`` and records ``vk -> sk`` in
+    a registry held by this object; ``verify`` recomputes the HMAC tag
+    using the registered secret.  A modeled adversary without a party's
+    ``sk`` cannot produce a valid tag (HMAC unforgeability), and key
+    replacement in the bare-PKI game works naturally — the adversary
+    registers its own (vk, sk).
+    """
+
+    name = "hash-registry (simulated)"
+
+    def __init__(self) -> None:
+        self._registry: Dict[bytes, bytes] = {}
+
+    def keygen(self, rng) -> Tuple[bytes, object]:
+        secret = rng.random_bytes(32)
+        verification_key = prf(secret, "hash-registry/vk")
+        self._registry[verification_key] = secret
+        return verification_key, secret
+
+    def sign(self, signing_key: object, message: bytes) -> bytes:
+        if not isinstance(signing_key, bytes):
+            raise KeyError_("wrong signing-key type for HashRegistryBase")
+        return prf(signing_key, "hash-registry/sig", message)
+
+    def verify(self, verification_key: bytes, message: bytes,
+               signature: bytes) -> bool:
+        secret = self._registry.get(verification_key)
+        if secret is None:
+            return False
+        return prf(secret, "hash-registry/sig", message) == signature

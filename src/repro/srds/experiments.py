@@ -1,0 +1,314 @@
+"""Executable SRDS security experiments (Fig. 1 and Fig. 2).
+
+The paper defines robustness and unforgeability as games between a
+challenger and an adversary; this module *runs* those games, so the F1 /
+F2 benchmarks can report empirical win rates for concrete adversaries
+and the tests can assert threshold tightness.
+
+Conventions.  The SRDS operates over ``N`` *virtual* parties (the remark
+after Def. 2.1); the adversary corrupts *real* parties — corrupting a
+party corrupts all of its virtual identities.  ``mode`` selects bare vs
+trusted PKI: in bare mode the adversary may replace corrupted virtual
+identities' verification keys (step A.4(b) of Fig. 1).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.aetree.analysis import good_nodes, is_good_node
+from repro.aetree.tree import CommTree, build_tree
+from repro.errors import ExperimentError
+from repro.net.adversary import CorruptionPlan, random_corruption
+from repro.params import ProtocolParameters
+from repro.pki.registry import PKIMode
+from repro.srds.base import PublicParameters, SRDSScheme, SRDSSignature
+from repro.utils.randomness import Randomness
+
+
+@dataclass
+class ExperimentSetup:
+    """Shared state produced by the setup-and-corruption phase (A)."""
+
+    pp: PublicParameters
+    verification_keys: Dict[int, bytes]
+    signing_keys: Dict[int, object]
+    plan: CorruptionPlan              # over real parties
+    corrupt_virtual: Set[int]
+    tree: CommTree
+
+
+class RobustnessAdversary(abc.ABC):
+    """The adversary of the robustness experiment (Fig. 1)."""
+
+    def replace_keys(
+        self, setup: ExperimentSetup, scheme: SRDSScheme, rng: Randomness
+    ) -> Dict[int, bytes]:
+        """Step A.4(b): new verification keys for corrupt virtual ids
+        (bare PKI only; ignored in trusted mode).  Default: keep keys."""
+        return {}
+
+    def choose_messages(
+        self, setup: ExperimentSetup, rng: Randomness
+    ) -> Tuple[bytes, Dict[int, bytes]]:
+        """Step B.2: the target message m and per-party messages for the
+        bad-path honest set N.  Default: m fixed, N signs a decoy."""
+        return b"robustness-target", {}
+
+    def corrupt_signatures(
+        self,
+        setup: ExperimentSetup,
+        scheme: SRDSScheme,
+        message: bytes,
+        honest_signatures: Dict[int, SRDSSignature],
+        rng: Randomness,
+    ) -> Dict[int, SRDSSignature]:
+        """Step B.4: corrupt virtual ids' signatures.  Default: silent."""
+        return {}
+
+    def bad_node_output(
+        self,
+        setup: ExperimentSetup,
+        scheme: SRDSScheme,
+        node,
+        child_signatures: List[SRDSSignature],
+        message: bytes,
+        rng: Randomness,
+    ) -> Optional[SRDSSignature]:
+        """Step B.5 for bad nodes.  Default: drop the subtree."""
+        return None
+
+
+class ForgeryAdversary(abc.ABC):
+    """The adversary of the forgery experiment (Fig. 2)."""
+
+    def replace_keys(
+        self, setup: ExperimentSetup, scheme: SRDSScheme, rng: Randomness
+    ) -> Dict[int, bytes]:
+        """Step A.4(b) (bare PKI only).  Default: keep keys."""
+        return {}
+
+    @abc.abstractmethod
+    def choose_targets(
+        self, setup: ExperimentSetup, rng: Randomness
+    ) -> Tuple[Set[int], bytes, Dict[int, bytes]]:
+        """Step B.(a): the set S (virtual ids), message m, and {m_i}."""
+
+    @abc.abstractmethod
+    def forge(
+        self,
+        setup: ExperimentSetup,
+        scheme: SRDSScheme,
+        message: bytes,
+        honest_signatures: Dict[int, SRDSSignature],
+        rng: Randomness,
+    ) -> Tuple[Optional[SRDSSignature], bytes]:
+        """Step B.(d): output (sigma', m')."""
+
+
+def _run_setup(
+    scheme: SRDSScheme,
+    n: int,
+    t: int,
+    mode: PKIMode,
+    params: ProtocolParameters,
+    rng: Randomness,
+    replace_keys_hook,
+) -> ExperimentSetup:
+    """Phase A of both experiments."""
+    if 3 * t >= n:
+        raise ExperimentError("corruption budget must be below n/3")
+    plan = random_corruption(n, t, rng.fork("corrupt"))
+    tree = build_tree(
+        n, params, rng.fork("tree"), honest_root_hint=plan.honest
+    )
+    pp = scheme.setup(tree.num_virtual, rng.fork("setup"))
+    verification_keys: Dict[int, bytes] = {}
+    signing_keys: Dict[int, object] = {}
+    for virtual_id in range(tree.num_virtual):
+        vk, sk = scheme.keygen(pp, rng.fork(f"kg-{virtual_id}"))
+        verification_keys[virtual_id] = vk
+        signing_keys[virtual_id] = sk
+    corrupt_virtual = {
+        virtual_id
+        for virtual_id in range(tree.num_virtual)
+        if plan.is_corrupt(tree.owner_of_virtual(virtual_id))
+    }
+    setup = ExperimentSetup(
+        pp=pp,
+        verification_keys=verification_keys,
+        signing_keys=signing_keys,
+        plan=plan,
+        corrupt_virtual=corrupt_virtual,
+        tree=tree,
+    )
+    if mode is PKIMode.BARE:
+        replacements = replace_keys_hook(setup)
+        for virtual_id, new_key in replacements.items():
+            if virtual_id not in corrupt_virtual:
+                raise ExperimentError(
+                    "adversary tried to replace an honest key"
+                )
+            verification_keys[virtual_id] = new_key
+    return setup
+
+
+def run_robustness_experiment(
+    scheme: SRDSScheme,
+    n: int,
+    t: int,
+    mode: PKIMode,
+    adversary: RobustnessAdversary,
+    params: Optional[ProtocolParameters] = None,
+    rng: Optional[Randomness] = None,
+) -> bool:
+    """Run Expt^robust (Fig. 1).
+
+    Returns ``True`` when verification of the root aggregate *succeeds*
+    — i.e. the challenger wins and the adversary fails.  A robust scheme
+    returns True for (almost) every adversary and randomness.
+    """
+    params = params if params is not None else ProtocolParameters()
+    rng = rng if rng is not None else Randomness(0)
+    setup = _run_setup(
+        scheme, n, t, mode, params, rng,
+        lambda s: adversary.replace_keys(s, scheme, rng.fork("replace")),
+    )
+    tree = setup.tree
+
+    # B.1-B.2: the tree is fixed by setup (Def. 2.3-valid by
+    # construction; adversarial tree *choices* are modeled through the
+    # corruption plan, which determines which nodes are bad); the
+    # adversary picks the messages.
+    message, bad_path_messages = adversary.choose_messages(
+        setup, rng.fork("messages")
+    )
+    good = good_nodes(tree, setup.plan)
+    bad_path_virtual: Set[int] = set()
+    for leaf in tree.leaves:
+        on_good_path = all(
+            node.node_id in good for node in tree.path_to_root(leaf.node_id)
+        )
+        if not on_good_path:
+            lo, hi = leaf.virtual_range
+            bad_path_virtual.update(range(lo, hi))
+
+    # B.3: honest signatures — bad-path honest parties may sign decoys.
+    honest_signatures: Dict[int, SRDSSignature] = {}
+    for virtual_id in range(tree.num_virtual):
+        if virtual_id in setup.corrupt_virtual:
+            continue
+        if virtual_id in bad_path_virtual:
+            sign_message = bad_path_messages.get(
+                virtual_id, b"decoy:" + bytes([virtual_id % 251])
+            )
+        else:
+            sign_message = message
+        signature = scheme.sign(
+            setup.pp, virtual_id, setup.signing_keys[virtual_id], sign_message
+        )
+        if signature is not None:
+            honest_signatures[virtual_id] = signature
+
+    # B.4: the adversary contributes corrupt signatures.
+    corrupt_signatures = adversary.corrupt_signatures(
+        setup, scheme, message, honest_signatures, rng.fork("corrupt-sigs")
+    )
+
+    # B.5: aggregate up the tree; good nodes by the challenger, bad nodes
+    # by the adversary.
+    signatures_by_virtual: Dict[int, SRDSSignature] = dict(honest_signatures)
+    signatures_by_virtual.update(corrupt_signatures)
+
+    node_outputs: Dict[int, Optional[SRDSSignature]] = {}
+    for level in range(1, tree.height + 1):
+        for node in tree.level_nodes(level):
+            if node.is_leaf:
+                lo, hi = node.virtual_range
+                children_sigs = [
+                    signatures_by_virtual[v]
+                    for v in range(lo, hi)
+                    if v in signatures_by_virtual
+                ]
+            else:
+                children_sigs = [
+                    node_outputs[child_id]
+                    for child_id in node.children
+                    if node_outputs.get(child_id) is not None
+                ]
+            if is_good_node(node, setup.plan.corrupted):
+                node_outputs[node.node_id] = scheme.aggregate(
+                    setup.pp, setup.verification_keys, message, children_sigs
+                )
+            else:
+                node_outputs[node.node_id] = adversary.bad_node_output(
+                    setup, scheme, node, children_sigs, message,
+                    rng.fork(f"bad-{node.node_id}"),
+                )
+
+    root_signature = node_outputs.get(tree.root_id)
+    if root_signature is None:
+        return False
+    return scheme.verify(
+        setup.pp, setup.verification_keys, message, root_signature
+    )
+
+
+def run_forgery_experiment(
+    scheme: SRDSScheme,
+    n: int,
+    t: int,
+    mode: PKIMode,
+    adversary: ForgeryAdversary,
+    params: Optional[ProtocolParameters] = None,
+    rng: Optional[Randomness] = None,
+) -> bool:
+    """Run Expt^forge (Fig. 2).
+
+    Returns ``True`` when the *adversary* wins: it produced sigma' on
+    some m' != m that verifies.  An unforgeable scheme returns False for
+    (almost) every adversary and randomness.
+    """
+    params = params if params is not None else ProtocolParameters()
+    rng = rng if rng is not None else Randomness(0)
+    setup = _run_setup(
+        scheme, n, t, mode, params, rng,
+        lambda s: adversary.replace_keys(s, scheme, rng.fork("replace")),
+    )
+    num_virtual = setup.tree.num_virtual
+
+    # B.(a): S, m, {m_i}.
+    chosen_set, message, side_messages = adversary.choose_targets(
+        setup, rng.fork("targets")
+    )
+    if chosen_set & setup.corrupt_virtual:
+        raise ExperimentError("S must be disjoint from the corrupt set")
+    if 3 * len(chosen_set | setup.corrupt_virtual) >= num_virtual:
+        raise ExperimentError("|S ∪ I| must stay below n/3")
+
+    # B.(b)-(c): challenger signs.
+    honest_signatures: Dict[int, SRDSSignature] = {}
+    for virtual_id in range(num_virtual):
+        if virtual_id in setup.corrupt_virtual:
+            continue
+        if virtual_id in chosen_set:
+            sign_message = side_messages.get(virtual_id, message)
+        else:
+            sign_message = message
+        signature = scheme.sign(
+            setup.pp, virtual_id, setup.signing_keys[virtual_id], sign_message
+        )
+        if signature is not None:
+            honest_signatures[virtual_id] = signature
+
+    # B.(d): the forgery attempt.
+    forged_signature, forged_message = adversary.forge(
+        setup, scheme, message, honest_signatures, rng.fork("forge")
+    )
+    if forged_signature is None or forged_message == message:
+        return False
+    return scheme.verify(
+        setup.pp, setup.verification_keys, forged_message, forged_signature
+    )

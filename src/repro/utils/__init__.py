@@ -1,0 +1,34 @@
+"""Shared utilities: canonical serialization and seeded randomness."""
+
+from repro.utils.randomness import Randomness, make_randomness
+from repro.utils.serialization import (
+    bit_length,
+    canonical_tuple,
+    decode_bytes,
+    decode_sequence,
+    decode_str,
+    decode_uint,
+    encode_bytes,
+    encode_sequence,
+    encode_str,
+    encode_uint,
+    fixed_bytes_to_int,
+    int_to_fixed_bytes,
+)
+
+__all__ = [
+    "Randomness",
+    "make_randomness",
+    "bit_length",
+    "canonical_tuple",
+    "decode_bytes",
+    "decode_sequence",
+    "decode_str",
+    "decode_uint",
+    "encode_bytes",
+    "encode_sequence",
+    "encode_str",
+    "encode_uint",
+    "fixed_bytes_to_int",
+    "int_to_fixed_bytes",
+]

@@ -1,0 +1,136 @@
+"""Canonical byte encodings shared across the library.
+
+Every object that crosses the simulated wire is encoded with the helpers in
+this module so that (a) communication accounting measures a well-defined
+number of bits, and (b) hashing of structured data (transcripts, Merkle
+leaves, signed messages) is canonical and injective.
+
+The format is deliberately simple: length-prefixed byte strings combined
+with unsigned varints.  It is *not* meant to interoperate with any external
+system; it is the repo's single source of truth for "how big is this
+message".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import SerializationError
+
+
+def encode_uint(value: int) -> bytes:
+    """Encode a non-negative integer as a LEB128-style varint."""
+    if value < 0:
+        raise SerializationError(f"cannot encode negative integer {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_uint(data: bytes, offset: int = 0) -> Tuple[int, int]:
+    """Decode a varint from ``data`` at ``offset``.
+
+    Returns ``(value, next_offset)``.
+    """
+    result = 0
+    shift = 0
+    pos = offset
+    while True:
+        if pos >= len(data):
+            raise SerializationError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63 + 7 * 8:
+            raise SerializationError("varint too long")
+
+
+def encode_bytes(blob: bytes) -> bytes:
+    """Length-prefix a byte string."""
+    return encode_uint(len(blob)) + blob
+
+
+def decode_bytes(data: bytes, offset: int = 0) -> Tuple[bytes, int]:
+    """Decode a length-prefixed byte string; returns ``(blob, next_offset)``."""
+    length, pos = decode_uint(data, offset)
+    end = pos + length
+    if end > len(data):
+        raise SerializationError("truncated byte string")
+    return data[pos:end], end
+
+
+def encode_sequence(items: Sequence[bytes]) -> bytes:
+    """Encode a sequence of byte strings (count-prefixed, each length-prefixed)."""
+    parts = [encode_uint(len(items))]
+    parts.extend(encode_bytes(item) for item in items)
+    return b"".join(parts)
+
+
+def decode_sequence(data: bytes, offset: int = 0) -> Tuple[List[bytes], int]:
+    """Decode a sequence produced by :func:`encode_sequence`."""
+    count, pos = decode_uint(data, offset)
+    items: List[bytes] = []
+    for _ in range(count):
+        item, pos = decode_bytes(data, pos)
+        items.append(item)
+    return items, pos
+
+
+def encode_str(text: str) -> bytes:
+    """Encode a unicode string (UTF-8, length-prefixed)."""
+    return encode_bytes(text.encode("utf-8"))
+
+
+def decode_str(data: bytes, offset: int = 0) -> Tuple[str, int]:
+    """Decode a string produced by :func:`encode_str`."""
+    blob, pos = decode_bytes(data, offset)
+    try:
+        return blob.decode("utf-8"), pos
+    except UnicodeDecodeError as exc:
+        raise SerializationError("invalid UTF-8 in encoded string") from exc
+
+
+def int_to_fixed_bytes(value: int, width: int) -> bytes:
+    """Big-endian fixed-width encoding of a non-negative integer."""
+    if value < 0:
+        raise SerializationError(f"cannot encode negative integer {value}")
+    try:
+        return value.to_bytes(width, "big")
+    except OverflowError as exc:
+        raise SerializationError(
+            f"integer {value} does not fit in {width} bytes"
+        ) from exc
+
+
+def fixed_bytes_to_int(data: bytes) -> int:
+    """Inverse of :func:`int_to_fixed_bytes`."""
+    return int.from_bytes(data, "big")
+
+
+def canonical_tuple(*fields: bytes) -> bytes:
+    """Injective encoding of a tuple of byte strings.
+
+    Used wherever structured data is hashed or signed: the length prefixes
+    make the encoding prefix-free per field, so distinct tuples never
+    collide as byte strings.
+    """
+    return encode_sequence(list(fields))
+
+
+def bit_length(blob: bytes) -> int:
+    """Size of an encoded object in bits (what the network meter charges)."""
+    return 8 * len(blob)
+
+
+def concat_encoded(chunks: Iterable[bytes]) -> bytes:
+    """Join already-encoded chunks (no extra framing)."""
+    return b"".join(chunks)

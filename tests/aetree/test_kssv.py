@@ -1,0 +1,84 @@
+"""Tests for the election-driven tree builder."""
+
+import pytest
+
+from repro.aetree.analysis import analyze, validate_structure
+from repro.aetree.kssv import build_tree_via_elections
+from repro.aetree.tree import build_tree
+from repro.errors import TreeError
+from repro.net.adversary import random_corruption, targeted_corruption
+from repro.params import ProtocolParameters
+from repro.utils.randomness import Randomness
+
+N = 256
+
+
+@pytest.fixture
+def setup(params, rng):
+    plan = random_corruption(N, params.max_corruptions(N), rng.fork("c"))
+    tree = build_tree_via_elections(N, params, plan, rng.fork("t"))
+    return tree, plan
+
+
+class TestStructure:
+    def test_structurally_valid(self, setup, params):
+        tree, _ = setup
+        validate_structure(tree, params)
+
+    def test_root_two_thirds_honest(self, setup):
+        tree, plan = setup
+        corrupt = sum(
+            1 for member in tree.supreme_committee
+            if plan.is_corrupt(member)
+        )
+        assert 3 * corrupt < len(tree.supreme_committee)
+
+    def test_committee_sizes(self, setup, params):
+        tree, _ = setup
+        target = params.committee_size(N)
+        for node in tree.nodes.values():
+            if node.level >= 2:
+                assert len(node.committee) <= target + 1
+
+    def test_committees_drawn_from_subtrees(self, setup):
+        tree, _ = setup
+        for node in tree.nodes.values():
+            if node.level < 2 or not node.children:
+                continue
+            subtree_members = set()
+            for child_id in node.children:
+                subtree_members.update(tree.nodes[child_id].committee)
+            assert set(node.committee) <= subtree_members
+
+
+class TestGoodness:
+    def test_goodness_comparable_to_sampled_builder(self, params, rng):
+        plan = random_corruption(N, params.max_corruptions(N), rng.fork("c"))
+        elected = build_tree_via_elections(
+            N, params, plan, rng.fork("e")
+        )
+        sampled = build_tree(
+            N, params, rng.fork("s"), honest_root_hint=plan.honest
+        )
+        elected_report = analyze(elected, plan)
+        sampled_report = analyze(sampled, plan)
+        assert elected_report.root_is_good
+        # Elections keep goodness within the same ballpark as sampling.
+        assert (
+            elected_report.good_path_leaf_fraction
+            >= sampled_report.good_path_leaf_fraction - 0.25
+        )
+        assert elected_report.well_connected_fraction >= 0.75
+
+    def test_impossible_corruption_raises(self, params, rng):
+        plan = targeted_corruption(N, list(range(N - 4)))
+        with pytest.raises(Exception):
+            build_tree_via_elections(N, params, plan, rng)
+
+
+class TestDeterminism:
+    def test_same_seed_same_tree(self, params):
+        plan = random_corruption(N, params.max_corruptions(N), Randomness(3))
+        a = build_tree_via_elections(N, params, plan, Randomness(9))
+        b = build_tree_via_elections(N, params, plan, Randomness(9))
+        assert a.root.committee == b.root.committee

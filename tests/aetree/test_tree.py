@@ -1,0 +1,120 @@
+"""Tests for the almost-everywhere communication tree."""
+
+import pytest
+
+from repro.aetree.tree import build_tree
+from repro.errors import TreeError
+from repro.net.adversary import random_corruption
+from repro.params import ProtocolParameters
+
+
+@pytest.fixture
+def tree(params, rng):
+    return build_tree(128, params, rng)
+
+
+class TestStructure:
+    def test_leaf_ranges_tile_virtual_ids(self, tree):
+        covered = 0
+        for leaf in tree.leaves:
+            lo, hi = leaf.virtual_range
+            assert lo == covered
+            covered = hi
+        assert covered == tree.num_virtual
+
+    def test_num_virtual(self, tree):
+        assert tree.num_virtual == tree.n * tree.z
+
+    def test_each_party_owns_z_virtuals(self, tree):
+        for party in range(tree.n):
+            assert len(tree.virtuals_of_party(party)) == tree.z
+
+    def test_owner_inverse_mapping(self, tree):
+        for party in range(0, tree.n, 17):
+            for virtual_id in tree.virtuals_of_party(party):
+                assert tree.owner_of_virtual(virtual_id) == party
+
+    def test_leaf_of_virtual(self, tree):
+        for virtual_id in range(0, tree.num_virtual, 97):
+            leaf = tree.leaf_of_virtual(virtual_id)
+            lo, hi = leaf.virtual_range
+            assert lo <= virtual_id < hi
+
+    def test_leaf_of_virtual_out_of_range(self, tree):
+        with pytest.raises(TreeError):
+            tree.leaf_of_virtual(tree.num_virtual)
+
+    def test_root_is_top(self, tree):
+        assert tree.root.parent_id is None
+        assert tree.root.level == tree.height
+
+    def test_paths_reach_root(self, tree):
+        for leaf in tree.leaves:
+            path = tree.path_to_root(leaf.node_id)
+            assert path[0] is leaf
+            assert path[-1].node_id == tree.root_id
+            levels = [node.level for node in path]
+            assert levels == sorted(levels)
+
+    def test_parent_child_links(self, tree):
+        for node in tree.nodes.values():
+            for child_id in node.children:
+                assert tree.nodes[child_id].parent_id == node.node_id
+
+    def test_leaves_of_party(self, tree):
+        leaves = tree.leaves_of_party(0)
+        assert len(leaves) == tree.z
+        for leaf in leaves:
+            assert 0 in leaf.committee
+
+    def test_supreme_committee_size(self, tree, params):
+        assert len(tree.supreme_committee) == params.committee_size(tree.n)
+
+    def test_committees_of_party(self, tree):
+        member = tree.supreme_committee[0]
+        committees = tree.committees_of_party(member)
+        assert any(node.node_id == tree.root_id for node in committees)
+
+    def test_level_nodes_ordered(self, tree):
+        for level in range(1, tree.height + 1):
+            nodes = tree.level_nodes(level)
+            ranges = [node.virtual_range for node in nodes]
+            assert ranges == sorted(ranges)
+
+
+class TestConstruction:
+    def test_too_few_parties_rejected(self, params, rng):
+        with pytest.raises(TreeError):
+            build_tree(3, params, rng)
+
+    def test_deterministic_given_seed(self, params):
+        from repro.utils.randomness import Randomness
+
+        a = build_tree(64, params, Randomness(9))
+        b = build_tree(64, params, Randomness(9))
+        assert a.virtual_owner == b.virtual_owner
+        assert a.root.committee == b.root.committee
+
+    def test_honest_root_hint_produces_good_root(self, params):
+        from repro.utils.randomness import Randomness
+
+        rng = Randomness(5)
+        n = 128
+        plan = random_corruption(n, params.max_corruptions(n), rng.fork("c"))
+        tree = build_tree(n, params, rng.fork("t"), honest_root_hint=plan.honest)
+        corrupt = sum(
+            1 for member in tree.supreme_committee if plan.is_corrupt(member)
+        )
+        assert 3 * corrupt < len(tree.supreme_committee)
+
+    def test_impossible_root_hint_raises(self, params, rng):
+        # Honest set too small to ever form a 2/3-honest committee.
+        with pytest.raises(TreeError):
+            build_tree(64, params, rng, honest_root_hint=[0])
+
+    @pytest.mark.parametrize("n", [16, 64, 200, 512])
+    def test_various_sizes(self, n, params, rng):
+        tree = build_tree(n, params, rng.fork(f"n{n}"))
+        assert tree.n == n
+        assert tree.height >= 2
+        assert len(tree.leaves) >= 2

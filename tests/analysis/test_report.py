@@ -1,0 +1,33 @@
+"""Tests for the experiment-report assembler."""
+
+import pathlib
+
+from repro.analysis.report import assemble_report, write_report
+
+
+class TestAssemble:
+    def test_missing_records_flagged(self, tmp_path):
+        report = assemble_report(tmp_path)
+        assert "no record" in report
+        assert "T1 — Table 1" in report
+
+    def test_known_records_included(self, tmp_path):
+        (tmp_path / "table1.txt").write_text("TABLE-ONE-CONTENT")
+        report = assemble_report(tmp_path)
+        assert "TABLE-ONE-CONTENT" in report
+
+    def test_extra_records_included(self, tmp_path):
+        (tmp_path / "surprise.txt").write_text("SURPRISE-CONTENT")
+        report = assemble_report(tmp_path)
+        assert "extra record: surprise" in report
+        assert "SURPRISE-CONTENT" in report
+
+    def test_write_report(self, tmp_path):
+        target = tmp_path / "out.txt"
+        write_report(target, tmp_path)
+        assert "Measured experiment report" in target.read_text()
+
+    def test_default_dir_points_at_benchmarks(self):
+        from repro.analysis.report import default_results_dir
+
+        assert default_results_dir().parts[-2:] == ("benchmarks", "results")

@@ -1,0 +1,77 @@
+"""Tests for the scaling-fit analysis."""
+
+import math
+
+import pytest
+
+from repro.analysis.scaling import (
+    classify_growth,
+    crossover_point,
+    fit_polylog,
+    fit_power_law,
+)
+
+NS = [64, 128, 256, 512, 1024, 2048, 4096]
+
+
+class TestPowerLaw:
+    def test_linear_series(self):
+        fit = fit_power_law(NS, [10 * n for n in NS])
+        assert fit.exponent == pytest.approx(1.0, abs=0.01)
+
+    def test_sqrt_series(self):
+        fit = fit_power_law(NS, [5 * math.sqrt(n) for n in NS])
+        assert fit.exponent == pytest.approx(0.5, abs=0.01)
+
+    def test_constant_series(self):
+        fit = fit_power_law(NS, [42.0] * len(NS))
+        assert fit.exponent == pytest.approx(0.0, abs=0.01)
+
+    def test_prediction(self):
+        fit = fit_power_law(NS, [3 * n for n in NS])
+        assert fit.predict(1000) == pytest.approx(3000, rel=0.01)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            fit_power_law([64], [1.0])
+
+
+class TestPolylog:
+    def test_log_cubed_series(self):
+        values = [7 * math.log2(n) ** 3 for n in NS]
+        fit = fit_polylog(NS, values)
+        assert fit.degree == pytest.approx(3.0, abs=0.05)
+
+    def test_prediction(self):
+        values = [2 * math.log2(n) ** 2 for n in NS]
+        fit = fit_polylog(NS, values)
+        assert fit.predict(256) == pytest.approx(2 * 64, rel=0.05)
+
+
+class TestClassification:
+    def test_linear(self):
+        assert classify_growth(NS, [9 * n for n in NS]) == "linear"
+
+    def test_sqrt(self):
+        assert classify_growth(NS, [4 * math.sqrt(n) for n in NS]) == "sqrt-like"
+
+    def test_polylog(self):
+        values = [100 * math.log2(n) ** 3 for n in NS]
+        assert classify_growth(NS, values) == "polylog"
+
+    def test_superlinear(self):
+        assert classify_growth(NS, [n ** 1.5 for n in NS]) == "superlinear"
+
+
+class TestCrossover:
+    def test_crossing_curves(self):
+        # Big constant * small exponent vs small constant * big exponent.
+        flat = fit_power_law(NS, [10_000.0] * len(NS))
+        steep = fit_power_law(NS, [10.0 * n for n in NS])
+        crossing = crossover_point(flat, steep)
+        assert crossing == pytest.approx(1000, rel=0.05)
+
+    def test_parallel_curves_never_cross(self):
+        a = fit_power_law(NS, [10 * n for n in NS])
+        b = fit_power_law(NS, [20 * n for n in NS])
+        assert crossover_point(a, b) == float("inf")

@@ -1,0 +1,51 @@
+"""Tests for Table-1 rendering."""
+
+from repro.analysis.tables import Table1Row, format_bits, render_series, render_table
+
+
+class TestFormatBits:
+    def test_units(self):
+        assert format_bits(100) == "100.0b"
+        assert format_bits(2048) == "2.0Kb"
+        assert format_bits(3 * 1024 * 1024) == "3.0Mb"
+
+    def test_huge(self):
+        assert format_bits(2 ** 50).endswith("Tb")
+
+
+class TestRenderTable:
+    def _row(self):
+        return Table1Row(
+            protocol="this work (snark)",
+            paper_claim="Õ(1)",
+            setup="pki+crs",
+            assumptions="snarks*+crh",
+            ns=[64, 256],
+            max_bits_per_party=[1000, 2000],
+            fitted_exponent=0.12,
+            growth_class="polylog",
+        )
+
+    def test_contains_fields(self):
+        rendered = render_table([self._row()])
+        assert "this work (snark)" in rendered
+        assert "Õ(1)" in rendered
+        assert "+0.12" in rendered
+        assert "polylog" in rendered
+
+    def test_multiple_rows(self):
+        rows = [self._row(), self._row()]
+        rendered = render_table(rows)
+        assert rendered.count("this work") == 2
+
+    def test_missing_exponent(self):
+        row = Table1Row(
+            protocol="x", paper_claim="y", setup="s", assumptions="a",
+            ns=[64], max_bits_per_party=[100],
+        )
+        assert "n/a" in render_table([row])
+
+
+def test_render_series():
+    line = render_series("bits", [64, 128], [1000.0, 2000.0], unit="b")
+    assert "n=64" in line and "2,000b" in line

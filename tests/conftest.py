@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.params import ProtocolParameters
+from repro.utils.randomness import Randomness
+
+
+@pytest.fixture
+def rng():
+    """A deterministic randomness source, fresh per test."""
+    return Randomness(12345)
+
+
+@pytest.fixture
+def params():
+    """Default protocol parameters."""
+    return ProtocolParameters()
+
+
+@pytest.fixture
+def fast_params():
+    """Parameters shrunk for fast protocol tests."""
+    return ProtocolParameters(
+        security_bits=64,
+        committee_factor=3,
+        leaf_factor=3,
+        virtual_factor=1,
+        tree_arity_factor=1,
+        corruption_ratio=1 / 8,
+        fanout_factor=2,
+    )

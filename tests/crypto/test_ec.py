@@ -1,0 +1,102 @@
+"""Tests for the secp256k1 group implementation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import ec
+from repro.errors import CryptoError
+
+scalars = st.integers(min_value=1, max_value=ec.N - 1)
+small_scalars = st.integers(min_value=1, max_value=1 << 20)
+
+
+class TestGroupLaws:
+    def test_generator_on_curve(self):
+        assert ec.is_on_curve(ec.GENERATOR)
+
+    def test_identity_on_curve(self):
+        assert ec.is_on_curve(ec.IDENTITY)
+
+    def test_identity_neutral(self):
+        point = ec.scalar_mult(5, ec.GENERATOR)
+        assert ec.point_add(point, ec.IDENTITY) == point
+        assert ec.point_add(ec.IDENTITY, point) == point
+
+    def test_inverse(self):
+        point = ec.scalar_mult(5, ec.GENERATOR)
+        assert ec.point_add(point, -point) == ec.IDENTITY
+
+    def test_group_order(self):
+        assert ec.scalar_mult(ec.N, ec.GENERATOR) == ec.IDENTITY
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_scalars, small_scalars)
+    def test_scalar_mult_homomorphic(self, a, b):
+        left = ec.scalar_mult(a + b, ec.GENERATOR)
+        right = ec.point_add(
+            ec.scalar_mult(a, ec.GENERATOR), ec.scalar_mult(b, ec.GENERATOR)
+        )
+        assert left == right
+
+    def test_doubling_matches_addition(self):
+        point = ec.scalar_mult(7, ec.GENERATOR)
+        assert ec.point_add(point, point) == ec.scalar_mult(14, ec.GENERATOR)
+
+    def test_scalar_reduction_mod_order(self):
+        assert ec.scalar_mult(5, ec.GENERATOR) == ec.scalar_mult(
+            5 + ec.N, ec.GENERATOR
+        )
+
+    def test_results_on_curve(self):
+        for scalar in (1, 2, 3, 12345, ec.N - 1):
+            assert ec.is_on_curve(ec.scalar_mult(scalar, ec.GENERATOR))
+
+
+class TestEncoding:
+    def test_identity_roundtrip(self):
+        assert ec.decode_point(ec.IDENTITY.encode()) == ec.IDENTITY
+
+    @settings(max_examples=15, deadline=None)
+    @given(small_scalars)
+    def test_point_roundtrip(self, scalar):
+        point = ec.scalar_mult(scalar, ec.GENERATOR)
+        assert ec.decode_point(point.encode()) == point
+
+    def test_encoded_width(self):
+        assert len(ec.GENERATOR.encode()) == 33
+        assert len(ec.IDENTITY.encode()) == 1
+
+    def test_malformed_rejected(self):
+        with pytest.raises(CryptoError):
+            ec.decode_point(b"\x05" + bytes(32))
+        with pytest.raises(CryptoError):
+            ec.decode_point(b"\x02" + bytes(10))
+
+    def test_off_curve_x_rejected(self):
+        # x = 5 yields a non-residue y^2 for secp256k1.
+        blob = b"\x02" + (5).to_bytes(32, "big")
+        with pytest.raises(CryptoError):
+            ec.decode_point(blob)
+
+    def test_x_above_field_rejected(self):
+        blob = b"\x02" + ec.P.to_bytes(32, "big")
+        with pytest.raises(CryptoError):
+            ec.decode_point(blob)
+
+
+class TestOperatorSugar:
+    def test_mul_operator(self):
+        assert 3 * ec.GENERATOR == ec.scalar_mult(3, ec.GENERATOR)
+        assert ec.GENERATOR * 3 == ec.scalar_mult(3, ec.GENERATOR)
+
+    def test_add_operator(self):
+        double = ec.GENERATOR + ec.GENERATOR
+        assert double == ec.scalar_mult(2, ec.GENERATOR)
+
+    def test_commit_helper(self):
+        assert ec.commit(9) == ec.scalar_mult(9, ec.GENERATOR)
+
+    def test_multi_scalar_mult(self):
+        point = ec.scalar_mult(4, ec.GENERATOR)
+        combined = ec.multi_scalar_mult(((2, ec.GENERATOR), (3, point)))
+        assert combined == ec.scalar_mult(14, ec.GENERATOR)

@@ -1,0 +1,73 @@
+"""Tests for the CRH substrate."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto import hashing
+
+
+class TestHashDomain:
+    def test_deterministic(self):
+        assert hashing.hash_domain("d", b"x") == hashing.hash_domain("d", b"x")
+
+    def test_domain_separation(self):
+        assert hashing.hash_domain("a", b"x") != hashing.hash_domain("b", b"x")
+
+    def test_digest_width(self):
+        assert len(hashing.hash_domain("d", b"x")) == hashing.DIGEST_BYTES
+
+    @given(st.lists(st.binary(max_size=32), min_size=1, max_size=4),
+           st.lists(st.binary(max_size=32), min_size=1, max_size=4))
+    def test_tuple_injective(self, a, b):
+        if a != b:
+            assert hashing.hash_domain("d", *a) != hashing.hash_domain("d", *b)
+
+    def test_field_boundary_shift_distinct(self):
+        assert hashing.hash_domain("d", b"ab", b"c") != hashing.hash_domain(
+            "d", b"a", b"bc"
+        )
+
+
+class TestHashToInt:
+    def test_range(self):
+        value = hashing.hash_to_int("d", b"x")
+        assert 0 <= value < 1 << 256
+
+    def test_matches_bytes(self):
+        assert hashing.hash_to_int("d", b"x") == int.from_bytes(
+            hashing.hash_domain("d", b"x"), "big"
+        )
+
+
+class TestHashChain:
+    def test_empty_chain_defined(self):
+        assert len(hashing.hash_chain("d", [])) == 32
+
+    def test_order_sensitive(self):
+        assert hashing.hash_chain("d", [b"a", b"b"]) != hashing.hash_chain(
+            "d", [b"b", b"a"]
+        )
+
+    def test_extension_changes_digest(self):
+        short = hashing.hash_chain("d", [b"a"])
+        long = hashing.hash_chain("d", [b"a", b"b"])
+        assert short != long
+
+    def test_incremental_equals_batch(self):
+        batch = hashing.hash_chain("d", [b"a", b"b", b"c"])
+        running = hashing.hash_domain("d", b"chain-init")
+        for item in (b"a", b"b", b"c"):
+            running = hashing.hash_domain("d", running, item)
+        assert running == batch
+
+
+class TestTruncatedHash:
+    def test_full_width_passthrough(self):
+        assert hashing.truncated_hash("d", 32, b"x") == hashing.hash_domain("d", b"x")
+
+    def test_truncation(self):
+        assert len(hashing.truncated_hash("d", 16, b"x")) == 16
+
+    def test_below_128_bits_refused(self):
+        with pytest.raises(ValueError):
+            hashing.truncated_hash("d", 8, b"x")

@@ -1,0 +1,88 @@
+"""Tests for Merkle trees."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.merkle import (
+    MerkleProof,
+    MerkleTree,
+    merkle_root,
+    root_from_proof,
+    verify_inclusion,
+)
+from repro.errors import CryptoError
+
+
+class TestBasics:
+    def test_single_leaf(self):
+        tree = MerkleTree([b"only"])
+        proof = tree.prove(0)
+        assert verify_inclusion(tree.root, b"only", proof)
+
+    def test_empty_tree_has_root(self):
+        assert len(MerkleTree([]).root) == 32
+
+    def test_out_of_range_proof_rejected(self):
+        tree = MerkleTree([b"a", b"b"])
+        with pytest.raises(CryptoError):
+            tree.prove(2)
+
+    def test_merkle_root_helper(self):
+        assert merkle_root([b"a", b"b"]) == MerkleTree([b"a", b"b"]).root
+
+    def test_root_differs_on_leaf_change(self):
+        assert merkle_root([b"a", b"b"]) != merkle_root([b"a", b"c"])
+
+    def test_root_order_sensitive(self):
+        assert merkle_root([b"a", b"b"]) != merkle_root([b"b", b"a"])
+
+    def test_promotion_padding_not_duplication(self):
+        # A 3-leaf tree must differ from the 4-leaf tree that duplicates
+        # the last leaf (the Bitcoin-mutation pitfall).
+        assert merkle_root([b"a", b"b", b"c"]) != merkle_root(
+            [b"a", b"b", b"c", b"c"]
+        )
+
+
+class TestProofs:
+    @given(st.lists(st.binary(min_size=1, max_size=16), min_size=1,
+                    max_size=33))
+    def test_all_leaves_provable(self, leaves):
+        tree = MerkleTree(leaves)
+        for index, leaf in enumerate(leaves):
+            proof = tree.prove(index)
+            assert verify_inclusion(tree.root, leaf, proof)
+
+    def test_wrong_leaf_rejected(self):
+        tree = MerkleTree([b"a", b"b", b"c"])
+        proof = tree.prove(1)
+        assert not verify_inclusion(tree.root, b"x", proof)
+
+    def test_wrong_index_proof_rejected(self):
+        tree = MerkleTree([b"a", b"b", b"c", b"d"])
+        assert not verify_inclusion(tree.root, b"a", tree.prove(1))
+
+    def test_tampered_sibling_rejected(self):
+        tree = MerkleTree([b"a", b"b", b"c", b"d"])
+        proof = tree.prove(0)
+        tampered = MerkleProof(
+            leaf_index=0,
+            siblings=tuple(
+                (bytes(32), right) for _, right in proof.siblings
+            ),
+        )
+        assert not verify_inclusion(tree.root, b"a", tampered)
+
+    def test_root_from_proof_consistency(self):
+        tree = MerkleTree([b"a", b"b", b"c", b"d", b"e"])
+        proof = tree.prove(4)
+        assert root_from_proof(b"e", proof) == tree.root
+
+    def test_proof_size_logarithmic(self):
+        tree = MerkleTree([bytes([i]) for i in range(256)])
+        proof = tree.prove(100)
+        assert len(proof.siblings) == 8  # log2(256)
+
+    def test_proof_size_bytes_positive(self):
+        tree = MerkleTree([b"a", b"b"])
+        assert tree.prove(0).size_bytes() > 0

@@ -1,0 +1,105 @@
+"""Tests for XMSS-style Merkle many-time signatures."""
+
+import pytest
+
+from repro.crypto import merkle_sig
+from repro.errors import ConfigurationError, SignatureError
+from repro.srds.ots import LamportOts, WinternitzOts
+
+
+@pytest.fixture(scope="module")
+def signer():
+    return merkle_sig.MerkleSigner(b"merkle-seed", height=3)
+
+
+class TestSignVerify:
+    def test_valid(self, signer):
+        signature = signer.sign(b"message-a")
+        assert merkle_sig.verify(signer.public_key, b"message-a", signature)
+
+    def test_wrong_message_rejected(self, signer):
+        signature = signer.sign(b"message-b")
+        assert not merkle_sig.verify(signer.public_key, b"other", signature)
+
+    def test_wrong_root_rejected(self, signer):
+        signature = signer.sign(b"message-c")
+        assert not merkle_sig.verify(bytes(32), b"message-c", signature)
+
+    def test_many_messages_distinct_leaves(self):
+        signer = merkle_sig.MerkleSigner(b"multi-seed", height=3)
+        leaves = set()
+        for index in range(signer.capacity):
+            signature = signer.sign(b"msg-%d" % index)
+            assert merkle_sig.verify(
+                signer.public_key, b"msg-%d" % index, signature
+            )
+            leaves.add(signature.leaf_index)
+        assert len(leaves) == signer.capacity
+
+    def test_swapped_ots_key_rejected(self, signer):
+        sig_a = signer.sign(b"swap-a")
+        sig_b = signer.sign(b"swap-b")
+        franken = merkle_sig.MerkleSignature(
+            leaf_index=sig_a.leaf_index,
+            ots_verification_key=sig_b.ots_verification_key,
+            ots_signature=sig_a.ots_signature,
+            proof=sig_a.proof,
+        )
+        assert not merkle_sig.verify(signer.public_key, b"swap-a", franken)
+
+
+class TestStatefulness:
+    def test_leaf_reuse_refused(self):
+        signer = merkle_sig.MerkleSigner(b"reuse-seed", height=2)
+        signer.sign(b"first", leaf_index=1)
+        with pytest.raises(SignatureError):
+            signer.sign(b"second", leaf_index=1)
+
+    def test_capacity_exhaustion(self):
+        signer = merkle_sig.MerkleSigner(b"exhaust-seed", height=1)
+        signer.sign(b"one")
+        signer.sign(b"two")
+        assert signer.remaining == 0
+        with pytest.raises(SignatureError):
+            signer.sign(b"three")
+
+    def test_out_of_range_leaf_rejected(self):
+        signer = merkle_sig.MerkleSigner(b"range-seed", height=2)
+        with pytest.raises(SignatureError):
+            signer.sign(b"x", leaf_index=4)
+
+
+class TestConfiguration:
+    def test_bad_height_rejected(self):
+        with pytest.raises(ConfigurationError):
+            merkle_sig.MerkleSigner(b"s", height=0)
+        with pytest.raises(ConfigurationError):
+            merkle_sig.MerkleSigner(b"s", height=17)
+
+    def test_public_key_is_32_bytes(self, signer):
+        assert len(signer.public_key) == 32
+
+    def test_custom_ots(self):
+        ots = LamportOts(message_bits=32)
+        signer = merkle_sig.MerkleSigner(b"lamport-seed", height=2, ots=ots)
+        signature = signer.sign(b"custom")
+        assert merkle_sig.verify(
+            signer.public_key, b"custom", signature, ots=ots
+        )
+        # Mismatched OTS at verification fails.
+        assert not merkle_sig.verify(
+            signer.public_key, b"custom", signature,
+            ots=WinternitzOts(message_bits=32, w=4),
+        )
+
+
+class TestEncoding:
+    def test_roundtrip(self, signer):
+        signature = signer.sign(b"encode-me")
+        decoded = merkle_sig.MerkleSignature.decode(signature.encode())
+        assert merkle_sig.verify(signer.public_key, b"encode-me", decoded)
+
+    def test_trailing_bytes_rejected(self, signer):
+        signature = signer.sign(b"trailing")
+        with pytest.raises(SignatureError):
+            merkle_sig.MerkleSignature.decode(signature.encode() + b"x")

@@ -1,0 +1,84 @@
+"""Tests for the PRF and the committee-selection SubsetPRF."""
+
+import pytest
+
+from repro.crypto.prf import SubsetPRF, prf, prf_int
+
+
+class TestPrf:
+    def test_deterministic(self):
+        assert prf(b"k", "d", b"x") == prf(b"k", "d", b"x")
+
+    def test_key_separation(self):
+        assert prf(b"k1", "d", b"x") != prf(b"k2", "d", b"x")
+
+    def test_domain_separation(self):
+        assert prf(b"k", "d1", b"x") != prf(b"k", "d2", b"x")
+
+    def test_output_width(self):
+        assert len(prf(b"k", "d")) == 32
+
+
+class TestPrfInt:
+    def test_range(self):
+        for upper in (1, 2, 7, 1000):
+            value = prf_int(b"k", "d", upper, b"x")
+            assert 0 <= value < upper
+
+    def test_deterministic(self):
+        assert prf_int(b"k", "d", 100, b"x") == prf_int(b"k", "d", 100, b"x")
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            prf_int(b"k", "d", 0)
+
+    def test_spread(self):
+        from repro.utils.serialization import encode_uint
+
+        values = {prf_int(b"k", "d", 50, encode_uint(i)) for i in range(300)}
+        assert len(values) >= 40  # nearly all residues hit
+
+
+class TestSubsetPRF:
+    def test_subset_size_and_range(self):
+        prf_family = SubsetPRF(b"seed", 100, 7)
+        subset = prf_family.subset(3)
+        assert len(subset) == 7
+        assert len(set(subset)) == 7
+        assert all(0 <= member < 100 for member in subset)
+
+    def test_sorted_output(self):
+        subset = SubsetPRF(b"seed", 100, 7).subset(3)
+        assert subset == sorted(subset)
+
+    def test_deterministic_across_instances(self):
+        a = SubsetPRF(b"seed", 100, 7).subset(3)
+        b = SubsetPRF(b"seed", 100, 7).subset(3)
+        assert a == b
+
+    def test_different_parties_differ(self):
+        prf_family = SubsetPRF(b"seed", 1000, 10)
+        assert prf_family.subset(1) != prf_family.subset(2)
+
+    def test_different_seeds_differ(self):
+        assert SubsetPRF(b"s1", 1000, 10).subset(1) != SubsetPRF(
+            b"s2", 1000, 10
+        ).subset(1)
+
+    def test_contains_matches_subset(self):
+        prf_family = SubsetPRF(b"seed", 50, 5)
+        subset = prf_family.subset(9)
+        for member in range(50):
+            assert prf_family.contains(9, member) == (member in subset)
+
+    def test_full_subset(self):
+        subset = SubsetPRF(b"seed", 5, 5).subset(0)
+        assert subset == [0, 1, 2, 3, 4]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SubsetPRF(b"s", 0, 1)
+        with pytest.raises(ValueError):
+            SubsetPRF(b"s", 10, 11)
+        with pytest.raises(ValueError):
+            SubsetPRF(b"s", 10, 0)

@@ -1,0 +1,33 @@
+"""Tests for the counter-mode PRG."""
+
+from repro.crypto.prg import PRG
+
+
+class TestPRG:
+    def test_deterministic(self):
+        assert PRG(b"seed").expand(100) == PRG(b"seed").expand(100)
+
+    def test_seed_separation(self):
+        assert PRG(b"a").expand(32) != PRG(b"b").expand(32)
+
+    def test_domain_separation(self):
+        assert PRG(b"s", domain="x").expand(32) != PRG(b"s", domain="y").expand(32)
+
+    def test_expand_lengths(self):
+        prg = PRG(b"seed")
+        for length in (0, 1, 31, 32, 33, 100):
+            assert len(prg.expand(length)) == length
+
+    def test_prefix_consistency(self):
+        prg = PRG(b"seed")
+        assert prg.expand(100)[:40] == prg.expand(40)
+
+    def test_random_access_blocks(self):
+        prg = PRG(b"seed")
+        stream = prg.expand(96)
+        assert prg.block(0) == stream[0:32]
+        assert prg.block(2) == stream[64:96]
+
+    def test_blocks_distinct(self):
+        prg = PRG(b"seed")
+        assert prg.block(0) != prg.block(1)

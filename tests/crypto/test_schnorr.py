@@ -1,0 +1,83 @@
+"""Tests for Schnorr signatures."""
+
+import pytest
+
+from repro.crypto import ec, schnorr
+from repro.errors import KeyError_
+from repro.utils.randomness import Randomness
+
+
+@pytest.fixture
+def keypair(rng):
+    return schnorr.keygen(rng)
+
+
+class TestSignVerify:
+    def test_valid_signature(self, keypair):
+        signature = schnorr.sign(keypair, b"message")
+        assert schnorr.verify(keypair.public, b"message", signature)
+
+    def test_wrong_message_rejected(self, keypair):
+        signature = schnorr.sign(keypair, b"message")
+        assert not schnorr.verify(keypair.public, b"other", signature)
+
+    def test_wrong_key_rejected(self, keypair, rng):
+        other = schnorr.keygen(rng.fork("other"))
+        signature = schnorr.sign(keypair, b"message")
+        assert not schnorr.verify(other.public, b"message", signature)
+
+    def test_deterministic_signing(self, keypair):
+        assert schnorr.sign(keypair, b"m").encode() == schnorr.sign(
+            keypair, b"m"
+        ).encode()
+
+    def test_distinct_messages_distinct_nonces(self, keypair):
+        sig_a = schnorr.sign(keypair, b"a")
+        sig_b = schnorr.sign(keypair, b"b")
+        assert sig_a.nonce_point != sig_b.nonce_point
+
+    def test_identity_public_key_rejected(self, keypair):
+        signature = schnorr.sign(keypair, b"m")
+        assert not schnorr.verify(ec.IDENTITY, b"m", signature)
+
+    def test_out_of_range_response_rejected(self, keypair):
+        signature = schnorr.sign(keypair, b"m")
+        bad = schnorr.SchnorrSignature(
+            nonce_point=signature.nonce_point, response=ec.N
+        )
+        assert not schnorr.verify(keypair.public, b"m", bad)
+
+    def test_tampered_signature_rejected(self, keypair):
+        signature = schnorr.sign(keypair, b"m")
+        tampered = schnorr.SchnorrSignature(
+            nonce_point=signature.nonce_point,
+            response=(signature.response + 1) % ec.N,
+        )
+        assert not schnorr.verify(keypair.public, b"m", tampered)
+
+
+class TestEncoding:
+    def test_roundtrip(self, keypair):
+        signature = schnorr.sign(keypair, b"m")
+        decoded = schnorr.SchnorrSignature.decode(signature.encode())
+        assert decoded == signature
+
+    def test_wire_size(self, keypair):
+        assert len(schnorr.sign(keypair, b"m").encode()) == 65
+
+    def test_malformed_rejected(self):
+        with pytest.raises(KeyError_):
+            schnorr.SchnorrSignature.decode(b"short")
+
+    def test_public_key_bytes(self, keypair):
+        assert len(keypair.public_bytes) == 33
+
+
+class TestKeygen:
+    def test_distinct_keys(self, rng):
+        a = schnorr.keygen(rng.fork("a"))
+        b = schnorr.keygen(rng.fork("b"))
+        assert a.public != b.public
+
+    def test_public_matches_secret(self, keypair):
+        assert keypair.public == ec.commit(keypair.secret)

@@ -1,0 +1,76 @@
+"""Tests for Shamir secret sharing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import shamir
+from repro.errors import SecretSharingError
+from repro.fields.prime_field import PrimeField
+from repro.utils.randomness import Randomness
+
+PRIME = 10007
+
+
+@pytest.fixture
+def field():
+    return PrimeField(PRIME)
+
+
+class TestDealReconstruct:
+    def test_exact_threshold_reconstructs(self, field, rng):
+        shares = shamir.deal(field, 42, 7, 3, rng)
+        assert shamir.reconstruct(field, shares[:4]) == field.element(42)
+
+    def test_any_subset_reconstructs(self, field, rng):
+        shares = shamir.deal(field, 42, 7, 2, rng)
+        assert shamir.reconstruct(field, [shares[1], shares[4], shares[6]]) == 42
+
+    def test_all_shares_reconstruct(self, field, rng):
+        shares = shamir.deal(field, 999, 5, 2, rng)
+        assert shamir.reconstruct(field, shares) == field.element(999)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=PRIME - 1),
+           st.integers(min_value=2, max_value=10),
+           st.data())
+    def test_roundtrip_property(self, secret, num_shares, data):
+        threshold = data.draw(st.integers(min_value=0, max_value=num_shares - 1))
+        field = PrimeField(PRIME)
+        rng = Randomness(7)
+        shares = shamir.deal(field, secret, num_shares, threshold, rng)
+        subset = shares[: threshold + 1]
+        assert shamir.reconstruct(field, subset) == field.element(secret)
+
+    def test_threshold_many_shares_insufficient(self, field, rng):
+        # With only `threshold` shares, every candidate secret remains
+        # equally consistent: interpolation just yields *a* value, which
+        # should (almost surely) not be the secret for random polys.
+        mismatches = 0
+        for trial in range(20):
+            shares = shamir.deal(field, 77, 6, 3, rng.fork(f"t{trial}"))
+            guess = shamir.reconstruct(field, shares[:3])
+            if guess != field.element(77):
+                mismatches += 1
+        assert mismatches >= 18
+
+    def test_zero_threshold_constant_sharing(self, field, rng):
+        shares = shamir.deal(field, 5, 4, 0, rng)
+        assert all(share.y == field.element(5) for share in shares)
+
+
+class TestValidation:
+    def test_bad_threshold_rejected(self, field, rng):
+        with pytest.raises(SecretSharingError):
+            shamir.deal(field, 1, 5, 5, rng)
+        with pytest.raises(SecretSharingError):
+            shamir.deal(field, 1, 5, -1, rng)
+
+    def test_empty_reconstruction_rejected(self, field):
+        with pytest.raises(SecretSharingError):
+            shamir.reconstruct(field, [])
+
+    def test_deal_with_polynomial_consistency(self, field, rng):
+        shares, polynomial = shamir.deal_with_polynomial(field, 13, 5, 2, rng)
+        for share in shares:
+            assert polynomial.evaluate(share.x) == share.y
+        assert polynomial.evaluate(0) == field.element(13)

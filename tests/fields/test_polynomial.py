@@ -1,0 +1,103 @@
+"""Tests for polynomials and Lagrange interpolation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SecretSharingError
+from repro.fields.polynomial import (
+    Polynomial,
+    lagrange_coefficients_at_zero,
+    lagrange_interpolate_at_zero,
+)
+from repro.fields.prime_field import PrimeField
+from repro.utils.randomness import Randomness
+
+PRIME = 10007
+
+
+@pytest.fixture
+def field():
+    return PrimeField(PRIME)
+
+
+class TestPolynomialBasics:
+    def test_trailing_zeros_trimmed(self, field):
+        p = Polynomial(field, [1, 2, 0, 0])
+        assert p.degree == 1
+
+    def test_zero_polynomial_degree(self, field):
+        assert Polynomial(field, [0]).degree == 0
+
+    def test_evaluation_horner(self, field):
+        p = Polynomial(field, [3, 2, 1])  # 3 + 2x + x^2
+        assert p.evaluate(2) == field.element(3 + 4 + 4)
+
+    def test_random_constant_term(self, field, rng):
+        p = Polynomial.random(field, 4, rng, constant_term=99)
+        assert p.evaluate(0) == field.element(99)
+
+    def test_negative_degree_rejected(self, field, rng):
+        with pytest.raises(SecretSharingError):
+            Polynomial.random(field, -1, rng)
+
+    def test_addition(self, field):
+        p = Polynomial(field, [1, 2])
+        q = Polynomial(field, [3, 4, 5])
+        assert (p + q).coefficients == Polynomial(field, [4, 6, 5]).coefficients
+
+    def test_multiplication(self, field):
+        p = Polynomial(field, [1, 1])      # 1 + x
+        q = Polynomial(field, [1, -1])     # 1 - x
+        assert p * q == Polynomial(field, [1, 0, -1])
+
+    def test_cross_field_operations_rejected(self, field):
+        other = PrimeField(10009)
+        with pytest.raises(SecretSharingError):
+            Polynomial(field, [1]) + Polynomial(other, [1])
+
+
+class TestInterpolation:
+    @given(st.lists(st.integers(min_value=0, max_value=PRIME - 1),
+                    min_size=1, max_size=6))
+    def test_interpolation_recovers_constant_term(self, coefficients):
+        field = PrimeField(PRIME)
+        polynomial = Polynomial(field, coefficients)
+        degree = polynomial.degree
+        points = [
+            (field.element(x), polynomial.evaluate(x))
+            for x in range(1, degree + 2)
+        ]
+        recovered = lagrange_interpolate_at_zero(field, points)
+        assert recovered == polynomial.evaluate(0)
+
+    def test_duplicate_x_rejected(self, field):
+        points = [(field.element(1), field.element(2))] * 2
+        with pytest.raises(SecretSharingError):
+            lagrange_interpolate_at_zero(field, points)
+
+    def test_empty_rejected(self, field):
+        with pytest.raises(SecretSharingError):
+            lagrange_interpolate_at_zero(field, [])
+
+    def test_coefficients_match_interpolation(self, field, rng):
+        polynomial = Polynomial.random(field, 3, rng, constant_term=7)
+        xs = [field.element(x) for x in (2, 5, 8, 11)]
+        coefficients = lagrange_coefficients_at_zero(field, xs)
+        dot = field.zero()
+        for coefficient, x in zip(coefficients, xs):
+            dot = dot + coefficient * polynomial.evaluate(x)
+        assert dot == field.element(7)
+
+    def test_coefficients_duplicate_x_rejected(self, field):
+        with pytest.raises(SecretSharingError):
+            lagrange_coefficients_at_zero(
+                field, [field.element(1), field.element(1)]
+            )
+
+
+class TestEqualityHash:
+    def test_equal_polynomials(self, field):
+        assert Polynomial(field, [1, 2]) == Polynomial(field, [1, 2, 0])
+
+    def test_hash_consistent(self, field):
+        assert hash(Polynomial(field, [1, 2])) == hash(Polynomial(field, [1, 2, 0]))

@@ -1,0 +1,135 @@
+"""Tests for GF(p) arithmetic, including hypothesis field-axiom checks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.fields.prime_field import (
+    SECP256K1_ORDER,
+    FieldElement,
+    PrimeField,
+    default_field,
+)
+
+SMALL_PRIME = 10007
+
+
+@pytest.fixture
+def field():
+    return PrimeField(SMALL_PRIME)
+
+
+elements = st.integers(min_value=0, max_value=SMALL_PRIME - 1)
+
+
+class TestConstruction:
+    def test_rejects_composite(self):
+        with pytest.raises(ConfigurationError):
+            PrimeField(10006)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ConfigurationError):
+            PrimeField(1)
+
+    def test_default_field_is_secp_order(self):
+        assert default_field().modulus == SECP256K1_ORDER
+
+    def test_element_reduces_mod_p(self, field):
+        assert field.element(SMALL_PRIME + 3).value == 3
+
+    def test_cross_field_coercion_rejected(self, field):
+        other = PrimeField(10009)
+        with pytest.raises(ConfigurationError):
+            field.element(other.element(1))
+
+
+class TestFieldAxioms:
+    @given(elements, elements, elements)
+    def test_addition_associative(self, a, b, c):
+        f = PrimeField(SMALL_PRIME)
+        x, y, z = f.element(a), f.element(b), f.element(c)
+        assert (x + y) + z == x + (y + z)
+
+    @given(elements, elements)
+    def test_addition_commutative(self, a, b):
+        f = PrimeField(SMALL_PRIME)
+        assert f.element(a) + f.element(b) == f.element(b) + f.element(a)
+
+    @given(elements, elements, elements)
+    def test_multiplication_distributes(self, a, b, c):
+        f = PrimeField(SMALL_PRIME)
+        x, y, z = f.element(a), f.element(b), f.element(c)
+        assert x * (y + z) == x * y + x * z
+
+    @given(elements)
+    def test_additive_inverse(self, a):
+        f = PrimeField(SMALL_PRIME)
+        x = f.element(a)
+        assert x + (-x) == f.zero()
+
+    @given(elements.filter(lambda v: v != 0))
+    def test_multiplicative_inverse(self, a):
+        f = PrimeField(SMALL_PRIME)
+        x = f.element(a)
+        assert x * x.inverse() == f.one()
+
+    @given(elements, st.integers(min_value=0, max_value=50))
+    def test_pow_matches_repeated_multiplication(self, a, e):
+        f = PrimeField(SMALL_PRIME)
+        x = f.element(a)
+        expected = f.one()
+        for _ in range(e):
+            expected = expected * x
+        assert x ** e == expected
+
+    @given(elements.filter(lambda v: v != 0))
+    def test_negative_pow(self, a):
+        f = PrimeField(SMALL_PRIME)
+        x = f.element(a)
+        assert x ** (-1) == x.inverse()
+
+
+class TestOperatorSugar:
+    def test_int_mixing(self, field):
+        x = field.element(5)
+        assert x + 3 == field.element(8)
+        assert 3 + x == field.element(8)
+        assert x - 7 == field.element(SMALL_PRIME - 2)
+        assert 10 - x == field.element(5)
+        assert 2 * x == field.element(10)
+        assert x / 5 == field.one()
+        assert 5 / x == field.one()
+
+    def test_division_by_zero(self, field):
+        with pytest.raises(ZeroDivisionError):
+            field.one() / field.zero()
+
+    def test_immutability(self, field):
+        x = field.element(1)
+        with pytest.raises(AttributeError):
+            x.value = 2
+
+    def test_equality_with_int(self, field):
+        assert field.element(5) == 5
+        assert field.element(5) == 5 + SMALL_PRIME
+
+    def test_hashable(self, field):
+        assert len({field.element(1), field.element(1), field.element(2)}) == 2
+
+    def test_int_conversion(self, field):
+        assert int(field.element(42)) == 42
+
+
+class TestHelpers:
+    def test_random_element_in_range(self, field, rng):
+        for _ in range(20):
+            assert 0 <= field.random_element(rng).value < SMALL_PRIME
+
+    def test_elements_range(self, field):
+        points = list(field.elements_range(5))
+        assert [p.value for p in points] == [1, 2, 3, 4, 5]
+
+    def test_elements_range_overflow(self):
+        tiny = PrimeField(5)
+        with pytest.raises(ConfigurationError):
+            list(tiny.elements_range(5))

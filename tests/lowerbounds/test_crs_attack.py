@@ -1,0 +1,49 @@
+"""Tests for the Thm 1.3 empirical attack (CRS model)."""
+
+from repro.lowerbounds.crs_attack import (
+    attack_success_rate,
+    crs_certificate,
+    run_crs_attack_trial,
+    run_pki_control_trial,
+)
+from repro.utils.randomness import Randomness
+
+
+class TestCrsAttack:
+    def test_attack_succeeds_often(self, rng):
+        rate = attack_success_rate(
+            n=150, t=25, messages_per_party=8, trials=40, rng=rng
+        )
+        assert rate >= 0.5
+
+    def test_pki_control_defeats_attack(self, rng):
+        rate = attack_success_rate(
+            n=150, t=25, messages_per_party=8, trials=40, rng=rng,
+            with_pki=True,
+        )
+        assert rate <= 0.1
+
+    def test_separation(self, rng):
+        crs_rate = attack_success_rate(
+            n=100, t=20, messages_per_party=6, trials=30, rng=rng.fork("a")
+        )
+        pki_rate = attack_success_rate(
+            n=100, t=20, messages_per_party=6, trials=30, rng=rng.fork("b"),
+            with_pki=True,
+        )
+        assert crs_rate > pki_rate + 0.4
+
+    def test_trial_bookkeeping(self, rng):
+        outcome = run_crs_attack_trial(100, 20, 6, rng)
+        assert outcome.true_value in (0, 1)
+        assert outcome.adversarial_messages_received >= 0
+
+    def test_pki_trial_needs_one_honest_message(self, rng):
+        outcome = run_pki_control_trial(100, 20, 6, rng)
+        if outcome.honest_messages_received > 0:
+            assert outcome.victim_correct
+
+    def test_certificate_simulatable(self):
+        # The crux of the theorem: anyone can compute the CRS tag.
+        crs = b"public-randomness"
+        assert crs_certificate(crs, 5, 1) == crs_certificate(crs, 5, 1)

@@ -1,0 +1,60 @@
+"""Tests for the Thm 1.4 empirical attack (OWF necessity)."""
+
+from repro.lowerbounds.owf_attack import (
+    attack_success_rate,
+    invert_public_key,
+    run_owf_attack_trial,
+    sign_with_secret,
+    weak_keygen,
+)
+from repro.utils.randomness import Randomness
+
+
+class TestWeakKeys:
+    def test_keygen_deterministic_public(self, rng):
+        keypair = weak_keygen(10, rng)
+        assert len(keypair.public) == 32
+        assert 0 <= keypair.secret < 1 << 10
+
+    def test_inversion_within_budget(self, rng):
+        keypair = weak_keygen(10, rng)
+        recovered = invert_public_key(keypair.public, 10, effort_bits=12)
+        assert recovered == keypair.secret
+
+    def test_inversion_beyond_budget_fails(self, rng):
+        keypair = weak_keygen(24, rng)
+        assert invert_public_key(keypair.public, 24, effort_bits=8) is None
+
+    def test_signature_tied_to_secret(self, rng):
+        keypair = weak_keygen(10, rng)
+        assert sign_with_secret(keypair.secret, 10, 1) != sign_with_secret(
+            keypair.secret, 10, 0
+        )
+
+
+class TestAttackPhaseTransition:
+    def test_invertible_keys_break_boost(self, rng):
+        rate = attack_success_rate(
+            n=80, t=12, messages_per_party=6, secret_bits=8,
+            effort_bits=12, trials=15, rng=rng,
+        )
+        assert rate >= 0.6
+
+    def test_strong_keys_resist(self, rng):
+        rate = attack_success_rate(
+            n=80, t=12, messages_per_party=6, secret_bits=40,
+            effort_bits=12, trials=15, rng=rng,
+        )
+        assert rate <= 0.1
+
+    def test_trial_reports_inversions(self, rng):
+        weak = run_owf_attack_trial(
+            n=60, t=10, messages_per_party=5, secret_bits=8,
+            effort_bits=12, rng=rng.fork("w"),
+        )
+        strong = run_owf_attack_trial(
+            n=60, t=10, messages_per_party=5, secret_bits=40,
+            effort_bits=12, rng=rng.fork("s"),
+        )
+        assert weak.keys_inverted > 0
+        assert strong.keys_inverted == 0

@@ -1,0 +1,98 @@
+"""Tests for the simulated threshold FHE."""
+
+import pytest
+
+from repro.errors import CryptoError
+from repro.mpc.fhe import EXPANSION, OVERHEAD_BYTES, ThresholdFHE
+from repro.utils.randomness import Randomness
+
+
+@pytest.fixture
+def fhe(rng):
+    return ThresholdFHE(num_holders=7, threshold=4, rng=rng)
+
+
+class TestEncryptDecrypt:
+    def test_roundtrip(self, fhe, rng):
+        ciphertext = fhe.encrypt(b"secret-input", rng)
+        shares = [fhe.decryption_share(i, ciphertext) for i in range(4)]
+        assert fhe.threshold_decrypt(ciphertext, shares) == b"secret-input"
+
+    def test_below_threshold_fails(self, fhe, rng):
+        ciphertext = fhe.encrypt(b"x", rng)
+        shares = [fhe.decryption_share(i, ciphertext) for i in range(3)]
+        with pytest.raises(CryptoError):
+            fhe.threshold_decrypt(ciphertext, shares)
+
+    def test_duplicate_shares_do_not_count_twice(self, fhe, rng):
+        ciphertext = fhe.encrypt(b"x", rng)
+        share = fhe.decryption_share(0, ciphertext)
+        with pytest.raises(CryptoError):
+            fhe.threshold_decrypt(ciphertext, [share] * 5)
+
+    def test_forged_shares_rejected(self, fhe, rng):
+        ciphertext = fhe.encrypt(b"x", rng)
+        genuine = [fhe.decryption_share(i, ciphertext) for i in range(3)]
+        from repro.mpc.fhe import DecryptionShare
+
+        forged = DecryptionShare(
+            ciphertext_handle=ciphertext.handle,
+            holder_index=5,
+            tag=bytes(32),
+        )
+        with pytest.raises(CryptoError):
+            fhe.threshold_decrypt(ciphertext, genuine + [forged])
+
+    def test_cross_ciphertext_shares_rejected(self, fhe, rng):
+        a = fhe.encrypt(b"a", rng)
+        b = fhe.encrypt(b"b", rng)
+        shares_for_b = [fhe.decryption_share(i, b) for i in range(4)]
+        with pytest.raises(CryptoError):
+            fhe.threshold_decrypt(a, shares_for_b)
+
+    def test_ciphertext_size_model(self, fhe, rng):
+        ciphertext = fhe.encrypt(b"12345678", rng)
+        assert ciphertext.size_bytes == 8 * EXPANSION + OVERHEAD_BYTES
+
+
+class TestEvaluate:
+    def test_function_applied(self, fhe, rng):
+        values = [b"\x01", b"\x02", b"\x03"]
+        ciphertexts = [fhe.encrypt(v, rng.fork(str(i)))
+                       for i, v in enumerate(values)]
+        total = fhe.evaluate(
+            lambda plain: bytes([sum(p[0] for p in plain)]),
+            ciphertexts,
+            output_size=1,
+        )
+        shares = [fhe.decryption_share(i, total) for i in range(4)]
+        assert fhe.threshold_decrypt(total, shares) == b"\x06"
+
+    def test_output_padded_to_size(self, fhe, rng):
+        ciphertext = fhe.encrypt(b"x", rng)
+        result = fhe.evaluate(lambda plain: b"ab", [ciphertext],
+                              output_size=4)
+        shares = [fhe.decryption_share(i, result) for i in range(4)]
+        assert fhe.threshold_decrypt(result, shares) == b"ab\x00\x00"
+
+    def test_unknown_handle_rejected(self, fhe, rng):
+        other = ThresholdFHE(7, 4, Randomness(99))
+        foreign = other.encrypt(b"x", rng)
+        with pytest.raises(CryptoError):
+            fhe.evaluate(lambda plain: plain[0], [foreign], output_size=1)
+
+
+class TestCeremony:
+    def test_invalid_threshold_rejected(self, rng):
+        with pytest.raises(CryptoError):
+            ThresholdFHE(5, 0, rng)
+        with pytest.raises(CryptoError):
+            ThresholdFHE(5, 6, rng)
+
+    def test_holder_index_validated(self, fhe):
+        with pytest.raises(CryptoError):
+            fhe.holder_secret(7)
+
+    def test_holder_secrets_distinct(self, fhe):
+        secrets = {fhe.holder_secret(i) for i in range(7)}
+        assert len(secrets) == 7

@@ -1,0 +1,106 @@
+"""Tests for the Corollary 1.2(2) scalable-MPC protocol."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.net.adversary import random_corruption, targeted_corruption
+from repro.params import ProtocolParameters
+from repro.mpc.scalable_mpc import run_scalable_mpc
+from repro.utils.randomness import Randomness
+
+N = 64
+
+
+def _sum_function(plaintexts):
+    return sum(p[0] for p in plaintexts).to_bytes(4, "big")
+
+
+def _majority_bit(plaintexts):
+    ones = sum(1 for p in plaintexts if p[0])
+    return b"\x01" if 2 * ones > len(plaintexts) else b"\x00"
+
+
+@pytest.fixture
+def setup(rng):
+    params = ProtocolParameters()
+    plan = random_corruption(N, params.max_corruptions(N), rng.fork("c"))
+    return params, plan
+
+
+class TestCorrectness:
+    def test_sum(self, setup, rng):
+        params, plan = setup
+        inputs = {i: bytes([i % 5]) for i in range(N)}
+        result = run_scalable_mpc(
+            inputs, _sum_function, 4, plan, params, rng.fork("r")
+        )
+        assert result.all_honest_correct
+        expected = sum(i % 5 for i in range(N)).to_bytes(4, "big")
+        assert result.expected_output == expected
+
+    def test_majority(self, setup, rng):
+        params, plan = setup
+        inputs = {i: (b"\x01" if i % 3 else b"\x00") for i in range(N)}
+        result = run_scalable_mpc(
+            inputs, _majority_bit, 1, plan, params, rng.fork("r")
+        )
+        assert result.all_honest_correct
+        assert result.expected_output == b"\x01"
+
+    def test_corrupt_input_substitution(self, setup, rng):
+        params, plan = setup
+        inputs = {i: b"\x01" for i in range(N)}
+        result = run_scalable_mpc(
+            inputs, _sum_function, 4, plan, params, rng.fork("r"),
+            corrupt_input=lambda party, value: b"\x00",
+        )
+        assert result.all_honest_correct
+        honest_count = len(plan.honest)
+        assert result.expected_output == honest_count.to_bytes(4, "big")
+
+    def test_every_honest_party_gets_output(self, setup, rng):
+        params, plan = setup
+        inputs = {i: bytes([1]) for i in range(N)}
+        result = run_scalable_mpc(
+            inputs, _sum_function, 4, plan, params, rng.fork("r")
+        )
+        for party in plan.honest:
+            assert result.outputs[party] == result.expected_output
+
+
+class TestModel:
+    def test_oversized_corruption_rejected(self, rng):
+        params = ProtocolParameters()
+        plan = targeted_corruption(N, list(range(N // 3 + 1)))
+        with pytest.raises(ProtocolError):
+            run_scalable_mpc(
+                {i: b"\x00" for i in range(N)}, _sum_function, 4,
+                plan, params, rng,
+            )
+
+
+class TestCommunication:
+    def test_total_scales_with_input_size(self, setup, rng):
+        params, plan = setup
+        small = run_scalable_mpc(
+            {i: b"\x01" for i in range(N)}, _sum_function, 4,
+            plan, params, rng.fork("a"),
+        )
+        large = run_scalable_mpc(
+            {i: b"\x01" * 64 for i in range(N)},
+            lambda plains: bytes([plains[0][0]]),
+            4, plan, params, rng.fork("b"),
+        )
+        assert large.metrics.total_bits > 2 * small.metrics.total_bits
+
+    def test_balanced_outside_committee(self, setup, rng):
+        params, plan = setup
+        result = run_scalable_mpc(
+            {i: b"\x01" for i in range(N)}, _sum_function, 4,
+            plan, params, rng.fork("r"),
+        )
+        # Mean per-party stays within polylog of the input size: the
+        # total is n * polylog * ciphertext, so mean = polylog * ctxt.
+        assert result.metrics.mean_bits_per_party < (
+            result.metrics.total_bits / 4
+        )

@@ -1,0 +1,68 @@
+"""Tests for corruption planning."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.adversary import (
+    CorruptionPlan,
+    corrupt_after_setup,
+    prefix_corruption,
+    random_corruption,
+    targeted_corruption,
+)
+from repro.utils.randomness import Randomness
+
+
+class TestPlans:
+    def test_random_corruption_size(self, rng):
+        plan = random_corruption(100, 20, rng)
+        assert plan.t == 20
+        assert len(plan.honest) == 80
+
+    def test_honest_complement(self, rng):
+        plan = random_corruption(50, 10, rng)
+        assert set(plan.honest) | plan.corrupted == set(range(50))
+        assert not set(plan.honest) & plan.corrupted
+
+    def test_is_corrupt(self, rng):
+        plan = targeted_corruption(10, [2, 5])
+        assert plan.is_corrupt(2)
+        assert not plan.is_corrupt(3)
+
+    def test_prefix_corruption(self):
+        plan = prefix_corruption(10, 3)
+        assert plan.corrupted == {0, 1, 2}
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            targeted_corruption(10, [10])
+        with pytest.raises(ConfigurationError):
+            random_corruption(10, 10, Randomness(1))
+        with pytest.raises(ConfigurationError):
+            prefix_corruption(10, -1)
+
+    def test_deterministic_given_seed(self):
+        a = random_corruption(100, 20, Randomness(5))
+        b = random_corruption(100, 20, Randomness(5))
+        assert a.corrupted == b.corrupted
+
+
+class TestSetupAdaptive:
+    def test_default_is_random(self, rng):
+        plan = corrupt_after_setup(b"setup", 50, 10, rng)
+        assert plan.t == 10
+
+    def test_strategy_applied(self, rng):
+        def strategy(setup, n, t, rng_):
+            # "Inspect" the setup: corrupt parties whose id matches a byte.
+            return targeted_corruption(n, list(range(t)))
+
+        plan = corrupt_after_setup(b"setup", 50, 5, rng, strategy)
+        assert plan.corrupted == {0, 1, 2, 3, 4}
+
+    def test_over_budget_strategy_rejected(self, rng):
+        def greedy(setup, n, t, rng_):
+            return targeted_corruption(n, list(range(t + 1)))
+
+        with pytest.raises(ConfigurationError):
+            corrupt_after_setup(b"setup", 50, 5, rng, greedy)

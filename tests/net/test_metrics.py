@@ -1,0 +1,101 @@
+"""Tests for communication accounting."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.metrics import CommunicationMetrics
+
+
+class TestRecordMessage:
+    def test_basic_accounting(self):
+        metrics = CommunicationMetrics()
+        metrics.record_message(0, 1, 100)
+        assert metrics.tally_of(0).bits_sent == 100
+        assert metrics.tally_of(0).messages_sent == 1
+        assert metrics.tally_of(1).bits_received == 100
+        assert metrics.tally_of(1).messages_received == 1
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(NetworkError):
+            CommunicationMetrics().record_message(0, 1, -1)
+
+    def test_total_counts_each_message_once(self):
+        metrics = CommunicationMetrics()
+        metrics.record_message(0, 1, 100)
+        metrics.record_message(1, 0, 50)
+        assert metrics.total_bits == 150
+
+    def test_bits_total_sums_both_directions(self):
+        metrics = CommunicationMetrics()
+        metrics.record_message(0, 1, 100)
+        metrics.record_message(1, 0, 60)
+        assert metrics.tally_of(0).bits_total == 160
+
+    def test_locality(self):
+        metrics = CommunicationMetrics()
+        metrics.record_message(0, 1, 1)
+        metrics.record_message(0, 2, 1)
+        metrics.record_message(3, 0, 1)
+        assert metrics.tally_of(0).locality == 3
+
+    def test_max_metrics(self):
+        metrics = CommunicationMetrics()
+        metrics.record_message(0, 1, 100)
+        metrics.record_message(2, 1, 100)
+        assert metrics.max_bits_per_party == 200  # party 1 receives both
+        assert metrics.max_messages_per_party == 1
+        assert metrics.max_locality == 2
+
+    def test_empty_metrics(self):
+        metrics = CommunicationMetrics()
+        assert metrics.max_bits_per_party == 0
+        assert metrics.mean_bits_per_party == 0.0
+        assert metrics.max_locality == 0
+        assert metrics.imbalance() == 1.0
+
+
+class TestChargeFunctionality:
+    def test_per_party_charges(self):
+        metrics = CommunicationMetrics()
+        metrics.charge_functionality([0, 1, 2], bits_per_party=90,
+                                     peers_per_party=2, rounds=3)
+        for party in (0, 1, 2):
+            assert metrics.tally_of(party).bits_total == 90
+        assert metrics.rounds_completed == 3
+
+    def test_peers_widened(self):
+        metrics = CommunicationMetrics()
+        metrics.charge_functionality([0, 1, 2, 3], bits_per_party=8,
+                                     peers_per_party=2, rounds=1)
+        assert metrics.tally_of(0).locality == 2
+
+    def test_mix_with_messages(self):
+        metrics = CommunicationMetrics()
+        metrics.record_message(0, 1, 10)
+        metrics.charge_functionality([0], bits_per_party=10,
+                                     peers_per_party=1, rounds=1)
+        assert metrics.tally_of(0).bits_total == 20
+
+
+class TestSnapshot:
+    def test_snapshot_fields(self):
+        metrics = CommunicationMetrics()
+        metrics.record_message(0, 1, 100)
+        metrics.end_round()
+        snapshot = metrics.snapshot()
+        assert snapshot.total_bits == 100
+        assert snapshot.max_bits_per_party == 100
+        assert snapshot.num_parties == 2
+        assert snapshot.rounds == 1
+
+    def test_imbalance(self):
+        metrics = CommunicationMetrics()
+        metrics.record_message(0, 1, 300)   # party 0: 300, party 1: 300
+        metrics.record_message(2, 3, 100)   # parties 2,3: 100
+        snapshot = metrics.snapshot()
+        assert snapshot.imbalance == pytest.approx(300 / 200)
+
+    def test_snapshot_immutable(self):
+        snapshot = CommunicationMetrics().snapshot()
+        with pytest.raises(Exception):
+            snapshot.total_bits = 5

@@ -1,0 +1,41 @@
+"""Tests for the Party base class helpers."""
+
+from repro.net.party import Envelope, Party, SilentParty
+
+
+class MinimalParty(Party):
+    def step(self, round_index, inbox):
+        if round_index == 0:
+            return [self.send(1, b"hello")]
+        return self.halt("done")
+
+
+class TestPartyHelpers:
+    def test_send_stamps_own_id(self):
+        party = MinimalParty(7)
+        envelope = party.send(3, b"payload")
+        assert envelope.sender == 7
+        assert envelope.recipient == 3
+        assert envelope.payload == b"payload"
+
+    def test_halt_sets_state_and_returns_empty(self):
+        party = MinimalParty(0)
+        result = party.halt({"output": 1})
+        assert result == []
+        assert party.halted
+        assert party.output == {"output": 1}
+
+    def test_initial_state(self):
+        party = MinimalParty(0)
+        assert not party.halted
+        assert party.output is None
+
+    def test_silent_party_never_sends(self):
+        silent = SilentParty(5)
+        for round_index in range(5):
+            assert silent.step(round_index, []) == []
+        assert not silent.halted
+
+    def test_envelope_size(self):
+        assert Envelope(0, 1, b"").size_bits() == 0
+        assert Envelope(0, 1, bytes(10)).size_bits() == 80

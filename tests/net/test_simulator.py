@@ -1,0 +1,150 @@
+"""Tests for the synchronous network simulator."""
+
+from typing import List, Sequence
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.party import Envelope, Party, SilentParty
+from repro.net.simulator import SynchronousNetwork
+
+
+class EchoParty(Party):
+    """Sends 'ping' to a peer in round 0, echoes whatever it receives,
+    halts after round 2."""
+
+    def __init__(self, party_id: int, peer: int) -> None:
+        super().__init__(party_id)
+        self.peer = peer
+        self.received: List[bytes] = []
+
+    def step(self, round_index: int, inbox: Sequence[Envelope]) -> List[Envelope]:
+        self.received.extend(envelope.payload for envelope in inbox)
+        if round_index == 0:
+            return [self.send(self.peer, b"ping-%d" % self.party_id)]
+        if round_index >= 2:
+            return self.halt(len(self.received))
+        return [
+            self.send(envelope.sender, b"echo:" + envelope.payload)
+            for envelope in inbox
+        ]
+
+
+class SpoofingParty(Party):
+    """Tries to forge the sender field on its envelopes."""
+
+    def step(self, round_index: int, inbox: Sequence[Envelope]) -> List[Envelope]:
+        if round_index == 0:
+            return [Envelope(sender=999, recipient=1, payload=b"spoofed")]
+        return self.halt()
+
+
+class RecordingParty(Party):
+    def __init__(self, party_id: int) -> None:
+        super().__init__(party_id)
+        self.senders: List[int] = []
+
+    def step(self, round_index: int, inbox: Sequence[Envelope]) -> List[Envelope]:
+        self.senders.extend(envelope.sender for envelope in inbox)
+        if round_index >= 1:
+            return self.halt()
+        return []
+
+
+class TestDelivery:
+    def test_round_trip(self):
+        a, b = EchoParty(0, 1), EchoParty(1, 0)
+        network = SynchronousNetwork([a, b])
+        network.run(max_rounds=10)
+        assert b"ping-0" in b.received
+        assert b"echo:ping-0" in a.received
+
+    def test_messages_delivered_next_round(self):
+        a, b = EchoParty(0, 1), EchoParty(1, 0)
+        network = SynchronousNetwork([a, b])
+        network.run_round()
+        assert a.received == []  # sent this round, not yet delivered
+        network.run_round()
+        assert b"ping-1" in a.received
+
+    def test_unknown_recipient_rejected(self):
+        class Stray(Party):
+            def step(self, round_index, inbox):
+                return [self.send(42, b"x")]
+
+        network = SynchronousNetwork([Stray(0)])
+        with pytest.raises(NetworkError):
+            network.run_round()
+
+    def test_duplicate_party_id_rejected(self):
+        with pytest.raises(NetworkError):
+            SynchronousNetwork([SilentParty(0), SilentParty(0)])
+
+
+class TestAuthentication:
+    def test_sender_stamped_by_transport(self):
+        spoofer = SpoofingParty(0)
+        recorder = RecordingParty(1)
+        network = SynchronousNetwork([spoofer, recorder])
+        network.run_until([1], max_rounds=5)
+        assert recorder.senders == [0]  # true sender, not 999
+
+
+class TestTermination:
+    def test_run_until_honest(self):
+        a = EchoParty(0, 1)
+        never_halts = SilentParty(1)
+        network = SynchronousNetwork([a, never_halts])
+        network.run_until([0], max_rounds=10)
+        assert a.halted
+        assert not never_halts.halted
+
+    def test_nontermination_detected(self):
+        network = SynchronousNetwork([SilentParty(0)])
+        with pytest.raises(NetworkError):
+            network.run(max_rounds=5)
+
+    def test_outputs_collects_halted(self):
+        a, b = EchoParty(0, 1), EchoParty(1, 0)
+        network = SynchronousNetwork([a, b])
+        network.run(max_rounds=10)
+        outputs = network.outputs()
+        assert set(outputs) == {0, 1}
+
+
+class TestBudget:
+    def test_budget_enforced(self):
+        class Chatty(Party):
+            def step(self, round_index, inbox):
+                return [self.send(1, b"x") for _ in range(5)]
+
+        network = SynchronousNetwork(
+            [Chatty(0), SilentParty(1)], message_budget_per_party=3
+        )
+        with pytest.raises(NetworkError):
+            network.run_round()
+
+    def test_budget_allows_under_limit(self):
+        class Modest(Party):
+            def step(self, round_index, inbox):
+                if round_index == 0:
+                    return [self.send(1, b"x")]
+                return self.halt()
+
+        network = SynchronousNetwork(
+            [Modest(0), SilentParty(1)], message_budget_per_party=3
+        )
+        network.run_until([0], max_rounds=5)
+
+
+class TestMetricsIntegration:
+    def test_traffic_charged(self):
+        a, b = EchoParty(0, 1), EchoParty(1, 0)
+        network = SynchronousNetwork([a, b])
+        network.run(max_rounds=10)
+        assert network.metrics.total_bits > 0
+        assert network.metrics.tally_of(0).messages_sent >= 1
+
+    def test_envelope_size_bits(self):
+        envelope = Envelope(sender=0, recipient=1, payload=b"abc")
+        assert envelope.size_bits() == 24

@@ -1,0 +1,102 @@
+"""Tests for the PKI bulletin-board models."""
+
+import pytest
+
+from repro.errors import PKIError
+from repro.pki.registry import CRS, PKIMode, PKIRegistry
+
+
+class TestRegistration:
+    def test_register_and_query(self):
+        registry = PKIRegistry(PKIMode.TRUSTED)
+        registry.register(0, b"key0")
+        assert registry.key_of(0) == b"key0"
+        assert registry.has_key(0)
+        assert not registry.has_key(1)
+
+    def test_duplicate_registration_rejected(self):
+        registry = PKIRegistry(PKIMode.BARE)
+        registry.register(0, b"key0")
+        with pytest.raises(PKIError):
+            registry.register(0, b"key1")
+
+    def test_unknown_party_query_rejected(self):
+        registry = PKIRegistry(PKIMode.BARE)
+        with pytest.raises(PKIError):
+            registry.key_of(5)
+
+    def test_party_ids_sorted(self):
+        registry = PKIRegistry(PKIMode.BARE)
+        for party in (3, 1, 2):
+            registry.register(party, bytes([party]))
+        assert list(registry.party_ids()) == [1, 2, 3]
+
+    def test_len_and_sizes(self):
+        registry = PKIRegistry(PKIMode.BARE)
+        registry.register(0, b"aaaa")
+        registry.register(1, b"bb")
+        assert len(registry) == 2
+        assert registry.total_size_bytes() == 6
+
+    def test_all_keys_snapshot_isolated(self):
+        registry = PKIRegistry(PKIMode.BARE)
+        registry.register(0, b"key")
+        snapshot = registry.all_keys()
+        snapshot[0] = b"mutated"
+        assert registry.key_of(0) == b"key"
+
+
+class TestKeyReplacement:
+    def test_bare_pki_allows_replacement(self):
+        registry = PKIRegistry(PKIMode.BARE)
+        registry.register(0, b"honest")
+        registry.replace_key(0, b"adversarial")
+        assert registry.key_of(0) == b"adversarial"
+        assert registry.was_replaced(0)
+
+    def test_trusted_pki_forbids_replacement(self):
+        registry = PKIRegistry(PKIMode.TRUSTED)
+        registry.register(0, b"honest")
+        with pytest.raises(PKIError):
+            registry.replace_key(0, b"adversarial")
+        assert not registry.was_replaced(0)
+
+    def test_replacing_unregistered_rejected(self):
+        registry = PKIRegistry(PKIMode.BARE)
+        with pytest.raises(PKIError):
+            registry.replace_key(0, b"key")
+
+
+class TestRegisteredPKI:
+    def _registry(self):
+        # Proof of possession: pop must equal the key reversed.
+        return PKIRegistry(
+            PKIMode.REGISTERED,
+            knowledge_check=lambda vk, pop: pop == vk[::-1],
+        )
+
+    def test_requires_knowledge_check(self):
+        with pytest.raises(PKIError):
+            PKIRegistry(PKIMode.REGISTERED)
+
+    def test_valid_pop_accepted(self):
+        registry = self._registry()
+        registry.register(0, b"abc", proof_of_possession=b"cba")
+        assert registry.key_of(0) == b"abc"
+
+    def test_invalid_pop_rejected(self):
+        registry = self._registry()
+        with pytest.raises(PKIError):
+            registry.register(0, b"abc", proof_of_possession=b"wrong")
+
+    def test_replacement_also_checked(self):
+        registry = self._registry()
+        registry.register(0, b"abc", proof_of_possession=b"cba")
+        with pytest.raises(PKIError):
+            registry.replace_key(0, b"xyz", proof_of_possession=b"bad")
+        registry.replace_key(0, b"xyz", proof_of_possession=b"zyx")
+        assert registry.key_of(0) == b"xyz"
+
+
+def test_crs_size():
+    assert CRS(seed=b"x" * 32).size_bytes() == 32

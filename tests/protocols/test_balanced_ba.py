@@ -1,0 +1,159 @@
+"""Tests for pi_ba (Fig. 3) — agreement, validity, adversaries, accounting."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.net.adversary import random_corruption, targeted_corruption
+from repro.params import ProtocolParameters
+from repro.protocols.balanced_ba import (
+    AdversaryBehavior,
+    BalancedBA,
+    encode_pair,
+    run_balanced_ba,
+)
+from repro.srds.base_sigs import HashRegistryBase
+from repro.srds.owf import OwfSRDS
+from repro.srds.snark_based import SnarkSRDS
+from repro.utils.randomness import Randomness
+
+N = 64
+
+
+def _snark_scheme():
+    return SnarkSRDS(base_scheme=HashRegistryBase())
+
+
+def _run(inputs=None, byzantine_count=None, scheme=None, seed=7,
+         adversary=None, params=None):
+    params = params if params is not None else ProtocolParameters()
+    rng = Randomness(seed)
+    t = (
+        byzantine_count
+        if byzantine_count is not None
+        else params.max_corruptions(N)
+    )
+    plan = random_corruption(N, t, rng.fork("corrupt"))
+    inputs = inputs if inputs is not None else {i: 1 for i in range(N)}
+    scheme = scheme if scheme is not None else _snark_scheme()
+    return run_balanced_ba(inputs, plan, scheme, params, rng.fork("run"),
+                           adversary=adversary), plan
+
+
+class TestHonestExecution:
+    def test_unanimous_one(self):
+        result, _ = _run({i: 1 for i in range(N)})
+        assert result.agreement and result.validity
+        assert result.agreed_value == 1
+
+    def test_unanimous_zero(self):
+        result, _ = _run({i: 0 for i in range(N)})
+        assert result.agreement and result.validity
+        assert result.agreed_value == 0
+
+    def test_split_inputs_agree(self):
+        result, _ = _run({i: i % 2 for i in range(N)})
+        assert result.agreement
+        assert result.agreed_value in (0, 1)
+
+    def test_no_corruption(self):
+        result, _ = _run(byzantine_count=0)
+        assert result.agreement and result.validity
+
+    def test_owf_scheme(self):
+        result, _ = _run(scheme=OwfSRDS(message_bits=32))
+        assert result.agreement and result.validity
+
+    def test_certificate_succinct_for_snark(self):
+        result, _ = _run()
+        assert 0 < result.certificate_bytes < 1024
+
+    def test_all_honest_parties_output(self):
+        result, plan = _run()
+        for party in plan.honest:
+            assert result.outputs[party] is not None
+
+
+class TestAdversarialExecution:
+    def test_equivocating_signers(self):
+        adversary = AdversaryBehavior(
+            sign_message=lambda party, virtual, honest: b"wrong-message"
+        )
+        result, _ = _run(adversary=adversary)
+        assert result.agreement and result.validity
+
+    def test_corrupt_sign_honest_message_is_harmless(self):
+        adversary = AdversaryBehavior(
+            sign_message=lambda party, virtual, honest: honest
+        )
+        result, _ = _run(adversary=adversary)
+        assert result.agreement and result.validity
+
+    def test_boost_injection_rejected(self):
+        injected = []
+
+        def boost_messages():
+            # Corrupt parties shower party 3 with uncertified claims of
+            # the flipped value.
+            rng = Randomness(1)
+            return [
+                (0, 3, 0, rng.random_bytes(32), None)
+                for _ in range(20)
+            ]
+
+        adversary = AdversaryBehavior(boost_messages=boost_messages)
+        result, _ = _run({i: 1 for i in range(N)}, adversary=adversary)
+        assert result.agreement and result.agreed_value == 1
+
+    def test_ba_choice_on_split_inputs(self):
+        adversary = AdversaryBehavior(ba_choice=1)
+        result, _ = _run({i: i % 2 for i in range(N)}, adversary=adversary,
+                         seed=9)
+        assert result.agreement
+
+
+class TestModelValidation:
+    def test_oversized_corruption_rejected(self):
+        params = ProtocolParameters()
+        rng = Randomness(1)
+        plan = targeted_corruption(N, list(range(N // 3 + 1)))
+        with pytest.raises(ProtocolError):
+            BalancedBA(
+                {i: 1 for i in range(N)}, plan, _snark_scheme(), params, rng
+            )
+
+    def test_plan_size_mismatch_rejected(self):
+        params = ProtocolParameters()
+        plan = targeted_corruption(N + 1, [0])
+        with pytest.raises(ProtocolError):
+            BalancedBA(
+                {i: 1 for i in range(N)}, plan, _snark_scheme(), params,
+                Randomness(1),
+            )
+
+
+class TestCommunicationAccounting:
+    def test_balanced_imbalance(self):
+        result, _ = _run()
+        assert result.metrics.imbalance < 5.0
+
+    def test_rounds_polylog(self):
+        result, _ = _run()
+        assert result.metrics.rounds > 0
+
+    def test_metrics_cover_all_parties(self):
+        result, _ = _run()
+        assert result.metrics.num_parties >= N
+
+    def test_supreme_committee_recorded(self):
+        result, _ = _run()
+        assert result.supreme_committee_size > 0
+
+    def test_num_virtual_consistent(self):
+        result, _ = _run()
+        assert result.num_virtual % N == 0
+
+
+class TestEncodePair:
+    def test_injective(self):
+        assert encode_pair(0, b"seed") != encode_pair(1, b"seed")
+        assert encode_pair(0, b"a") != encode_pair(0, b"b")

@@ -1,0 +1,182 @@
+"""Tests for the Table-1 comparison baselines."""
+
+import pytest
+
+from repro.net.adversary import random_corruption
+from repro.params import ProtocolParameters
+from repro.protocols.baselines import (
+    MultisigScheme,
+    all_to_all_ba,
+    central_party_boost,
+    ks09_boost,
+    sqrt_boost,
+)
+from repro.utils.randomness import Randomness
+
+N = 256
+
+
+@pytest.fixture
+def plan(rng):
+    return random_corruption(N, N // 8, rng.fork("plan"))
+
+
+@pytest.fixture
+def isolated():
+    return {N - 1, N - 2}
+
+
+class TestAllToAll:
+    def test_agreement(self, plan, rng):
+        result = all_to_all_ba({i: 1 for i in range(N)}, plan, rng)
+        assert result.agreement
+        assert all(result.outputs[p] == 1 for p in plan.honest)
+
+    def test_linear_per_party(self, rng):
+        small_plan = random_corruption(64, 8, rng.fork("s"))
+        large_plan = random_corruption(256, 32, rng.fork("l"))
+        small = all_to_all_ba({i: 1 for i in range(64)}, small_plan, rng)
+        large = all_to_all_ba({i: 1 for i in range(256)}, large_plan, rng)
+        ratio = (
+            large.metrics.max_bits_per_party / small.metrics.max_bits_per_party
+        )
+        assert ratio > 3  # at least linear growth (4x n, plus more rounds)
+
+
+class TestSqrtBoost:
+    def test_agreement(self, plan, isolated, rng):
+        result = sqrt_boost(1, isolated, plan, rng)
+        assert result.agreement
+
+    def test_sublinear_growth(self, rng):
+        small_plan = random_corruption(64, 8, rng.fork("s"))
+        large_plan = random_corruption(1024, 128, rng.fork("l"))
+        small = sqrt_boost(1, set(), small_plan, rng.fork("r1"))
+        large = sqrt_boost(1, set(), large_plan, rng.fork("r2"))
+        ratio = (
+            large.metrics.max_bits_per_party / small.metrics.max_bits_per_party
+        )
+        assert ratio < 16  # sqrt-ish: 16x n -> ~4-8x bits
+
+    def test_balanced(self, plan, isolated, rng):
+        result = sqrt_boost(1, isolated, plan, rng)
+        assert result.metrics.imbalance < 3
+
+
+class TestKs09Boost:
+    def test_agreement(self, plan, isolated, rng):
+        result = ks09_boost(0, isolated, plan, rng)
+        assert result.agreement
+
+    def test_relays_dominate(self, plan, isolated, rng):
+        result = ks09_boost(0, isolated, plan, rng)
+        assert result.metrics.imbalance > 5
+
+
+class TestCentralPartyBoost:
+    def test_agreement(self, plan, isolated, rng):
+        result = central_party_boost(1, isolated, plan, rng)
+        assert result.agreement
+
+    def test_extreme_imbalance(self, plan, isolated, rng):
+        result = central_party_boost(1, isolated, plan, rng)
+        assert result.metrics.imbalance > 3
+
+    def test_mean_stays_small(self, rng):
+        small_plan = random_corruption(64, 8, rng.fork("s"))
+        large_plan = random_corruption(1024, 128, rng.fork("l"))
+        small = central_party_boost(1, set(), small_plan, rng.fork("a"))
+        large = central_party_boost(1, set(), large_plan, rng.fork("b"))
+        mean_ratio = (
+            large.metrics.mean_bits_per_party
+            / small.metrics.mean_bits_per_party
+        )
+        assert mean_ratio < 4  # amortized ~polylog growth
+        max_ratio = (
+            large.metrics.max_bits_per_party
+            / small.metrics.max_bits_per_party
+        )
+        assert max_ratio > 8  # center parties grow ~linearly
+
+
+class TestMultisigScheme:
+    def _deployment(self, n=60):
+        rng = Randomness(9)
+        scheme = MultisigScheme()
+        pp = scheme.setup(n, rng.fork("s"))
+        vks, sks = {}, {}
+        for i in range(n):
+            vks[i], sks[i] = scheme.keygen(pp, rng.fork(f"k{i}"))
+        return scheme, pp, vks, sks
+
+    def test_sign_aggregate_verify(self):
+        scheme, pp, vks, sks = self._deployment()
+        message = b"m"
+        signatures = [
+            scheme.sign(pp, i, sks[i], message) for i in range(60)
+        ]
+        aggregate = scheme.aggregate(pp, vks, message, signatures)
+        assert scheme.verify(pp, vks, message, aggregate)
+
+    def test_minority_rejected(self):
+        scheme, pp, vks, sks = self._deployment()
+        message = b"m"
+        signatures = [scheme.sign(pp, i, sks[i], message) for i in range(10)]
+        aggregate = scheme.aggregate(pp, vks, message, signatures)
+        assert not scheme.verify(pp, vks, message, aggregate)
+
+    def test_signature_size_linear_in_n(self):
+        small_scheme, small_pp, small_vks, small_sks = self._deployment(n=64)
+        large_scheme, large_pp, large_vks, large_sks = self._deployment(n=4096)
+        small_sig = small_scheme.sign(small_pp, 0, small_sks[0], b"m")
+        large_sig = large_scheme.sign(large_pp, 0, large_sks[0], b"m")
+        # The Theta(n) bitmap dominates once n outgrows the 32B tag:
+        # 64x parties -> far larger signatures.
+        assert len(large_sig.encode()) > 4 * len(small_sig.encode())
+
+    def test_duplicate_signers_not_double_counted(self):
+        scheme, pp, vks, sks = self._deployment()
+        message = b"m"
+        signatures = [scheme.sign(pp, i, sks[i], message) for i in range(40)]
+        aggregate = scheme.aggregate(
+            pp, vks, message, signatures + signatures
+        )
+        assert len(aggregate.signers) == 40
+
+    def test_wrong_message_rejected(self):
+        scheme, pp, vks, sks = self._deployment()
+        signatures = [scheme.sign(pp, i, sks[i], b"m1") for i in range(60)]
+        aggregate = scheme.aggregate(pp, vks, b"m1", signatures)
+        assert not scheme.verify(pp, vks, b"m2", aggregate)
+
+    def test_tampered_bitmap_rejected(self):
+        from repro.protocols.baselines.multisig import MultisigSignature
+
+        scheme, pp, vks, sks = self._deployment()
+        message = b"m"
+        signatures = [scheme.sign(pp, i, sks[i], message) for i in range(31)]
+        aggregate = scheme.aggregate(pp, vks, message, signatures)
+        bitmap = bytearray(aggregate.signer_bits)
+        bitmap[7] |= 0xFF  # claim extra signers
+        tampered = MultisigSignature(
+            tag=aggregate.tag,
+            signer_bits=bytes(bitmap),
+            num_parties=aggregate.num_parties,
+        )
+        assert not scheme.verify(pp, vks, message, tampered)
+
+    def test_in_balanced_ba(self):
+        """The headline comparison: pi_ba over multisig certificates."""
+        from repro.protocols.balanced_ba import run_balanced_ba
+
+        params = ProtocolParameters()
+        rng = Randomness(13)
+        n = 64
+        plan = random_corruption(n, params.max_corruptions(n), rng.fork("c"))
+        result = run_balanced_ba(
+            {i: 1 for i in range(n)}, plan, MultisigScheme(), params,
+            rng.fork("r"),
+        )
+        assert result.agreement and result.validity
+        # The certificate carries the Theta(n.z) bitmap.
+        assert result.certificate_bytes * 8 >= result.num_virtual

@@ -1,0 +1,103 @@
+"""Tests for the baseline boosts' internals and edge cases."""
+
+import pytest
+
+from repro.net.adversary import random_corruption, targeted_corruption
+from repro.protocols.baselines.boosts import (
+    BoostResult,
+    _evaluate,
+    _poll_outcome,
+    all_to_all_ba,
+    central_party_boost,
+    ks09_boost,
+    sqrt_boost,
+)
+from repro.net.metrics import CommunicationMetrics
+from repro.utils.randomness import Randomness
+
+
+class TestEvaluate:
+    def test_none_output_breaks_agreement(self):
+        plan = targeted_corruption(3, [])
+        metrics = CommunicationMetrics()
+        result = _evaluate({0: 1, 1: None, 2: 1}, plan, metrics, "x")
+        assert not result.agreement
+
+    def test_split_outputs_break_agreement(self):
+        plan = targeted_corruption(3, [])
+        metrics = CommunicationMetrics()
+        result = _evaluate({0: 1, 1: 0, 2: 1}, plan, metrics, "x")
+        assert not result.agreement
+
+    def test_corrupt_outputs_ignored(self):
+        plan = targeted_corruption(3, [2])
+        metrics = CommunicationMetrics()
+        result = _evaluate({0: 1, 1: 1, 2: 0}, plan, metrics, "x")
+        assert result.agreement
+
+    def test_protocol_label_preserved(self):
+        plan = targeted_corruption(2, [])
+        result = _evaluate({0: 1, 1: 1}, plan, CommunicationMetrics(),
+                           "my-protocol")
+        assert result.protocol == "my-protocol"
+
+
+class TestPollOutcome:
+    def test_no_corruption_always_correct(self, rng):
+        plan = targeted_corruption(50, [])
+        outputs = _poll_outcome(1, set(), plan, rng, responses_per_party=20)
+        assert all(value == 1 for value in outputs.values())
+
+    def test_majority_corrupt_sample_flips(self, rng):
+        # With every responder corrupt, the poll always flips.
+        plan = targeted_corruption(10, list(range(1, 10)))
+        outputs = _poll_outcome(1, set(), plan, rng, responses_per_party=9)
+        # Party 0 samples 9 of 10 parties: at least 8 corrupt.
+        assert outputs[0] == 0
+
+    def test_isolated_responders_dont_vote(self, rng):
+        # Everyone isolated: polls are starved (good == bad == 0) and the
+        # tie-break (good > bad fails) yields the flipped value — i.e. a
+        # fully-isolated network cannot ride a polling boost.
+        plan = targeted_corruption(20, [])
+        isolated = set(range(20))
+        outputs = _poll_outcome(1, isolated, plan, rng,
+                                responses_per_party=10)
+        assert all(value == 0 for value in outputs.values())
+
+
+class TestBoostMetricsShape:
+    @pytest.fixture
+    def plan(self, rng):
+        return random_corruption(128, 16, rng)
+
+    def test_sqrt_charges_everyone_equally(self, plan, rng):
+        result = sqrt_boost(1, set(), plan, rng)
+        assert result.metrics.imbalance < 1.5
+
+    def test_ks09_relay_locality_full(self, plan, rng):
+        result = ks09_boost(1, set(), plan, rng)
+        assert result.metrics.max_locality >= 127
+
+    def test_central_mean_far_below_max(self, plan, rng):
+        result = central_party_boost(1, set(), plan, rng)
+        assert result.metrics.max_bits_per_party > (
+            3 * result.metrics.mean_bits_per_party
+        )
+
+    def test_all_to_all_rounds_scale_with_t(self, rng):
+        small_plan = random_corruption(64, 4, rng.fork("a"))
+        large_plan = random_corruption(64, 10, rng.fork("b"))
+        small = all_to_all_ba({i: 1 for i in range(64)}, small_plan,
+                              rng.fork("c"))
+        large = all_to_all_ba({i: 1 for i in range(64)}, large_plan,
+                              rng.fork("d"))
+        assert (
+            large.metrics.max_bits_per_party
+            > small.metrics.max_bits_per_party
+        )
+
+    def test_boost_result_is_frozen(self, plan, rng):
+        result = sqrt_boost(1, set(), plan, rng)
+        with pytest.raises(Exception):
+            result.agreement = False

@@ -1,0 +1,76 @@
+"""Tests for the amortized broadcast service (Corollary 1.2(1))."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.net.adversary import random_corruption
+from repro.params import ProtocolParameters
+from repro.protocols.broadcast import BroadcastService
+from repro.srds.base_sigs import HashRegistryBase
+from repro.srds.snark_based import SnarkSRDS
+from repro.utils.randomness import Randomness
+
+N = 64
+
+
+@pytest.fixture(scope="module")
+def service():
+    params = ProtocolParameters()
+    rng = Randomness(31)
+    plan = random_corruption(N, params.max_corruptions(N), rng.fork("c"))
+    svc = BroadcastService(
+        N, plan, SnarkSRDS(base_scheme=HashRegistryBase()), params,
+        rng.fork("svc"),
+    )
+    svc.setup()
+    return svc, plan
+
+
+class TestBroadcast:
+    def test_honest_sender_consistent(self, service):
+        svc, plan = service
+        sender = plan.honest[0]
+        outcome = svc.broadcast(sender, 1)
+        assert outcome.agreement
+        assert outcome.consistent_with_sender
+        for party in plan.honest:
+            assert outcome.outputs[party] == 1
+
+    def test_zero_bit(self, service):
+        svc, plan = service
+        outcome = svc.broadcast(plan.honest[1], 0)
+        assert outcome.agreement and outcome.consistent_with_sender
+
+    def test_corrupt_sender_still_agrees(self, service):
+        svc, plan = service
+        corrupt = next(iter(plan.corrupted))
+        outcome = svc.broadcast(corrupt, 1)
+        assert outcome.agreement  # consistency may bind to any value
+
+    def test_multiple_executions_amortize(self, service):
+        svc, plan = service
+        before = svc.snapshot().max_bits_per_party
+        svc.broadcast(plan.honest[2], 1)
+        after_one = svc.snapshot().max_bits_per_party
+        svc.broadcast(plan.honest[3], 0)
+        after_two = svc.snapshot().max_bits_per_party
+        per_execution = after_two - after_one
+        setup_and_first = after_one
+        # Marginal cost per broadcast is well below setup + first run.
+        assert 0 < per_execution < setup_and_first
+
+    def test_requires_setup(self):
+        params = ProtocolParameters()
+        rng = Randomness(1)
+        plan = random_corruption(N, params.max_corruptions(N), rng.fork("c"))
+        svc = BroadcastService(
+            N, plan, SnarkSRDS(base_scheme=HashRegistryBase()), params, rng
+        )
+        with pytest.raises(ProtocolError):
+            svc.broadcast(0, 1)
+
+    def test_execution_counter(self, service):
+        svc, _ = service
+        start = svc.executions
+        svc.broadcast(0 if not svc.plan.is_corrupt(0) else 1, 1)
+        assert svc.executions == start + 1

@@ -1,0 +1,101 @@
+"""Tests for Dolev–Strong authenticated broadcast."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.protocols.dolev_strong import SignatureChain, run_dolev_strong
+from repro.utils.randomness import Randomness
+
+
+class TestHonestSender:
+    def test_all_agree_on_sender_value(self, rng):
+        outputs, _ = run_dolev_strong(range(7), sender=2, value=1, rng=rng)
+        assert set(outputs.values()) == {1}
+
+    def test_zero_value(self, rng):
+        outputs, _ = run_dolev_strong(range(7), sender=0, value=0, rng=rng)
+        assert set(outputs.values()) == {0}
+
+    def test_with_silent_byzantine(self, rng):
+        outputs, _ = run_dolev_strong(
+            range(10), sender=1, value=1, rng=rng, byzantine=[4, 7]
+        )
+        assert set(outputs.values()) == {1}
+
+    def test_sender_must_be_member(self, rng):
+        with pytest.raises(ConfigurationError):
+            run_dolev_strong(range(5), sender=9, value=1, rng=rng)
+
+
+class TestEquivocatingSender:
+    def test_honest_agree_despite_equivocation(self, rng):
+        outputs, _ = run_dolev_strong(
+            range(7), sender=3, value=1, rng=rng, equivocating_sender=True
+        )
+        assert len(set(outputs.values())) == 1  # agreement is the contract
+
+    def test_equivocation_detected_as_default(self, rng):
+        outputs, _ = run_dolev_strong(
+            range(7), sender=3, value=1, rng=rng, equivocating_sender=True,
+            max_faults=2,
+        )
+        # Parties extracting two values output the default.
+        assert set(outputs.values()) == {0}
+
+
+class TestChains:
+    def _chain(self, rng, value=1):
+        from repro.crypto import schnorr
+        from repro.protocols.dolev_strong import _chain_message
+
+        keypairs = {i: schnorr.keygen(rng.fork(str(i))) for i in range(3)}
+        public_keys = {i: kp.public_bytes for i, kp in keypairs.items()}
+        signers, signatures = (), ()
+        for signer in (0, 1, 2):
+            message = _chain_message(value, signers)
+            signatures = signatures + (
+                schnorr.sign(keypairs[signer], message).encode(),
+            )
+            signers = signers + (signer,)
+        return SignatureChain(value, signers, signatures), public_keys
+
+    def test_valid_chain(self, rng):
+        chain, keys = self._chain(rng)
+        assert chain.is_valid(sender=0, round_index=2, public_keys=keys)
+
+    def test_wrong_round_rejected(self, rng):
+        chain, keys = self._chain(rng)
+        assert not chain.is_valid(sender=0, round_index=1, public_keys=keys)
+
+    def test_wrong_sender_rejected(self, rng):
+        chain, keys = self._chain(rng)
+        assert not chain.is_valid(sender=1, round_index=2, public_keys=keys)
+
+    def test_duplicate_signers_rejected(self, rng):
+        chain, keys = self._chain(rng)
+        duped = SignatureChain(
+            chain.value,
+            (0, 1, 1),
+            chain.signatures,
+        )
+        assert not duped.is_valid(sender=0, round_index=2, public_keys=keys)
+
+    def test_tampered_value_rejected(self, rng):
+        chain, keys = self._chain(rng)
+        flipped = SignatureChain(
+            1 - chain.value, chain.signers, chain.signatures
+        )
+        assert not flipped.is_valid(sender=0, round_index=2, public_keys=keys)
+
+    def test_encode_roundtrip(self, rng):
+        chain, _ = self._chain(rng)
+        assert SignatureChain.decode(chain.encode()) == chain
+
+
+class TestCosts:
+    def test_per_party_linear_in_committee(self, rng):
+        _, small = run_dolev_strong(range(5), sender=0, value=1,
+                                    rng=rng.fork("s"))
+        _, large = run_dolev_strong(range(10), sender=0, value=1,
+                                    rng=rng.fork("l"))
+        assert large.max_bits_per_party > 1.5 * small.max_bits_per_party

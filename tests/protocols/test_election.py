@@ -1,0 +1,86 @@
+"""Tests for Feige lightest-bin committee election."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.adversary import random_corruption
+from repro.protocols.election import (
+    expected_honest_floor,
+    repeated_election_statistics,
+    run_lightest_bin,
+)
+from repro.utils.randomness import Randomness
+
+N = 600
+T = 100  # beta = 1/6
+
+
+@pytest.fixture
+def plan(rng):
+    return random_corruption(N, T, rng.fork("plan"))
+
+
+class TestSingleElection:
+    def test_committee_size_bounded(self, plan, rng):
+        result = run_lightest_bin(plan, 30, rng)
+        # The lightest bin cannot exceed the mean load.
+        assert 0 < len(result.committee) <= 2 * 30
+
+    def test_committee_members_valid(self, plan, rng):
+        result = run_lightest_bin(plan, 30, rng)
+        assert all(0 <= member < N for member in result.committee)
+        assert len(set(result.committee)) == len(result.committee)
+
+    def test_honest_floor(self, plan, rng):
+        result = run_lightest_bin(plan, 30, rng)
+        floor = expected_honest_floor(N, T, 30)
+        assert result.honest_in_committee >= floor
+
+    def test_invalid_size_rejected(self, plan, rng):
+        with pytest.raises(ConfigurationError):
+            run_lightest_bin(plan, 0, rng)
+        with pytest.raises(ConfigurationError):
+            run_lightest_bin(plan, N + 1, rng)
+
+    def test_unknown_strategy_rejected(self, plan, rng):
+        with pytest.raises(ConfigurationError):
+            run_lightest_bin(plan, 30, rng, adversary_strategy="???")
+
+
+class TestAdversaryStrategies:
+    @pytest.mark.parametrize("strategy", ["stack", "spread", "silent"])
+    def test_corrupt_fraction_bounded(self, plan, rng, strategy):
+        stats = repeated_election_statistics(
+            plan, 30, trials=20, rng=rng, adversary_strategy=strategy
+        )
+        # beta = 1/6; the lightest-bin guarantee keeps the fraction well
+        # below 1/2 for every strategy, and usually below 1/3.
+        assert stats["worst_corrupt_fraction"] < 0.5
+        assert stats["fraction_below_third"] >= 0.8
+
+    def test_stacking_no_better_than_passive_on_average(self, plan, rng):
+        stack = repeated_election_statistics(
+            plan, 30, trials=25, rng=rng.fork("a"),
+            adversary_strategy="stack",
+        )
+        silent = repeated_election_statistics(
+            plan, 30, trials=25, rng=rng.fork("b"),
+            adversary_strategy="silent",
+        )
+        # Stacking the lightest bin usually makes it lose; the adversary
+        # gains little over staying silent.
+        assert stack["mean_corrupt_fraction"] <= (
+            silent["mean_corrupt_fraction"] + 0.35
+        )
+
+    def test_silent_adversary_yields_honest_committee(self, plan, rng):
+        result = run_lightest_bin(plan, 30, rng,
+                                  adversary_strategy="silent")
+        assert result.corrupt_fraction == 0.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_committee(self, plan):
+        a = run_lightest_bin(plan, 30, Randomness(5))
+        b = run_lightest_bin(plan, 30, Randomness(5))
+        assert a.committee == b.committee

@@ -1,0 +1,77 @@
+"""Tests for gradecast (graded broadcast)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.protocols.gradecast import (
+    check_gradecast_guarantees,
+    run_gradecast,
+)
+
+
+class TestHonestSender:
+    def test_everyone_grade_two(self):
+        outputs, _ = run_gradecast(range(7), sender=1, value=1)
+        assert all(pair == (1, 2) for pair in outputs.values())
+
+    def test_zero_value(self):
+        outputs, _ = run_gradecast(range(7), sender=0, value=0)
+        assert all(pair == (0, 2) for pair in outputs.values())
+
+    def test_with_silent_byzantine(self):
+        outputs, _ = run_gradecast(range(10), sender=0, value=1,
+                                   byzantine=[4, 8])
+        assert all(pair == (1, 2) for pair in outputs.values())
+        assert check_gradecast_guarantees(outputs, True, 1)
+
+    def test_silent_sender_grades_zero(self):
+        outputs, _ = run_gradecast(range(7), sender=3, value=1,
+                                   byzantine=[3])
+        assert all(grade == 0 for _, grade in outputs.values())
+
+
+class TestEquivocatingSender:
+    @pytest.mark.parametrize("committee_size", [7, 10, 13])
+    def test_guarantees_hold(self, committee_size):
+        outputs, _ = run_gradecast(
+            range(committee_size), sender=2, value=1,
+            equivocating_sender=True,
+        )
+        assert check_gradecast_guarantees(outputs, False, 1)
+
+    def test_no_two_values_graded(self):
+        outputs, _ = run_gradecast(range(9), sender=0, value=1,
+                                   equivocating_sender=True)
+        graded = {value for value, grade in outputs.values() if grade >= 1}
+        assert len(graded) <= 1
+
+
+class TestValidation:
+    def test_sender_must_be_member(self):
+        with pytest.raises(ConfigurationError):
+            run_gradecast(range(5), sender=7, value=1)
+
+    def test_too_many_byzantine(self):
+        with pytest.raises(ConfigurationError):
+            run_gradecast(range(6), sender=0, value=1, byzantine=[1, 2, 3])
+
+    def test_checker_rejects_grade_gap(self):
+        assert not check_gradecast_guarantees(
+            {0: (1, 2), 1: (1, 0)}, sender_honest=False, sender_value=1
+        )
+
+    def test_checker_rejects_split_values(self):
+        assert not check_gradecast_guarantees(
+            {0: (1, 1), 1: (0, 1)}, sender_honest=False, sender_value=1
+        )
+
+
+class TestCosts:
+    def test_constant_rounds(self):
+        _, metrics = run_gradecast(range(9), sender=0, value=1)
+        assert metrics.rounds_completed <= 5
+
+    def test_quadratic_total(self):
+        _, small = run_gradecast(range(6), sender=0, value=1)
+        _, large = run_gradecast(range(12), sender=0, value=1)
+        assert large.total_bits > 3 * small.total_bits

@@ -1,0 +1,52 @@
+"""Tests for Bracha reliable broadcast."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.protocols.reliable_broadcast import run_bracha
+
+
+class TestHonestSender:
+    def test_all_deliver_sender_value(self):
+        outputs, _ = run_bracha(range(7), sender=2, value=1)
+        assert set(outputs.values()) == {1}
+
+    def test_with_silent_byzantine(self):
+        outputs, _ = run_bracha(range(10), sender=0, value=1,
+                                byzantine=[3, 6, 9])
+        assert set(outputs.values()) == {1}
+
+    def test_silent_sender_times_out(self):
+        outputs, _ = run_bracha(range(7), sender=2, value=1,
+                                byzantine=[2])
+        assert set(outputs.values()) == {None}
+
+    def test_sender_must_be_member(self):
+        with pytest.raises(ConfigurationError):
+            run_bracha(range(5), sender=8, value=1)
+
+    def test_too_many_byzantine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_bracha(range(6), sender=0, value=1, byzantine=[1, 2, 3])
+
+
+class TestEquivocatingSender:
+    def test_agreement_despite_equivocation(self):
+        outputs, _ = run_bracha(
+            range(7), sender=3, value=1, equivocating_sender=True
+        )
+        delivered = set(outputs.values())
+        # Totality + agreement: all honest deliver the same thing
+        # (possibly None if no echo quorum formed for either value).
+        assert len(delivered) == 1
+
+
+class TestCosts:
+    def test_quadratic_total(self):
+        _, small = run_bracha(range(6), sender=0, value=1)
+        _, large = run_bracha(range(12), sender=0, value=1)
+        assert large.total_bits > 3 * small.total_bits
+
+    def test_constant_rounds(self):
+        _, metrics = run_bracha(range(9), sender=0, value=1)
+        assert metrics.rounds_completed <= 8

@@ -1,0 +1,120 @@
+"""Tests for the multisig ↔ SNARG connection."""
+
+import pytest
+
+from repro.crypto.snark import SnarkSystem, forge_random_proof
+from repro.errors import ProofError
+from repro.snarg_connection.multisig_link import (
+    CountCertificate,
+    CountCertifiedMultisig,
+    snarg_for_subset_from_certifier,
+)
+from repro.snarg_connection.subset_problems import (
+    XorGroup,
+    sample_planted_instance,
+)
+from repro.utils.randomness import Randomness
+
+
+@pytest.fixture
+def scheme():
+    return CountCertifiedMultisig(SnarkSystem(b"link-crs"))
+
+
+@pytest.fixture
+def tags(rng):
+    group = XorGroup(32)
+    return [group.random_element(rng.fork(str(i))) for i in range(40)]
+
+
+class TestForwardConstruction:
+    def test_aggregate_and_verify(self, scheme, tags):
+        certificate = scheme.aggregate(tags, list(range(25)))
+        assert certificate.count == 25
+        assert scheme.verify(tags, certificate)
+
+    def test_certificate_succinct(self, scheme, tags):
+        small = scheme.aggregate(tags, [0, 1])
+        large = scheme.aggregate(tags, list(range(40)))
+        assert small.size_bytes() == large.size_bytes()
+
+    def test_inflated_count_rejected(self, scheme, tags):
+        certificate = scheme.aggregate(tags, list(range(10)))
+        inflated = CountCertificate(
+            combined_tag=certificate.combined_tag,
+            count=30,
+            proof=certificate.proof,
+        )
+        assert not scheme.verify(tags, inflated)
+
+    def test_wrong_tag_rejected(self, scheme, tags):
+        certificate = scheme.aggregate(tags, list(range(10)))
+        wrong = CountCertificate(
+            combined_tag=bytes(32),
+            count=10,
+            proof=certificate.proof,
+        )
+        assert not scheme.verify(tags, wrong)
+
+    def test_random_proof_rejected(self, scheme, tags, rng):
+        certificate = scheme.aggregate(tags, list(range(10)))
+        forged = CountCertificate(
+            combined_tag=certificate.combined_tag,
+            count=10,
+            proof=forge_random_proof("snarg-connection/subset", rng),
+        )
+        assert not scheme.verify(tags, forged)
+
+    def test_duplicate_indices_collapsed(self, scheme, tags):
+        certificate = scheme.aggregate(tags, [3, 3, 5, 5, 7])
+        assert certificate.count == 3
+
+    def test_board_change_invalidates(self, scheme, tags):
+        certificate = scheme.aggregate(tags, list(range(10)))
+        mutated = list(tags)
+        mutated[0] = bytes(32)
+        assert not scheme.verify(mutated, certificate)
+
+
+class TestBarrierDirection:
+    def test_certifier_yields_subset_snarg(self, scheme, rng):
+        """The paper's barrier: a count-certifier IS a subset SNARG."""
+        snarg = snarg_for_subset_from_certifier(
+            scheme.aggregate, scheme.verify
+        )
+        group = XorGroup(32)
+        instance, witness = sample_planted_instance(group, 30, 12, rng)
+        proof = snarg.prove(instance, witness)
+        assert snarg.verify(instance, proof)
+        # Succinct: far below the witness/instance size.
+        assert snarg.proof_size_bytes < 100
+
+    def test_snarg_sound_on_wrong_instance(self, scheme, rng):
+        snarg = snarg_for_subset_from_certifier(
+            scheme.aggregate, scheme.verify
+        )
+        group = XorGroup(32)
+        instance, witness = sample_planted_instance(group, 30, 12, rng)
+        proof = snarg.prove(instance, witness)
+        other, _ = sample_planted_instance(group, 30, 12, rng.fork("other"))
+        assert not snarg.verify(other, proof)
+
+    def test_prove_requires_valid_witness(self, scheme, rng):
+        snarg = snarg_for_subset_from_certifier(
+            scheme.aggregate, scheme.verify
+        )
+        group = XorGroup(32)
+        instance, witness = sample_planted_instance(group, 30, 12, rng)
+        with pytest.raises(ProofError):
+            snarg.prove(instance, witness[:-1] + [29 if witness[-1] != 29
+                                                  else 28])
+
+    def test_average_case_distribution_matches(self, rng):
+        """Planted instances are exactly multisig transcripts: uniform
+        tags, target = XOR of a hidden subset."""
+        group = XorGroup(32)
+        instance, witness = sample_planted_instance(group, 20, 7, rng)
+        combined = group.combine_all(
+            [instance.elements[i] for i in witness]
+        )
+        assert combined == instance.target

@@ -1,0 +1,134 @@
+"""Tests for the group subset problem family."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.snarg_connection.subset_problems import (
+    AdditiveGroup,
+    MultiplicativeGroup,
+    SubsetInstance,
+    XorGroup,
+    decode_witness,
+    encode_witness,
+    sample_planted_instance,
+    solve_brute_force,
+)
+from repro.utils.randomness import Randomness
+
+
+@pytest.fixture(params=["additive", "multiplicative", "xor"])
+def group(request):
+    if request.param == "additive":
+        return AdditiveGroup(modulus=10_000_019)
+    if request.param == "multiplicative":
+        return MultiplicativeGroup(prime_modulus=10_000_019)
+    return XorGroup(width_bytes=8)
+
+
+class TestGroups:
+    def test_identity_neutral(self, group, rng):
+        element = group.random_element(rng)
+        combined = group.combine(element, group.identity())
+        assert group.encode(combined) == group.encode(element)
+
+    def test_commutative(self, group, rng):
+        a = group.random_element(rng.fork("a"))
+        b = group.random_element(rng.fork("b"))
+        assert group.encode(group.combine(a, b)) == group.encode(
+            group.combine(b, a)
+        )
+
+    def test_combine_all_order_invariant(self, group, rng):
+        elements = [group.random_element(rng.fork(str(i))) for i in range(5)]
+        forward = group.combine_all(elements)
+        backward = group.combine_all(list(reversed(elements)))
+        assert group.encode(forward) == group.encode(backward)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdditiveGroup(1)
+        with pytest.raises(ConfigurationError):
+            MultiplicativeGroup(2)
+        with pytest.raises(ConfigurationError):
+            XorGroup(0)
+
+
+class TestInstances:
+    def test_planted_witness_checks(self, group, rng):
+        instance, witness = sample_planted_instance(group, 20, 6, rng)
+        assert instance.check_witness(witness)
+
+    def test_wrong_size_rejected(self, group, rng):
+        instance, witness = sample_planted_instance(group, 20, 6, rng)
+        assert not instance.check_witness(witness[:5])
+
+    def test_duplicates_rejected(self, group, rng):
+        instance, witness = sample_planted_instance(group, 20, 6, rng)
+        assert not instance.check_witness(witness[:5] + witness[:1])
+
+    def test_out_of_range_rejected(self, group, rng):
+        instance, witness = sample_planted_instance(group, 20, 6, rng)
+        assert not instance.check_witness(witness[:5] + [25])
+
+    def test_random_subset_rarely_checks(self, rng):
+        group = XorGroup(16)
+        instance, _ = sample_planted_instance(group, 30, 8, rng)
+        misses = sum(
+            0 if instance.check_witness(
+                sorted(rng.fork(f"s{i}").sample(range(30), 8))
+            ) else 1
+            for i in range(20)
+        )
+        assert misses >= 19  # a planted solution may be re-drawn once
+
+    def test_invalid_sample_size_rejected(self, group, rng):
+        with pytest.raises(ConfigurationError):
+            sample_planted_instance(group, 10, 0, rng)
+        with pytest.raises(ConfigurationError):
+            sample_planted_instance(group, 10, 11, rng)
+
+    def test_statement_injective_in_target(self, rng):
+        group = XorGroup(8)
+        instance, _ = sample_planted_instance(group, 10, 3, rng)
+        other = SubsetInstance(
+            group=group,
+            elements=instance.elements,
+            target=bytes(8),
+            subset_size=3,
+        )
+        assert instance.statement_bytes() != other.statement_bytes()
+
+
+class TestSolver:
+    def test_solver_finds_planted(self, group, rng):
+        instance, _ = sample_planted_instance(group, 14, 4, rng)
+        solution = solve_brute_force(instance)
+        assert solution is not None
+        assert instance.check_witness(solution)
+
+    def test_solver_reports_unsat(self, rng):
+        group = XorGroup(16)
+        instance, _ = sample_planted_instance(group, 12, 4, rng)
+        # Shift the target: with 128-bit tags an accidental solution has
+        # probability ~ C(12,4)/2^128.
+        broken = SubsetInstance(
+            group=group,
+            elements=instance.elements,
+            target=group.combine(instance.target, b"\x01" + bytes(15)),
+            subset_size=4,
+        )
+        assert solve_brute_force(broken) is None
+
+    def test_solver_refuses_huge_search(self, rng):
+        group = XorGroup(8)
+        instance, _ = sample_planted_instance(group, 64, 20, rng)
+        with pytest.raises(ConfigurationError):
+            solve_brute_force(instance)
+
+
+class TestWitnessEncoding:
+    @given(st.lists(st.integers(min_value=0, max_value=1000),
+                    unique=True, max_size=20))
+    def test_roundtrip(self, indices):
+        assert decode_witness(encode_witness(indices)) == sorted(indices)

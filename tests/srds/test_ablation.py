@@ -1,0 +1,171 @@
+"""Tests for the deliberately weakened ablation SRDS."""
+
+import pytest
+
+from repro.srds.ablation import NoRangeCheckSnarkSRDS
+from repro.srds.base_sigs import HashRegistryBase
+from repro.srds.snark_based import SnarkSRDS
+from repro.utils.randomness import Randomness
+
+N = 90
+COALITION = 29  # < N/3
+
+
+@pytest.fixture(scope="module")
+def deployments():
+    results = {}
+    for label, cls in (("secure", SnarkSRDS),
+                       ("ablated", NoRangeCheckSnarkSRDS)):
+        rng = Randomness(17)
+        scheme = cls(base_scheme=HashRegistryBase())
+        pp = scheme.setup(N, rng.fork("s"))
+        vks, sks = {}, {}
+        for i in range(N):
+            vks[i], sks[i] = scheme.keygen(pp, rng.fork(f"k{i}"))
+        results[label] = (scheme, pp, vks, sks)
+    return results
+
+
+def _coalition_aggregate(deployment, message):
+    scheme, pp, vks, sks = deployment
+    signatures = [
+        scheme.sign(pp, i, sks[i], message) for i in range(COALITION)
+    ]
+    return scheme.aggregate(pp, vks, message, signatures)
+
+
+class TestAblatedScheme:
+    def test_honest_path_still_works(self, deployments):
+        scheme, pp, vks, sks = deployments["ablated"]
+        message = b"honest"
+        signatures = [scheme.sign(pp, i, sks[i], message) for i in range(N)]
+        aggregate = scheme.aggregate(pp, vks, message, signatures)
+        assert aggregate.count == N
+        assert scheme.verify(pp, vks, message, aggregate)
+
+    def test_replay_doubles_count(self, deployments):
+        message = b"replayed"
+        aggregate = _coalition_aggregate(deployments["ablated"], message)
+        scheme, pp, vks, _ = deployments["ablated"]
+        doubled = scheme.aggregate(pp, vks, message, [aggregate, aggregate])
+        assert doubled.count == 2 * COALITION
+
+    def test_replay_forges_majority(self, deployments):
+        message = b"forged"
+        scheme, pp, vks, _ = deployments["ablated"]
+        aggregate = _coalition_aggregate(deployments["ablated"], message)
+        replayed = scheme.aggregate(
+            pp, vks, message, [aggregate, aggregate, aggregate]
+        )
+        assert replayed.count >= pp.acceptance_threshold
+        assert scheme.verify(pp, vks, message, replayed)
+
+    def test_secure_scheme_immune_to_same_attack(self, deployments):
+        message = b"forged"
+        scheme, pp, vks, _ = deployments["secure"]
+        aggregate = _coalition_aggregate(deployments["secure"], message)
+        replayed = scheme.aggregate(
+            pp, vks, message, [aggregate, aggregate, aggregate]
+        )
+        assert replayed.count == COALITION
+        assert not scheme.verify(pp, vks, message, replayed)
+
+    def test_ablated_proofs_not_accepted_by_secure_scheme(self, deployments):
+        """Cross-check: the lax relation's proofs don't verify under the
+        secure scheme's relations (different relation name in the tag)."""
+        message = b"cross"
+        ablated_scheme, ablated_pp, ablated_vks, _ = deployments["ablated"]
+        aggregate = _coalition_aggregate(deployments["ablated"], message)
+        doubled = ablated_scheme.aggregate(
+            ablated_pp, ablated_vks, message, [aggregate, aggregate]
+        )
+        secure_scheme, secure_pp, secure_vks, _ = deployments["secure"]
+        # Different deployment entirely (different CRS/keys): must fail.
+        assert not secure_scheme.verify(
+            secure_pp, secure_vks, message, doubled
+        )
+
+
+class TestRevealingOwfSRDS:
+    """Unit tests for the oblivious-keygen ablation (bench: E12)."""
+
+    def _deploy(self, n=256):
+        # sortition_factor=1 keeps the signer set well below the beta*n
+        # corruption budget at this n — the regime where the adaptive
+        # attack bites (at larger n any polylog factor ends up there).
+        from repro.srds.ablation import RevealingOwfSRDS
+
+        rng = Randomness(23)
+        scheme = RevealingOwfSRDS(message_bits=32, sortition_factor=1)
+        pp = scheme.setup(n, rng.fork("s"))
+        vks, sks = {}, {}
+        for i in range(n):
+            vks[i], sks[i] = scheme.keygen(pp, rng.fork(f"k{i}"))
+        return scheme, pp, vks, sks
+
+    def test_flag_matches_signing_ability(self):
+        from repro.srds.ablation import RevealingOwfSRDS
+
+        scheme, pp, vks, sks = self._deploy()
+        for i in vks:
+            assert RevealingOwfSRDS.is_flagged_signer(vks[i]) == (
+                sks[i] is not None
+            )
+
+    def test_honest_flow_still_works(self):
+        scheme, pp, vks, sks = self._deploy()
+        message = b"still-functional"
+        signatures = [
+            s for s in (
+                scheme.sign(pp, i, sks[i], message) for i in vks
+            )
+            if s is not None
+        ]
+        aggregate = scheme.aggregate(pp, vks, message, signatures)
+        assert scheme.verify(pp, vks, message, aggregate)
+
+    def test_adaptive_adversary_forges(self):
+        from repro.srds.ablation import RevealingOwfSRDS
+
+        scheme, pp, vks, sks = self._deploy()
+        n = len(vks)
+        budget = n // 6
+        flagged = [
+            i for i in vks if RevealingOwfSRDS.is_flagged_signer(vks[i])
+        ][:budget]
+        forged_message = b"adaptive-forgery"
+        coalition = [
+            scheme.sign(pp, i, sks[i], forged_message) for i in flagged
+        ]
+        forged = scheme.aggregate(pp, vks, forged_message, coalition)
+        # The coalition is within budget yet clears the threshold.
+        assert len(flagged) >= pp.acceptance_threshold
+        assert scheme.verify(pp, vks, forged_message, forged)
+
+    def test_real_scheme_resists_random_corruption(self):
+        """The contrast: against oblivious keys, a random within-budget
+        coalition falls far short of the threshold."""
+        from repro.net.adversary import random_corruption
+        from repro.srds.owf import OwfSRDS
+
+        rng = Randomness(29)
+        n = 128
+        scheme = OwfSRDS(message_bits=32, sortition_factor=2)
+        pp = scheme.setup(n, rng.fork("s"))
+        vks, sks = {}, {}
+        for i in range(n):
+            vks[i], sks[i] = scheme.keygen(pp, rng.fork(f"k{i}"))
+        plan = random_corruption(n, n // 6, rng.fork("c"))
+        forged_message = b"random-coalition"
+        coalition = [
+            s for s in (
+                scheme.sign(pp, i, sks[i], forged_message)
+                for i in range(n)
+                if plan.is_corrupt(i)
+            )
+            if s is not None
+        ]
+        forged = scheme.aggregate(pp, vks, forged_message, coalition)
+        assert forged is None or not scheme.verify(
+            pp, vks, forged_message, forged
+        )

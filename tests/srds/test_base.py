@@ -1,0 +1,50 @@
+"""Tests for the SRDS interface helpers."""
+
+import pytest
+
+from repro.errors import SignatureError
+from repro.srds.base import check_index_range, ensure_same_message_space
+from repro.srds.owf import OwfBaseSignature
+
+
+def _base_signature(index):
+    return OwfBaseSignature(index=index, ots_signature=b"opaque-ots-sig")
+
+
+class TestCheckIndexRange:
+    def test_inside(self):
+        assert check_index_range(_base_signature(5), 0, 10)
+
+    def test_boundary_low_inclusive(self):
+        assert check_index_range(_base_signature(0), 0, 10)
+
+    def test_boundary_high_exclusive(self):
+        assert not check_index_range(_base_signature(10), 0, 10)
+
+    def test_outside(self):
+        assert not check_index_range(_base_signature(11), 0, 10)
+
+
+class TestMessageSpace:
+    def test_bytes_pass(self):
+        assert ensure_same_message_space(b"ok") == b"ok"
+
+    def test_bytearray_coerced(self):
+        assert ensure_same_message_space(bytearray(b"ok")) == b"ok"
+
+    def test_str_rejected(self):
+        with pytest.raises(SignatureError):
+            ensure_same_message_space("not bytes")
+
+    def test_none_rejected(self):
+        with pytest.raises(SignatureError):
+            ensure_same_message_space(None)
+
+
+class TestBaseMarker:
+    def test_base_signature_is_base(self):
+        assert _base_signature(3).is_base
+
+    def test_size_bytes_matches_encoding(self):
+        signature = _base_signature(3)
+        assert signature.size_bytes() == len(signature.encode())

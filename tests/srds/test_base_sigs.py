@@ -1,0 +1,72 @@
+"""Tests for the pluggable base-signature schemes."""
+
+import pytest
+
+from repro.errors import KeyError_
+from repro.srds.base_sigs import HashRegistryBase, SchnorrBase
+from repro.utils.randomness import Randomness
+
+
+@pytest.fixture(params=["schnorr", "hash-registry"])
+def scheme(request):
+    if request.param == "schnorr":
+        return SchnorrBase()
+    return HashRegistryBase()
+
+
+class TestBothSchemes:
+    def test_sign_verify(self, scheme, rng):
+        vk, sk = scheme.keygen(rng)
+        signature = scheme.sign(sk, b"message")
+        assert scheme.verify(vk, b"message", signature)
+
+    def test_wrong_message_rejected(self, scheme, rng):
+        vk, sk = scheme.keygen(rng)
+        assert not scheme.verify(vk, b"other", scheme.sign(sk, b"message"))
+
+    def test_wrong_key_rejected(self, scheme, rng):
+        vk1, sk1 = scheme.keygen(rng.fork("a"))
+        vk2, _ = scheme.keygen(rng.fork("b"))
+        assert not scheme.verify(vk2, b"m", scheme.sign(sk1, b"m"))
+
+    def test_garbage_signature_rejected(self, scheme, rng):
+        vk, _ = scheme.keygen(rng)
+        assert not scheme.verify(vk, b"m", b"garbage")
+
+    def test_garbage_key_rejected(self, scheme, rng):
+        _, sk = scheme.keygen(rng)
+        assert not scheme.verify(b"garbage", b"m", scheme.sign(sk, b"m"))
+
+    def test_wrong_key_type_raises(self, scheme):
+        with pytest.raises(KeyError_):
+            scheme.sign(3.14, b"m")
+
+    def test_distinct_keys(self, scheme, rng):
+        vk1, _ = scheme.keygen(rng.fork("a"))
+        vk2, _ = scheme.keygen(rng.fork("b"))
+        assert vk1 != vk2
+
+
+class TestSchnorrCache:
+    def test_cache_consistency(self, rng):
+        scheme = SchnorrBase()
+        vk, sk = scheme.keygen(rng)
+        signature = scheme.sign(sk, b"m")
+        first = scheme.verify(vk, b"m", signature)
+        second = scheme.verify(vk, b"m", signature)  # cached path
+        assert first is second is True
+
+    def test_cache_negative_result(self, rng):
+        scheme = SchnorrBase()
+        vk, sk = scheme.keygen(rng)
+        assert not scheme.verify(vk, b"x", scheme.sign(sk, b"m"))
+        assert not scheme.verify(vk, b"x", scheme.sign(sk, b"m"))
+
+
+class TestHashRegistry:
+    def test_unregistered_key_rejected(self, rng):
+        scheme = HashRegistryBase()
+        other = HashRegistryBase()
+        vk, sk = scheme.keygen(rng)
+        # `other` never saw this keygen; designated verification fails.
+        assert not other.verify(vk, b"m", scheme.sign(sk, b"m"))

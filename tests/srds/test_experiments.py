@@ -1,0 +1,157 @@
+"""Tests for the Fig. 1 / Fig. 2 security experiments."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.params import ProtocolParameters
+from repro.pki.registry import PKIMode
+from repro.srds import adversaries as adv
+from repro.srds.base_sigs import HashRegistryBase
+from repro.srds.experiments import (
+    run_forgery_experiment,
+    run_robustness_experiment,
+)
+from repro.srds.owf import OwfSRDS
+from repro.srds.snark_based import SnarkSRDS
+from repro.utils.randomness import Randomness
+
+N, T = 64, 8
+
+
+def _owf():
+    return OwfSRDS(message_bits=32)
+
+
+def _snark():
+    return SnarkSRDS(base_scheme=HashRegistryBase())
+
+
+SCHEMES = [
+    ("owf", _owf, PKIMode.TRUSTED),
+    ("snark", _snark, PKIMode.BARE),
+]
+
+ROBUSTNESS_ADVERSARIES = [
+    adv.DroppingRobustnessAdversary,
+    adv.DecoyRobustnessAdversary,
+    adv.GarbageRobustnessAdversary,
+    adv.ReplayRobustnessAdversary,
+]
+
+FORGERY_ADVERSARIES = [
+    adv.CoalitionForgeryAdversary,
+    adv.ReplayForgeryAdversary,
+    adv.RandomProofForgeryAdversary,
+]
+
+
+class TestRobustness:
+    @pytest.mark.parametrize("scheme_name,factory,mode", SCHEMES)
+    @pytest.mark.parametrize("adversary_cls", ROBUSTNESS_ADVERSARIES)
+    def test_challenger_wins(self, scheme_name, factory, mode, adversary_cls):
+        ok = run_robustness_experiment(
+            factory(), N, T, mode, adversary_cls(),
+            ProtocolParameters(), Randomness(404),
+        )
+        assert ok, f"{scheme_name} lost robustness to {adversary_cls.__name__}"
+
+    def test_budget_validation(self):
+        with pytest.raises(ExperimentError):
+            run_robustness_experiment(
+                _owf(), 9, 3, PKIMode.TRUSTED,
+                adv.DroppingRobustnessAdversary(),
+            )
+
+
+class TestForgery:
+    @pytest.mark.parametrize("scheme_name,factory,mode", SCHEMES)
+    @pytest.mark.parametrize("adversary_cls", FORGERY_ADVERSARIES)
+    def test_adversary_loses(self, scheme_name, factory, mode, adversary_cls):
+        won = run_forgery_experiment(
+            factory(), N, T, mode, adversary_cls(),
+            ProtocolParameters(), Randomness(505),
+        )
+        assert not won, (
+            f"{scheme_name} forged by {adversary_cls.__name__}"
+        )
+
+    def test_threshold_tightness_snark(self):
+        """Sanity: an *illegally large* coalition does forge — the game
+        is not vacuous."""
+
+        class MajorityCoalition(adv.CoalitionForgeryAdversary):
+            def choose_targets(self, setup, rng):
+                num_virtual = setup.tree.num_virtual
+                honest = [
+                    v for v in range(num_virtual)
+                    if v not in setup.corrupt_virtual
+                ]
+                # Grab well past the majority threshold (model violation).
+                chosen = set(honest[: (2 * num_virtual) // 3])
+                return chosen, b"legitimate-message", {
+                    v: self.target_message for v in chosen
+                }
+
+        scheme = _snark()
+        # Bypass the |S ∪ I| check by running the phases manually: the
+        # experiment driver enforces the budget, so the sanity check
+        # must construct an over-budget coalition directly.
+        rng = Randomness(7)
+        pp = scheme.setup(60, rng.fork("s"))
+        vks, sks = {}, {}
+        for i in range(60):
+            vks[i], sks[i] = scheme.keygen(pp, rng.fork(f"k{i}"))
+        message = b"forged-target"
+        coalition = [scheme.sign(pp, i, sks[i], message) for i in range(40)]
+        forged = scheme.aggregate(pp, vks, message, coalition)
+        assert scheme.verify(pp, vks, message, forged)
+
+    def test_illegal_s_rejected(self):
+        class OversizedS(adv.CoalitionForgeryAdversary):
+            def choose_targets(self, setup, rng):
+                num_virtual = setup.tree.num_virtual
+                honest = [
+                    v for v in range(num_virtual)
+                    if v not in setup.corrupt_virtual
+                ]
+                chosen = set(honest[: num_virtual // 2])
+                return chosen, b"m", {}
+
+        with pytest.raises(ExperimentError):
+            run_forgery_experiment(
+                _snark(), N, T, PKIMode.BARE, OversizedS(),
+                ProtocolParameters(), Randomness(1),
+            )
+
+
+class TestBarePkiKeyReplacement:
+    def test_replacing_honest_key_rejected(self):
+        class Cheater(adv.CoalitionForgeryAdversary):
+            def replace_keys(self, setup, scheme, rng):
+                honest_virtual = next(
+                    v for v in range(setup.tree.num_virtual)
+                    if v not in setup.corrupt_virtual
+                )
+                return {honest_virtual: b"evil"}
+
+        with pytest.raises(ExperimentError):
+            run_forgery_experiment(
+                _snark(), N, T, PKIMode.BARE, Cheater(),
+                ProtocolParameters(), Randomness(2),
+            )
+
+    def test_corrupt_key_replacement_does_not_help(self):
+        class KeyReplacer(adv.CoalitionForgeryAdversary):
+            def replace_keys(self, setup, scheme, rng):
+                replacements = {}
+                for virtual_id in list(setup.corrupt_virtual)[:5]:
+                    new_vk, new_sk = scheme.keygen(setup.pp, rng)
+                    setup.signing_keys[virtual_id] = new_sk
+                    replacements[virtual_id] = new_vk
+                return replacements
+
+        won = run_forgery_experiment(
+            _snark(), N, T, PKIMode.BARE, KeyReplacer(),
+            ProtocolParameters(), Randomness(3),
+        )
+        assert not won

@@ -1,0 +1,85 @@
+"""Tests for the OTS adapters and the OWF SRDS over each of them."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.srds.ots import LamportOts, WinternitzOts
+from repro.srds.owf import OwfSRDS
+from repro.utils.randomness import Randomness
+
+
+@pytest.fixture(params=["lamport", "winternitz"])
+def ots(request):
+    if request.param == "lamport":
+        return LamportOts(message_bits=32)
+    return WinternitzOts(message_bits=32, w=4)
+
+
+class TestAdapters:
+    def test_sign_verify(self, ots):
+        vk, sk = ots.keygen_from_seed(b"seed-one")
+        signature = ots.sign(sk, b"m")
+        assert ots.verify(vk, b"m", signature)
+        assert not ots.verify(vk, b"x", signature)
+
+    def test_oblivious_key_shape(self, ots):
+        real_vk, _ = ots.keygen_from_seed(b"a")
+        oblivious_vk = ots.oblivious_keygen(b"b")
+        assert len(real_vk) == len(oblivious_vk)
+        assert len(real_vk) == ots.verification_key_bytes()
+
+    def test_signature_size_declared(self, ots):
+        _, sk = ots.keygen_from_seed(b"a")
+        assert len(ots.sign(sk, b"m")) == ots.signature_bytes()
+
+    def test_garbage_rejected(self, ots):
+        vk, _ = ots.keygen_from_seed(b"a")
+        assert not ots.verify(vk, b"m", b"garbage")
+        assert not ots.verify(b"garbage", b"m", b"garbage")
+
+    def test_winternitz_smaller(self):
+        lamport = LamportOts(message_bits=128)
+        wots = WinternitzOts(message_bits=128, w=4)
+        assert wots.signature_bytes() * 3 < lamport.signature_bytes()
+
+
+class TestOwfSrdsOverOts:
+    def _full_flow(self, scheme, n=128):
+        rng = Randomness(55)
+        pp = scheme.setup(n, rng.fork("s"))
+        vks, sks = {}, {}
+        for i in range(n):
+            vks[i], sks[i] = scheme.keygen(pp, rng.fork(f"k{i}"))
+        message = b"ots-flow"
+        signatures = [
+            s for s in (
+                scheme.sign(pp, i, sks[i], message) for i in range(n)
+            )
+            if s is not None
+        ]
+        aggregate = scheme.aggregate(pp, vks, message, signatures)
+        return scheme, pp, vks, message, aggregate
+
+    def test_winternitz_instantiation_verifies(self):
+        scheme = OwfSRDS(ots=WinternitzOts(message_bits=32, w=4))
+        scheme, pp, vks, message, aggregate = self._full_flow(scheme)
+        assert scheme.verify(pp, vks, message, aggregate)
+        assert not scheme.verify(pp, vks, b"other", aggregate)
+
+    def test_winternitz_aggregate_smaller_than_lamport(self):
+        lamport_scheme = OwfSRDS(ots=LamportOts(message_bits=128))
+        wots_scheme = OwfSRDS(ots=WinternitzOts(message_bits=128, w=4))
+        _, _, _, _, lamport_aggregate = self._full_flow(lamport_scheme)
+        _, _, _, _, wots_aggregate = self._full_flow(wots_scheme)
+        assert (
+            wots_aggregate.size_bytes() * 3 < lamport_aggregate.size_bytes()
+        )
+
+    def test_conflicting_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OwfSRDS(message_bits=64, ots=LamportOts(message_bits=64))
+
+    def test_ots_name_in_pp(self):
+        scheme = OwfSRDS(ots=WinternitzOts(message_bits=32, w=4))
+        pp = scheme.setup(64, Randomness(1))
+        assert pp.extra["ots_name"] == "winternitz"

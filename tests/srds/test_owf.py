@@ -1,0 +1,193 @@
+"""Tests for the OWF + trusted-PKI SRDS construction (Thm 2.7)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SignatureError
+from repro.srds.owf import (
+    OwfAggregateSignature,
+    OwfBaseSignature,
+    OwfSRDS,
+    decode_signature,
+)
+from repro.utils.randomness import Randomness
+
+N = 256
+BITS = 32
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    """One shared OWF-SRDS deployment (setup + keys) for the module."""
+    rng = Randomness(77)
+    # sortition_factor=1 so that, at this small N, a clear majority of
+    # parties receive oblivious (non-signing) keys.
+    scheme = OwfSRDS(message_bits=BITS, sortition_factor=1)
+    pp = scheme.setup(N, rng.fork("setup"))
+    verification_keys = {}
+    signing_keys = {}
+    for index in range(N):
+        vk, sk = scheme.keygen(pp, rng.fork(f"kg-{index}"))
+        verification_keys[index] = vk
+        signing_keys[index] = sk
+    return scheme, pp, verification_keys, signing_keys
+
+
+def _sign_all(deployment, message, indices=None):
+    scheme, pp, vks, sks = deployment
+    indices = indices if indices is not None else range(N)
+    signatures = []
+    for index in indices:
+        signature = scheme.sign(pp, index, sks[index], message)
+        if signature is not None:
+            signatures.append(signature)
+    return signatures
+
+
+class TestSetup:
+    def test_signer_count_near_expected(self, deployment):
+        scheme, pp, vks, sks = deployment
+        signers = sum(1 for sk in sks.values() if sk is not None)
+        expected = pp.extra["expected_signers"]
+        assert 0.5 * expected <= signers <= 1.5 * expected
+
+    def test_threshold_half_expected(self, deployment):
+        _, pp, _, _ = deployment
+        assert pp.acceptance_threshold == pp.extra["expected_signers"] // 2
+
+    def test_oblivious_keys_indistinguishable_in_size(self, deployment):
+        _, _, vks, sks = deployment
+        sizes = {len(vk) for vk in vks.values()}
+        assert len(sizes) == 1  # same length whether signable or not
+
+    def test_setup_validation(self):
+        scheme = OwfSRDS(message_bits=BITS)
+        with pytest.raises(ConfigurationError):
+            scheme.setup(1, Randomness(0))
+        with pytest.raises(ConfigurationError):
+            OwfSRDS(sortition_factor=0)
+
+
+class TestSignAggregateVerify:
+    def test_full_honest_flow(self, deployment):
+        scheme, pp, vks, _ = deployment
+        message = b"agree on me"
+        signatures = _sign_all(deployment, message)
+        aggregate = scheme.aggregate(pp, vks, message, signatures)
+        assert scheme.verify(pp, vks, message, aggregate)
+
+    def test_wrong_message_rejected(self, deployment):
+        scheme, pp, vks, _ = deployment
+        message = b"agree on me"
+        aggregate = scheme.aggregate(
+            pp, vks, message, _sign_all(deployment, message)
+        )
+        assert not scheme.verify(pp, vks, b"different", aggregate)
+
+    def test_below_threshold_rejected(self, deployment):
+        scheme, pp, vks, sks = deployment
+        message = b"minority"
+        signers = [i for i, sk in sks.items() if sk is not None]
+        few = _sign_all(deployment, message, signers[:3])
+        aggregate = scheme.aggregate(pp, vks, message, few)
+        assert aggregate is None or not scheme.verify(pp, vks, message, aggregate)
+
+    def test_non_signer_returns_none(self, deployment):
+        scheme, pp, _, sks = deployment
+        non_signers = [i for i, sk in sks.items() if sk is None]
+        assert non_signers, "sortition should leave most parties unsigned"
+        assert scheme.sign(pp, non_signers[0], None, b"m") is None
+
+    def test_duplicate_signatures_not_double_counted(self, deployment):
+        scheme, pp, vks, _ = deployment
+        message = b"dupes"
+        signatures = _sign_all(deployment, message)
+        doubled = signatures + signatures
+        filtered = scheme.aggregate1(pp, vks, message, doubled)
+        assert len(filtered) == len(signatures)
+
+    def test_recursive_aggregation_matches_flat(self, deployment):
+        scheme, pp, vks, _ = deployment
+        message = b"recursive"
+        signatures = _sign_all(deployment, message)
+        half = len(signatures) // 2
+        left = scheme.aggregate(pp, vks, message, signatures[:half])
+        right = scheme.aggregate(pp, vks, message, signatures[half:])
+        combined = scheme.aggregate(pp, vks, message, [left, right])
+        flat = scheme.aggregate(pp, vks, message, signatures)
+        assert combined.encode() == flat.encode()
+
+    def test_invalid_signature_filtered(self, deployment):
+        scheme, pp, vks, sks = deployment
+        message = b"filter me"
+        signatures = _sign_all(deployment, message)
+        # A signature on a different message under a real key.
+        signer = next(i for i, sk in sks.items() if sk is not None)
+        rogue = scheme.sign(pp, signer, sks[signer], b"other")
+        filtered = scheme.aggregate1(pp, vks, message, signatures + [rogue])
+        assert all(s.index != rogue.index or s is not rogue for s in filtered)
+
+    def test_unknown_index_filtered(self, deployment):
+        scheme, pp, vks, sks = deployment
+        signer = next(i for i, sk in sks.items() if sk is not None)
+        signature = scheme.sign(pp, signer, sks[signer], b"m")
+        shifted = OwfBaseSignature(
+            index=N + 5, ots_signature=signature.ots_signature
+        )
+        assert scheme.aggregate1(pp, vks, b"m", [shifted]) == []
+
+    def test_aggregate2_empty_returns_none(self, deployment):
+        scheme, pp, _, _ = deployment
+        assert scheme.aggregate2(pp, b"m", []) is None
+
+    def test_foreign_signature_type_rejected(self, deployment):
+        scheme, pp, vks, _ = deployment
+
+        class Alien:
+            pass
+
+        with pytest.raises(SignatureError):
+            scheme.aggregate1(pp, vks, b"m", [Alien()])
+
+
+class TestIndexRanges:
+    def test_base_min_max_equal(self, deployment):
+        scheme, pp, _, sks = deployment
+        signer = next(i for i, sk in sks.items() if sk is not None)
+        signature = scheme.sign(pp, signer, sks[signer], b"m")
+        assert signature.min_index == signature.max_index == signer
+
+    def test_aggregate_min_max(self, deployment):
+        scheme, pp, vks, _ = deployment
+        signatures = _sign_all(deployment, b"m")
+        aggregate = scheme.aggregate(pp, vks, b"m", signatures)
+        indices = sorted(s.index for s in signatures)
+        assert aggregate.min_index == indices[0]
+        assert aggregate.max_index == indices[-1]
+
+    def test_empty_aggregate_range_rejected(self):
+        empty = OwfAggregateSignature(contributions=())
+        with pytest.raises(SignatureError):
+            _ = empty.min_index
+
+
+class TestEncoding:
+    def test_base_roundtrip(self, deployment):
+        scheme, pp, _, sks = deployment
+        signer = next(i for i, sk in sks.items() if sk is not None)
+        signature = scheme.sign(pp, signer, sks[signer], b"m")
+        decoded = decode_signature(signature.encode())
+        assert decoded.encode() == signature.encode()
+
+    def test_aggregate_roundtrip(self, deployment):
+        scheme, pp, vks, _ = deployment
+        aggregate = scheme.aggregate(pp, vks, b"m", _sign_all(deployment, b"m"))
+        decoded = decode_signature(aggregate.encode())
+        assert isinstance(decoded, OwfAggregateSignature)
+        assert decoded.encode() == aggregate.encode()
+        assert scheme.verify(pp, vks, b"m", decoded)
+
+    def test_metadata(self):
+        scheme = OwfSRDS()
+        description = scheme.describe()
+        assert description["setup"] == "trusted-pki"
+        assert description["assumptions"] == "owf"

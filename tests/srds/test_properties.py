@@ -1,0 +1,171 @@
+"""Property-based tests on SRDS invariants (hypothesis).
+
+The invariants under test, for random signer subsets, batch shapes, and
+aggregation orders:
+
+* **count correctness** — the aggregate attests exactly the number of
+  distinct valid contributions, however the batches are arranged;
+* **threshold exactness** — verification accepts iff that count reaches
+  the acceptance threshold;
+* **aggregation associativity** — any batching of the same contribution
+  set yields an equivalent aggregate (same count/range for SNARK; same
+  encoding for OWF);
+* **replay absorption** — duplicating inputs never changes the result.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.srds.base_sigs import HashRegistryBase
+from repro.srds.owf import OwfSRDS
+from repro.srds.snark_based import SnarkSRDS
+from repro.utils.randomness import Randomness
+
+N = 60
+
+_snark_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@pytest.fixture(scope="module")
+def snark_deployment():
+    rng = Randomness(321)
+    scheme = SnarkSRDS(base_scheme=HashRegistryBase())
+    pp = scheme.setup(N, rng.fork("s"))
+    vks, sks = {}, {}
+    for i in range(N):
+        vks[i], sks[i] = scheme.keygen(pp, rng.fork(f"k{i}"))
+    message = b"property-message"
+    signatures = {
+        i: scheme.sign(pp, i, sks[i], message) for i in range(N)
+    }
+    return scheme, pp, vks, message, signatures
+
+
+subsets = st.sets(st.integers(min_value=0, max_value=N - 1), min_size=1,
+                  max_size=N)
+
+
+class TestSnarkInvariants:
+    @_snark_settings
+    @given(subset=subsets)
+    def test_count_equals_distinct_contributions(self, snark_deployment,
+                                                 subset):
+        scheme, pp, vks, message, signatures = snark_deployment
+        batch = [signatures[i] for i in subset]
+        aggregate = scheme.aggregate(pp, vks, message, batch)
+        assert aggregate.count == len(subset)
+        assert aggregate.lo == min(subset)
+        assert aggregate.hi == max(subset)
+
+    @_snark_settings
+    @given(subset=subsets)
+    def test_threshold_exactness(self, snark_deployment, subset):
+        scheme, pp, vks, message, signatures = snark_deployment
+        batch = [signatures[i] for i in subset]
+        aggregate = scheme.aggregate(pp, vks, message, batch)
+        expected = len(subset) >= pp.acceptance_threshold
+        assert scheme.verify(pp, vks, message, aggregate) == expected
+
+    @_snark_settings
+    @given(subset=subsets, data=st.data())
+    def test_batching_invariance(self, snark_deployment, subset, data):
+        scheme, pp, vks, message, signatures = snark_deployment
+        indices = sorted(subset)
+        split = data.draw(
+            st.integers(min_value=0, max_value=len(indices))
+        )
+        left, right = indices[:split], indices[split:]
+        flat = scheme.aggregate(
+            pp, vks, message, [signatures[i] for i in indices]
+        )
+        parts = []
+        if left:
+            parts.append(
+                scheme.aggregate(pp, vks, message,
+                                 [signatures[i] for i in left])
+            )
+        if right:
+            parts.append(
+                scheme.aggregate(pp, vks, message,
+                                 [signatures[i] for i in right])
+            )
+        recombined = scheme.aggregate(pp, vks, message, parts)
+        assert recombined.count == flat.count == len(indices)
+        assert (recombined.lo, recombined.hi) == (flat.lo, flat.hi)
+        assert scheme.verify(pp, vks, message, recombined) == scheme.verify(
+            pp, vks, message, flat
+        )
+
+    @_snark_settings
+    @given(subset=subsets, copies=st.integers(min_value=2, max_value=4))
+    def test_replay_absorption(self, snark_deployment, subset, copies):
+        scheme, pp, vks, message, signatures = snark_deployment
+        batch = [signatures[i] for i in subset] * copies
+        aggregate = scheme.aggregate(pp, vks, message, batch)
+        assert aggregate.count == len(subset)
+
+
+@pytest.fixture(scope="module")
+def owf_deployment():
+    rng = Randomness(654)
+    scheme = OwfSRDS(message_bits=32, sortition_factor=2)
+    pp = scheme.setup(N, rng.fork("s"))
+    vks, sks = {}, {}
+    for i in range(N):
+        vks[i], sks[i] = scheme.keygen(pp, rng.fork(f"k{i}"))
+    message = b"owf-property-message"
+    signatures = {
+        i: scheme.sign(pp, i, sks[i], message)
+        for i in range(N)
+        if sks[i] is not None
+    }
+    return scheme, pp, vks, message, signatures
+
+
+class TestOwfInvariants:
+    @_snark_settings
+    @given(data=st.data())
+    def test_count_and_threshold(self, owf_deployment, data):
+        scheme, pp, vks, message, signatures = owf_deployment
+        signer_ids = sorted(signatures)
+        size = data.draw(
+            st.integers(min_value=1, max_value=len(signer_ids))
+        )
+        subset = data.draw(
+            st.sets(st.sampled_from(signer_ids), min_size=size,
+                    max_size=size)
+        )
+        batch = [signatures[i] for i in subset]
+        filtered = scheme.aggregate1(pp, vks, message, batch)
+        assert len(filtered) == len(subset)
+        aggregate = scheme.aggregate2(pp, message, filtered)
+        expected = len(subset) >= pp.acceptance_threshold
+        assert scheme.verify(pp, vks, message, aggregate) == expected
+
+    @_snark_settings
+    @given(data=st.data())
+    def test_batching_yields_identical_encoding(self, owf_deployment, data):
+        scheme, pp, vks, message, signatures = owf_deployment
+        signer_ids = sorted(signatures)
+        subset = data.draw(
+            st.sets(st.sampled_from(signer_ids), min_size=2)
+        )
+        indices = sorted(subset)
+        split = data.draw(
+            st.integers(min_value=1, max_value=len(indices) - 1)
+        )
+        flat = scheme.aggregate(
+            pp, vks, message, [signatures[i] for i in indices]
+        )
+        left = scheme.aggregate(
+            pp, vks, message, [signatures[i] for i in indices[:split]]
+        )
+        right = scheme.aggregate(
+            pp, vks, message, [signatures[i] for i in indices[split:]]
+        )
+        recombined = scheme.aggregate(pp, vks, message, [left, right])
+        assert recombined.encode() == flat.encode()

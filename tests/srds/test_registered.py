@@ -1,0 +1,208 @@
+"""Tests for the registered-PKI SRDS (the §1.2 natural approach)."""
+
+import pytest
+
+from repro.crypto.snark import forge_random_proof
+from repro.pki.registry import PKIMode, PKIRegistry
+from repro.srds.registered import (
+    RegisteredAggregateSignature,
+    RegisteredBaseSignature,
+    RegisteredSRDS,
+    decode_aggregate,
+    proof_of_possession,
+)
+from repro.utils.randomness import Randomness
+
+N = 90
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    rng = Randomness(2024)
+    scheme = RegisteredSRDS()
+    pp = scheme.setup(N, rng.fork("s"))
+    vks, sks = {}, {}
+    for i in range(N):
+        vks[i], sks[i] = scheme.keygen(pp, rng.fork(f"k{i}"))
+    return scheme, pp, vks, sks
+
+
+def _sign_range(deployment, message, indices):
+    scheme, pp, _, sks = deployment
+    return [scheme.sign(pp, i, sks[i], message) for i in indices]
+
+
+class TestRegisteredPKIIntegration:
+    def test_pop_accepted_by_registry(self, deployment):
+        scheme, pp, vks, sks = deployment
+        registry = PKIRegistry(
+            PKIMode.REGISTERED, knowledge_check=scheme.pop_check
+        )
+        pop = proof_of_possession(sks[0], vks[0])
+        registry.register(0, vks[0], proof_of_possession=pop)
+        assert registry.key_of(0) == vks[0]
+
+    def test_bad_pop_rejected(self, deployment):
+        scheme, pp, vks, _ = deployment
+        registry = PKIRegistry(
+            PKIMode.REGISTERED, knowledge_check=scheme.pop_check
+        )
+        from repro.errors import PKIError
+
+        with pytest.raises(PKIError):
+            registry.register(1, vks[1], proof_of_possession=b"nope")
+
+    def test_unknown_key_fails_pop(self, deployment):
+        scheme, _, _, _ = deployment
+        assert not scheme.pop_check(b"foreign-key", b"whatever")
+
+
+class TestAggregation:
+    def test_full_flow(self, deployment):
+        scheme, pp, vks, _ = deployment
+        message = b"registered-flow"
+        signatures = _sign_range(deployment, message, range(N))
+        aggregate = scheme.aggregate(pp, vks, message, signatures)
+        assert aggregate.count == N
+        assert scheme.verify(pp, vks, message, aggregate)
+
+    def test_succinct(self, deployment):
+        scheme, pp, vks, _ = deployment
+        message = b"size"
+        small = scheme.aggregate(
+            pp, vks, message, _sign_range(deployment, message, range(3))
+        )
+        large = scheme.aggregate(
+            pp, vks, message, _sign_range(deployment, message, range(N))
+        )
+        assert small.size_bytes() == large.size_bytes()
+
+    def test_minority_rejected(self, deployment):
+        scheme, pp, vks, _ = deployment
+        message = b"minority"
+        aggregate = scheme.aggregate(
+            pp, vks, message, _sign_range(deployment, message, range(N // 3))
+        )
+        assert not scheme.verify(pp, vks, message, aggregate)
+
+    def test_recursive_combination(self, deployment):
+        scheme, pp, vks, _ = deployment
+        message = b"recursive"
+        left = scheme.aggregate(
+            pp, vks, message, _sign_range(deployment, message, range(0, 40))
+        )
+        right = scheme.aggregate(
+            pp, vks, message, _sign_range(deployment, message, range(40, 80))
+        )
+        combined = scheme.aggregate(pp, vks, message, [left, right])
+        assert combined.count == 80
+        assert scheme.verify(pp, vks, message, combined)
+
+    def test_replay_not_double_counted(self, deployment):
+        scheme, pp, vks, _ = deployment
+        message = b"replay"
+        aggregate = scheme.aggregate(
+            pp, vks, message, _sign_range(deployment, message, range(0, 29))
+        )
+        doubled = scheme.aggregate(pp, vks, message, [aggregate, aggregate])
+        assert doubled.count == 29
+
+    def test_duplicate_bases_dropped(self, deployment):
+        scheme, pp, vks, _ = deployment
+        message = b"dupe"
+        signatures = _sign_range(deployment, message, range(10))
+        aggregate = scheme.aggregate(
+            pp, vks, message, signatures + signatures
+        )
+        assert aggregate.count == 10
+
+    def test_wrong_message_rejected(self, deployment):
+        scheme, pp, vks, _ = deployment
+        aggregate = scheme.aggregate(
+            pp, vks, b"m1", _sign_range(deployment, b"m1", range(N))
+        )
+        assert not scheme.verify(pp, vks, b"m2", aggregate)
+
+
+class TestSoundness:
+    def test_inflated_count_rejected(self, deployment):
+        scheme, pp, vks, _ = deployment
+        message = b"inflate"
+        aggregate = scheme.aggregate(
+            pp, vks, message, _sign_range(deployment, message, range(10))
+        )
+        inflated = RegisteredAggregateSignature(
+            combined_tag=aggregate.combined_tag,
+            count=N,
+            lo=aggregate.lo,
+            hi=aggregate.hi,
+            message_digest=aggregate.message_digest,
+            board_digest=aggregate.board_digest,
+            proof=aggregate.proof,
+        )
+        assert not scheme.verify(pp, vks, message, inflated)
+
+    def test_random_proof_rejected(self, deployment):
+        scheme, pp, vks, _ = deployment
+        message = b"forged"
+        rng = Randomness(9)
+        aggregate = scheme.aggregate(
+            pp, vks, message, _sign_range(deployment, message, range(10))
+        )
+        forged = RegisteredAggregateSignature(
+            combined_tag=aggregate.combined_tag,
+            count=N,
+            lo=0,
+            hi=N - 1,
+            message_digest=aggregate.message_digest,
+            board_digest=aggregate.board_digest,
+            proof=forge_random_proof("registered-srds/internal", rng),
+        )
+        assert not scheme.verify(pp, vks, message, forged)
+
+    def test_cross_index_tag_rejected(self, deployment):
+        """A corrupt party's tag cannot pose as another index's: the
+        board binding inside the leaf relation blocks it."""
+        scheme, pp, vks, sks = deployment
+        message = b"impersonate"
+        own = scheme.sign(pp, 5, sks[5], message)
+        moved = RegisteredBaseSignature(index=6, tag=own.tag)
+        filtered = scheme.aggregate1(pp, vks, message, [moved])
+        assert filtered == []
+
+    def test_wrong_board_rejected(self, deployment):
+        scheme, pp, vks, _ = deployment
+        message = b"board-swap"
+        aggregate = scheme.aggregate(
+            pp, vks, message, _sign_range(deployment, message, range(N))
+        )
+        mutated = dict(vks)
+        mutated[0] = b"different-key"
+        assert not scheme.verify(pp, mutated, message, aggregate)
+
+    def test_decode_roundtrip(self, deployment):
+        scheme, pp, vks, _ = deployment
+        message = b"roundtrip"
+        aggregate = scheme.aggregate(
+            pp, vks, message, _sign_range(deployment, message, range(N))
+        )
+        decoded = decode_aggregate(aggregate.encode())
+        assert scheme.verify(pp, vks, message, decoded)
+
+
+class TestInBalancedBA:
+    def test_pi_ba_over_registered_srds(self):
+        from repro.net.adversary import random_corruption
+        from repro.params import ProtocolParameters
+        from repro.protocols.balanced_ba import run_balanced_ba
+
+        params = ProtocolParameters()
+        rng = Randomness(31)
+        n = 48
+        plan = random_corruption(n, params.max_corruptions(n), rng.fork("c"))
+        result = run_balanced_ba(
+            {i: 1 for i in range(n)}, plan, RegisteredSRDS(), params,
+            rng.fork("r"),
+        )
+        assert result.agreement and result.validity
+        assert result.certificate_bytes < 512  # succinct, unlike multisig

@@ -1,0 +1,41 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from repro.__main__ import main
+
+
+class TestCommands:
+    def test_ba(self, capsys):
+        assert main(["ba", "48"]) == 0
+        output = capsys.readouterr().out
+        assert "snark-srds" in output and "owf-srds" in output
+        assert "agree=True" in output
+
+    def test_tree(self, capsys):
+        assert main(["tree", "128"]) == 0
+        output = capsys.readouterr().out
+        assert "good-path leaves" in output
+        assert "2/3-honest: True" in output
+
+    def test_attacks(self, capsys):
+        assert main(["attacks"]) == 0
+        output = capsys.readouterr().out
+        assert "Thm 1.3" in output and "Thm 1.4" in output
+
+    def test_no_command_shows_usage(self, capsys):
+        assert main([]) == 2
+        assert "Commands" in capsys.readouterr().out
+
+    def test_unknown_command_shows_usage(self, capsys):
+        assert main(["frobnicate"]) == 2
+
+    def test_report_stdout(self, capsys):
+        assert main(["report"]) == 0
+        output = capsys.readouterr().out
+        assert "Measured experiment report" in output
+        assert "T1 — Table 1" in output
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.txt"
+        assert main(["report", str(target)]) == 0
+        assert target.exists()
+        assert "E12" in target.read_text()

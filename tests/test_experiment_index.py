@@ -1,0 +1,81 @@
+"""Meta-tests: the experiment index stays consistent across artifacts.
+
+DESIGN.md promises a bench target per experiment; the report assembler
+knows each record name; the benchmark modules must actually exist.
+These tests keep documentation, harness, and report in lock-step.
+"""
+
+import pathlib
+import re
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def _design_text() -> str:
+    return (REPO_ROOT / "DESIGN.md").read_text(encoding="utf-8")
+
+
+class TestDesignIndex:
+    def test_every_bench_target_exists(self):
+        """Every `benchmarks/...py` referenced in DESIGN.md is a file."""
+        targets = set(re.findall(r"`(benchmarks/[\w_]+\.py)`",
+                                 _design_text()))
+        assert targets, "DESIGN.md should reference bench targets"
+        for target in targets:
+            assert (REPO_ROOT / target).exists(), f"missing {target}"
+
+    def test_every_benchmark_module_indexed(self):
+        """Every benchmark module appears in DESIGN.md's index."""
+        design = _design_text()
+        for path in (REPO_ROOT / "benchmarks").glob("test_*.py"):
+            assert f"benchmarks/{path.name}" in design, (
+                f"{path.name} is not in DESIGN.md's experiment index"
+            )
+
+    def test_experiment_ids_cover_t1_f123_e_series(self):
+        design = _design_text()
+        for exp_id in ["T1", "F1", "F2", "F3"] + [
+            f"E{i}" for i in range(1, 13)
+        ]:
+            assert f"| {exp_id} " in design, f"{exp_id} missing from index"
+
+
+class TestReportSections:
+    def test_report_sections_match_result_writers(self):
+        """Each write_result(...) name in benchmarks is a known report
+        section (or would land in the 'extra records' tail)."""
+        from repro.analysis.report import _SECTIONS
+
+        known = {name for name, _ in _SECTIONS}
+        written = set()
+        for path in (REPO_ROOT / "benchmarks").glob("test_*.py"):
+            written.update(
+                re.findall(r'write_result\([^,]+,\s*"([\w_]+)"',
+                           path.read_text(encoding="utf-8"))
+            )
+        assert written, "benchmarks should write result records"
+        missing = written - known
+        assert not missing, (
+            f"records not in the report section list: {missing}"
+        )
+
+    def test_experiments_md_mentions_every_record(self):
+        experiments = (REPO_ROOT / "EXPERIMENTS.md").read_text(
+            encoding="utf-8"
+        )
+        from repro.analysis.report import _SECTIONS
+
+        for name, _ in _SECTIONS:
+            assert f"results/{name}.txt" in experiments, (
+                f"EXPERIMENTS.md does not reference results/{name}.txt"
+            )
+
+
+class TestDocsExist:
+    def test_required_documents(self):
+        for relative in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
+                         "docs/paper_map.md", "docs/substitutions.md"):
+            assert (REPO_ROOT / relative).exists(), f"missing {relative}"
+
+    def test_design_records_paper_match(self):
+        assert "Paper-text check" in _design_text()

@@ -1,0 +1,195 @@
+"""Fuzz tests: every wire decoder survives arbitrary bytes.
+
+Adversaries control message payloads, so every decode path must either
+return a well-typed object or raise a *library* exception — never an
+unhandled crash — and every verifier must return ``False`` (not raise)
+on garbage inputs.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.utils.randomness import Randomness
+
+LIBRARY_ERRORS = (ReproError, ValueError)
+
+garbage = st.binary(min_size=0, max_size=300)
+
+_fuzz = settings(max_examples=60, deadline=None)
+
+
+class TestSerializationDecoders:
+    @_fuzz
+    @given(data=garbage)
+    def test_decode_uint(self, data):
+        from repro.utils.serialization import decode_uint
+
+        try:
+            value, pos = decode_uint(data)
+            assert value >= 0 and pos <= len(data)
+        except LIBRARY_ERRORS:
+            pass
+
+    @_fuzz
+    @given(data=garbage)
+    def test_decode_bytes(self, data):
+        from repro.utils.serialization import decode_bytes
+
+        try:
+            blob, pos = decode_bytes(data)
+            assert pos <= len(data)
+        except LIBRARY_ERRORS:
+            pass
+
+    @_fuzz
+    @given(data=garbage)
+    def test_decode_sequence(self, data):
+        from repro.utils.serialization import decode_sequence
+
+        try:
+            items, pos = decode_sequence(data)
+            assert pos <= len(data)
+        except LIBRARY_ERRORS:
+            pass
+
+
+class TestCryptoDecoders:
+    @_fuzz
+    @given(data=garbage)
+    def test_ec_point(self, data):
+        from repro.crypto import ec
+
+        try:
+            point = ec.decode_point(data)
+            assert ec.is_on_curve(point)
+        except LIBRARY_ERRORS:
+            pass
+
+    @_fuzz
+    @given(data=garbage)
+    def test_schnorr_signature(self, data):
+        from repro.crypto import schnorr
+
+        try:
+            schnorr.SchnorrSignature.decode(data)
+        except LIBRARY_ERRORS:
+            pass
+
+    @_fuzz
+    @given(data=garbage)
+    def test_lamport_decoders(self, data):
+        from repro.crypto import lamport
+
+        try:
+            lamport.decode_signature(data, 16)
+        except LIBRARY_ERRORS:
+            pass
+        try:
+            lamport.decode_verification_key(data, 16)
+        except LIBRARY_ERRORS:
+            pass
+
+    @_fuzz
+    @given(data=garbage)
+    def test_winternitz_decoders(self, data):
+        from repro.crypto import winternitz
+
+        try:
+            winternitz.decode_signature(data, 32, 4)
+        except LIBRARY_ERRORS:
+            pass
+
+    @_fuzz
+    @given(data=garbage)
+    def test_merkle_signature(self, data):
+        from repro.crypto import merkle_sig
+
+        try:
+            merkle_sig.MerkleSignature.decode(data)
+        except LIBRARY_ERRORS:
+            pass
+
+
+class TestSrdsDecoders:
+    @_fuzz
+    @given(data=garbage)
+    def test_owf_signature(self, data):
+        from repro.srds.owf import decode_signature
+
+        try:
+            decoded = decode_signature(data)
+            assert decoded.encode()  # decodable implies re-encodable
+        except LIBRARY_ERRORS:
+            pass
+
+    @_fuzz
+    @given(data=garbage)
+    def test_snark_aggregate(self, data):
+        from repro.srds.snark_based import decode_aggregate
+
+        try:
+            decode_aggregate(data)
+        except LIBRARY_ERRORS:
+            pass
+
+    @_fuzz
+    @given(data=garbage)
+    def test_dolev_strong_chain(self, data):
+        from repro.protocols.dolev_strong import SignatureChain
+
+        try:
+            SignatureChain.decode(data)
+        except LIBRARY_ERRORS:
+            pass
+
+
+@pytest.fixture(scope="module")
+def snark_deployment():
+    from repro.srds.base_sigs import HashRegistryBase
+    from repro.srds.snark_based import SnarkSRDS
+
+    rng = Randomness(202)
+    scheme = SnarkSRDS(base_scheme=HashRegistryBase())
+    pp = scheme.setup(30, rng.fork("s"))
+    vks = {}
+    for i in range(30):
+        vks[i], _ = scheme.keygen(pp, rng.fork(f"k{i}"))
+    return scheme, pp, vks
+
+
+class TestVerifiersNeverRaise:
+    @_fuzz
+    @given(data=garbage)
+    def test_snark_verify_garbage_aggregate(self, snark_deployment, data):
+        from repro.srds.snark_based import decode_aggregate
+
+        scheme, pp, vks = snark_deployment
+        try:
+            aggregate = decode_aggregate(data)
+        except LIBRARY_ERRORS:
+            return
+        assert scheme.verify(pp, vks, b"msg", aggregate) in (True, False)
+
+    @_fuzz
+    @given(data=garbage)
+    def test_base_scheme_verify_garbage(self, data):
+        from repro.srds.base_sigs import SchnorrBase
+
+        scheme = SchnorrBase()
+        assert scheme.verify(data, b"msg", data) is False
+
+    @_fuzz
+    @given(data=garbage)
+    def test_owf_aggregate1_garbage_base(self, data):
+        """Garbage OTS bytes inside a base signature are filtered, not
+        fatal."""
+        from repro.srds.owf import OwfBaseSignature, OwfSRDS
+
+        scheme = OwfSRDS(message_bits=16, sortition_factor=1)
+        pp = scheme.setup(16, Randomness(1))
+        vks = {}
+        for i in range(16):
+            vks[i], _ = scheme.keygen(pp, Randomness(i + 2))
+        bogus = OwfBaseSignature(index=3, ots_signature=data)
+        assert scheme.aggregate1(pp, vks, b"m", [bogus]) == []

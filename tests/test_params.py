@@ -1,0 +1,80 @@
+"""Tests for protocol parameters."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.params import (
+    DEFAULT_PARAMETERS,
+    ProtocolParameters,
+    ceil_log2,
+    small_test_parameters,
+)
+
+
+class TestCeilLog2:
+    def test_values(self):
+        assert ceil_log2(1) == 1
+        assert ceil_log2(2) == 1
+        assert ceil_log2(3) == 2
+        assert ceil_log2(1024) == 10
+        assert ceil_log2(1025) == 11
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            ceil_log2(0)
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        assert DEFAULT_PARAMETERS.corruption_ratio < 1 / 3
+
+    def test_corruption_at_third_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolParameters(corruption_ratio=1 / 3)
+
+    def test_negative_corruption_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolParameters(corruption_ratio=-0.1)
+
+    def test_small_security_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolParameters(security_bits=16)
+
+    def test_zero_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolParameters(committee_factor=0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_PARAMETERS.committee_factor = 99
+
+
+class TestDerived:
+    def test_committee_grows_with_log_n(self):
+        params = ProtocolParameters()
+        assert params.committee_size(1024) > params.committee_size(64)
+        assert params.committee_size(1024) == params.committee_factor * 10
+
+    def test_leaf_size(self):
+        params = ProtocolParameters()
+        assert params.leaf_committee_size(256) == params.leaf_factor * 8
+
+    def test_tree_arity_minimum(self):
+        params = ProtocolParameters()
+        assert params.tree_arity(2) >= 2
+
+    def test_fanout_capped_at_n(self):
+        params = ProtocolParameters(fanout_factor=100)
+        assert params.fanout(16) == 16
+
+    def test_max_corruptions(self):
+        params = ProtocolParameters(corruption_ratio=0.25)
+        assert params.max_corruptions(100) == 25
+
+    def test_hash_bytes_floor(self):
+        assert ProtocolParameters(security_bits=64).hash_bytes() == 32
+        assert ProtocolParameters(security_bits=512).hash_bytes() == 64
+
+    def test_small_test_parameters_valid(self):
+        params = small_test_parameters()
+        assert params.corruption_ratio < 1 / 3

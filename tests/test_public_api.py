@@ -1,0 +1,31 @@
+"""Tests for the top-level public API."""
+
+import repro
+
+
+class TestQuickBA:
+    def test_quick_ba_defaults(self):
+        result = repro.quick_ba(n=48, input_bit=1, seed=3)
+        assert result.agreement and result.validity
+        assert result.agreed_value == 1
+
+    def test_quick_ba_custom_corruption(self):
+        result = repro.quick_ba(n=48, input_bit=0, seed=4,
+                                corrupt_fraction=0.1)
+        assert result.agreement and result.validity
+        assert result.agreed_value == 0
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_core_symbols(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_scheme_metadata_matches_table1(self):
+        owf = repro.OwfSRDS()
+        snark = repro.SnarkSRDS()
+        assert owf.describe()["setup"] == "trusted-pki"
+        assert snark.describe()["setup"] == "bare-pki+crs"

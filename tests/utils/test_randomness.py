@@ -1,0 +1,74 @@
+"""Tests for the seeded randomness wrapper."""
+
+from repro.utils.randomness import Randomness, make_randomness
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a, b = Randomness(7), Randomness(7)
+        assert a.random_bytes(16) == b.random_bytes(16)
+        assert a.random_int(1000) == b.random_int(1000)
+
+    def test_different_seeds_differ(self):
+        a, b = Randomness(1), Randomness(2)
+        assert a.random_bytes(16) != b.random_bytes(16)
+
+    def test_fork_is_deterministic(self):
+        a = Randomness(7).fork("child")
+        b = Randomness(7).fork("child")
+        assert a.random_bytes(8) == b.random_bytes(8)
+
+    def test_fork_labels_independent(self):
+        parent = Randomness(7)
+        assert parent.fork("x").random_bytes(8) != parent.fork("y").random_bytes(8)
+
+    def test_fork_does_not_disturb_parent(self):
+        a, b = Randomness(7), Randomness(7)
+        a.fork("whatever")
+        assert a.random_bytes(8) == b.random_bytes(8)
+
+
+class TestHelpers:
+    def test_random_bytes_length(self):
+        rng = Randomness(1)
+        for length in (0, 1, 31, 64):
+            assert len(rng.random_bytes(length)) == length
+
+    def test_random_int_range(self):
+        rng = Randomness(2)
+        values = [rng.random_int(10) for _ in range(200)]
+        assert all(0 <= v < 10 for v in values)
+        assert len(set(values)) == 10  # all residues hit
+
+    def test_random_int_range_inclusive(self):
+        rng = Randomness(3)
+        values = {rng.random_int_range(5, 7) for _ in range(100)}
+        assert values == {5, 6, 7}
+
+    def test_bernoulli_extremes(self):
+        rng = Randomness(4)
+        assert not any(rng.bernoulli(0.0) for _ in range(50))
+        assert all(rng.bernoulli(1.0) for _ in range(50))
+
+    def test_sample_distinct(self):
+        rng = Randomness(5)
+        sample = rng.sample(range(100), 30)
+        assert len(set(sample)) == 30
+
+    def test_subset_preserves_order(self):
+        rng = Randomness(6)
+        subset = rng.subset(list(range(50)), 10)
+        assert subset == sorted(subset)
+        assert len(subset) == 10
+
+    def test_shuffle_is_permutation(self):
+        rng = Randomness(7)
+        items = list(range(20))
+        rng.shuffle(items)
+        assert sorted(items) == list(range(20))
+
+
+def test_make_randomness_defaults():
+    assert make_randomness().seed == make_randomness(0).seed
+    labeled = make_randomness(5, "tag")
+    assert labeled.random_bytes(4) == make_randomness(5, "tag").random_bytes(4)
