@@ -7,6 +7,12 @@ Commands:
 * ``attacks`` — the Thm 1.3 (CRS) and Thm 1.4 (OWF) attacks, summarized.
 * ``tree [n]`` — build an almost-everywhere tree under random corruption
   and print its Def. 2.3 guarantees.
+* ``runtime [n] [tcp] [trace-dir]`` — run protocols over the
+  event-driven asyncio runtime: phase-king under a seeded fault plan
+  (reordering, duplication, a crash), then the pi_ba differential
+  parity check (hybrid-model reference vs wire replay over the
+  transport).  Pass ``tcp`` to use loopback TCP sockets instead of
+  in-process queues; pass a directory to dump per-party JSONL traces.
 * ``report [path]`` — assemble the benchmark records from
   ``benchmarks/results/`` into one measured-experiment report (stdout,
   or written to ``path``).
@@ -48,6 +54,80 @@ def _cmd_ba(n: int) -> int:
             f"imbalance={result.metrics.imbalance:.2f}"
         )
     return 0
+
+
+def _cmd_runtime(n: int, kind: str, trace_dir=None) -> int:
+    from repro.protocols.balanced_ba import run_balanced_ba
+    from repro.protocols.phase_king import run_phase_king
+    from repro.runtime import (
+        FaultPlan,
+        TraceRecorder,
+        run_balanced_ba_runtime,
+        run_phase_king_runtime,
+    )
+    from repro.runtime.trace import summarize
+    from repro.srds.base_sigs import HashRegistryBase
+    from repro.srds.snark_based import SnarkSRDS
+
+    params = ProtocolParameters()
+    rng = Randomness(2021)
+    print(f"runtime: n={n}, transport={kind}")
+
+    # 1. Phase-king over the event-driven runtime, hostile schedule.
+    inputs = {i: i % 2 for i in range(n)}
+    byzantine = sorted(rng.fork("byz").sample(range(n), max(1, (n - 1) // 3)))
+    faults = FaultPlan(
+        crashes={byzantine[0]: 2},
+        reorder=True,
+        duplicate_probability=0.05,
+        rng=rng.fork("faults"),
+    )
+    trace = TraceRecorder()
+    outputs, metrics = run_phase_king_runtime(
+        inputs, byzantine, transport=kind, fault_plan=faults, trace=trace
+    )
+    reference, _ = run_phase_king(inputs, byzantine)
+    decided = set(outputs.values())
+    print(
+        f"  phase-king  honest={len(outputs)} byz={len(byzantine)} "
+        f"(1 crashed@r2) agree={len(decided) == 1} "
+        f"matches-sync={outputs == reference} "
+        f"max/party={format_bits(metrics.max_bits_per_party)}"
+    )
+    counts = summarize(
+        event for p in trace.party_ids for event in trace.events_of(p)
+    )
+    print(
+        f"  trace       events={trace.count():,} "
+        f"(send={counts.get('send', 0):,} recv={counts.get('recv', 0):,} "
+        f"barriers={counts.get('round-barrier', 0):,}) "
+        f"max-queue-depth={trace.max_queue_depth()}"
+    )
+    if trace_dir is not None:
+        paths = trace.dump_dir(trace_dir)
+        print(f"  trace       {len(paths)} JSONL files -> {trace_dir}")
+
+    # 2. pi_ba: hybrid-model reference vs wire replay over the transport.
+    plan_rng = Randomness(7)
+    from repro.net.adversary import random_corruption
+
+    plan = random_corruption(n, params.max_corruptions(n), plan_rng.fork("c"))
+    scheme = SnarkSRDS(base_scheme=HashRegistryBase())
+    ref = run_balanced_ba(inputs, plan, scheme, params, Randomness(99))
+    res, replay = run_balanced_ba_runtime(
+        inputs, plan, scheme, params, Randomness(99), transport=kind
+    )
+    parity = (
+        res.outputs == ref.outputs
+        and res.metrics.max_bits_per_party == ref.metrics.max_bits_per_party
+        and res.metrics.total_bits == ref.metrics.total_bits
+    )
+    print(
+        f"  pi_ba       t={plan.t} wire-replay rounds={replay.rounds} "
+        f"agree={res.agreement} parity-with-hybrid={parity} "
+        f"max/party={format_bits(res.metrics.max_bits_per_party)}"
+    )
+    return 0 if parity else 1
 
 
 def _cmd_attacks() -> int:
@@ -96,6 +176,18 @@ def main(argv) -> int:
         return _cmd_attacks()
     if command == "tree":
         return _cmd_tree(int(args[0]) if args else 256)
+    if command == "runtime":
+        n = 16
+        kind = "local"
+        trace_dir = None
+        for arg in args:
+            if arg in ("local", "tcp"):
+                kind = arg
+            elif arg.isdigit():
+                n = int(arg)
+            else:
+                trace_dir = arg
+        return _cmd_runtime(n, kind, trace_dir)
     if command == "report":
         import pathlib
 

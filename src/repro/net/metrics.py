@@ -10,7 +10,7 @@ set of distinct peers (communication locality, à la Boyle et al. [13]).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set
 
 from repro.errors import NetworkError
 
@@ -86,8 +86,12 @@ class CommunicationMetrics:
     ) -> None:
         """Charge a hybrid-model functionality invocation.
 
-        Every participant is charged ``bits_per_party`` (half sent, half
-        received — the split does not affect any reported metric) and its
+        Every participant is charged ``bits_per_party`` of communication
+        (half sent, half received — so per-party ``bits_total`` grows by
+        exactly ``bits_per_party``, while the single-counted aggregates
+        ``total_bits`` and :attr:`round_bits` grow by the sent halves,
+        exactly as they would if the same traffic had flowed through
+        :meth:`record_message`) and its
         locality is widened by ``peers_per_party`` synthetic peer slots
         drawn from ``peer_pool`` (default: the other participants — pass
         an explicit pool when the charged traffic touches parties outside
@@ -111,8 +115,16 @@ class CommunicationMetrics:
             others = [p for p in pool if p != party_id]
             tally.peers_sent_to.update(others[:peers_per_party])
             tally.peers_received_from.update(others[:peers_per_party])
+        # Round accounting follows the record_message convention: each
+        # wire transfer is counted once, at the sender.  A participant's
+        # sent half is ``bits_per_party - bits_per_party // 2``, so the
+        # round total is the sum of sent halves — matching exactly what
+        # :attr:`total_bits` (which sums ``bits_sent``) accrues from this
+        # charge.  (Historically this line added the *full* per-party
+        # charge, double-counting hybrid traffic relative to the wire
+        # path.)
         self._current_round_bits += sum(
-            bits_per_party for _ in participant_list
+            bits_per_party - bits_per_party // 2 for _ in participant_list
         )
         self.rounds_completed += rounds
 
@@ -127,6 +139,17 @@ class CommunicationMetrics:
     def tally_of(self, party_id: int) -> PartyTally:
         """The (possibly empty) tally of one party."""
         return self._tallies.get(party_id, PartyTally())
+
+    @property
+    def round_bits(self) -> List[int]:
+        """Closed per-round wire-bit totals (record_message convention:
+        every transfer counted once, at the sender)."""
+        return list(self._round_bits)
+
+    @property
+    def current_round_bits(self) -> int:
+        """Bits accrued in the still-open round."""
+        return self._current_round_bits
 
     @property
     def party_ids(self) -> List[int]:

@@ -95,8 +95,19 @@ class SynchronousNetwork:
         raise NetworkError(f"protocol did not terminate in {max_rounds} rounds")
 
     def run_until(self, party_ids: Iterable[int], max_rounds: int = 10_000) -> None:
-        """Run until the listed parties have all halted."""
+        """Run until the listed parties have all halted.
+
+        Raises :class:`NetworkError` if any target id is unknown
+        (matching :meth:`_dispatch`'s unknown-recipient behaviour)
+        rather than failing mid-run with a bare ``KeyError``.
+        """
         targets = list(party_ids)
+        unknown = [p for p in targets if p not in self.parties]
+        if unknown:
+            raise NetworkError(
+                f"unknown target party id(s) {sorted(unknown)}; "
+                f"known ids are {sorted(self.parties)}"
+            )
         for _ in range(max_rounds):
             if all(self.parties[p].halted for p in targets):
                 return

@@ -25,8 +25,8 @@ outputs of bad tree nodes, and extra messages in the final boost round.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.aetree.analysis import is_good_node
 from repro.aetree.tree import CommTree, TreeNode
@@ -40,7 +40,7 @@ from repro.protocols import cost_model
 from repro.protocols.aggregate_mpc import run_aggregate_sig
 from repro.protocols.coin_toss import ideal_f_ct
 from repro.protocols.phase_king import ideal_f_ba
-from repro.srds.base import SRDSScheme, SRDSSignature, check_index_range
+from repro.srds.base import SRDSScheme, SRDSSignature
 from repro.utils.randomness import Randomness
 from repro.utils.serialization import canonical_tuple, encode_uint
 
@@ -107,6 +107,7 @@ class BalancedBA:
         rng: Randomness,
         adversary: Optional[AdversaryBehavior] = None,
         metrics: Optional[CommunicationMetrics] = None,
+        delivery_rng: Optional[Randomness] = None,
     ) -> None:
         self.n = len(inputs)
         if plan.n != self.n:
@@ -120,6 +121,22 @@ class BalancedBA:
         self.rng = rng
         self.adversary = adversary if adversary is not None else AdversaryBehavior()
         self.metrics = metrics if metrics is not None else CommunicationMetrics()
+        # The delivery-order seam: the synchronous model promises that
+        # messages sent in round r arrive by round r + 1, but promises
+        # *no order within the round*.  When a seeded source is supplied
+        # (the runtime's FaultPlan reordering injector forks one), every
+        # inbox the protocol consumes is presented in a permuted order;
+        # honest outputs must be invariant (tests/runtime pins this).
+        self.delivery_rng = delivery_rng
+
+    def _delivered_order(self, items: List, label: str) -> List:
+        """Within-round delivery order of one inbox (identity unless a
+        delivery_rng is installed)."""
+        if self.delivery_rng is None or len(items) < 2:
+            return list(items)
+        permuted = list(items)
+        self.delivery_rng.fork(label).shuffle(permuted)
+        return permuted
 
     # -- the protocol ----------------------------------------------------------
 
@@ -279,7 +296,12 @@ class BalancedBA:
     ) -> Dict[int, List[SRDSSignature]]:
         """S_sig^{i,l,1}: per-member received signatures for this node."""
         if node.is_leaf:
-            return leaf_inboxes[node.node_id]
+            return {
+                member: self._delivered_order(
+                    signatures, f"leaf/{node.node_id}/{member}"
+                )
+                for member, signatures in leaf_inboxes[node.node_id].items()
+            }
         inbox: Dict[int, List[SRDSSignature]] = {
             member: [] for member in node.committee
         }
@@ -297,7 +319,12 @@ class BalancedBA:
                         sender, recipient, encoded_bits
                     )
                     inbox[recipient].append(child_output)
-        return inbox
+        return {
+            member: self._delivered_order(
+                received, f"node/{node.node_id}/{member}"
+            )
+            for member, received in inbox.items()
+        }
 
     def _aggregate_node(
         self,
@@ -418,7 +445,10 @@ class BalancedBA:
         outputs: Dict[int, Optional[int]] = {}
         for party in range(self.n):
             outputs[party] = self._decide(
-                party, received[party], pp, verification_keys
+                party,
+                self._delivered_order(received[party], f"boost/{party}"),
+                pp,
+                verification_keys,
             )
         return outputs
 
@@ -491,7 +521,11 @@ def run_balanced_ba(
     params: ProtocolParameters,
     rng: Randomness,
     adversary: Optional[AdversaryBehavior] = None,
+    delivery_rng: Optional[Randomness] = None,
 ) -> BAResult:
     """Convenience wrapper: construct and run one pi_ba execution."""
-    protocol = BalancedBA(inputs, plan, scheme, params, rng, adversary)
+    protocol = BalancedBA(
+        inputs, plan, scheme, params, rng, adversary,
+        delivery_rng=delivery_rng,
+    )
     return protocol.run()

@@ -1,0 +1,86 @@
+"""Event-driven asyncio execution layer with fault injection and tracing.
+
+The runtime runs the repo's existing :class:`~repro.net.party.Party`
+state machines — unchanged — over an asyncio event loop:
+
+* :mod:`repro.runtime.transport` — the :class:`Transport` abstraction:
+  in-process :class:`AsyncLocalTransport` and loopback-socket
+  :class:`TcpTransport`, both charging the shared metrics ledger;
+* :mod:`repro.runtime.synchronizer` — :class:`RoundSynchronizer`, the
+  round barrier that recovers the paper's synchronous model (§1) and the
+  :func:`run_parties` facade;
+* :mod:`repro.runtime.faults` — seeded, reproducible crash / delay /
+  reorder / duplication / partition injection (:class:`FaultPlan`);
+* :mod:`repro.runtime.trace` — per-party JSONL execution traces;
+* :mod:`repro.runtime.replay` — wire replay of metered (hybrid-model)
+  executions such as π_ba;
+* :mod:`repro.runtime.drivers` — event-driven twins of the synchronous
+  protocol drivers.
+
+See ``docs/runtime.md`` for the architecture and the differential
+guarantees tying the runtime to :class:`SynchronousNetwork`.
+"""
+
+from repro.runtime.drivers import (
+    run_balanced_ba_runtime,
+    run_gradecast_runtime,
+    run_phase_king_runtime,
+)
+from repro.runtime.faults import (
+    FaultPlan,
+    LinkDelay,
+    Partition,
+    adversarial_schedule,
+    crash_corrupted,
+    partition_halves,
+)
+from repro.runtime.replay import (
+    RecordingLedger,
+    ReplayParty,
+    ReplayScript,
+    replay_over_simulator,
+    tallies_equal,
+)
+from repro.runtime.synchronizer import (
+    RoundSynchronizer,
+    RuntimeResult,
+    run_parties,
+    run_parties_async,
+)
+from repro.runtime.trace import TraceRecorder, load_jsonl, wall_clock_recorder
+from repro.runtime.transport import (
+    AsyncLocalTransport,
+    Frame,
+    TcpTransport,
+    Transport,
+    make_transport,
+)
+
+__all__ = [
+    "AsyncLocalTransport",
+    "FaultPlan",
+    "Frame",
+    "LinkDelay",
+    "Partition",
+    "RecordingLedger",
+    "ReplayParty",
+    "ReplayScript",
+    "RoundSynchronizer",
+    "RuntimeResult",
+    "TcpTransport",
+    "TraceRecorder",
+    "Transport",
+    "adversarial_schedule",
+    "crash_corrupted",
+    "load_jsonl",
+    "make_transport",
+    "partition_halves",
+    "replay_over_simulator",
+    "run_balanced_ba_runtime",
+    "run_gradecast_runtime",
+    "run_parties",
+    "run_parties_async",
+    "run_phase_king_runtime",
+    "tallies_equal",
+    "wall_clock_recorder",
+]

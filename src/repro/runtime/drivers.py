@@ -1,0 +1,204 @@
+"""High-level runtime drivers mirroring the synchronous convenience
+drivers, plus the π_ba wire-replay driver.
+
+Each ``run_*_runtime`` function is the event-driven twin of an existing
+synchronous driver (`run_phase_king`, `run_gradecast`, `run_balanced_ba`)
+with the same inputs and the same outputs on a fault-free plan — the
+differential tests in ``tests/runtime/`` hold the pairs equal — and
+three extra knobs: the transport substrate (``"local"`` asyncio queues
+or ``"tcp"`` loopback sockets), a seeded
+:class:`~repro.runtime.faults.FaultPlan`, and an optional
+:class:`~repro.runtime.trace.TraceRecorder`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.net.adversary import CorruptionPlan
+from repro.net.metrics import CommunicationMetrics
+from repro.net.party import Party, SilentParty
+from repro.params import ProtocolParameters
+from repro.runtime.faults import FaultPlan
+from repro.runtime.replay import (
+    RecordingLedger,
+    apply_func_ops,
+    build_replay_parties,
+)
+from repro.runtime.synchronizer import run_parties
+from repro.runtime.trace import TraceRecorder
+from repro.runtime.transport import Transport
+from repro.srds.base import SRDSScheme
+from repro.utils.randomness import Randomness
+
+
+def _extra_rounds(fault_plan: Optional[FaultPlan]) -> int:
+    """Headroom a fault plan's delays add to a driver's round cap."""
+    return 0 if fault_plan is None else fault_plan.max_extra_rounds + 1
+
+
+def run_phase_king_runtime(
+    inputs: Dict[int, int],
+    byzantine: Sequence[int] = (),
+    *,
+    transport: Union[str, Transport] = "local",
+    fault_plan: Optional[FaultPlan] = None,
+    trace: Optional[TraceRecorder] = None,
+    metrics: Optional[CommunicationMetrics] = None,
+) -> Tuple[Dict[int, int], CommunicationMetrics]:
+    """Phase-king BA over the async runtime (twin of `run_phase_king`)."""
+    from repro.protocols.phase_king import (
+        ByzantinePhaseKingParty,
+        make_honest_party,
+    )
+
+    members = sorted(inputs)
+    byzantine_set = set(byzantine)
+    f = max(1, (len(members) - 1) // 3)
+    if len(byzantine_set) > f:
+        raise ConfigurationError(
+            f"{len(byzantine_set)} byzantine parties exceeds f={f}"
+        )
+    parties: List[Party] = []
+    for member in members:
+        if member in byzantine_set:
+            parties.append(ByzantinePhaseKingParty(member, members))
+        else:
+            parties.append(
+                make_honest_party(member, members, f, inputs[member])
+            )
+    honest = [m for m in members if m not in byzantine_set]
+    result = run_parties(
+        parties,
+        transport=transport,
+        metrics=metrics,
+        fault_plan=fault_plan,
+        trace=trace,
+        until=honest,
+        max_rounds=(3 * (f + 2) + 3) * (1 + _extra_rounds(fault_plan)),
+    )
+    outputs = {member: result.outputs[member] for member in honest}
+    return outputs, result.metrics
+
+
+def run_gradecast_runtime(
+    members: Sequence[int],
+    sender: int,
+    value: int,
+    byzantine: Sequence[int] = (),
+    equivocating_sender: bool = False,
+    *,
+    transport: Union[str, Transport] = "local",
+    fault_plan: Optional[FaultPlan] = None,
+    trace: Optional[TraceRecorder] = None,
+) -> Tuple[Dict[int, Tuple[int, int]], CommunicationMetrics]:
+    """Gradecast over the async runtime (twin of `run_gradecast`)."""
+    from repro.protocols.gradecast import (
+        EquivocatingGradecastSender,
+        GradecastParty,
+    )
+
+    members = sorted(members)
+    if sender not in members:
+        raise ConfigurationError("sender must be a member")
+    byzantine_set = set(byzantine)
+    t = max(1, (len(members) - 1) // 3)
+    if len(byzantine_set) + (1 if equivocating_sender else 0) > t:
+        raise ConfigurationError("too many byzantine parties for t < n/3")
+    parties: List[Party] = []
+    for member in members:
+        if member in byzantine_set:
+            parties.append(SilentParty(member))
+        elif member == sender and equivocating_sender:
+            parties.append(
+                EquivocatingGradecastSender(
+                    member, members, t, sender, sender_value=value
+                )
+            )
+        else:
+            parties.append(
+                GradecastParty(
+                    member, members, t, sender,
+                    sender_value=value if member == sender else None,
+                )
+            )
+    honest = [
+        m for m in members
+        if m not in byzantine_set
+        and not (equivocating_sender and m == sender)
+    ]
+    result = run_parties(
+        parties,
+        transport=transport,
+        fault_plan=fault_plan,
+        trace=trace,
+        until=honest,
+        max_rounds=6 * (1 + _extra_rounds(fault_plan)),
+    )
+    outputs = {member: result.outputs[member] for member in honest}
+    return outputs, result.metrics
+
+
+def run_balanced_ba_runtime(
+    inputs: Dict[int, int],
+    plan: CorruptionPlan,
+    scheme: SRDSScheme,
+    params: ProtocolParameters,
+    rng: Randomness,
+    adversary=None,
+    *,
+    transport: Union[str, Transport] = "local",
+    fault_plan: Optional[FaultPlan] = None,
+    trace: Optional[TraceRecorder] = None,
+):
+    """π_ba with its wire traffic shipped over a runtime transport.
+
+    Phase 1 executes Fig. 3 exactly as :func:`run_balanced_ba` does,
+    against a :class:`RecordingLedger` (so outputs, certificate, and the
+    reference snapshot are untouched).  Phase 2 replays the recorded
+    wire traffic as :class:`ReplayParty` machines over the requested
+    transport, with the hybrid-model charges applied verbatim, charging
+    a fresh ledger at the transport layer.
+
+    If the fault plan requests within-round reordering, the protocol is
+    additionally executed with a permuted delivery order at every point
+    where Fig. 3 consumes an inbox (the ``delivery_rng`` seam), so the
+    honest logic itself — not just the replay — is exercised under the
+    scheduling adversary.
+
+    Returns ``(ba_result, runtime_result)`` where ``ba_result.metrics``
+    is the snapshot of the *transport-charged* ledger.
+    """
+    from repro.protocols.balanced_ba import BalancedBA
+
+    delivery_rng = None
+    if fault_plan is not None and fault_plan.reorder:
+        assert fault_plan.rng is not None
+        delivery_rng = fault_plan.rng.fork("balanced-ba-delivery")
+
+    recorder = RecordingLedger()
+    protocol = BalancedBA(
+        inputs, plan, scheme, params, rng, adversary,
+        metrics=recorder, delivery_rng=delivery_rng,
+    )
+    reference = protocol.run()
+    script = recorder.script()
+
+    n = len(inputs)
+    runtime_metrics = CommunicationMetrics()
+    parties = build_replay_parties(script, n)
+    runtime_result = run_parties(
+        parties,
+        transport=transport,
+        metrics=runtime_metrics,
+        fault_plan=fault_plan,
+        trace=trace,
+        max_rounds=(script.num_rounds + 2) * (1 + _extra_rounds(fault_plan)),
+    )
+    apply_func_ops(script, runtime_metrics)
+    ba_result = dataclasses.replace(
+        reference, metrics=runtime_metrics.snapshot()
+    )
+    return ba_result, runtime_result

@@ -1,0 +1,289 @@
+"""Wire replay: turn a metered execution into Party state machines.
+
+The big protocol π_ba (Fig. 3) is implemented in the hybrid model: it
+charges every wire message to a :class:`CommunicationMetrics` ledger but
+never routes bytes through a network object.  To exercise π_ba's traffic
+over a *real* transport (and to check the runtime against the
+synchronous simulator on exactly the paper's headline workload), this
+module records the ledger's charge stream as a **replay script** and
+re-executes it as :class:`~repro.net.party.Party` state machines:
+
+1. run π_ba (or any metered execution) with a :class:`RecordingLedger`
+   — the protocol computes its outputs exactly as before, while every
+   ``record_message`` / ``charge_functionality`` call is also appended
+   to a script, segmented into replay rounds;
+2. build one :class:`ReplayParty` per party; its round-``k`` step emits
+   precisely the wire messages the original execution sent in segment
+   ``k`` (as zero-filled payloads of the exact charged size);
+3. run the replay parties over :class:`SynchronousNetwork` **or** the
+   async runtime — every frame crosses the chosen substrate and is
+   charged to a fresh ledger, which must reproduce the original
+   per-party tallies bit-for-bit.
+
+Analytic hybrid charges (``charge_functionality``) are not wire traffic;
+the replay applies them verbatim to the target ledger via
+:func:`apply_func_ops`, so full-ledger parity (not just wire parity)
+holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import NetworkError
+from repro.net.metrics import CommunicationMetrics
+from repro.net.party import Envelope, Party
+
+
+@dataclass(frozen=True)
+class FuncOp:
+    """One recorded ``charge_functionality`` invocation."""
+
+    participants: Tuple[int, ...]
+    bits_per_party: int
+    peers_per_party: int
+    rounds: int
+    peer_pool: Optional[Tuple[int, ...]]
+
+    def apply(self, metrics: CommunicationMetrics) -> None:
+        metrics.charge_functionality(
+            self.participants,
+            self.bits_per_party,
+            self.peers_per_party,
+            rounds=self.rounds,
+            peer_pool=self.peer_pool,
+        )
+
+
+@dataclass
+class ReplaySegment:
+    """One replay round: per-sender wire sends plus attached hybrid ops."""
+
+    sends: Dict[int, List[Tuple[int, int]]] = field(default_factory=dict)
+    funcs: List[FuncOp] = field(default_factory=list)
+
+    @property
+    def num_messages(self) -> int:
+        return sum(len(v) for v in self.sends.values())
+
+
+@dataclass
+class ReplayScript:
+    """The full recorded charge stream of one execution."""
+
+    segments: List[ReplaySegment]
+
+    @property
+    def num_messages(self) -> int:
+        return sum(segment.num_messages for segment in self.segments)
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.segments)
+
+    def party_ids(self) -> List[int]:
+        """Every party that appears as sender, recipient, or participant."""
+        ids = set()
+        for segment in self.segments:
+            for sender, sends in segment.sends.items():
+                ids.add(sender)
+                ids.update(recipient for recipient, _ in sends)
+            for func in segment.funcs:
+                ids.update(func.participants)
+                if func.peer_pool is not None:
+                    ids.update(func.peer_pool)
+        return sorted(ids)
+
+
+class RecordingLedger(CommunicationMetrics):
+    """A metrics ledger that additionally records a replay script.
+
+    Charging behaviour is *identical* to the base ledger (the recorded
+    execution's snapshot is unchanged); recording is a pure side channel.
+    Segmentation: wire messages accumulate into the current segment; a
+    ``charge_functionality`` call (the protocols' natural phase marks)
+    or an explicit ``end_round`` closes a segment that already holds
+    wire traffic.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._segments: List[ReplaySegment] = []
+        self._current = ReplaySegment()
+
+    def record_message(self, sender: int, recipient: int, num_bits: int) -> None:
+        super().record_message(sender, recipient, num_bits)
+        self._current.sends.setdefault(sender, []).append(
+            (recipient, num_bits)
+        )
+
+    def charge_functionality(
+        self,
+        participants,
+        bits_per_party: int,
+        peers_per_party: int,
+        rounds: int = 1,
+        peer_pool=None,
+    ) -> None:
+        participants = list(participants)
+        pool = list(peer_pool) if peer_pool is not None else None
+        super().charge_functionality(
+            participants, bits_per_party, peers_per_party,
+            rounds=rounds, peer_pool=pool,
+        )
+        if self._current.sends:
+            self._segments.append(self._current)
+            self._current = ReplaySegment()
+        self._current.funcs.append(
+            FuncOp(
+                participants=tuple(participants),
+                bits_per_party=bits_per_party,
+                peers_per_party=peers_per_party,
+                rounds=rounds,
+                peer_pool=tuple(pool) if pool is not None else None,
+            )
+        )
+
+    def end_round(self) -> None:
+        super().end_round()
+        if self._current.sends or self._current.funcs:
+            self._segments.append(self._current)
+            self._current = ReplaySegment()
+
+    def script(self) -> ReplayScript:
+        """The script recorded so far (current partial segment included)."""
+        segments = list(self._segments)
+        if self._current.sends or self._current.funcs:
+            segments.append(self._current)
+        return ReplayScript(segments=segments)
+
+
+@dataclass(frozen=True)
+class SizedEnvelope(Envelope):
+    """An envelope charged at an exact recorded bit count.
+
+    The payload is zero-filled filler of ``ceil(bits / 8)`` bytes; the
+    ledger charge is the recorded ``bits`` (which for π_ba's wire
+    messages is always a byte multiple, so filler and charge agree).
+    """
+
+    bits: int = 0
+
+    def size_bits(self) -> int:
+        return self.bits
+
+
+class ReplayParty(Party):
+    """Replays one party's recorded send schedule, round by round."""
+
+    def __init__(
+        self,
+        party_id: int,
+        per_round_sends: Sequence[Sequence[Tuple[int, int]]],
+        total_rounds: int,
+    ) -> None:
+        super().__init__(party_id)
+        if len(per_round_sends) > total_rounds:
+            raise NetworkError("send schedule longer than the replay run")
+        self._sends = [list(round_sends) for round_sends in per_round_sends]
+        self._total_rounds = total_rounds
+        self.received_bits = 0
+
+    def step(self, round_index: int, inbox: Sequence[Envelope]) -> List[Envelope]:
+        self.received_bits += sum(e.size_bits() for e in inbox)
+        if round_index >= self._total_rounds:
+            return self.halt(self.received_bits)
+        if round_index >= len(self._sends):
+            return []
+        return [
+            SizedEnvelope(
+                sender=self.party_id,
+                recipient=recipient,
+                payload=bytes((bits + 7) // 8),
+                bits=bits,
+            )
+            for recipient, bits in self._sends[round_index]
+        ]
+
+
+def build_replay_parties(script: ReplayScript, n: int) -> List[ReplayParty]:
+    """One :class:`ReplayParty` per party id in ``range(n)``.
+
+    Round ``k`` of the replay corresponds to script segment ``k``; all
+    parties halt at round ``num_rounds`` (after the last deliveries).
+    """
+    total = script.num_rounds
+    per_party: Dict[int, List[List[Tuple[int, int]]]] = {
+        party: [[] for _ in range(total)] for party in range(n)
+    }
+    for index, segment in enumerate(script.segments):
+        for sender, sends in segment.sends.items():
+            if sender not in per_party:
+                raise NetworkError(
+                    f"script references party {sender} outside range({n})"
+                )
+            per_party[sender][index] = list(sends)
+    return [
+        ReplayParty(party, per_party[party], total) for party in range(n)
+    ]
+
+
+def apply_func_ops(
+    script: ReplayScript, metrics: CommunicationMetrics
+) -> int:
+    """Apply every recorded hybrid charge to a ledger; returns the count."""
+    count = 0
+    for segment in script.segments:
+        for func in segment.funcs:
+            func.apply(metrics)
+            count += 1
+    return count
+
+
+def replay_over_simulator(
+    script: ReplayScript,
+    n: int,
+    metrics: Optional[CommunicationMetrics] = None,
+) -> CommunicationMetrics:
+    """Re-run the script's wire traffic over :class:`SynchronousNetwork`
+    and apply its hybrid charges; returns the freshly charged ledger."""
+    from repro.net.simulator import SynchronousNetwork
+
+    metrics = metrics if metrics is not None else CommunicationMetrics()
+    parties = build_replay_parties(script, n)
+    network = SynchronousNetwork(parties, metrics=metrics)
+    network.run(max_rounds=script.num_rounds + 2)
+    apply_func_ops(script, metrics)
+    return metrics
+
+
+def tallies_equal(
+    a: CommunicationMetrics,
+    b: CommunicationMetrics,
+    party_ids: Iterable[int],
+) -> bool:
+    """Whether two ledgers agree on every per-party counter.
+
+    (Round *counts* may differ — a replay imposes its own round
+    segmentation — but bits, message counts, and localities must not.)
+    """
+    for party in party_ids:
+        ta, tb = a.tally_of(party), b.tally_of(party)
+        if (
+            ta.bits_sent,
+            ta.bits_received,
+            ta.messages_sent,
+            ta.messages_received,
+            ta.peers_sent_to,
+            ta.peers_received_from,
+        ) != (
+            tb.bits_sent,
+            tb.bits_received,
+            tb.messages_sent,
+            tb.messages_received,
+            tb.peers_sent_to,
+            tb.peers_received_from,
+        ):
+            return False
+    return True

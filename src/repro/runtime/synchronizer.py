@@ -1,0 +1,350 @@
+"""Round synchronization: the paper's synchronous model over async transports.
+
+The paper (§1) assumes a synchronous network: messages sent in round
+``r`` arrive by the start of round ``r + 1``.  The runtime recovers
+exactly that model on top of an event-driven transport with a *round
+barrier*: every non-halted, non-crashed party runs its
+:meth:`~repro.net.party.Party.step` as its own coroutine; the barrier is
+the point where all step coroutines of the round have completed **and**
+the transport has flushed every in-flight frame.  Only then does the
+next round's inbox become visible.
+
+Determinism contract.  With no :class:`~repro.runtime.faults.FaultPlan`
+(or a fault-free one), an execution over any transport is
+*message-for-message identical* to :class:`~repro.net.simulator.
+SynchronousNetwork`: inboxes are presented in the canonical
+``(sent_round, sender, seq)`` order, which coincides with the
+simulator's sorted-sender dispatch order; metrics are charged once per
+frame at the same sizes; ``end_round`` fires once per barrier.  The
+differential tests in ``tests/runtime/`` pin this equivalence.
+
+A fault plan perturbs delivery *inside* the model's remaining freedom
+(plus explicitly modeled crash/partition/delay faults); all its choices
+are seeded, so a faulty schedule is as reproducible as a clean one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.errors import NetworkError
+from repro.net.metrics import CommunicationMetrics
+from repro.net.party import Envelope, Party
+from repro.runtime import trace as trace_mod
+from repro.runtime.faults import FaultPlan
+from repro.runtime.trace import TraceRecorder
+from repro.runtime.transport import Frame, Transport, make_transport
+
+
+class RoundSynchronizer:
+    """Drives :class:`Party` state machines over a :class:`Transport`
+    in lockstep rounds, applying an optional fault plan at delivery."""
+
+    def __init__(
+        self,
+        parties: Sequence[Party],
+        transport: Transport,
+        fault_plan: Optional[FaultPlan] = None,
+        trace: Optional[TraceRecorder] = None,
+        message_budget_per_party: Optional[int] = None,
+    ) -> None:
+        self.parties: Dict[int, Party] = {}
+        for party in parties:
+            if party.party_id in self.parties:
+                raise NetworkError(f"duplicate party id {party.party_id}")
+            self.parties[party.party_id] = party
+        if set(self.parties) != set(transport.party_ids):
+            raise NetworkError(
+                "transport party registry does not match the party set"
+            )
+        self.transport = transport
+        self.metrics: CommunicationMetrics = transport.metrics
+        self.faults = fault_plan if fault_plan is not None else FaultPlan()
+        self.trace = trace
+        self._budget = message_budget_per_party
+        self._messages_sent: Dict[int, int] = {p: 0 for p in self.parties}
+        self._seq: Dict[int, int] = {p: 0 for p in self.parties}
+        # Frames accepted by the transport but not yet due for delivery
+        # (fault-plan delays push deliver_round past the next barrier).
+        self._staged: Dict[int, List[Frame]] = {p: [] for p in self.parties}
+        self._crash_traced: set = set()
+        self.round_index = 0
+
+    # -- public drivers ------------------------------------------------------
+
+    async def run(self, max_rounds: int = 10_000) -> None:
+        """Run until every party has halted (or crashed permanently)."""
+
+        def finished() -> bool:
+            return all(
+                party.halted or self.faults.is_crashed(pid, self.round_index)
+                for pid, party in self.parties.items()
+            )
+
+        await self._run_rounds(finished, max_rounds)
+
+    async def run_until(
+        self, party_ids: Iterable[int], max_rounds: int = 10_000
+    ) -> None:
+        """Run until the listed parties have all halted."""
+        targets = list(party_ids)
+        unknown = [p for p in targets if p not in self.parties]
+        if unknown:
+            raise NetworkError(
+                f"unknown target party id(s) {sorted(unknown)}; "
+                f"known ids are {sorted(self.parties)}"
+            )
+
+        def finished() -> bool:
+            return all(self.parties[p].halted for p in targets)
+
+        await self._run_rounds(finished, max_rounds)
+
+    async def _run_rounds(self, finished, max_rounds: int) -> None:
+        for _ in range(max_rounds):
+            if finished():
+                return
+            await self.step_round()
+        raise NetworkError(
+            f"protocol did not terminate in {max_rounds} rounds"
+        )
+
+    # -- one round ------------------------------------------------------------
+
+    async def step_round(self) -> None:
+        """Execute one synchronous round: deliver, step all, barrier."""
+        round_index = self.round_index
+        inboxes = self._take_due_inboxes(round_index)
+        runnable: List[int] = []
+        for party_id in sorted(self.parties):
+            party = self.parties[party_id]
+            if self.faults.is_crashed(party_id, round_index):
+                if party_id not in self._crash_traced:
+                    self._crash_traced.add(party_id)
+                    self._trace(party_id, trace_mod.CRASH, round_index)
+                continue
+            if party.halted:
+                continue
+            runnable.append(party_id)
+        await asyncio.gather(
+            *(
+                self._party_round(
+                    party_id, round_index, inboxes.get(party_id, [])
+                )
+                for party_id in runnable
+            )
+        )
+        # The barrier: nothing sent this round is visible until every
+        # in-flight frame has reached its destination buffer.
+        await self.transport.flush()
+        for party_id in self.parties:
+            self._staged[party_id].extend(self.transport.collect(party_id))
+        self.metrics.end_round()
+        self.round_index += 1
+
+    async def _party_round(
+        self, party_id: int, round_index: int, inbox: List[Envelope]
+    ) -> None:
+        """One party's turn: trace the barrier, step, ship its envelopes."""
+        party = self.parties[party_id]
+        self._trace(
+            party_id,
+            trace_mod.ROUND_BARRIER,
+            round_index,
+            queue_depth=len(inbox),
+        )
+        if self.trace is not None:
+            for envelope in inbox:
+                self._trace(
+                    party_id,
+                    trace_mod.RECV,
+                    round_index,
+                    peer=envelope.sender,
+                    bits=envelope.size_bits(),
+                )
+        outgoing = party.step(round_index, inbox)
+        for envelope in outgoing:
+            await self._ship(party_id, round_index, envelope)
+        if party.halted:
+            self._trace(
+                party_id,
+                trace_mod.HALT,
+                round_index,
+                output=repr(party.output),
+            )
+
+    async def _ship(
+        self, sender: int, round_index: int, envelope: Envelope
+    ) -> None:
+        """Budget-check, fault-filter, and transport-send one envelope."""
+        if self._budget is not None:
+            self._messages_sent[sender] += 1
+            if self._messages_sent[sender] > self._budget:
+                raise NetworkError(
+                    f"party {sender} exceeded its message budget "
+                    f"of {self._budget}"
+                )
+        if self.faults.drops(round_index, sender, envelope.recipient):
+            self._trace(
+                sender,
+                trace_mod.DROP,
+                round_index,
+                peer=envelope.recipient,
+                bits=envelope.size_bits(),
+            )
+            return
+        seq = self._seq[sender]
+        self._seq[sender] = seq + 1
+        delay = self.faults.delay_of(
+            round_index, sender, envelope.recipient, seq
+        )
+        frame = Frame(
+            sender=sender,
+            recipient=envelope.recipient,
+            payload=envelope.payload,
+            sent_round=round_index,
+            deliver_round=round_index + 1 + delay,
+            # Charge exactly what the envelope declares: for plain
+            # envelopes this is 8 * len(payload); replayed envelopes may
+            # carry an exact analytic bit count.
+            charge_bits=envelope.size_bits(),
+            seq=seq,
+        )
+        self._trace(
+            sender,
+            trace_mod.SEND,
+            round_index,
+            peer=envelope.recipient,
+            bits=frame.bits(),
+        )
+        await self.transport.send(sender, frame)
+
+    # -- delivery ---------------------------------------------------------------
+
+    def _take_due_inboxes(self, round_index: int) -> Dict[int, List[Envelope]]:
+        """Pop every staged frame due by this round, in canonical order,
+        then apply duplication and reordering from the fault plan."""
+        inboxes: Dict[int, List[Envelope]] = {}
+        for party_id, staged in self._staged.items():
+            due = [f for f in staged if f.deliver_round <= round_index]
+            if not due:
+                continue
+            self._staged[party_id] = [
+                f for f in staged if f.deliver_round > round_index
+            ]
+            due.sort(key=lambda f: (f.sent_round, f.sender, f.seq))
+            delivered: List[Frame] = []
+            for frame in due:
+                delivered.append(frame)
+                if self.faults.duplicates(
+                    frame.sent_round, frame.sender, frame.recipient, frame.seq
+                ):
+                    delivered.append(frame)
+            delivered = self.faults.inbox_order(
+                round_index, party_id, delivered
+            )
+            inboxes[party_id] = [
+                Envelope(
+                    sender=f.sender, recipient=f.recipient, payload=f.payload
+                )
+                for f in delivered
+            ]
+        return inboxes
+
+    def _trace(self, party_id: int, kind: str, round_index: int, **fields) -> None:
+        if self.trace is not None:
+            self.trace.record(party_id, kind, round_index, **fields)
+
+    def outputs(self) -> Dict[int, object]:
+        """Map of party id to output, halted parties only (simulator API)."""
+        return {
+            party_id: party.output
+            for party_id, party in self.parties.items()
+            if party.halted
+        }
+
+
+@dataclass
+class RuntimeResult:
+    """Outcome of one runtime execution."""
+
+    outputs: Dict[int, object]
+    metrics: CommunicationMetrics
+    rounds: int
+    trace: Optional[TraceRecorder]
+
+
+def run_parties(
+    parties: Sequence[Party],
+    *,
+    transport: Union[str, Transport] = "local",
+    metrics: Optional[CommunicationMetrics] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    trace: Optional[TraceRecorder] = None,
+    until: Optional[Iterable[int]] = None,
+    max_rounds: int = 10_000,
+    message_budget_per_party: Optional[int] = None,
+) -> RuntimeResult:
+    """Synchronous facade: run party machines over the async runtime.
+
+    ``transport`` is either a :class:`Transport` instance or a factory
+    kind (``"local"`` / ``"tcp"``).  ``until`` lists the party ids whose
+    halting ends the run (default: everyone, as in
+    :meth:`SynchronousNetwork.run`).  Returns a :class:`RuntimeResult`
+    whose ``metrics`` is the live ledger (call ``.snapshot()`` for
+    tables).
+    """
+    return asyncio.run(
+        run_parties_async(
+            parties,
+            transport=transport,
+            metrics=metrics,
+            fault_plan=fault_plan,
+            trace=trace,
+            until=until,
+            max_rounds=max_rounds,
+            message_budget_per_party=message_budget_per_party,
+        )
+    )
+
+
+async def run_parties_async(
+    parties: Sequence[Party],
+    *,
+    transport: Union[str, Transport] = "local",
+    metrics: Optional[CommunicationMetrics] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    trace: Optional[TraceRecorder] = None,
+    until: Optional[Iterable[int]] = None,
+    max_rounds: int = 10_000,
+    message_budget_per_party: Optional[int] = None,
+) -> RuntimeResult:
+    """Async core of :func:`run_parties` (use inside an event loop)."""
+    party_ids = [party.party_id for party in parties]
+    if isinstance(transport, str):
+        transport_obj = make_transport(transport, party_ids, metrics)
+    else:
+        transport_obj = transport
+    await transport_obj.start()
+    try:
+        synchronizer = RoundSynchronizer(
+            parties,
+            transport_obj,
+            fault_plan=fault_plan,
+            trace=trace,
+            message_budget_per_party=message_budget_per_party,
+        )
+        if until is None:
+            await synchronizer.run(max_rounds=max_rounds)
+        else:
+            await synchronizer.run_until(until, max_rounds=max_rounds)
+        return RuntimeResult(
+            outputs=synchronizer.outputs(),
+            metrics=transport_obj.metrics,
+            rounds=synchronizer.round_index,
+            trace=trace,
+        )
+    finally:
+        await transport_obj.stop()

@@ -77,6 +77,59 @@ class TestChargeFunctionality:
         assert metrics.tally_of(0).bits_total == 20
 
 
+class TestRoundAccountingConsistency:
+    """Regression tests: hybrid charges follow the record_message
+    convention — each wire transfer counted once, at the sender — in
+    *both* the per-round counters and ``total_bits``.  (Historically
+    ``charge_functionality`` added the full per-party charge to the
+    round counter, ~2x what ``total_bits`` accrued.)"""
+
+    def test_functionality_round_bits_match_total_bits(self):
+        metrics = CommunicationMetrics()
+        metrics.charge_functionality([0, 1, 2], bits_per_party=90,
+                                     peers_per_party=2, rounds=3)
+        metrics.end_round()
+        # Sent halves: 3 parties x ceil(90 / 2) = 135, not 3 x 90 = 270.
+        assert metrics.total_bits == 135
+        assert metrics.round_bits == [135]
+
+    def test_odd_split_counts_sent_half(self):
+        metrics = CommunicationMetrics()
+        metrics.charge_functionality([0], bits_per_party=9,
+                                     peers_per_party=1)
+        assert metrics.tally_of(0).bits_sent == 5
+        assert metrics.tally_of(0).bits_received == 4
+        assert metrics.tally_of(0).bits_total == 9
+        assert metrics.current_round_bits == 5
+        assert metrics.total_bits == 5
+
+    def test_mixed_wire_and_hybrid_charges_stay_consistent(self):
+        metrics = CommunicationMetrics()
+        metrics.record_message(0, 1, 100)
+        metrics.charge_functionality([0, 1], bits_per_party=50,
+                                     peers_per_party=1)
+        metrics.end_round()
+        metrics.record_message(1, 0, 60)
+        # Invariant: closed rounds + open round == total_bits, always.
+        assert (
+            sum(metrics.round_bits) + metrics.current_round_bits
+            == metrics.total_bits
+        )
+        assert metrics.total_bits == 100 + 2 * 25 + 60
+
+    def test_per_party_totals_unchanged_by_fix(self):
+        # The headline metric (max bits per party) must be unaffected by
+        # the round-counter alignment: bits_total still grows by the
+        # full bits_per_party.
+        metrics = CommunicationMetrics()
+        metrics.charge_functionality([0, 1, 2, 3], bits_per_party=71,
+                                     peers_per_party=2)
+        assert all(
+            metrics.tally_of(p).bits_total == 71 for p in range(4)
+        )
+        assert metrics.max_bits_per_party == 71
+
+
 class TestSnapshot:
     def test_snapshot_fields(self):
         metrics = CommunicationMetrics()

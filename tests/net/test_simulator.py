@@ -104,6 +104,19 @@ class TestTermination:
         with pytest.raises(NetworkError):
             network.run(max_rounds=5)
 
+    def test_run_until_unknown_target_raises_network_error(self):
+        # Regression: this used to surface as a bare KeyError mid-run.
+        network = SynchronousNetwork([SilentParty(0), SilentParty(1)])
+        with pytest.raises(NetworkError, match="unknown target party"):
+            network.run_until([0, 42], max_rounds=5)
+
+    def test_run_until_unknown_target_message_lists_ids(self):
+        network = SynchronousNetwork([SilentParty(3)])
+        with pytest.raises(NetworkError, match=r"\[7, 9\]"):
+            network.run_until([9, 7], max_rounds=5)
+        # Validation happens up front, before any round runs.
+        assert network.round_index == 0
+
     def test_outputs_collects_halted(self):
         a, b = EchoParty(0, 1), EchoParty(1, 0)
         network = SynchronousNetwork([a, b])

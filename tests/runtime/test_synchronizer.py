@@ -1,0 +1,184 @@
+"""RoundSynchronizer: the paper's synchronous model over async transports.
+
+The central claim of the runtime is *differential equivalence*: party
+state machines driven by the RoundSynchronizer produce exactly the
+outputs and metrics they produce under ``SynchronousNetwork``.  These
+tests pin that equivalence for the committee protocols, plus runtime
+API semantics (budgets, run_until validation, tracing determinism).
+"""
+
+from typing import List, Sequence
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.metrics import CommunicationMetrics
+from repro.net.party import Envelope, Party, SilentParty
+from repro.net.simulator import SynchronousNetwork
+from repro.protocols.gradecast import check_gradecast_guarantees, run_gradecast
+from repro.protocols.phase_king import run_phase_king
+from repro.runtime import (
+    TraceRecorder,
+    run_gradecast_runtime,
+    run_parties,
+    run_phase_king_runtime,
+)
+
+
+class EchoParty(Party):
+    """Same machine the simulator tests use: ping, echo, halt."""
+
+    def __init__(self, party_id: int, peer: int) -> None:
+        super().__init__(party_id)
+        self.peer = peer
+        self.received: List[bytes] = []
+
+    def step(self, round_index: int, inbox: Sequence[Envelope]) -> List[Envelope]:
+        self.received.extend(envelope.payload for envelope in inbox)
+        if round_index == 0:
+            return [self.send(self.peer, b"ping-%d" % self.party_id)]
+        if round_index >= 2:
+            return self.halt(len(self.received))
+        return [
+            self.send(envelope.sender, b"echo:" + envelope.payload)
+            for envelope in inbox
+        ]
+
+
+class TestBasicSemantics:
+    def test_echo_round_trip_matches_simulator(self):
+        sim_a, sim_b = EchoParty(0, 1), EchoParty(1, 0)
+        network = SynchronousNetwork([sim_a, sim_b])
+        network.run(max_rounds=10)
+
+        rt_a, rt_b = EchoParty(0, 1), EchoParty(1, 0)
+        result = run_parties([rt_a, rt_b], max_rounds=10)
+        assert rt_a.received == sim_a.received
+        assert rt_b.received == sim_b.received
+        assert result.outputs == network.outputs()
+        assert result.metrics.snapshot() == network.metrics.snapshot()
+
+    def test_messages_not_visible_before_barrier(self):
+        class Probe(Party):
+            def __init__(self, party_id):
+                super().__init__(party_id)
+                self.first_inbox = None
+
+            def step(self, round_index, inbox):
+                if round_index == 0:
+                    return [self.send(1 - self.party_id, b"x")]
+                if self.first_inbox is None:
+                    self.first_inbox = [e.payload for e in inbox]
+                return self.halt()
+
+        a, b = Probe(0), Probe(1)
+        run_parties([a, b], max_rounds=5)
+        # Round-0 sends arrive exactly at round 1, not during round 0.
+        assert a.first_inbox == [b"x"]
+
+    def test_duplicate_party_id_rejected(self):
+        with pytest.raises(NetworkError):
+            run_parties([SilentParty(0), SilentParty(0)])
+
+    def test_nontermination_detected(self):
+        with pytest.raises(NetworkError, match="did not terminate"):
+            run_parties([SilentParty(0)], max_rounds=4)
+
+    def test_run_until_unknown_target_raises(self):
+        with pytest.raises(NetworkError, match="unknown target party"):
+            run_parties([SilentParty(0)], until=[3], max_rounds=4)
+
+    def test_budget_enforced(self):
+        class Chatty(Party):
+            def step(self, round_index, inbox):
+                return [self.send(1, b"x") for _ in range(5)]
+
+        with pytest.raises(NetworkError, match="message budget"):
+            run_parties(
+                [Chatty(0), SilentParty(1)],
+                message_budget_per_party=3,
+                max_rounds=3,
+            )
+
+    def test_outputs_only_halted(self):
+        a = EchoParty(0, 1)
+        result = run_parties(
+            [a, SilentParty(1)], until=[0], max_rounds=10
+        )
+        assert set(result.outputs) == {0}
+
+
+@pytest.mark.parametrize("n", [7, 13])
+def test_phase_king_differential(n):
+    inputs = {i: (i * 3) % 2 for i in range(n)}
+    byzantine = [1, n - 2][: max(1, (n - 1) // 3)]
+    sync_outputs, sync_metrics = run_phase_king(inputs, byzantine)
+    rt_outputs, rt_metrics = run_phase_king_runtime(inputs, byzantine)
+    assert rt_outputs == sync_outputs
+    assert rt_metrics.snapshot() == sync_metrics.snapshot()
+
+
+@pytest.mark.parametrize("equivocating", [False, True])
+def test_gradecast_differential(equivocating):
+    members = list(range(7))
+    sync_outputs, sync_metrics = run_gradecast(
+        members, sender=2, value=1, byzantine=[5],
+        equivocating_sender=equivocating,
+    )
+    rt_outputs, rt_metrics = run_gradecast_runtime(
+        members, sender=2, value=1, byzantine=[5],
+        equivocating_sender=equivocating,
+    )
+    assert rt_outputs == sync_outputs
+    assert rt_metrics.snapshot() == sync_metrics.snapshot()
+    assert check_gradecast_guarantees(
+        rt_outputs, sender_honest=not equivocating, sender_value=1
+    )
+
+
+def test_tcp_matches_local_for_phase_king():
+    inputs = {i: i % 2 for i in range(7)}
+    local_out, local_metrics = run_phase_king_runtime(inputs, [3])
+    tcp_out, tcp_metrics = run_phase_king_runtime(inputs, [3], transport="tcp")
+    assert tcp_out == local_out
+    assert tcp_metrics.snapshot() == local_metrics.snapshot()
+
+
+class TestTraceDeterminism:
+    def test_same_seed_same_trace(self):
+        inputs = {i: i % 2 for i in range(7)}
+        fingerprints = []
+        for _ in range(2):
+            trace = TraceRecorder()
+            run_phase_king_runtime(inputs, [2], trace=trace)
+            fingerprints.append(trace.fingerprint())
+        assert fingerprints[0] == fingerprints[1]
+
+    def test_trace_identical_across_transports(self):
+        inputs = {i: i % 2 for i in range(5)}
+        traces = []
+        for kind in ("local", "tcp"):
+            trace = TraceRecorder()
+            run_phase_king_runtime(inputs, [1], transport=kind, trace=trace)
+            traces.append(trace.fingerprint())
+        assert traces[0] == traces[1]
+
+    def test_trace_contains_expected_kinds(self):
+        trace = TraceRecorder()
+        run_parties([EchoParty(0, 1), EchoParty(1, 0)], trace=trace)
+        kinds = {
+            event["kind"]
+            for party in trace.party_ids
+            for event in trace.events_of(party)
+        }
+        assert {"send", "recv", "round-barrier", "halt"} <= kinds
+        assert trace.max_queue_depth() >= 1
+
+
+def test_external_metrics_object_is_charged():
+    metrics = CommunicationMetrics()
+    result = run_parties(
+        [EchoParty(0, 1), EchoParty(1, 0)], metrics=metrics
+    )
+    assert result.metrics is metrics
+    assert metrics.total_bits > 0

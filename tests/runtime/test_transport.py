@@ -1,0 +1,147 @@
+"""Unit tests for the runtime transport layer."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.metrics import CommunicationMetrics
+from repro.runtime.transport import (
+    AsyncLocalTransport,
+    Frame,
+    TcpTransport,
+    make_transport,
+)
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestFrameEncoding:
+    def test_roundtrip(self):
+        frame = Frame(
+            sender=3, recipient=9, payload=b"hello", sent_round=4,
+            deliver_round=7, charge_bits=41, seq=12,
+        )
+        wire = frame.encode()
+        length = int.from_bytes(wire[:4], "big")
+        assert length == len(wire) - 4
+        decoded = Frame.decode(wire[4:])
+        assert decoded == frame
+
+    def test_default_charge_is_payload_bits(self):
+        frame = Frame(sender=0, recipient=1, payload=b"abc")
+        assert frame.bits() == 24
+
+    def test_charge_override(self):
+        frame = Frame(sender=0, recipient=1, payload=b"abc", charge_bits=17)
+        assert frame.bits() == 17
+        assert Frame.decode(frame.encode()[4:]).bits() == 17
+
+    def test_short_frame_rejected(self):
+        with pytest.raises(NetworkError):
+            Frame.decode(b"\x01\x02")
+
+
+class TestAsyncLocalTransport:
+    def test_send_collect_and_charge(self):
+        async def main():
+            metrics = CommunicationMetrics()
+            transport = AsyncLocalTransport([0, 1, 2], metrics)
+            await transport.start()
+            await transport.send(0, Frame(sender=0, recipient=1, payload=b"xy"))
+            await transport.flush()
+            frames = transport.collect(1)
+            assert [f.payload for f in frames] == [b"xy"]
+            assert transport.collect(1) == []  # drained
+            assert metrics.tally_of(0).bits_sent == 16
+            assert metrics.tally_of(1).bits_received == 16
+            await transport.stop()
+
+        run(main())
+
+    def test_sender_stamped(self):
+        async def main():
+            transport = AsyncLocalTransport([0, 1])
+            await transport.start()
+            # Party 0 claims to be party 1: the transport stamps the truth.
+            await transport.send(0, Frame(sender=1, recipient=1, payload=b"z"))
+            assert transport.collect(1)[0].sender == 0
+            await transport.stop()
+
+        run(main())
+
+    def test_unknown_ids_rejected(self):
+        async def main():
+            transport = AsyncLocalTransport([0, 1])
+            await transport.start()
+            with pytest.raises(NetworkError):
+                await transport.send(5, Frame(sender=5, recipient=0, payload=b""))
+            with pytest.raises(NetworkError):
+                await transport.send(0, Frame(sender=0, recipient=9, payload=b""))
+            with pytest.raises(NetworkError):
+                transport.collect(9)
+            await transport.stop()
+
+        run(main())
+
+    def test_duplicate_party_ids_rejected(self):
+        with pytest.raises(NetworkError):
+            AsyncLocalTransport([0, 0, 1])
+
+
+class TestTcpTransport:
+    def test_frames_cross_real_sockets(self):
+        async def main():
+            metrics = CommunicationMetrics()
+            transport = TcpTransport([0, 1, 2], metrics)
+            await transport.start()
+            assert transport.port is not None and transport.port > 0
+            await transport.send(0, Frame(sender=0, recipient=2, payload=b"abc"))
+            await transport.send(1, Frame(sender=1, recipient=2, payload=b"defg"))
+            await transport.flush()
+            assert transport.in_flight == 0
+            frames = sorted(transport.collect(2), key=lambda f: f.sender)
+            assert [f.payload for f in frames] == [b"abc", b"defg"]
+            assert metrics.tally_of(2).bits_received == 8 * 7
+            await transport.stop()
+
+        run(main())
+
+    def test_router_stamps_connection_identity(self):
+        async def main():
+            transport = TcpTransport([0, 1])
+            await transport.start()
+            # A frame claiming sender=1 sent over party 0's connection is
+            # re-stamped by the router from the connection identity.
+            await transport.send(0, Frame(sender=1, recipient=1, payload=b"!"))
+            await transport.flush()
+            assert transport.collect(1)[0].sender == 0
+            await transport.stop()
+
+        run(main())
+
+    def test_charge_bits_survive_the_wire(self):
+        async def main():
+            metrics = CommunicationMetrics()
+            transport = TcpTransport([0, 1], metrics)
+            await transport.start()
+            await transport.send(
+                0, Frame(sender=0, recipient=1, payload=b"\x00\x00", charge_bits=13)
+            )
+            await transport.flush()
+            assert metrics.tally_of(0).bits_sent == 13
+            await transport.stop()
+
+        run(main())
+
+
+class TestFactory:
+    def test_kinds(self):
+        assert isinstance(make_transport("local", [0]), AsyncLocalTransport)
+        assert isinstance(make_transport("tcp", [0]), TcpTransport)
+
+    def test_unknown_kind(self):
+        with pytest.raises(NetworkError):
+            make_transport("carrier-pigeon", [0])

@@ -21,6 +21,21 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "Thm 1.3" in output and "Thm 1.4" in output
 
+    def test_runtime(self, capsys):
+        assert main(["runtime", "16"]) == 0
+        output = capsys.readouterr().out
+        assert "transport=local" in output
+        assert "matches-sync=True" in output
+        assert "parity-with-hybrid=True" in output
+
+    def test_runtime_tcp_with_trace_dir(self, tmp_path, capsys):
+        target = tmp_path / "traces"
+        assert main(["runtime", "16", "tcp", str(target)]) == 0
+        output = capsys.readouterr().out
+        assert "transport=tcp" in output
+        assert "JSONL files" in output
+        assert sorted(target.glob("party-*.jsonl"))
+
     def test_no_command_shows_usage(self, capsys):
         assert main([]) == 2
         assert "Commands" in capsys.readouterr().out
