@@ -6,11 +6,15 @@ agreement/validity plus the structural metrics the theorem promises
 (polylog rounds, succinct certificate, balanced communication).
 """
 
+import time
+
 import pytest
 
 from benchmarks.conftest import write_result
 from repro.analysis.tables import format_bits
 from repro.net.adversary import random_corruption
+from repro.net.metrics import CommunicationMetrics
+from repro.obs.spans import SpanLog, recording
 from repro.params import ProtocolParameters
 from repro.protocols.balanced_ba import AdversaryBehavior, run_balanced_ba
 from repro.srds.base_sigs import HashRegistryBase
@@ -52,7 +56,7 @@ def _run_grid():
 
 
 @pytest.mark.benchmark(group="fig3")
-def test_fig3_protocol(benchmark, results_dir):
+def test_fig3_protocol(benchmark, results_dir, bench_json):
     rows = benchmark.pedantic(_run_grid, rounds=1, iterations=1)
 
     lines = [
@@ -76,3 +80,34 @@ def test_fig3_protocol(benchmark, results_dir):
         assert result.certificate_bytes < 512
         # Balanced: worst party within a small factor of the mean.
         assert result.metrics.imbalance < 5.0
+
+    # Structured record: one phase-instrumented run at the smallest n,
+    # so the per-phase cost trajectory is diffable across PRs.
+    n = NS[0]
+    rng = Randomness(42)
+    plan = random_corruption(n, PARAMS.max_corruptions(n), rng.fork("bench"))
+    metrics = CommunicationMetrics()
+    started = time.perf_counter()
+    with recording(SpanLog()):
+        instrumented = run_balanced_ba(
+            {i: i % 2 for i in range(n)},
+            plan,
+            SnarkSRDS(base_scheme=HashRegistryBase()),
+            PARAMS,
+            rng.fork("bench-run"),
+            metrics=metrics,
+        )
+    elapsed = time.perf_counter() - started
+    assert instrumented.agreement
+    for party_id in metrics.party_ids:
+        assert (
+            sum(metrics.bits_by_phase(party_id).values())
+            == metrics.tally_of(party_id).bits_total
+        )
+    bench_json(
+        "fig3_protocol",
+        snapshot=metrics.snapshot(),
+        phase_breakdown=metrics.phase_breakdown(),
+        wall_times={"pi_ba": elapsed},
+        extra={"n": n, "t": plan.t, "scheme": "snark-srds"},
+    )

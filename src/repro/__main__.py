@@ -16,6 +16,16 @@ Commands:
 * ``report [path]`` — assemble the benchmark records from
   ``benchmarks/results/`` into one measured-experiment report (stdout,
   or written to ``path``).
+* ``obs report [path] [n] [--out dir]`` — observability: with no
+  ``path``, run pi_ba fresh (default n=16) under both SRDS
+  constructions with phase spans recording, print the per-phase and
+  per-party communication tables, and verify that every party's phase
+  sums equal its ``bits_total`` (exit 0 iff they all match); with a
+  ``BENCH_*.json`` path, render that record; with a trace directory,
+  summarize its per-party JSONL streams.  ``--out dir`` additionally
+  writes ``BENCH_*.json`` records and Perfetto timeline JSON there.
+* ``obs timeline <trace-dir> <out.json>`` — convert a runtime trace
+  directory into Chrome trace-event JSON (loads in ui.perfetto.dev).
 
 Longer, annotated versions of these demos live in ``examples/``.
 """
@@ -165,6 +175,158 @@ def _cmd_tree(n: int) -> int:
     return 0
 
 
+def _obs_fresh_report(n: int, out_dir=None) -> int:
+    """Run pi_ba under both SRDS schemes with span recording and verify
+    the phase attribution invariant; optionally persist BENCH + timeline."""
+    import time as time_mod
+
+    from repro.analysis.report import (
+        render_party_phase_table,
+        render_phase_breakdown,
+    )
+    from repro.obs.bench import bench_payload, write_bench_json
+    from repro.obs.spans import SpanLog, recording, span
+    from repro.net.metrics import CommunicationMetrics
+    from repro.obs.timeline import export_chrome_trace
+    from repro.protocols.balanced_ba import run_balanced_ba
+    from repro.srds.base_sigs import HashRegistryBase
+    from repro.srds.owf import OwfSRDS
+    from repro.srds.snark_based import SnarkSRDS
+
+    params = ProtocolParameters()
+    rng = Randomness(2021)
+    plan = random_corruption(n, params.max_corruptions(n), rng.fork("c"))
+    inputs = {i: i % 2 for i in range(n)}
+    print(f"obs report: pi_ba n={n}, t={plan.t}, split inputs")
+    all_ok = True
+    for label, scheme in (
+        ("snark-srds", SnarkSRDS(base_scheme=HashRegistryBase())),
+        ("owf-srds", OwfSRDS(message_bits=64)),
+    ):
+        log = SpanLog()
+        metrics = CommunicationMetrics()
+        started = time_mod.perf_counter()
+        with recording(log):
+            with span("obs-report", scheme=label):
+                result = run_balanced_ba(
+                    inputs, plan, scheme, params, rng.fork(label),
+                    metrics=metrics,
+                )
+        elapsed = time_mod.perf_counter() - started
+        print(f"\n== {label} "
+              f"(agree={result.agreement}, wall={elapsed:.2f}s) ==")
+        print(render_phase_breakdown(metrics.phase_breakdown()))
+        print()
+        print(render_party_phase_table(metrics))
+        sums = [
+            sum(metrics.bits_by_phase(p).values())
+            for p in sorted(metrics.party_ids)
+        ]
+        totals = [
+            metrics.tally_of(p).bits_total
+            for p in sorted(metrics.party_ids)
+        ]
+        ok = (
+            sums == totals
+            and max(sums, default=0) == metrics.max_bits_per_party
+        )
+        all_ok = all_ok and ok
+        print(
+            f"invariant sum(bits_by_phase) == bits_total per party: "
+            f"{'ok' if ok else 'VIOLATED'} "
+            f"(max/party={format_bits(metrics.max_bits_per_party)})"
+        )
+        if out_dir is not None:
+            payload = bench_payload(
+                f"obs_report_{label.replace('-', '_')}",
+                snapshot=metrics.snapshot(),
+                phase_breakdown=metrics.phase_breakdown(),
+                wall_times={"pi_ba": elapsed},
+                extra={"n": n, "t": plan.t, "scheme": label,
+                       "agreement": result.agreement},
+            )
+            bench_path = write_bench_json(out_dir, payload)
+            timeline_path = export_chrome_trace(
+                out_dir / f"timeline_{label.replace('-', '_')}.json",
+                trace=None,
+                spans=log,
+            )
+            print(f"wrote {bench_path} and {timeline_path}")
+    return 0 if all_ok else 1
+
+
+def _cmd_obs(args) -> int:
+    import pathlib
+
+    if not args:
+        args = ["report"]
+    sub, *rest = args
+    if sub == "timeline":
+        from repro.obs.timeline import export_chrome_trace, load_trace_dir
+
+        if len(rest) != 2:
+            print("usage: obs timeline <trace-dir> <out.json>")
+            return 2
+        events = load_trace_dir(pathlib.Path(rest[0]))
+        path = export_chrome_trace(pathlib.Path(rest[1]), trace=events)
+        print(f"timeline ({sum(len(e) for e in events.values()):,} events, "
+              f"{len(events)} parties) -> {path}")
+        return 0
+    if sub != "report":
+        print("usage: obs report [path] [n] [--out dir] | "
+              "obs timeline <trace-dir> <out.json>")
+        return 2
+
+    out_dir = None
+    n = 16
+    target = None
+    rest = list(rest)
+    while rest:
+        arg = rest.pop(0)
+        if arg == "--out":
+            if not rest:
+                print("--out needs a directory")
+                return 2
+            out_dir = pathlib.Path(rest.pop(0))
+        elif arg.isdigit():
+            n = int(arg)
+        else:
+            target = pathlib.Path(arg)
+
+    if target is None:
+        return _obs_fresh_report(n, out_dir)
+
+    if target.is_dir():
+        from repro.obs.timeline import export_chrome_trace, load_trace_dir
+        from repro.runtime.trace import summarize
+
+        events = load_trace_dir(target)
+        if not events:
+            print(f"no party-*.jsonl files under {target}")
+            return 2
+        print(f"trace dir {target}: {len(events)} parties")
+        for party in sorted(events):
+            counts = summarize(events[party])
+            parts = " ".join(
+                f"{kind}={count}" for kind, count in sorted(counts.items())
+            )
+            print(f"  party-{party}: {len(events[party])} events ({parts})")
+        if out_dir is not None:
+            path = export_chrome_trace(out_dir / "timeline.json", trace=events)
+            print(f"timeline -> {path}")
+        return 0
+
+    if target.suffix == ".json":
+        from repro.analysis.report import render_bench_record
+        from repro.obs.bench import load_bench_json
+
+        print(render_bench_record(load_bench_json(target)))
+        return 0
+
+    print(f"don't know how to report on {target}")
+    return 2
+
+
 def main(argv) -> int:
     if not argv:
         print(__doc__)
@@ -199,6 +361,8 @@ def main(argv) -> int:
         else:
             print(assemble_report())
         return 0
+    if command == "obs":
+        return _cmd_obs(args)
     print(__doc__)
     return 2
 

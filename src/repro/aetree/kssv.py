@@ -26,6 +26,7 @@ from typing import Dict, List, Sequence
 from repro.aetree.tree import CommTree, TreeNode, build_tree
 from repro.errors import TreeError
 from repro.net.adversary import CorruptionPlan
+from repro.obs.spans import span
 from repro.params import ProtocolParameters
 from repro.protocols.election import run_lightest_bin
 from repro.utils.randomness import Randomness
@@ -51,27 +52,31 @@ def build_tree_via_elections(
     protocol effectively does by iterating) until 2/3-honest or
     ``max_root_retries`` is exhausted, mirroring the whp guarantee.
     """
-    skeleton = build_tree(n, params, rng.fork("skeleton"))
-    committee_size = min(n, params.committee_size(n))
+    with span("kssv-tree-elections", n=n):
+        skeleton = build_tree(n, params, rng.fork("skeleton"))
+        committee_size = min(n, params.committee_size(n))
 
-    for node in _nodes_bottom_up(skeleton):
-        if node.is_leaf:
-            continue
-        electorate = _electorate_of(skeleton, node)
-        node.committee = _elect_committee(
-            electorate, plan, committee_size, rng.fork(f"elect-{node.node_id}")
-        )
+        for node in _nodes_bottom_up(skeleton):
+            if node.is_leaf:
+                continue
+            electorate = _electorate_of(skeleton, node)
+            node.committee = _elect_committee(
+                electorate, plan, committee_size,
+                rng.fork(f"elect-{node.node_id}"),
+            )
 
-    root = skeleton.nodes[skeleton.root_id]
-    for attempt in range(max_root_retries):
-        corrupt = sum(1 for member in root.committee if plan.is_corrupt(member))
-        if 3 * corrupt < len(root.committee):
-            return skeleton
-        electorate = _electorate_of(skeleton, root)
-        root.committee = _elect_committee(
-            electorate, plan, committee_size,
-            rng.fork(f"root-retry-{attempt}"),
-        )
+        root = skeleton.nodes[skeleton.root_id]
+        for attempt in range(max_root_retries):
+            corrupt = sum(
+                1 for member in root.committee if plan.is_corrupt(member)
+            )
+            if 3 * corrupt < len(root.committee):
+                return skeleton
+            electorate = _electorate_of(skeleton, root)
+            root.committee = _elect_committee(
+                electorate, plan, committee_size,
+                rng.fork(f"root-retry-{attempt}"),
+            )
     raise TreeError(
         "elections never produced a 2/3-honest root committee; the "
         "corruption budget violates the model"

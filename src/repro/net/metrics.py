@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set
 
 from repro.errors import NetworkError
+from repro.obs.spans import UNATTRIBUTED, current_phase
 
 
 @dataclass
@@ -52,6 +53,12 @@ class CommunicationMetrics:
         self._round_bits: List[int] = []
         self._current_round_bits = 0
         self.rounds_completed = 0
+        # The label dimension (repro.obs): per-party bits_total broken
+        # down by the innermost active span at charge time, plus
+        # per-phase message counts.  Unlabeled callers see byte-for-byte
+        # identical aggregates — these dicts are pure side accounting.
+        self._phase_bits: Dict[int, Dict[str, int]] = {}
+        self._phase_messages: Dict[str, int] = {}
 
     def _tally(self, party_id: int) -> PartyTally:
         tally = self._tallies.get(party_id)
@@ -59,6 +66,10 @@ class CommunicationMetrics:
             tally = PartyTally()
             self._tallies[party_id] = tally
         return tally
+
+    def _attribute(self, party_id: int, phase: str, num_bits: int) -> None:
+        per_party = self._phase_bits.setdefault(party_id, {})
+        per_party[phase] = per_party.get(phase, 0) + num_bits
 
     # -- recording -----------------------------------------------------------
 
@@ -75,6 +86,10 @@ class CommunicationMetrics:
         recipient_tally.messages_received += 1
         recipient_tally.peers_received_from.add(sender)
         self._current_round_bits += num_bits
+        phase = current_phase() or UNATTRIBUTED
+        self._attribute(sender, phase, num_bits)
+        self._attribute(recipient, phase, num_bits)
+        self._phase_messages[phase] = self._phase_messages.get(phase, 0) + 1
 
     def charge_functionality(
         self,
@@ -104,6 +119,15 @@ class CommunicationMetrics:
         """
         participant_list = list(participants)
         pool = list(peer_pool) if peer_pool is not None else participant_list
+        phase = current_phase() or UNATTRIBUTED
+        for party_id in participant_list:
+            # Phase attribution: a participant's bits_total grows by
+            # exactly bits_per_party (sent half + received half).
+            self._attribute(party_id, phase, bits_per_party)
+        self._phase_messages[phase] = (
+            self._phase_messages.get(phase, 0)
+            + len(participant_list) * max(1, peers_per_party)
+        )
         for party_id in participant_list:
             tally = self._tally(party_id)
             tally.bits_sent += bits_per_party - bits_per_party // 2
@@ -137,8 +161,72 @@ class CommunicationMetrics:
     # -- aggregate queries ----------------------------------------------------
 
     def tally_of(self, party_id: int) -> PartyTally:
-        """The (possibly empty) tally of one party."""
-        return self._tallies.get(party_id, PartyTally())
+        """A read-only view of one party's tally (possibly empty).
+
+        Always returns a **defensive copy**: mutating the result never
+        changes the ledger.  (Historically an unknown party got a fresh
+        mutable ``PartyTally`` that was *not* stored, so callers could
+        mutate a phantom tally whose changes were silently dropped —
+        while a known party's live tally leaked out.  Both paths now
+        behave identically.)
+        """
+        tally = self._tallies.get(party_id)
+        if tally is None:
+            return PartyTally()
+        return PartyTally(
+            bits_sent=tally.bits_sent,
+            bits_received=tally.bits_received,
+            messages_sent=tally.messages_sent,
+            messages_received=tally.messages_received,
+            peers_sent_to=set(tally.peers_sent_to),
+            peers_received_from=set(tally.peers_received_from),
+        )
+
+    # -- phase-labeled queries (repro.obs) ------------------------------------
+
+    def bits_by_phase(self, party_id: int) -> Dict[str, int]:
+        """One party's ``bits_total``, decomposed by protocol phase.
+
+        Keys are the innermost active span names at charge time (see
+        :func:`repro.obs.spans.span`); charges made outside any span land
+        under :data:`~repro.obs.spans.UNATTRIBUTED`.  Invariant (pinned
+        by tests): ``sum(bits_by_phase(p).values()) ==
+        tally_of(p).bits_total`` for every party ``p``.
+        """
+        return dict(self._phase_bits.get(party_id, {}))
+
+    @property
+    def phases(self) -> List[str]:
+        """All phase labels that received charges, sorted."""
+        labels = set(self._phase_messages)
+        for per_party in self._phase_bits.values():
+            labels.update(per_party)
+        return sorted(labels)
+
+    def phase_breakdown(self) -> Dict[str, "PhaseBreakdown"]:
+        """Aggregate per-phase costs across all parties.
+
+        Bits follow the per-party ``bits_total`` convention (sent +
+        received — each wire transfer contributes to two parties), so
+        ``max_bits_per_party`` here is directly comparable with
+        :attr:`max_bits_per_party` and the per-party sums of
+        :meth:`bits_by_phase`.
+        """
+        breakdown: Dict[str, PhaseBreakdown] = {}
+        per_phase_party: Dict[str, Dict[int, int]] = {}
+        for party_id, phases in self._phase_bits.items():
+            for phase, bits in phases.items():
+                per_phase_party.setdefault(phase, {})[party_id] = bits
+        for phase in self.phases:
+            parties = per_phase_party.get(phase, {})
+            breakdown[phase] = PhaseBreakdown(
+                phase=phase,
+                total_bits=sum(parties.values()),
+                max_bits_per_party=max(parties.values(), default=0),
+                parties=len(parties),
+                messages=self._phase_messages.get(phase, 0),
+            )
+        return breakdown
 
     @property
     def round_bits(self) -> List[int]:
@@ -212,6 +300,22 @@ class CommunicationMetrics:
             rounds=self.rounds_completed,
             num_parties=len(self._tallies),
         )
+
+
+@dataclass(frozen=True)
+class PhaseBreakdown:
+    """Aggregate cost of one protocol phase (repro.obs label dimension).
+
+    ``total_bits`` and ``max_bits_per_party`` use the per-party
+    ``bits_total`` convention (sent + received); ``messages`` counts
+    sender-side emissions charged under this phase.
+    """
+
+    phase: str
+    total_bits: int
+    max_bits_per_party: int
+    parties: int
+    messages: int
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,69 @@
+"""repro.obs — observability for balanced-BA executions.
+
+Four pieces, layered on PR 1's runtime:
+
+* **Spans** (:mod:`repro.obs.spans`): hierarchical phase context managers
+  (``with span("srds-aggregate", level=k): ...``) that the communication
+  ledger consults on every charge, yielding the §3.1 per-phase cost
+  decomposition (``CommunicationMetrics.bits_by_phase`` /
+  ``phase_breakdown``).
+* **Registry** (:mod:`repro.obs.registry`): Counter/Gauge/Histogram
+  instruments with Prometheus text exposition, fed by the runtime
+  (round-barrier latency, transport frame counts, injected faults).
+* **Timeline** (:mod:`repro.obs.timeline`): TraceRecorder streams + span
+  intervals → Chrome trace-event JSON, loadable in Perfetto, with a
+  deterministic mode mirroring ``trace.py``'s ``clock=None`` contract.
+* **Bench records** (:mod:`repro.obs.bench`): structured
+  ``BENCH_<name>.json`` results so the perf trajectory is
+  machine-readable across PRs.
+
+CLI: ``python -m repro obs report`` (see ``docs/observability.md``).
+
+This package imports only the standard library (plus
+:mod:`repro.errors`), so any layer of the repo — including
+:mod:`repro.net.metrics` — can depend on it without cycles.
+"""
+
+from repro.obs.bench import bench_payload, load_bench_json, write_bench_json
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.spans import (
+    UNATTRIBUTED,
+    SpanLog,
+    SpanRecord,
+    current_path,
+    current_phase,
+    recording,
+    span,
+)
+from repro.obs.timeline import (
+    export_chrome_trace,
+    load_trace_dir,
+    timeline_events,
+    validate_trace_events,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanLog",
+    "SpanRecord",
+    "UNATTRIBUTED",
+    "bench_payload",
+    "current_path",
+    "current_phase",
+    "export_chrome_trace",
+    "load_bench_json",
+    "load_trace_dir",
+    "recording",
+    "span",
+    "timeline_events",
+    "validate_trace_events",
+    "write_bench_json",
+]

@@ -35,6 +35,7 @@ from repro.errors import ProtocolError
 from repro.functionalities.ae_comm import AlmostEverywhereComm
 from repro.net.adversary import CorruptionPlan
 from repro.net.metrics import CommunicationMetrics, MetricsSnapshot
+from repro.obs.spans import span
 from repro.params import ProtocolParameters
 from repro.protocols import cost_model
 from repro.protocols.aggregate_mpc import run_aggregate_sig
@@ -142,46 +143,58 @@ class BalancedBA:
 
     def run(self) -> BAResult:
         """Execute Fig. 3 end to end and evaluate agreement/validity."""
+        with span("pi-ba", n=self.n, t=self.plan.t):
+            return self._run_spanned()
+
+    def _run_spanned(self) -> BAResult:
         # Setup (pre-protocol): SRDS public parameters and per-virtual-id
         # keys.  Each party owns z virtual identities; in the bare-PKI
         # model the adversary could replace corrupt keys here — hooks for
         # that live in the SRDS experiments; for BA runs corrupt parties
         # keep honestly formed keys (key replacement only weakens them).
-        ae = AlmostEverywhereComm(
-            self.n, self.params, self.plan, self.metrics, self.rng
-        )
+        with span("kssv-ae-establish"):
+            ae = AlmostEverywhereComm(
+                self.n, self.params, self.plan, self.metrics, self.rng
+            )
         tree = ae.tree
         self.tree = tree
-        pp = self.scheme.setup(tree.num_virtual, self.rng.fork("srds-setup"))
-        verification_keys: Dict[int, bytes] = {}
-        signing_keys: Dict[int, object] = {}
-        for virtual_id in range(tree.num_virtual):
-            vk, sk = self.scheme.keygen(pp, self.rng.fork(f"kg-{virtual_id}"))
-            verification_keys[virtual_id] = vk
-            signing_keys[virtual_id] = sk
+        with span("srds-setup"):
+            pp = self.scheme.setup(
+                tree.num_virtual, self.rng.fork("srds-setup")
+            )
+            verification_keys: Dict[int, bytes] = {}
+            signing_keys: Dict[int, object] = {}
+            for virtual_id in range(tree.num_virtual):
+                vk, sk = self.scheme.keygen(
+                    pp, self.rng.fork(f"kg-{virtual_id}")
+                )
+                verification_keys[virtual_id] = vk
+                signing_keys[virtual_id] = sk
 
         # Step 2: the supreme committee runs f_ba on its inputs and f_ct.
         committee = list(tree.supreme_committee)
-        committee_inputs = {i: self.inputs[i] for i in committee}
-        corrupt_in_committee = sum(
-            1 for i in committee if self.plan.is_corrupt(i)
-        )
-        y = ideal_f_ba(
-            committee_inputs,
-            corrupt_in_committee,
-            adversary_choice=self.adversary.ba_choice,
-        )
-        charge = cost_model.committee_ba(len(committee))
-        self.metrics.charge_functionality(
-            committee, charge.bits_per_party, charge.peers_per_party,
-            charge.rounds,
-        )
-        seed = ideal_f_ct(self.rng.fork("coin"))
-        charge = cost_model.committee_coin_toss(len(committee))
-        self.metrics.charge_functionality(
-            committee, charge.bits_per_party, charge.peers_per_party,
-            charge.rounds,
-        )
+        with span("committee-ba", committee_size=len(committee)):
+            committee_inputs = {i: self.inputs[i] for i in committee}
+            corrupt_in_committee = sum(
+                1 for i in committee if self.plan.is_corrupt(i)
+            )
+            y = ideal_f_ba(
+                committee_inputs,
+                corrupt_in_committee,
+                adversary_choice=self.adversary.ba_choice,
+            )
+            charge = cost_model.committee_ba(len(committee))
+            self.metrics.charge_functionality(
+                committee, charge.bits_per_party, charge.peers_per_party,
+                charge.rounds,
+            )
+        with span("committee-coin-toss", committee_size=len(committee)):
+            seed = ideal_f_ct(self.rng.fork("coin"))
+            charge = cost_model.committee_coin_toss(len(committee))
+            self.metrics.charge_functionality(
+                committee, charge.bits_per_party, charge.peers_per_party,
+                charge.rounds,
+            )
 
         # Steps 3-8: certified propagation and the one-round boost.
         outputs, certificate_bytes = self.certified_propagation(
@@ -212,7 +225,8 @@ class BalancedBA:
 
         # Step 3: propagate (y, s) via f_ae-comm.
         pair_message = encode_pair(y, seed)
-        deliveries = ae.send_down(8 * len(pair_message), (y, seed))
+        with span("ae-send-down"):
+            deliveries = ae.send_down(8 * len(pair_message), (y, seed))
 
         # Step 4: every party signs for each virtual identity and sends
         # the signature to its leaf committee.
@@ -220,32 +234,41 @@ class BalancedBA:
             leaf.node_id: {member: [] for member in leaf.committee}
             for leaf in tree.leaves
         }
-        for party in range(self.n):
-            messages = self._signing_messages(party, deliveries, pair_message)
-            if messages is None:
-                continue
-            for virtual_id, message in messages:
-                signature = self.scheme.sign(
-                    pp, virtual_id, signing_keys[virtual_id], message
+        with span("base-sign"):
+            for party in range(self.n):
+                messages = self._signing_messages(
+                    party, deliveries, pair_message
                 )
-                if signature is None:
+                if messages is None:
                     continue
-                leaf = tree.leaf_of_virtual(virtual_id)
-                encoded_bits = 8 * len(signature.encode())
-                for recipient in leaf.committee:
-                    self.metrics.record_message(party, recipient, encoded_bits)
-                    leaf_inboxes[leaf.node_id][recipient].append(signature)
+                for virtual_id, message in messages:
+                    signature = self.scheme.sign(
+                        pp, virtual_id, signing_keys[virtual_id], message
+                    )
+                    if signature is None:
+                        continue
+                    leaf = tree.leaf_of_virtual(virtual_id)
+                    encoded_bits = 8 * len(signature.encode())
+                    for recipient in leaf.committee:
+                        self.metrics.record_message(
+                            party, recipient, encoded_bits
+                        )
+                        leaf_inboxes[leaf.node_id][recipient].append(
+                            signature
+                        )
 
         # Step 5: recursive aggregation up the tree.
         node_outputs: Dict[int, Optional[SRDSSignature]] = {}
         for level in range(1, tree.height + 1):
-            for node in tree.level_nodes(level):
-                inbox = self._node_inbox(
-                    tree, node, leaf_inboxes, node_outputs
-                )
-                node_outputs[node.node_id] = self._aggregate_node(
-                    tree, node, inbox, pp, verification_keys, pair_message
-                )
+            with span("srds-aggregate", level=level):
+                for node in tree.level_nodes(level):
+                    inbox = self._node_inbox(
+                        tree, node, leaf_inboxes, node_outputs
+                    )
+                    node_outputs[node.node_id] = self._aggregate_node(
+                        tree, node, inbox, pp, verification_keys,
+                        pair_message,
+                    )
         certificate = node_outputs.get(tree.root_id)
 
         # Step 6: supreme committee sends (y, s, sigma_root) down.
@@ -253,12 +276,14 @@ class BalancedBA:
             len(certificate.encode()) if certificate is not None else 0
         )
         payload_bits = 8 * (len(pair_message) + certificate_bytes)
-        certified = ae.send_down(payload_bits, (y, seed, certificate))
+        with span("certified-send-down"):
+            certified = ae.send_down(payload_bits, (y, seed, certificate))
 
         # Steps 7-8: the one-round boost.
-        outputs = self._boost_round(
-            tree, pp, verification_keys, certified, pair_message
-        )
+        with span("prf-boost"):
+            outputs = self._boost_round(
+                tree, pp, verification_keys, certified, pair_message
+            )
         return outputs, certificate_bytes
 
     # -- step helpers -----------------------------------------------------------
@@ -522,10 +547,17 @@ def run_balanced_ba(
     rng: Randomness,
     adversary: Optional[AdversaryBehavior] = None,
     delivery_rng: Optional[Randomness] = None,
+    metrics: Optional[CommunicationMetrics] = None,
 ) -> BAResult:
-    """Convenience wrapper: construct and run one pi_ba execution."""
+    """Convenience wrapper: construct and run one pi_ba execution.
+
+    Pass a live ``metrics`` ledger to read the phase-labeled breakdown
+    (``metrics.phase_breakdown()``) after the run; the returned
+    ``BAResult.metrics`` only carries the aggregate snapshot.
+    """
     protocol = BalancedBA(
         inputs, plan, scheme, params, rng, adversary,
+        metrics=metrics,
         delivery_rng=delivery_rng,
     )
     return protocol.run()

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.net.party import Envelope, Party
+from repro.obs.spans import span
 from repro.utils.serialization import decode_uint, encode_uint
 
 _VALUE, _ECHO, _SUPPORT = 0, 1, 2
@@ -189,7 +190,8 @@ def run_gradecast(
         if m not in byzantine_set
         and not (equivocating_sender and m == sender)
     ]
-    network.run_until(honest, max_rounds=6)
+    with span("gradecast", n=len(members), sender=sender):
+        network.run_until(honest, max_rounds=6)
     outputs = {member: network.parties[member].output for member in honest}
     return outputs, metrics
 

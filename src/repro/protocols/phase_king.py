@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.net.party import Envelope, Party
+from repro.obs.spans import span
 from repro.utils.serialization import encode_uint
 
 _VALUE_TAG = 0
@@ -231,7 +232,8 @@ def run_phase_king(
     metrics = metrics if metrics is not None else CommunicationMetrics()
     network = SynchronousNetwork(parties, metrics=metrics)
     honest_ids = [m for m in members if m not in byzantine_set]
-    network.run_until(honest_ids, max_rounds=3 * (f + 2) + 3)
+    with span("phase-king", n=len(members), f=f):
+        network.run_until(honest_ids, max_rounds=3 * (f + 2) + 3)
     outputs = {
         member: network.parties[member].output for member in honest_ids
     }

@@ -114,6 +114,12 @@ class FaultPlan:
     random_delay_probability: float = 0.0
     random_delay_max: int = 0
     rng: Optional[Randomness] = None
+    # Observability: how often each fault kind actually fired this
+    # execution (fed into the repro.obs metrics registry by the
+    # synchronizer; also directly readable via :meth:`fired_counts`).
+    _fired: Dict[str, int] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         needs_rng = (
@@ -141,6 +147,13 @@ class FaultPlan:
 
     # -- queries used by the synchronizer ------------------------------------
 
+    def _note(self, kind: str) -> None:
+        self._fired[kind] = self._fired.get(kind, 0) + 1
+
+    def fired_counts(self) -> Dict[str, int]:
+        """How many times each fault kind actually fired (a copy)."""
+        return dict(self._fired)
+
     def is_crashed(self, party_id: int, round_index: int) -> bool:
         """Whether the party has crashed by the given round."""
         crash_round = self.crashes.get(party_id)
@@ -148,9 +161,12 @@ class FaultPlan:
 
     def drops(self, sent_round: int, sender: int, recipient: int) -> bool:
         """Whether the link is severed for this send."""
-        return any(
+        dropped = any(
             p.blocks(sent_round, sender, recipient) for p in self.partitions
         )
+        if dropped:
+            self._note("partition-drop")
+        return dropped
 
     def delay_of(
         self, sent_round: int, sender: int, recipient: int, seq: int
@@ -165,6 +181,8 @@ class FaultPlan:
             coin = self._fork(f"delay/{sent_round}/{sender}/{recipient}/{seq}")
             if coin.bernoulli(self.random_delay_probability):
                 delay += coin.random_int_range(1, self.random_delay_max)
+        if delay > 0:
+            self._note("delay")
         return delay
 
     def duplicates(
@@ -174,7 +192,10 @@ class FaultPlan:
         if self.duplicate_probability <= 0:
             return False
         coin = self._fork(f"dup/{sent_round}/{sender}/{recipient}/{seq}")
-        return coin.bernoulli(self.duplicate_probability)
+        duplicated = coin.bernoulli(self.duplicate_probability)
+        if duplicated:
+            self._note("duplicate")
+        return duplicated
 
     def inbox_order(
         self, round_index: int, recipient: int, inbox: List[T]
@@ -184,6 +205,7 @@ class FaultPlan:
             return inbox
         permuted = list(inbox)
         self._fork(f"reorder/{round_index}/{recipient}").shuffle(permuted)
+        self._note("reorder")
         return permuted
 
     def _fork(self, label: str) -> Randomness:

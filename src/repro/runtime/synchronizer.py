@@ -26,12 +26,14 @@ are seeded, so a faulty schedule is as reproducible as a clean one.
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.errors import NetworkError
 from repro.net.metrics import CommunicationMetrics
 from repro.net.party import Envelope, Party
+from repro.obs.registry import MetricsRegistry
 from repro.runtime import trace as trace_mod
 from repro.runtime.faults import FaultPlan
 from repro.runtime.trace import TraceRecorder
@@ -49,6 +51,7 @@ class RoundSynchronizer:
         fault_plan: Optional[FaultPlan] = None,
         trace: Optional[TraceRecorder] = None,
         message_budget_per_party: Optional[int] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.parties: Dict[int, Party] = {}
         for party in parties:
@@ -71,6 +74,37 @@ class RoundSynchronizer:
         self._staged: Dict[int, List[Frame]] = {p: [] for p in self.parties}
         self._crash_traced: set = set()
         self.round_index = 0
+        # Observability: optional obs registry fed with round-barrier
+        # latency, inbox depths, and injected-fault counters; the
+        # transport feeds its own frame counters into the same registry.
+        self.registry = registry
+        if registry is not None:
+            self._round_latency = registry.histogram(
+                "repro_runtime_round_latency_seconds",
+                "Wall time from round start to barrier completion",
+            )
+            self._rounds_total = registry.counter(
+                "repro_runtime_rounds_total",
+                "Synchronous rounds completed",
+            )
+            self._inbox_depth = registry.gauge(
+                "repro_runtime_inbox_depth_max",
+                "High-water per-party inbox depth at the round barrier",
+            )
+            self._faults_injected = registry.counter(
+                "repro_runtime_faults_injected_total",
+                "Faults the plan actually injected, by kind",
+                ("kind",),
+            )
+            self._parties_gauge = registry.gauge(
+                "repro_runtime_parties", "Parties driven by the synchronizer"
+            )
+            self._parties_gauge.set(len(self.parties))
+            transport.bind_registry(registry)
+
+    def _count_fault(self, kind: str) -> None:
+        if self.registry is not None:
+            self._faults_injected.inc(kind=kind)
 
     # -- public drivers ------------------------------------------------------
 
@@ -115,6 +149,7 @@ class RoundSynchronizer:
 
     async def step_round(self) -> None:
         """Execute one synchronous round: deliver, step all, barrier."""
+        started = time.perf_counter() if self.registry is not None else 0.0
         round_index = self.round_index
         inboxes = self._take_due_inboxes(round_index)
         runnable: List[int] = []
@@ -124,10 +159,14 @@ class RoundSynchronizer:
                 if party_id not in self._crash_traced:
                     self._crash_traced.add(party_id)
                     self._trace(party_id, trace_mod.CRASH, round_index)
+                    self._count_fault("crash")
                 continue
             if party.halted:
                 continue
             runnable.append(party_id)
+        if self.registry is not None:
+            for inbox in inboxes.values():
+                self._inbox_depth.set_max(len(inbox))
         await asyncio.gather(
             *(
                 self._party_round(
@@ -143,6 +182,9 @@ class RoundSynchronizer:
             self._staged[party_id].extend(self.transport.collect(party_id))
         self.metrics.end_round()
         self.round_index += 1
+        if self.registry is not None:
+            self._rounds_total.inc()
+            self._round_latency.observe(time.perf_counter() - started)
 
     async def _party_round(
         self, party_id: int, round_index: int, inbox: List[Envelope]
@@ -194,12 +236,15 @@ class RoundSynchronizer:
                 peer=envelope.recipient,
                 bits=envelope.size_bits(),
             )
+            self._count_fault("partition-drop")
             return
         seq = self._seq[sender]
         self._seq[sender] = seq + 1
         delay = self.faults.delay_of(
             round_index, sender, envelope.recipient, seq
         )
+        if delay > 0:
+            self._count_fault("delay")
         frame = Frame(
             sender=sender,
             recipient=envelope.recipient,
@@ -242,6 +287,7 @@ class RoundSynchronizer:
                     frame.sent_round, frame.sender, frame.recipient, frame.seq
                 ):
                     delivered.append(frame)
+                    self._count_fault("duplicate")
             delivered = self.faults.inbox_order(
                 round_index, party_id, delivered
             )
@@ -283,6 +329,7 @@ def run_parties(
     metrics: Optional[CommunicationMetrics] = None,
     fault_plan: Optional[FaultPlan] = None,
     trace: Optional[TraceRecorder] = None,
+    registry: Optional[MetricsRegistry] = None,
     until: Optional[Iterable[int]] = None,
     max_rounds: int = 10_000,
     message_budget_per_party: Optional[int] = None,
@@ -303,6 +350,7 @@ def run_parties(
             metrics=metrics,
             fault_plan=fault_plan,
             trace=trace,
+            registry=registry,
             until=until,
             max_rounds=max_rounds,
             message_budget_per_party=message_budget_per_party,
@@ -317,6 +365,7 @@ async def run_parties_async(
     metrics: Optional[CommunicationMetrics] = None,
     fault_plan: Optional[FaultPlan] = None,
     trace: Optional[TraceRecorder] = None,
+    registry: Optional[MetricsRegistry] = None,
     until: Optional[Iterable[int]] = None,
     max_rounds: int = 10_000,
     message_budget_per_party: Optional[int] = None,
@@ -334,6 +383,7 @@ async def run_parties_async(
             transport_obj,
             fault_plan=fault_plan,
             trace=trace,
+            registry=registry,
             message_budget_per_party=message_budget_per_party,
         )
         if until is None:

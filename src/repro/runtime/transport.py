@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.errors import NetworkError
 from repro.net.metrics import CommunicationMetrics
+from repro.obs.registry import MetricsRegistry
 
 _HEADER = struct.Struct(">BIIIII")  # type, sender, recipient, sent, deliver, charge
 _LENGTH = struct.Struct(">I")
@@ -112,6 +113,42 @@ class Transport(abc.ABC):
         self._arrived: Dict[int, List[Frame]] = {p: [] for p in self.party_ids}
         self._sent = 0
         self._delivered = 0
+        self._registry: Optional[MetricsRegistry] = None
+
+    def bind_registry(self, registry: MetricsRegistry) -> None:
+        """Feed operational gauges/counters into an obs registry.
+
+        Registers ``repro_transport_frames_sent_total``,
+        ``repro_transport_frames_delivered_total``,
+        ``repro_transport_in_flight`` and
+        ``repro_transport_queue_depth_max`` (high-water arrived-buffer
+        depth per party, labeled).
+        """
+        self._registry = registry
+        self._frames_sent = registry.counter(
+            "repro_transport_frames_sent_total",
+            "Frames accepted by the transport for delivery",
+        )
+        self._frames_delivered = registry.counter(
+            "repro_transport_frames_delivered_total",
+            "Frames that reached their destination buffer",
+        )
+        self._in_flight_gauge = registry.gauge(
+            "repro_transport_in_flight",
+            "Frames sent but not yet delivered",
+        )
+        self._queue_depth = registry.gauge(
+            "repro_transport_queue_depth_max",
+            "High-water mark of one party's arrived-frame buffer",
+            ("party",),
+        )
+
+    def _note_sent(self) -> None:
+        """Subclasses call this instead of mutating ``_sent`` directly."""
+        self._sent += 1
+        if self._registry is not None:
+            self._frames_sent.inc()
+            self._in_flight_gauge.set(self.in_flight)
 
     # -- hooks ---------------------------------------------------------------
 
@@ -139,6 +176,12 @@ class Transport(abc.ABC):
         self.metrics.record_message(frame.sender, frame.recipient, frame.bits())
         self._arrived[frame.recipient].append(frame)
         self._delivered += 1
+        if self._registry is not None:
+            self._frames_delivered.inc()
+            self._in_flight_gauge.set(self.in_flight)
+            self._queue_depth.set_max(
+                len(self._arrived[frame.recipient]), party=frame.recipient
+            )
 
     def collect(self, party_id: int) -> List[Frame]:
         """Drain (and return) all frames that have arrived for a party."""
@@ -173,7 +216,7 @@ class AsyncLocalTransport(Transport):
             raise NetworkError(f"unknown sender {true_sender}")
         if frame.sender != true_sender:
             frame = replace(frame, sender=true_sender)
-        self._sent += 1
+        self._note_sent()
         self._deliver(frame)
 
 
@@ -281,7 +324,7 @@ class TcpTransport(Transport):
             # Pre-stamp; the router re-stamps from connection identity, so
             # even a raw-socket spoofer could not forge this.
             frame = replace(frame, sender=true_sender)
-        self._sent += 1
+        self._note_sent()
         self._idle.clear()
         async with endpoint.lock:
             endpoint.writer.write(frame.encode())

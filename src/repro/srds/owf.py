@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, SignatureError
+from repro.obs.spans import span
 from repro.params import ceil_log2
 from repro.pki.registry import PKIMode
 from repro.srds.base import (
@@ -192,25 +193,26 @@ class OwfSRDS(SRDSScheme):
         """Deterministic filter: flatten, verify each base signature
         against its published key, and dedupe by index (the anti-replay
         rule — the same base signature must not count twice)."""
-        message = ensure_same_message_space(message)
-        seen: Dict[int, OwfBaseSignature] = {}
-        for signature in signatures:
-            for base in _flatten(signature):
-                if base.index in seen:
-                    continue
-                key_bytes = verification_keys.get(base.index)
-                if key_bytes is None:
-                    continue
-                cache_key = (base.index, message, base.ots_signature)
-                valid = self._verify_cache.get(cache_key)
-                if valid is None:
-                    valid = self.ots.verify(
-                        key_bytes, message, base.ots_signature
-                    )
-                    self._verify_cache[cache_key] = valid
-                if valid:
-                    seen[base.index] = base
-        return [seen[index] for index in sorted(seen)]
+        with span("srds-aggregate1", scheme="owf"):
+            message = ensure_same_message_space(message)
+            seen: Dict[int, OwfBaseSignature] = {}
+            for signature in signatures:
+                for base in _flatten(signature):
+                    if base.index in seen:
+                        continue
+                    key_bytes = verification_keys.get(base.index)
+                    if key_bytes is None:
+                        continue
+                    cache_key = (base.index, message, base.ots_signature)
+                    valid = self._verify_cache.get(cache_key)
+                    if valid is None:
+                        valid = self.ots.verify(
+                            key_bytes, message, base.ots_signature
+                        )
+                        self._verify_cache[cache_key] = valid
+                    if valid:
+                        seen[base.index] = base
+            return [seen[index] for index in sorted(seen)]
 
     def aggregate2(
         self,
@@ -219,14 +221,15 @@ class OwfSRDS(SRDSScheme):
         filtered: Sequence[SRDSSignature],
     ) -> Optional[OwfAggregateSignature]:
         """Succinct combiner: sorted concatenation (no keys consulted)."""
-        bases: Dict[int, OwfBaseSignature] = {}
-        for signature in filtered:
-            for base in _flatten(signature):
-                bases.setdefault(base.index, base)
-        if not bases:
-            return None
-        ordered = tuple(bases[index] for index in sorted(bases))
-        return OwfAggregateSignature(contributions=ordered)
+        with span("srds-aggregate2", scheme="owf"):
+            bases: Dict[int, OwfBaseSignature] = {}
+            for signature in filtered:
+                for base in _flatten(signature):
+                    bases.setdefault(base.index, base)
+            if not bases:
+                return None
+            ordered = tuple(bases[index] for index in sorted(bases))
+            return OwfAggregateSignature(contributions=ordered)
 
     def verify(
         self,

@@ -38,6 +38,7 @@ from repro.crypto.merkle import (
 )
 from repro.crypto.snark import Proof, SnarkSystem
 from repro.errors import ConfigurationError, ProofError, SignatureError
+from repro.obs.spans import span
 from repro.pki.registry import PKIMode
 from repro.srds.base import (
     PublicParameters,
@@ -289,6 +290,18 @@ class SnarkSRDS(SRDSScheme):
         their ranges can coexist disjointly (greedy by range, which is
         exactly the planar order of the tree).
         """
+        with span("srds-aggregate1", scheme="snark"):
+            return self._aggregate1_impl(
+                pp, verification_keys, message, signatures
+            )
+
+    def _aggregate1_impl(
+        self,
+        pp: PublicParameters,
+        verification_keys: Dict[int, bytes],
+        message: bytes,
+        signatures: Sequence[SRDSSignature],
+    ) -> List[object]:
         message = ensure_same_message_space(message)
         snark_system: SnarkSystem = pp.extra["snark"]
         tree = _cached_vk_tree(pp, verification_keys)
@@ -369,6 +382,15 @@ class SnarkSRDS(SRDSScheme):
         Never consults the verification-key vector — key validity rides
         on the Merkle paths inside the certified inputs.
         """
+        with span("srds-aggregate2", scheme="snark"):
+            return self._aggregate2_impl(pp, message, filtered)
+
+    def _aggregate2_impl(
+        self,
+        pp: PublicParameters,
+        message: bytes,
+        filtered: Sequence[object],
+    ) -> Optional[SnarkAggregateSignature]:
         message = ensure_same_message_space(message)
         snark_system: SnarkSystem = pp.extra["snark"]
         message_tag = hash_domain("srds/message-tag", message)

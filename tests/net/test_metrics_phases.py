@@ -1,0 +1,115 @@
+"""Phase attribution on the communication ledger + tally_of regression."""
+
+from repro.net.metrics import CommunicationMetrics, PhaseBreakdown
+from repro.obs.spans import UNATTRIBUTED, span
+
+
+class TestPhaseAttribution:
+    def test_charges_outside_spans_are_unattributed(self):
+        metrics = CommunicationMetrics()
+        metrics.record_message(0, 1, 10)
+        assert metrics.bits_by_phase(0) == {UNATTRIBUTED: 10}
+        assert metrics.bits_by_phase(1) == {UNATTRIBUTED: 10}
+
+    def test_innermost_span_wins(self):
+        metrics = CommunicationMetrics()
+        with span("outer"):
+            metrics.record_message(0, 1, 8)
+            with span("inner"):
+                metrics.record_message(0, 1, 4)
+        assert metrics.bits_by_phase(0) == {"outer": 8, "inner": 4}
+        assert metrics.phases == ["inner", "outer"]
+
+    def test_both_endpoints_charged(self):
+        # bits_by_phase follows the bits_total convention: a transfer
+        # contributes its size to the sender AND the recipient.
+        metrics = CommunicationMetrics()
+        with span("p"):
+            metrics.record_message(3, 7, 100)
+        assert metrics.bits_by_phase(3) == {"p": 100}
+        assert metrics.bits_by_phase(7) == {"p": 100}
+        assert metrics.tally_of(3).bits_total == 100
+
+    def test_functionality_charges_attributed_per_participant(self):
+        metrics = CommunicationMetrics()
+        with span("committee-ba"):
+            metrics.charge_functionality([0, 1, 2], 64, 2)
+        for party in (0, 1, 2):
+            assert metrics.bits_by_phase(party) == {"committee-ba": 64}
+            assert metrics.tally_of(party).bits_total == 64
+
+    def test_sum_of_phases_equals_bits_total(self):
+        metrics = CommunicationMetrics()
+        with span("a"):
+            metrics.record_message(0, 1, 11)
+        with span("b"):
+            metrics.record_message(1, 0, 7)
+            metrics.charge_functionality([0, 1], 33, 1)
+        metrics.record_message(0, 1, 5)
+        for party in (0, 1):
+            assert sum(metrics.bits_by_phase(party).values()) == (
+                metrics.tally_of(party).bits_total
+            )
+
+    def test_breakdown_aggregates(self):
+        metrics = CommunicationMetrics()
+        with span("p"):
+            metrics.record_message(0, 1, 10)
+            metrics.record_message(0, 2, 30)
+        breakdown = metrics.phase_breakdown()
+        assert breakdown["p"] == PhaseBreakdown(
+            phase="p",
+            total_bits=80,  # 40 at party 0, 10 at 1, 30 at 2
+            max_bits_per_party=40,
+            parties=3,
+            messages=2,
+        )
+
+    def test_bits_by_phase_returns_a_copy(self):
+        metrics = CommunicationMetrics()
+        with span("p"):
+            metrics.record_message(0, 1, 10)
+        view = metrics.bits_by_phase(0)
+        view["p"] = 0
+        assert metrics.bits_by_phase(0) == {"p": 10}
+
+    def test_unknown_party_has_empty_breakdown(self):
+        assert CommunicationMetrics().bits_by_phase(42) == {}
+
+    def test_aggregates_unchanged_by_attribution(self):
+        # The phase dimension is additive-only: snapshots of a spanned
+        # and an unspanned run of the same traffic are identical.
+        def run(with_span_):
+            metrics = CommunicationMetrics()
+            if with_span_:
+                with span("p"):
+                    metrics.record_message(0, 1, 10)
+            else:
+                metrics.record_message(0, 1, 10)
+            metrics.end_round()
+            return metrics.snapshot()
+
+        assert run(True) == run(False)
+
+
+class TestTallyOfRegression:
+    def test_unknown_party_phantom_tally_is_disconnected(self):
+        # Historically tally_of() for an unknown party returned a fresh
+        # mutable PartyTally that was NOT stored in the ledger; mutating
+        # it silently changed nothing, while mutating a known party's
+        # returned tally corrupted the ledger.  Both are now copies.
+        metrics = CommunicationMetrics()
+        phantom = metrics.tally_of(9)
+        phantom.bits_sent += 1_000
+        assert metrics.tally_of(9).bits_sent == 0
+        assert metrics.total_bits == 0
+
+    def test_known_party_tally_is_a_defensive_copy(self):
+        metrics = CommunicationMetrics()
+        metrics.record_message(0, 1, 10)
+        view = metrics.tally_of(0)
+        view.bits_sent += 1_000
+        view.peers_sent_to.add(99)
+        assert metrics.tally_of(0).bits_sent == 10
+        assert metrics.tally_of(0).peers_sent_to == {1}
+        assert metrics.max_bits_per_party == 10

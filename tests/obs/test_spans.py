@@ -1,0 +1,117 @@
+"""Phase spans: stack semantics, collectors, determinism."""
+
+import asyncio
+
+import pytest
+
+from repro.obs.spans import (
+    UNATTRIBUTED,
+    SpanLog,
+    current_path,
+    current_phase,
+    recording,
+    span,
+)
+
+
+class TestStack:
+    def test_no_active_span(self):
+        assert current_phase() is None
+        assert current_path() is None
+
+    def test_innermost_wins(self):
+        with span("outer"):
+            assert current_phase() == "outer"
+            with span("inner"):
+                assert current_phase() == "inner"
+                assert current_path() == "outer/inner"
+            assert current_phase() == "outer"
+        assert current_phase() is None
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            with span(""):
+                pass
+
+    def test_stack_restored_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with span("doomed"):
+                raise RuntimeError("boom")
+        assert current_phase() is None
+
+    def test_unattributed_label_is_not_a_valid_span_collision(self):
+        # The sentinel must never equal a protocol phase name by accident.
+        assert UNATTRIBUTED.startswith("(")
+
+    def test_asyncio_tasks_see_independent_stacks(self):
+        seen = {}
+
+        async def task(name):
+            with span(name):
+                await asyncio.sleep(0)
+                seen[name] = current_phase()
+
+        async def main():
+            await asyncio.gather(task("a"), task("b"))
+
+        asyncio.run(main())
+        assert seen == {"a": "a", "b": "b"}
+
+
+class TestSpanLog:
+    def test_records_intervals_with_nesting(self):
+        with recording() as log:
+            with span("pi-ba", n=8):
+                with span("srds-aggregate", level=1):
+                    pass
+                with span("srds-aggregate", level=2):
+                    pass
+        assert log.names == ["pi-ba", "srds-aggregate"]
+        (root,) = log.roots()
+        assert root.name == "pi-ba" and root.attrs == {"n": 8}
+        levels = [r.attrs["level"] for r in log.by_name("srds-aggregate")]
+        assert levels == [1, 2]
+        for record in log.records:
+            assert record.closed
+            assert record.end_tick > record.start_tick
+
+    def test_deterministic_ticks_without_clock(self):
+        def run():
+            log = SpanLog()
+            with recording(log):
+                with span("a"):
+                    with span("b"):
+                        pass
+            return [(r.name, r.start_tick, r.end_tick) for r in log.records]
+
+        assert run() == run()
+
+    def test_no_wall_times_without_clock(self):
+        with recording() as log:
+            with span("a"):
+                pass
+        (record,) = log.records
+        assert record.start_wall is None and record.end_wall is None
+        assert log.wall_of("a") is None
+
+    def test_wall_of_with_clock(self):
+        ticks = iter([1.0, 3.5])
+        log = SpanLog(clock=lambda: next(ticks))
+        with recording(log):
+            with span("a"):
+                pass
+        assert log.wall_of("a") == pytest.approx(2.5)
+
+    def test_multiple_collectors_both_record(self):
+        log_a, log_b = SpanLog(), SpanLog()
+        with recording(log_a), recording(log_b):
+            with span("x"):
+                pass
+        assert log_a.names == ["x"] == log_b.names
+
+    def test_collector_uninstalled_after_block(self):
+        with recording() as log:
+            pass
+        with span("after"):
+            pass
+        assert log.records == []

@@ -1,0 +1,119 @@
+"""Phase-attributed communication of pi_ba (§3.1 cost decomposition).
+
+Two pins:
+
+* a **golden file** (``golden/phase_breakdown_n16.json``) freezing the
+  exact per-phase breakdown of a seeded n=16 execution for both SRDS
+  constructions — any change to protocol message flow, encodings, or
+  span placement shows up as a diff here and must be re-golded
+  consciously;
+* the **attribution invariant**: for every party, the per-phase bits sum
+  to exactly the party's ``bits_total``, and the max over parties equals
+  ``max_bits_per_party`` — phases are a partition of the ledger, never
+  an estimate.
+"""
+
+import dataclasses
+import json
+import pathlib
+
+import pytest
+
+from repro.net.adversary import random_corruption
+from repro.net.metrics import CommunicationMetrics
+from repro.obs.spans import UNATTRIBUTED, recording
+from repro.params import ProtocolParameters
+from repro.protocols.balanced_ba import run_balanced_ba
+from repro.srds.base_sigs import HashRegistryBase
+from repro.srds.owf import OwfSRDS
+from repro.srds.snark_based import SnarkSRDS
+from repro.utils.randomness import Randomness
+
+N = 16
+SEED = 2021
+GOLDEN = pathlib.Path(__file__).parent / "golden" / "phase_breakdown_n16.json"
+
+SCHEMES = {
+    "snark-srds": lambda: SnarkSRDS(base_scheme=HashRegistryBase()),
+    "owf-srds": lambda: OwfSRDS(message_bits=64),
+}
+
+
+@pytest.fixture(scope="module")
+def executions():
+    """One seeded n=16 run per SRDS construction, phase-instrumented."""
+    runs = {}
+    for label, make_scheme in SCHEMES.items():
+        params = ProtocolParameters()
+        rng = Randomness(SEED)
+        plan = random_corruption(N, params.max_corruptions(N), rng.fork("c"))
+        inputs = {i: i % 2 for i in range(N)}
+        metrics = CommunicationMetrics()
+        with recording():
+            result = run_balanced_ba(
+                inputs, plan, make_scheme(), params, rng.fork(label),
+                metrics=metrics,
+            )
+        runs[label] = (result, metrics)
+    return runs
+
+
+class TestGoldenBreakdown:
+    @pytest.mark.parametrize("label", sorted(SCHEMES))
+    def test_breakdown_matches_golden(self, executions, label):
+        golden = json.loads(GOLDEN.read_text(encoding="utf-8"))
+        _, metrics = executions[label]
+        measured = {
+            phase: dataclasses.asdict(stats)
+            for phase, stats in metrics.phase_breakdown().items()
+        }
+        assert measured == golden[label], (
+            "phase breakdown drifted from the golden file; if the change "
+            "is intentional, regenerate tests/protocols/golden/"
+            "phase_breakdown_n16.json"
+        )
+
+    def test_both_schemes_agree(self, executions):
+        for label, (result, _) in executions.items():
+            assert result.agreement, label
+
+    def test_srds_aggregation_dominates(self, executions):
+        # §3.1: the tree aggregation phase carries the bulk of the cost.
+        for label, (_, metrics) in executions.items():
+            breakdown = metrics.phase_breakdown()
+            heaviest = max(
+                breakdown.values(), key=lambda stats: stats.total_bits
+            )
+            assert heaviest.phase == "srds-aggregate", label
+
+
+class TestAttributionInvariant:
+    @pytest.mark.parametrize("label", sorted(SCHEMES))
+    def test_phase_sums_equal_bits_total_per_party(self, executions, label):
+        _, metrics = executions[label]
+        sums = {}
+        for party_id in metrics.party_ids:
+            phase_sum = sum(metrics.bits_by_phase(party_id).values())
+            assert phase_sum == metrics.tally_of(party_id).bits_total
+            sums[party_id] = phase_sum
+        assert max(sums.values()) == metrics.max_bits_per_party
+
+    @pytest.mark.parametrize("label", sorted(SCHEMES))
+    def test_everything_attributed(self, executions, label):
+        # The whole protocol runs inside spans: no unattributed charges.
+        _, metrics = executions[label]
+        assert UNATTRIBUTED not in metrics.phases
+
+    @pytest.mark.parametrize("label", sorted(SCHEMES))
+    def test_breakdown_totals_cross_check(self, executions, label):
+        _, metrics = executions[label]
+        breakdown = metrics.phase_breakdown()
+        per_phase_from_parties = {}
+        for party_id in metrics.party_ids:
+            for phase, bits in metrics.bits_by_phase(party_id).items():
+                per_phase_from_parties[phase] = (
+                    per_phase_from_parties.get(phase, 0) + bits
+                )
+        assert per_phase_from_parties == {
+            phase: stats.total_bits for phase, stats in breakdown.items()
+        }

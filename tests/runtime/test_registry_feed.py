@@ -1,0 +1,95 @@
+"""Runtime → MetricsRegistry feed: counters, gauges, fault kinds."""
+
+from repro.net.party import Envelope, Party
+from repro.obs.registry import MetricsRegistry
+from repro.runtime.faults import FaultPlan
+from repro.runtime.synchronizer import run_parties
+from repro.utils.randomness import Randomness
+
+
+class _Chatter(Party):
+    """Sends one frame to every peer in round 0, halts at round 2."""
+
+    def __init__(self, party_id: int, n: int) -> None:
+        super().__init__(party_id)
+        self.n = n
+
+    def step(self, round_index, inbox):
+        if round_index == 0:
+            return [
+                Envelope(sender=self.party_id, recipient=r, payload=b"x" * 4)
+                for r in range(self.n)
+                if r != self.party_id
+            ]
+        if round_index >= 2:
+            self.halt(len(inbox))
+        return []
+
+
+def _run(n=4, fault_plan=None):
+    registry = MetricsRegistry()
+    run_parties(
+        [_Chatter(i, n) for i in range(n)],
+        registry=registry,
+        fault_plan=fault_plan,
+    )
+    return registry
+
+
+class TestRegistryFeed:
+    def test_frame_and_round_counters(self):
+        registry = _run()
+        sent = registry.get("repro_transport_frames_sent_total")
+        delivered = registry.get("repro_transport_frames_delivered_total")
+        rounds = registry.get("repro_runtime_rounds_total")
+        assert sent.value() == 12  # 4 parties x 3 peers
+        assert delivered.value() == 12
+        assert rounds.value() == 3
+
+    def test_queue_depth_high_water(self):
+        registry = _run()
+        depth = registry.get("repro_transport_queue_depth_max")
+        assert {depth.value(party=str(p)) for p in range(4)} == {3}
+        inbox = registry.get("repro_runtime_inbox_depth_max")
+        assert inbox.value() == 3
+
+    def test_latency_histogram_observes_every_round(self):
+        registry = _run()
+        latency = registry.get("repro_runtime_round_latency_seconds")
+        assert latency.count() == 3
+        assert latency.sum() > 0
+
+    def test_in_flight_returns_to_zero(self):
+        registry = _run()
+        assert registry.get("repro_transport_in_flight").value() == 0
+
+    def test_fault_kind_counters(self):
+        plan = FaultPlan(
+            crashes={3: 1},
+            duplicate_probability=1.0,
+            rng=Randomness(5),
+        )
+        registry = _run(fault_plan=plan)
+        faults = registry.get("repro_runtime_faults_injected_total")
+        assert faults.value(kind="crash") == 1
+        assert faults.value(kind="duplicate") > 0
+
+    def test_render_includes_all_runtime_series(self):
+        text = _run().render()
+        for name in (
+            "repro_runtime_round_latency_seconds",
+            "repro_runtime_rounds_total",
+            "repro_runtime_parties",
+            "repro_transport_frames_sent_total",
+            "repro_transport_queue_depth_max",
+        ):
+            assert name in text
+
+    def test_no_registry_is_the_default_and_harmless(self):
+        # run_parties without a registry must behave exactly as before.
+        from repro.runtime.synchronizer import run_parties as run
+
+        result = run([_Chatter(i, 3) for i in range(3)])
+        assert result.rounds == 3
+        # Round-0 sends arrive at round 1; the round-2 inbox is empty.
+        assert set(result.outputs.values()) == {0}

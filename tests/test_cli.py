@@ -54,3 +54,72 @@ class TestCommands:
         assert main(["report", str(target)]) == 0
         assert target.exists()
         assert "E12" in target.read_text()
+
+
+class TestObsCommand:
+    def test_obs_report_fresh_run_verifies_invariant(self, tmp_path, capsys):
+        out = tmp_path / "obs"
+        assert main(["obs", "report", "16", "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "snark-srds" in text and "owf-srds" in text
+        assert "srds-aggregate" in text
+        assert "VIOLATED" not in text and "MISMATCH" not in text
+        assert sorted(p.name for p in out.glob("BENCH_*.json")) == [
+            "BENCH_obs_report_owf_srds.json",
+            "BENCH_obs_report_snark_srds.json",
+        ]
+        assert sorted(p.name for p in out.glob("timeline_*.json"))
+
+    def test_obs_report_renders_bench_json(self, tmp_path, capsys):
+        from repro.obs.bench import bench_payload, write_bench_json
+
+        path = write_bench_json(
+            tmp_path,
+            bench_payload(
+                "demo",
+                phase_breakdown={"prf-boost": {
+                    "phase": "prf-boost", "total_bits": 128,
+                    "max_bits_per_party": 64, "parties": 2, "messages": 1,
+                }},
+                wall_times={"run": 0.25},
+            ),
+        )
+        assert main(["obs", "report", str(path)]) == 0
+        text = capsys.readouterr().out
+        assert "demo" in text and "prf-boost" in text
+
+    def test_obs_report_summarizes_trace_dir(self, tmp_path, capsys):
+        from repro.runtime.trace import TraceRecorder
+
+        trace = TraceRecorder()
+        trace.record(0, "send", 0, peer=1, bits=8)
+        trace.record(1, "recv", 1, peer=0, bits=8)
+        trace.dump_dir(tmp_path / "traces")
+        out = tmp_path / "out"
+        assert main([
+            "obs", "report", str(tmp_path / "traces"), "--out", str(out)
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "2 parties" in text
+        assert (out / "timeline.json").exists()
+
+    def test_obs_timeline_exports_valid_json(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.timeline import validate_trace_events
+        from repro.runtime.trace import TraceRecorder
+
+        trace = TraceRecorder()
+        trace.record(0, "round-barrier", 0, queue_depth=0)
+        trace.record(0, "halt", 0, output="1")
+        trace.dump_dir(tmp_path / "traces")
+        target = tmp_path / "timeline.json"
+        assert main([
+            "obs", "timeline", str(tmp_path / "traces"), str(target)
+        ]) == 0
+        document = json.loads(target.read_text())
+        validate_trace_events(document["traceEvents"])
+
+    def test_obs_usage_errors(self, capsys):
+        assert main(["obs", "bogus"]) == 2
+        assert main(["obs", "timeline", "only-one-arg"]) == 2
