@@ -26,6 +26,12 @@ Commands:
   writes ``BENCH_*.json`` records and Perfetto timeline JSON there.
 * ``obs timeline <trace-dir> <out.json>`` — convert a runtime trace
   directory into Chrome trace-event JSON (loads in ui.perfetto.dev).
+* ``campaign {run,replay,minimize,list}`` — adversarial conformance
+  campaigns: sweep Byzantine strategies x fault schedules x protocol
+  configs with invariant checking (``run --budget 25 --seed 0``),
+  re-execute a failing run from its single-line repro spec
+  (``replay``), shrink it to a minimal failing instance
+  (``minimize``), or show the matrix (``list``).
 
 Longer, annotated versions of these demos live in ``examples/``.
 """
@@ -363,6 +369,10 @@ def main(argv) -> int:
         return 0
     if command == "obs":
         return _cmd_obs(args)
+    if command == "campaign":
+        from repro.campaign.cli import cmd_campaign
+
+        return cmd_campaign(args)
     print(__doc__)
     return 2
 

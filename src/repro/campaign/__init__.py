@@ -1,0 +1,66 @@
+"""Adversarial conformance campaigns.
+
+A *campaign* sweeps the cross-product of Byzantine strategies
+(:mod:`repro.campaign.catalog`), network fault schedules
+(:mod:`repro.campaign.schedules`), and protocol configurations
+(:mod:`repro.campaign.matrix`), executing every cell with seeded
+randomness and asserting the paper's guarantees after each run
+(:mod:`repro.campaign.invariants`): agreement and validity among honest
+outputs (Thm 3.1), ``max_bits_per_party`` within the analytic polylog
+budget (:func:`repro.protocols.cost_model.pi_ba_per_party_budget`), the
+gradecast properties, and the SRDS robustness / unforgeability verdicts
+(Fig. 1 / Fig. 2).
+
+Every failing run emits a single-line *repro spec* —
+``campaign/1 config=... strategy=... schedule=... n=... seed=...
+corrupt=...`` — that :mod:`repro.campaign.runner` re-executes exactly,
+and :mod:`repro.campaign.minimize` shrinks to a minimal failing
+instance by greedy delta-debugging over the corrupted set and the crash
+schedule.  ``python -m repro campaign {run,replay,minimize,list}`` is
+the operator entry point; sweep summaries land in
+``results/BENCH_campaign.json`` via :mod:`repro.obs.bench`.
+"""
+
+from repro.campaign.catalog import (
+    Strategy,
+    StrategyCatalog,
+    default_catalog,
+)
+from repro.campaign.invariants import Violation, check_ba_invariants
+from repro.campaign.matrix import (
+    CampaignCell,
+    ProtocolConfig,
+    default_matrix,
+    enumerate_cells,
+)
+from repro.campaign.minimize import minimize_failure
+from repro.campaign.runner import (
+    CampaignSummary,
+    RunOutcome,
+    execute_spec,
+    run_campaign,
+)
+from repro.campaign.schedules import Schedule, default_schedules
+from repro.campaign.spec import CampaignSpec, format_spec, parse_spec
+
+__all__ = [
+    "CampaignCell",
+    "CampaignSpec",
+    "CampaignSummary",
+    "ProtocolConfig",
+    "RunOutcome",
+    "Schedule",
+    "Strategy",
+    "StrategyCatalog",
+    "Violation",
+    "check_ba_invariants",
+    "default_catalog",
+    "default_matrix",
+    "default_schedules",
+    "enumerate_cells",
+    "execute_spec",
+    "format_spec",
+    "minimize_failure",
+    "parse_spec",
+    "run_campaign",
+]

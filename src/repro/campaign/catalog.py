@@ -1,0 +1,400 @@
+"""The pluggable catalog of Byzantine strategies.
+
+A :class:`Strategy` bundles (a) how the adversary *corrupts* — a plan
+kind resolved against the ``t < n/3`` budget on the existing
+:class:`~repro.net.adversary.CorruptionPlan` seam — and (b) how the
+corrupted parties *behave* — an
+:class:`~repro.protocols.balanced_ba.AdversaryBehavior` factory for
+π_ba, an equivocating-sender flag for the broadcast protocols, or a
+Fig. 1 / Fig. 2 adversary factory for the SRDS experiments.
+
+``expect_violation`` marks *planted* strategies (corruption beyond the
+n/3 threshold): the protocol's guarantees are void there, so an
+invariant violation is the expected outcome — the campaign asserts the
+failure is *loud* (a visible disagreement or a raised error), never a
+silent wrong answer, and uses these cells to exercise the repro-spec /
+minimizer pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.net.adversary import (
+    CorruptionPlan,
+    prefix_corruption,
+    random_corruption,
+    targeted_corruption,
+)
+from repro.params import ProtocolParameters
+from repro.utils.randomness import Randomness
+
+# Config kinds a strategy may apply to (see repro.campaign.matrix).
+KIND_PI_BA = "pi_ba"
+KIND_PHASE_KING = "phase_king"
+KIND_GRADECAST = "gradecast"
+KIND_DOLEV_STRONG = "dolev_strong"
+KIND_SRDS_ROBUST = "srds-robust"
+KIND_SRDS_FORGE = "srds-forge"
+
+
+@dataclass(frozen=True)
+class Strategy:
+    """One named Byzantine behavior, composable with any fault schedule.
+
+    Attributes:
+        name: stable identifier (appears in repro specs).
+        description: one-line attack idea.
+        kinds: which protocol-config kinds the strategy applies to.
+        plan_kind: how the corrupted set is chosen — ``none`` (honest
+            baseline), ``random`` (uniform t-subset), ``prefix``
+            (clustered: corrupts whole leaf committees / subtrees of the
+            KSSV tree), ``committee`` (setup-adaptive: targets a probe
+            tree's supreme committee), ``over-threshold`` (planted
+            t >= n/3 violation).
+        make_adversary: π_ba behavior factory ``(plan, n, rng) ->
+            AdversaryBehavior`` (``None`` = silent corrupt parties).
+        equivocating_sender: broadcast protocols (gradecast /
+            Dolev-Strong): the sender equivocates.
+        srds_adversary: factory for the Fig. 1 / Fig. 2 adversary object
+            (robustness / forgery kinds only).
+        expect_violation: planted over-threshold strategy; invariant
+            violations are the expected outcome.
+    """
+
+    name: str
+    description: str
+    kinds: Tuple[str, ...]
+    plan_kind: str = "random"
+    make_adversary: Optional[
+        Callable[[CorruptionPlan, int, Randomness], object]
+    ] = None
+    equivocating_sender: bool = False
+    srds_adversary: Optional[Callable[[], object]] = None
+    expect_violation: bool = False
+
+    def applies_to(self, kind: str) -> bool:
+        return kind in self.kinds
+
+    def resolve_plan(
+        self,
+        n: int,
+        params: ProtocolParameters,
+        rng: Randomness,
+        explicit: Optional[Tuple[int, ...]] = None,
+    ) -> CorruptionPlan:
+        """Resolve the corrupted set for one run.
+
+        ``explicit`` (from a pinned repro spec) overrides the sampling
+        but keeps the strategy's budget semantics: within-threshold
+        strategies still construct budget-checked plans, the planted
+        over-threshold strategy deliberately does not.
+
+        The budget is the repo's concrete tolerance
+        ``params.max_corruptions(n)`` (beta * n), not the asymptotic
+        ``(n-1)//3`` ceiling: at the small n a sweep runs, corruption at
+        the theoretical ceiling breaks the whp committee/threshold
+        arguments spuriously, which is exactly what the planted
+        over-threshold strategy is *for*.
+        """
+        t = max(1, params.max_corruptions(n))
+        budget = None if self.expect_violation else t
+        if explicit is not None:
+            return targeted_corruption(n, explicit, budget=budget)
+        if self.plan_kind == "none":
+            return targeted_corruption(n, (), budget=t)
+        if self.plan_kind == "random":
+            return random_corruption(n, t, rng.fork("corrupt"))
+        if self.plan_kind == "prefix":
+            return prefix_corruption(n, t)
+        if self.plan_kind == "committee":
+            return _committee_targeted_plan(n, t, params, rng)
+        if self.plan_kind == "over-threshold":
+            # Deliberately beyond the paper's model: corrupt half.
+            return targeted_corruption(n, range(n // 2), budget=None)
+        raise ConfigurationError(f"unknown plan kind {self.plan_kind!r}")
+
+
+def _committee_targeted_plan(
+    n: int, t: int, params: ProtocolParameters, rng: Randomness
+) -> CorruptionPlan:
+    """Setup-adaptive committee targeting (the bare-PKI adversary's
+    power): probe a KSSV tree built with campaign randomness and aim the
+    whole budget at its supreme committee.  The protocol's own tree is
+    resampled until 2/3-honest (`build_tree` with ``honest_root_hint``),
+    so this strategy exercises exactly that defense."""
+    from repro.aetree.tree import build_tree
+
+    probe = build_tree(n, params, rng.fork("committee-probe"))
+    targets = list(probe.supreme_committee)[:t]
+    # Spend any leftover budget on random parties outside the committee.
+    if len(targets) < t:
+        rest = [p for p in range(n) if p not in targets]
+        targets += rng.fork("committee-fill").sample(rest, t - len(targets))
+    return targeted_corruption(n, targets, budget=t)
+
+
+# -- π_ba behavior factories -------------------------------------------------
+
+
+def _equivocation_behavior(
+    plan: CorruptionPlan, n: int, rng: Randomness
+) -> object:
+    """Corrupt parties sign a *flipped* pair message for half their
+    virtual ids and the honest one for the rest — a split-brain signer
+    probing SRDS message binding."""
+    from repro.protocols.balanced_ba import AdversaryBehavior
+
+    def sign_message(
+        party_id: int, virtual_id: int, pair_message: bytes
+    ) -> Optional[bytes]:
+        if virtual_id % 2 == 0:
+            return b"equivocation:" + pair_message
+        return pair_message
+
+    return AdversaryBehavior(sign_message=sign_message, ba_choice=1)
+
+
+def _selective_silence_behavior(
+    plan: CorruptionPlan, n: int, rng: Randomness
+) -> object:
+    """Corrupt parties sign honestly for a random half of their virtual
+    ids and withhold the rest — starving some leaf committees of
+    signatures without an obvious global pattern."""
+    from repro.protocols.balanced_ba import AdversaryBehavior
+
+    coin = rng.fork("selective-silence")
+
+    def sign_message(
+        party_id: int, virtual_id: int, pair_message: bytes
+    ) -> Optional[bytes]:
+        if coin.fork(f"{party_id}/{virtual_id}").bernoulli(0.5):
+            return None
+        return pair_message
+
+    return AdversaryBehavior(sign_message=sign_message)
+
+
+def _replay_child_behavior(
+    plan: CorruptionPlan, n: int, rng: Randomness
+) -> object:
+    """Bad tree nodes re-emit their first child's aggregate unchanged
+    instead of aggregating — a lazy man-in-the-middle that starves the
+    upper tree of counts while staying syntactically valid."""
+    from repro.protocols.balanced_ba import AdversaryBehavior
+
+    def bad_node_output(node, pair_message, view):
+        return view[0] if view else None
+
+    return AdversaryBehavior(bad_node_output=bad_node_output)
+
+
+def _boost_flood_behavior(
+    plan: CorruptionPlan, n: int, rng: Randomness
+) -> object:
+    """Corrupt parties flood the final boost round with uncertified
+    spam: charged on the wire (pressuring the per-party bits budget)
+    but carrying no verifying certificate, so honest deciders must
+    ignore it."""
+    from repro.protocols.balanced_ba import AdversaryBehavior
+
+    flood_rng = rng.fork("boost-flood")
+
+    def boost_messages() -> List[Tuple[int, int, int, bytes, None]]:
+        messages: List[Tuple[int, int, int, bytes, None]] = []
+        for sender in sorted(plan.corrupted):
+            coin = flood_rng.fork(f"sender/{sender}")
+            for _ in range(4):
+                recipient = coin.random_int_range(0, n - 1)
+                seed = coin.random_bytes(32)
+                messages.append((sender, recipient, 1, seed, None))
+        return messages
+
+    return AdversaryBehavior(boost_messages=boost_messages, ba_choice=1)
+
+
+# -- SRDS adversary factories ------------------------------------------------
+
+
+def _srds(name: str) -> Callable[[], object]:
+    def factory() -> object:
+        from repro.srds import adversaries
+
+        return getattr(adversaries, name)()
+
+    return factory
+
+
+# -- the default catalog -----------------------------------------------------
+
+
+_BA_KINDS = (KIND_PI_BA, KIND_PHASE_KING, KIND_GRADECAST, KIND_DOLEV_STRONG)
+
+
+def _default_strategies() -> List[Strategy]:
+    return [
+        Strategy(
+            name="honest",
+            description="no corruption — the baseline every cell must pass",
+            kinds=_BA_KINDS,
+            plan_kind="none",
+        ),
+        Strategy(
+            name="random-silent",
+            description="uniform t-subset of corrupt parties stays silent",
+            kinds=_BA_KINDS,
+            plan_kind="random",
+        ),
+        Strategy(
+            name="equivocation",
+            description=(
+                "corrupt signers split-brain across virtual ids; "
+                "broadcast senders equivocate"
+            ),
+            kinds=(KIND_PI_BA, KIND_GRADECAST, KIND_DOLEV_STRONG),
+            plan_kind="random",
+            make_adversary=_equivocation_behavior,
+            equivocating_sender=True,
+        ),
+        Strategy(
+            name="selective-silence",
+            description="corrupt parties sign for a random half of their ids",
+            kinds=(KIND_PI_BA,),
+            plan_kind="random",
+            make_adversary=_selective_silence_behavior,
+        ),
+        Strategy(
+            name="subtree-drop",
+            description=(
+                "clustered (prefix) corruption knocks out whole KSSV "
+                "subtrees; bad nodes drop their aggregates"
+            ),
+            kinds=(KIND_PI_BA, KIND_PHASE_KING),
+            plan_kind="prefix",
+        ),
+        Strategy(
+            name="replay-child",
+            description="bad tree nodes re-emit one child aggregate verbatim",
+            kinds=(KIND_PI_BA,),
+            plan_kind="random",
+            make_adversary=_replay_child_behavior,
+        ),
+        Strategy(
+            name="boost-flood",
+            description="corrupt parties spam uncertified boost messages",
+            kinds=(KIND_PI_BA,),
+            plan_kind="random",
+            make_adversary=_boost_flood_behavior,
+        ),
+        Strategy(
+            name="committee-targeted",
+            description=(
+                "setup-adaptive: aim the whole budget at a probe tree's "
+                "supreme committee"
+            ),
+            kinds=(KIND_PI_BA,),
+            plan_kind="committee",
+        ),
+        Strategy(
+            name="over-threshold",
+            description=(
+                "PLANTED: corrupt n/2 parties (t >= n/3) — guarantees "
+                "void, failure expected and must be loud"
+            ),
+            kinds=(KIND_PHASE_KING,),
+            plan_kind="over-threshold",
+            expect_violation=True,
+        ),
+        # SRDS robustness (Fig. 1) attackers.
+        Strategy(
+            name="srds-drop",
+            description="bad nodes drop subtrees, corrupt parties silent",
+            kinds=(KIND_SRDS_ROBUST,),
+            plan_kind="random",
+            srds_adversary=_srds("DroppingRobustnessAdversary"),
+        ),
+        Strategy(
+            name="srds-decoy",
+            description="bad-path honest parties steered onto a decoy message",
+            kinds=(KIND_SRDS_ROBUST,),
+            plan_kind="random",
+            srds_adversary=_srds("DecoyRobustnessAdversary"),
+        ),
+        Strategy(
+            name="srds-garbage",
+            description="corrupt parties emit wrong-message signatures",
+            kinds=(KIND_SRDS_ROBUST,),
+            plan_kind="random",
+            srds_adversary=_srds("GarbageRobustnessAdversary"),
+        ),
+        Strategy(
+            name="srds-replay-agg",
+            description="bad nodes double-count one child aggregate",
+            kinds=(KIND_SRDS_ROBUST,),
+            plan_kind="random",
+            srds_adversary=_srds("ReplayRobustnessAdversary"),
+        ),
+        Strategy(
+            name="srds-clustered-drop",
+            description="prefix corruption clusters bad leaves; drop subtrees",
+            kinds=(KIND_SRDS_ROBUST,),
+            plan_kind="prefix",
+            srds_adversary=_srds("DroppingRobustnessAdversary"),
+        ),
+        # SRDS unforgeability (Fig. 2) attackers.
+        Strategy(
+            name="srds-coalition",
+            description="maximal sub-threshold coalition aims at m'",
+            kinds=(KIND_SRDS_FORGE,),
+            plan_kind="random",
+            srds_adversary=_srds("CoalitionForgeryAdversary"),
+        ),
+        Strategy(
+            name="srds-double-count",
+            description="aggregate the coalition's aggregate with itself",
+            kinds=(KIND_SRDS_FORGE,),
+            plan_kind="random",
+            srds_adversary=_srds("ReplayForgeryAdversary"),
+        ),
+        Strategy(
+            name="srds-random-proof",
+            description="random proof tag for an inflated statement",
+            kinds=(KIND_SRDS_FORGE,),
+            plan_kind="random",
+            srds_adversary=_srds("RandomProofForgeryAdversary"),
+        ),
+    ]
+
+
+@dataclass
+class StrategyCatalog:
+    """Named, ordered collection of strategies (pluggable: tests and
+    experiments register extra entries via :meth:`register`)."""
+
+    strategies: List[Strategy] = field(default_factory=_default_strategies)
+
+    def register(self, strategy: Strategy) -> None:
+        if any(s.name == strategy.name for s in self.strategies):
+            raise ConfigurationError(
+                f"strategy {strategy.name!r} already registered"
+            )
+        self.strategies.append(strategy)
+
+    def get(self, name: str) -> Strategy:
+        for strategy in self.strategies:
+            if strategy.name == name:
+                return strategy
+        raise ConfigurationError(f"unknown strategy {name!r}")
+
+    def for_kind(self, kind: str) -> List[Strategy]:
+        return [s for s in self.strategies if s.applies_to(kind)]
+
+    def names(self) -> List[str]:
+        return [s.name for s in self.strategies]
+
+
+def default_catalog() -> StrategyCatalog:
+    """A fresh catalog holding the built-in strategies."""
+    return StrategyCatalog()

@@ -1,0 +1,120 @@
+"""Greedy shrinking of failing campaign runs.
+
+Classic one-minimal delta debugging over the two adversarial inputs a
+repro spec pins: the corrupted party set and the crash schedule.  The
+minimizer repeatedly tries removing one element — re-executing the spec
+via the same :func:`~repro.campaign.runner.execute_spec` path a replay
+uses — and keeps the removal whenever the run still fails with the same
+*failure signature* (the sorted violation names, or the raised error
+type).  The fixpoint is 1-minimal: removing any single remaining
+element makes the failure disappear or change shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.campaign.runner import RunOutcome, execute_spec
+from repro.campaign.spec import CampaignSpec, format_spec
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class MinimizationResult:
+    """The shrink trace: original failure, minimal failure, and steps."""
+
+    original: RunOutcome
+    minimized: RunOutcome
+    signature: Tuple[str, ...]
+    attempts: int = 0
+    removed_corrupt: List[int] = field(default_factory=list)
+    removed_crashes: List[int] = field(default_factory=list)
+
+    @property
+    def shrunk(self) -> bool:
+        return bool(self.removed_corrupt or self.removed_crashes)
+
+
+def minimize_failure(
+    spec: CampaignSpec,
+    *,
+    catalog=None,
+    matrix=None,
+    max_attempts: int = 256,
+    emit=None,
+) -> MinimizationResult:
+    """Shrink a failing spec to a 1-minimal failing instance.
+
+    Raises :class:`~repro.errors.ConfigurationError` if the spec does
+    not fail to begin with (nothing to minimize).
+    """
+    say = emit if emit is not None else (lambda line: None)
+    original = execute_spec(spec, catalog=catalog, matrix=matrix)
+    if not original.failed:
+        raise ConfigurationError(
+            f"spec does not fail, nothing to minimize: {format_spec(spec)}"
+        )
+    signature = original.signature
+    current = original
+    attempts = 0
+    removed_corrupt: List[int] = []
+    removed_crashes: List[int] = []
+
+    def try_spec(candidate: CampaignSpec) -> Optional[RunOutcome]:
+        nonlocal attempts
+        if attempts >= max_attempts:
+            return None
+        attempts += 1
+        outcome = execute_spec(candidate, catalog=catalog, matrix=matrix)
+        if outcome.failed and outcome.signature == signature:
+            return outcome
+        return None
+
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        # Shrink the corrupted set, one party at a time.
+        corrupt = current.spec.corrupt or ()
+        for party in list(corrupt):
+            reduced = tuple(p for p in corrupt if p != party)
+            candidate = current.spec.with_corrupt(reduced)
+            outcome = try_spec(candidate)
+            if outcome is not None:
+                say(
+                    f"  -corrupt {party}: still fails "
+                    f"({len(reduced)} corrupt left)"
+                )
+                removed_corrupt.append(party)
+                current = outcome
+                progress = True
+                break
+        if progress:
+            continue
+        # Shrink the crash schedule, one entry at a time.
+        crashes = current.spec.crashes or {}
+        for party in sorted(crashes):
+            reduced_crashes = {
+                p: r for p, r in crashes.items() if p != party
+            }
+            candidate = current.spec.with_crashes(
+                reduced_crashes if reduced_crashes else None
+            )
+            outcome = try_spec(candidate)
+            if outcome is not None:
+                say(
+                    f"  -crash {party}: still fails "
+                    f"({len(reduced_crashes)} crashes left)"
+                )
+                removed_crashes.append(party)
+                current = outcome
+                progress = True
+                break
+    return MinimizationResult(
+        original=original,
+        minimized=current,
+        signature=signature,
+        attempts=attempts,
+        removed_corrupt=removed_corrupt,
+        removed_crashes=removed_crashes,
+    )

@@ -1,0 +1,163 @@
+"""Named fault schedules composing with the runtime's FaultPlan.
+
+A :class:`Schedule` turns (n, corruption plan, rng) into a
+:class:`~repro.runtime.faults.FaultPlan` — or ``None`` for the
+fault-free baseline.  ``model_breaking`` schedules deliberately exceed
+the paper's synchronous model (a mid-protocol partition, crashing every
+party): a protocol driven under them may fail its invariants or time
+out, but it must do so *loudly* — the campaign records such outcomes as
+expected failures and flags any silent wrong answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.net.adversary import CorruptionPlan
+from repro.runtime.faults import (
+    FaultPlan,
+    adversarial_schedule,
+    crash_corrupted,
+    crash_everyone,
+    partition_halves,
+)
+from repro.utils.randomness import Randomness
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """One named network-fault schedule.
+
+    Attributes:
+        name: stable identifier (appears in repro specs).
+        description: one-line summary.
+        build: ``(n, plan, rng) -> Optional[FaultPlan]``.
+        needs_runtime: whether the schedule only makes sense over the
+            async runtime (crash/delay/partition need a transport; pure
+            reordering also works in-process through the
+            ``delivery_rng`` seam of π_ba).
+        model_breaking: exceeds the paper's model — invariant
+            violations / loud failures are expected, silence is not.
+    """
+
+    name: str
+    description: str
+    build: Callable[[int, CorruptionPlan, Randomness], Optional[FaultPlan]]
+    needs_runtime: bool = False
+    model_breaking: bool = False
+
+
+def _none(n: int, plan: CorruptionPlan, rng: Randomness) -> Optional[FaultPlan]:
+    return None
+
+
+def _reorder(n: int, plan: CorruptionPlan, rng: Randomness) -> FaultPlan:
+    return adversarial_schedule(
+        rng.fork("sched"), reorder=True, duplicate_probability=0.0
+    )
+
+
+def _duplicate(n: int, plan: CorruptionPlan, rng: Randomness) -> FaultPlan:
+    return adversarial_schedule(
+        rng.fork("sched"), reorder=False, duplicate_probability=0.1
+    )
+
+
+def _reorder_dup(n: int, plan: CorruptionPlan, rng: Randomness) -> FaultPlan:
+    return adversarial_schedule(
+        rng.fork("sched"), reorder=True, duplicate_probability=0.1
+    )
+
+
+def _random_delay(n: int, plan: CorruptionPlan, rng: Randomness) -> FaultPlan:
+    return adversarial_schedule(
+        rng.fork("sched"),
+        reorder=True,
+        duplicate_probability=0.0,
+        random_delay_probability=0.15,
+        random_delay_max=2,
+    )
+
+
+def _crash_corrupted(
+    n: int, plan: CorruptionPlan, rng: Randomness
+) -> Optional[FaultPlan]:
+    if not plan.corrupted:
+        return None  # nothing to crash; degenerates to the baseline
+    return crash_corrupted(plan, rng.fork("sched"), max_round=6)
+
+
+def _partition_early(
+    n: int, plan: CorruptionPlan, rng: Randomness
+) -> FaultPlan:
+    return partition_halves(range(n), first_round=1, last_round=2)
+
+
+def _crash_everyone(
+    n: int, plan: CorruptionPlan, rng: Randomness
+) -> FaultPlan:
+    return crash_everyone(range(n), round_index=1)
+
+
+_DEFAULT: List[Schedule] = [
+    Schedule("none", "fault-free synchronous baseline", _none),
+    Schedule(
+        "reorder",
+        "randomized within-round delivery order",
+        _reorder,
+    ),
+    Schedule(
+        "duplicate",
+        "10% of deliveries seen twice",
+        _duplicate,
+        needs_runtime=True,
+    ),
+    Schedule(
+        "reorder-dup",
+        "reordering plus 10% duplication",
+        _reorder_dup,
+        needs_runtime=True,
+    ),
+    Schedule(
+        "random-delay",
+        "MODEL-BREAKING: 15% of messages arrive 1-2 rounds late — "
+        "delivery beyond the promised round exceeds the synchronous model",
+        _random_delay,
+        needs_runtime=True,
+        model_breaking=True,
+    ),
+    Schedule(
+        "crash-corrupted",
+        "crash every corrupted party at a random round <= 6",
+        _crash_corrupted,
+        needs_runtime=True,
+    ),
+    Schedule(
+        "partition-early",
+        "MODEL-BREAKING: sever the two halves during rounds 1-2",
+        _partition_early,
+        needs_runtime=True,
+        model_breaking=True,
+    ),
+    Schedule(
+        "crash-everyone",
+        "MODEL-BREAKING: crash every party at round 1",
+        _crash_everyone,
+        needs_runtime=True,
+        model_breaking=True,
+    ),
+]
+
+
+def default_schedules() -> List[Schedule]:
+    """The built-in schedules, in deterministic order."""
+    return list(_DEFAULT)
+
+
+def schedule_by_name(name: str) -> Schedule:
+    for schedule in _DEFAULT:
+        if schedule.name == name:
+            return schedule
+    raise ConfigurationError(f"unknown schedule {name!r}")

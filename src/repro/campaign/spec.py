@@ -1,0 +1,148 @@
+"""The single-line repro spec: one campaign cell, fully pinned.
+
+Format (``campaign/1`` is the schema tag; key order is canonical)::
+
+    campaign/1 config=pi_ba-snark strategy=subtree-drop \
+        schedule=reorder n=16 seed=0 corrupt=0,1,2,3,4
+
+``corrupt`` (explicit corrupted party ids) and ``crashes``
+(``party@round`` entries) are optional: a spec produced by the sweep
+always carries them — so a replay is exact even if the strategy's
+sampling changes — while a hand-written spec may omit them and let the
+strategy / schedule re-derive the sets from the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+SCHEMA = "campaign/1"
+
+_REQUIRED = ("config", "strategy", "schedule", "n", "seed")
+_OPTIONAL = ("corrupt", "crashes")
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One campaign cell, addressable and replayable.
+
+    ``corrupt`` / ``crashes`` are ``None`` when unresolved (derive from
+    the seed) and concrete once a run has pinned them.
+    """
+
+    config: str
+    strategy: str
+    schedule: str
+    n: int
+    seed: int
+    corrupt: Optional[Tuple[int, ...]] = None
+    crashes: Optional[Dict[int, int]] = None
+
+    def __post_init__(self) -> None:
+        if self.n < 4:
+            raise ConfigurationError(f"campaign spec needs n >= 4, got {self.n}")
+        if self.seed < 0:
+            raise ConfigurationError("campaign spec seed must be >= 0")
+        if self.corrupt is not None:
+            object.__setattr__(
+                self, "corrupt", tuple(sorted(set(self.corrupt)))
+            )
+            if any(not 0 <= p < self.n for p in self.corrupt):
+                raise ConfigurationError("corrupt id out of range in spec")
+        if self.crashes is not None:
+            if any(
+                not 0 <= p < self.n or r < 0
+                for p, r in self.crashes.items()
+            ):
+                raise ConfigurationError("crash entry out of range in spec")
+
+    @property
+    def resolved(self) -> bool:
+        """Whether the corrupted set is pinned explicitly."""
+        return self.corrupt is not None
+
+    def with_corrupt(self, corrupt: Tuple[int, ...]) -> "CampaignSpec":
+        return replace(self, corrupt=tuple(sorted(set(corrupt))))
+
+    def with_crashes(
+        self, crashes: Optional[Dict[int, int]]
+    ) -> "CampaignSpec":
+        return replace(
+            self, crashes=dict(crashes) if crashes is not None else None
+        )
+
+
+def format_spec(spec: CampaignSpec) -> str:
+    """Render the canonical single-line form."""
+    parts = [
+        SCHEMA,
+        f"config={spec.config}",
+        f"strategy={spec.strategy}",
+        f"schedule={spec.schedule}",
+        f"n={spec.n}",
+        f"seed={spec.seed}",
+    ]
+    if spec.corrupt is not None:
+        parts.append("corrupt=" + ",".join(str(p) for p in spec.corrupt))
+    if spec.crashes is not None:
+        entries = ",".join(
+            f"{p}@{r}" for p, r in sorted(spec.crashes.items())
+        )
+        parts.append(f"crashes={entries}")
+    return " ".join(parts)
+
+
+def parse_spec(line: str) -> CampaignSpec:
+    """Parse one repro-spec line (inverse of :func:`format_spec`)."""
+    tokens = line.strip().split()
+    if not tokens or tokens[0] != SCHEMA:
+        raise ConfigurationError(
+            f"repro spec must start with {SCHEMA!r}: {line!r}"
+        )
+    fields: Dict[str, str] = {}
+    for token in tokens[1:]:
+        if "=" not in token:
+            raise ConfigurationError(f"malformed spec token {token!r}")
+        key, _, value = token.partition("=")
+        if key not in _REQUIRED + _OPTIONAL:
+            raise ConfigurationError(f"unknown spec key {key!r}")
+        if key in fields:
+            raise ConfigurationError(f"duplicate spec key {key!r}")
+        fields[key] = value
+    missing = [key for key in _REQUIRED if key not in fields]
+    if missing:
+        raise ConfigurationError(f"spec missing keys: {', '.join(missing)}")
+    corrupt: Optional[Tuple[int, ...]] = None
+    if "corrupt" in fields:
+        raw = fields["corrupt"]
+        corrupt = tuple(
+            int(p) for p in raw.split(",") if p
+        ) if raw else ()
+    crashes: Optional[Dict[int, int]] = None
+    if "crashes" in fields:
+        crashes = {}
+        raw = fields["crashes"]
+        for entry in (raw.split(",") if raw else []):
+            if "@" not in entry:
+                raise ConfigurationError(
+                    f"malformed crash entry {entry!r} (want party@round)"
+                )
+            party_str, _, round_str = entry.partition("@")
+            crashes[int(party_str)] = int(round_str)
+    try:
+        n = int(fields["n"])
+        seed = int(fields["seed"])
+    except ValueError as exc:
+        raise ConfigurationError(f"non-integer n/seed in spec: {exc}")
+    return CampaignSpec(
+        config=fields["config"],
+        strategy=fields["strategy"],
+        schedule=fields["schedule"],
+        n=n,
+        seed=seed,
+        corrupt=corrupt,
+        crashes=crashes,
+    )

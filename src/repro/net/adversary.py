@@ -20,14 +20,32 @@ from repro.utils.randomness import Randomness
 
 @dataclass(frozen=True)
 class CorruptionPlan:
-    """An immutable static corruption set."""
+    """An immutable static corruption set.
+
+    ``budget`` is the adversary's corruption allowance ``t``: when set,
+    plans holding more than ``budget`` corrupted parties are rejected at
+    *construction* time with a :class:`ConfigurationError`.  Before this
+    field existed, a buggy setup-adaptive strategy could mint an
+    over-budget plan and only trip a check in :func:`corrupt_after_setup`
+    — callers that constructed plans directly (tests, campaign
+    strategies) had no error path at all.
+    """
 
     corrupted: FrozenSet[int]
     n: int
+    budget: Optional[int] = None
 
     def __post_init__(self) -> None:
         if any(not 0 <= i < self.n for i in self.corrupted):
             raise ConfigurationError("corrupted id out of range")
+        if self.budget is not None:
+            if self.budget < 0:
+                raise ConfigurationError("corruption budget cannot be negative")
+            if len(self.corrupted) > self.budget:
+                raise ConfigurationError(
+                    f"corrupted {len(self.corrupted)} parties, "
+                    f"budget is {self.budget}"
+                )
 
     def is_corrupt(self, party_id: int) -> bool:
         """Whether a party is under adversarial control."""
@@ -48,7 +66,9 @@ def random_corruption(n: int, t: int, rng: Randomness) -> CorruptionPlan:
     """Corrupt a uniformly random t-subset (the baseline adversary)."""
     if not 0 <= t < n:
         raise ConfigurationError(f"cannot corrupt {t} of {n} parties")
-    return CorruptionPlan(corrupted=frozenset(rng.sample(range(n), t)), n=n)
+    return CorruptionPlan(
+        corrupted=frozenset(rng.sample(range(n), t)), n=n, budget=t
+    )
 
 
 def prefix_corruption(n: int, t: int) -> CorruptionPlan:
@@ -56,13 +76,16 @@ def prefix_corruption(n: int, t: int) -> CorruptionPlan:
     structures keyed by party index)."""
     if not 0 <= t < n:
         raise ConfigurationError(f"cannot corrupt {t} of {n} parties")
-    return CorruptionPlan(corrupted=frozenset(range(t)), n=n)
+    return CorruptionPlan(corrupted=frozenset(range(t)), n=n, budget=t)
 
 
-def targeted_corruption(n: int, targets: Sequence[int]) -> CorruptionPlan:
+def targeted_corruption(
+    n: int, targets: Sequence[int], budget: Optional[int] = None
+) -> CorruptionPlan:
     """Corrupt an explicit set (setup-dependent adversaries use this after
-    inspecting the bulletin board)."""
-    return CorruptionPlan(corrupted=frozenset(targets), n=n)
+    inspecting the bulletin board).  Pass ``budget`` to have the ``t``
+    bound enforced at construction."""
+    return CorruptionPlan(corrupted=frozenset(targets), n=n, budget=budget)
 
 
 # A setup-adaptive corruption strategy: receives the public setup
@@ -87,8 +110,8 @@ def corrupt_after_setup(
     if strategy is None:
         return random_corruption(n, t, rng)
     plan = strategy(public_setup, n, t, rng)
-    if plan.t > t:
-        raise ConfigurationError(
-            f"strategy corrupted {plan.t} parties, budget is {t}"
-        )
-    return plan
+    # Re-mint the strategy's plan with the budget attached: an
+    # over-budget strategy now fails at plan *construction* (the same
+    # error path a direct ``CorruptionPlan(..., budget=t)`` caller gets),
+    # instead of a bespoke post-hoc check here.
+    return CorruptionPlan(corrupted=plan.corrupted, n=n, budget=t)

@@ -133,3 +133,64 @@ def committee_aggregate_sig(
         peers_per_party=committee_size,
         rounds=4,
     )
+
+
+def pi_ba_per_party_budget(
+    n: int,
+    params: ProtocolParameters,
+    certificate_bytes: int,
+    base_signature_bytes: int = 0,
+    slack: float = 4.0,
+) -> int:
+    """Analytic ceiling on ``max_bits_per_party`` for one π_ba execution.
+
+    Composes the per-party charges of every functionality Fig. 3 invokes
+    — tree establishment, committee BA, committee coin toss, two
+    send-downs, and one aggregate-signature evaluation per tree level —
+    plus the concrete wire terms the hybrid realization pays (base
+    signatures flooded to leaf committees, certificate boost fan-out),
+    then multiplies by ``slack``.
+
+    The point is the *shape*, not tightness: every term is polylog(n)
+    times the scheme's signature material, so a protocol change that
+    smuggles in an Ω(√n) factor blows through the ceiling at moderate n,
+    while honest refactors stay far below it.  The campaign invariants
+    (:mod:`repro.campaign.invariants`) check measured executions against
+    this budget; tightness is separately pinned by the golden
+    phase-breakdown benchmarks in ``tests/obs``.
+
+    Args:
+        n: number of real parties.
+        certificate_bytes: size of one SRDS aggregate certificate (probe
+            the scheme, or take it from a completed ``BAResult``).
+        base_signature_bytes: size of one *base* (non-aggregated) SRDS
+            signature — for hash-based schemes this dominates the wire
+            traffic even when certificates are tiny.  0 if unknown; the
+            certificate term then has to cover it through ``slack``.
+        slack: multiplicative headroom over the composed analytic cost.
+    """
+    log_n = ceil_log2(n)
+    committee = params.committee_size(n)
+    height = max(2, log_n // 2)
+    cert_bits = 8 * certificate_bytes
+    base_bits = 8 * max(base_signature_bytes, certificate_bytes)
+    payload_bits = cert_bits + 4096  # certificate + framing/metadata
+
+    total = ae_comm_establish(n, params).bits_per_party
+    total += committee_ba(committee).bits_per_party
+    total += committee_coin_toss(committee).bits_per_party
+    total += 2 * ae_comm_send_down(n, params, payload_bits).bits_per_party
+    total += (height + 1) * committee_aggregate_sig(
+        committee, payload_bits + base_bits
+    ).bits_per_party
+    # Wire terms of the concrete hybrid realization:
+    # each party signs for each of its O(log n) virtual ids and floods
+    # the base signature to its leaf committee (sent + received) ...
+    total += 2 * committee * log_n * base_bits
+    # ... every committee a party serves in exchanges aggregates at each
+    # level during SRDS aggregation ...
+    total += 2 * committee * (height + 1) * (cert_bits + base_bits)
+    # ... and the final certificate boost fans out to committee-many
+    # peers per tree level on the way down.
+    total += 2 * committee * height * payload_bits
+    return int(slack * total)

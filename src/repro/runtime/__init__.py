@@ -32,6 +32,7 @@ from repro.runtime.faults import (
     Partition,
     adversarial_schedule,
     crash_corrupted,
+    crash_everyone,
     partition_halves,
 )
 from repro.runtime.replay import (
@@ -72,6 +73,7 @@ __all__ = [
     "Transport",
     "adversarial_schedule",
     "crash_corrupted",
+    "crash_everyone",
     "load_jsonl",
     "make_transport",
     "partition_halves",

@@ -47,8 +47,15 @@ def run_phase_king_runtime(
     fault_plan: Optional[FaultPlan] = None,
     trace: Optional[TraceRecorder] = None,
     metrics: Optional[CommunicationMetrics] = None,
+    enforce_budget: bool = True,
 ) -> Tuple[Dict[int, int], CommunicationMetrics]:
-    """Phase-king BA over the async runtime (twin of `run_phase_king`)."""
+    """Phase-king BA over the async runtime (twin of `run_phase_king`).
+
+    ``enforce_budget=False`` admits more than f byzantine parties — the
+    protocol's guarantees are void beyond the threshold, which is exactly
+    what the campaign's planted over-threshold cells demonstrate (the
+    honest outputs must then *visibly* disagree, never silently pass).
+    """
     from repro.protocols.phase_king import (
         ByzantinePhaseKingParty,
         make_honest_party,
@@ -57,7 +64,7 @@ def run_phase_king_runtime(
     members = sorted(inputs)
     byzantine_set = set(byzantine)
     f = max(1, (len(members) - 1) // 3)
-    if len(byzantine_set) > f:
+    if enforce_budget and len(byzantine_set) > f:
         raise ConfigurationError(
             f"{len(byzantine_set)} byzantine parties exceeds f={f}"
         )

@@ -263,6 +263,22 @@ def adversarial_schedule(
     )
 
 
+def crash_everyone(
+    party_ids: Iterable[int], round_index: int
+) -> FaultPlan:
+    """Crash *every* party at one round — the total-failure schedule.
+
+    This deliberately exceeds any corruption model: a protocol driven
+    under it must either satisfy its invariants vacuously (no honest
+    outputs) or fail loudly (a :class:`~repro.errors.NetworkError`
+    timeout), never report a silent wrong answer.  The campaign's
+    model-breaking schedules and the fault edge-case tests use it.
+    """
+    if round_index < 0:
+        raise ConfigurationError("crash round must be >= 0")
+    return FaultPlan(crashes={p: round_index for p in party_ids})
+
+
 def partition_halves(
     party_ids: Iterable[int], first_round: int, last_round: int
 ) -> FaultPlan:

@@ -171,6 +171,11 @@ class CoalitionForgeryAdversary(ForgeryAdversary):
             )
             if signature is not None:
                 arsenal.append(signature)
+        if not arsenal:
+            # Nothing to aggregate (e.g. no corruptions and an empty S):
+            # the adversary abstains rather than feeding the scheme an
+            # empty list it never promises to handle.
+            return None, self.target_message
         forged = scheme.aggregate(
             setup.pp, setup.verification_keys, self.target_message, arsenal
         )
@@ -218,6 +223,9 @@ class ReplayForgeryAdversary(ForgeryAdversary):
             )
             if signature is not None:
                 coalition.append(signature)
+        if not coalition:
+            # Empty coalition (no corruptions, empty S): abstain.
+            return None, self.target_message
         once = scheme.aggregate(
             setup.pp, setup.verification_keys, self.target_message, coalition
         )

@@ -116,11 +116,27 @@ def _run_setup(
     params: ProtocolParameters,
     rng: Randomness,
     replace_keys_hook,
+    plan: Optional[CorruptionPlan] = None,
 ) -> ExperimentSetup:
-    """Phase A of both experiments."""
+    """Phase A of both experiments.
+
+    ``plan`` lets the caller pin the corrupted set (campaign cells and
+    edge-case tests that target specific committees); by default the
+    corruption is uniformly random, as in the original experiments.
+    """
     if 3 * t >= n:
         raise ExperimentError("corruption budget must be below n/3")
-    plan = random_corruption(n, t, rng.fork("corrupt"))
+    if plan is None:
+        plan = random_corruption(n, t, rng.fork("corrupt"))
+    else:
+        if plan.n != n:
+            raise ExperimentError(
+                f"corruption plan is over {plan.n} parties, experiment has {n}"
+            )
+        if plan.t > t:
+            raise ExperimentError(
+                f"corruption plan corrupts {plan.t} parties, budget is {t}"
+            )
     tree = build_tree(
         n, params, rng.fork("tree"), honest_root_hint=plan.honest
     )
@@ -163,18 +179,21 @@ def run_robustness_experiment(
     adversary: RobustnessAdversary,
     params: Optional[ProtocolParameters] = None,
     rng: Optional[Randomness] = None,
+    plan: Optional[CorruptionPlan] = None,
 ) -> bool:
     """Run Expt^robust (Fig. 1).
 
     Returns ``True`` when verification of the root aggregate *succeeds*
     — i.e. the challenger wins and the adversary fails.  A robust scheme
-    returns True for (almost) every adversary and randomness.
+    returns True for (almost) every adversary and randomness.  ``plan``
+    optionally pins the corrupted set (default: uniformly random).
     """
     params = params if params is not None else ProtocolParameters()
     rng = rng if rng is not None else Randomness(0)
     setup = _run_setup(
         scheme, n, t, mode, params, rng,
         lambda s: adversary.replace_keys(s, scheme, rng.fork("replace")),
+        plan=plan,
     )
     tree = setup.tree
 
@@ -264,18 +283,21 @@ def run_forgery_experiment(
     adversary: ForgeryAdversary,
     params: Optional[ProtocolParameters] = None,
     rng: Optional[Randomness] = None,
+    plan: Optional[CorruptionPlan] = None,
 ) -> bool:
     """Run Expt^forge (Fig. 2).
 
     Returns ``True`` when the *adversary* wins: it produced sigma' on
     some m' != m that verifies.  An unforgeable scheme returns False for
-    (almost) every adversary and randomness.
+    (almost) every adversary and randomness.  ``plan`` optionally pins
+    the corrupted set (default: uniformly random).
     """
     params = params if params is not None else ProtocolParameters()
     rng = rng if rng is not None else Randomness(0)
     setup = _run_setup(
         scheme, n, t, mode, params, rng,
         lambda s: adversary.replace_keys(s, scheme, rng.fork("replace")),
+        plan=plan,
     )
     num_virtual = setup.tree.num_virtual
 

@@ -1,0 +1,151 @@
+"""Strategy catalog: registration, applicability, plan resolution."""
+
+import pytest
+
+from repro.campaign.catalog import (
+    KIND_DOLEV_STRONG,
+    KIND_GRADECAST,
+    KIND_PHASE_KING,
+    KIND_PI_BA,
+    KIND_SRDS_FORGE,
+    KIND_SRDS_ROBUST,
+    Strategy,
+    default_catalog,
+)
+from repro.errors import ConfigurationError
+from repro.params import ProtocolParameters
+from repro.utils.randomness import Randomness
+
+ALL_KINDS = (
+    KIND_PI_BA,
+    KIND_PHASE_KING,
+    KIND_GRADECAST,
+    KIND_DOLEV_STRONG,
+    KIND_SRDS_ROBUST,
+    KIND_SRDS_FORGE,
+)
+
+
+class TestCatalog:
+    def test_names_unique(self):
+        names = default_catalog().names()
+        assert len(names) == len(set(names))
+
+    def test_every_kind_covered(self):
+        catalog = default_catalog()
+        for kind in ALL_KINDS:
+            assert catalog.for_kind(kind), f"no strategy applies to {kind}"
+
+    def test_srds_kinds_have_adversaries(self):
+        catalog = default_catalog()
+        for kind in (KIND_SRDS_ROBUST, KIND_SRDS_FORGE):
+            for strategy in catalog.for_kind(kind):
+                assert strategy.srds_adversary is not None
+                # The lazy factory must actually resolve.
+                assert strategy.srds_adversary() is not None
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            default_catalog().get("no-such-strategy")
+
+    def test_register_duplicate_raises(self):
+        catalog = default_catalog()
+        with pytest.raises(ConfigurationError):
+            catalog.register(
+                Strategy(name="honest", description="dup", kinds=(KIND_PI_BA,))
+            )
+
+    def test_register_extends(self):
+        catalog = default_catalog()
+        catalog.register(
+            Strategy(
+                name="custom", description="extension", kinds=(KIND_PI_BA,)
+            )
+        )
+        assert catalog.get("custom").applies_to(KIND_PI_BA)
+        # The default catalog factory stays pristine.
+        assert "custom" not in default_catalog().names()
+
+    def test_planted_strategies_marked(self):
+        planted = [
+            s for s in default_catalog().strategies if s.expect_violation
+        ]
+        assert planted, "the catalog must carry a planted strategy"
+        assert all(s.plan_kind == "over-threshold" for s in planted)
+
+
+class TestResolvePlan:
+    def setup_method(self):
+        self.params = ProtocolParameters()
+        self.rng = Randomness(11).fork("test")
+        self.catalog = default_catalog()
+
+    def test_honest_plan_is_empty(self):
+        plan = self.catalog.get("honest").resolve_plan(
+            16, self.params, self.rng
+        )
+        assert plan.corrupted == frozenset()
+
+    def test_random_plan_within_concrete_tolerance(self):
+        plan = self.catalog.get("random-silent").resolve_plan(
+            16, self.params, self.rng
+        )
+        t = max(1, self.params.max_corruptions(16))
+        assert 0 < plan.t <= t
+        assert plan.budget == t
+
+    def test_prefix_plan_clusters(self):
+        plan = self.catalog.get("subtree-drop").resolve_plan(
+            16, self.params, self.rng
+        )
+        assert plan.corrupted == frozenset(range(plan.t))
+
+    def test_committee_plan_targets_probe_committee(self):
+        from repro.aetree.tree import build_tree
+
+        plan = self.catalog.get("committee-targeted").resolve_plan(
+            16, self.params, self.rng
+        )
+        probe = build_tree(
+            16, self.params, self.rng.fork("committee-probe")
+        )
+        t = max(1, self.params.max_corruptions(16))
+        expected = set(list(probe.supreme_committee)[:t])
+        assert expected <= plan.corrupted or plan.t == t
+
+    def test_over_threshold_plan_is_half(self):
+        plan = self.catalog.get("over-threshold").resolve_plan(
+            16, self.params, self.rng
+        )
+        assert plan.t == 8
+        assert plan.budget is None  # deliberately unchecked
+
+    def test_explicit_override_wins(self):
+        plan = self.catalog.get("random-silent").resolve_plan(
+            16, self.params, self.rng, explicit=(4,)
+        )
+        assert plan.corrupted == frozenset({4})
+
+    def test_explicit_override_still_budget_checked(self):
+        t = max(1, self.params.max_corruptions(16))
+        with pytest.raises(ConfigurationError):
+            self.catalog.get("random-silent").resolve_plan(
+                16, self.params, self.rng, explicit=tuple(range(t + 1))
+            )
+
+    def test_determinism(self):
+        a = self.catalog.get("random-silent").resolve_plan(
+            16, self.params, Randomness(3).fork("x")
+        )
+        b = self.catalog.get("random-silent").resolve_plan(
+            16, self.params, Randomness(3).fork("x")
+        )
+        assert a.corrupted == b.corrupted
+
+    def test_unknown_plan_kind_raises(self):
+        bogus = Strategy(
+            name="bogus", description="", kinds=(KIND_PI_BA,),
+            plan_kind="teleport",
+        )
+        with pytest.raises(ConfigurationError):
+            bogus.resolve_plan(16, self.params, self.rng)

@@ -1,0 +1,109 @@
+"""Unit tests for the invariant checkers (no protocol execution)."""
+
+from repro.campaign.invariants import (
+    check_ba_invariants,
+    check_broadcast_invariants,
+    check_gradecast_invariants,
+    check_srds_robustness,
+    check_srds_unforgeability,
+)
+
+
+def _names(violations):
+    return sorted(v.name for v in violations)
+
+
+class TestBAInvariants:
+    def test_clean_run(self):
+        inputs = {0: 0, 1: 1, 2: 0, 3: 1}
+        outputs = {i: 1 for i in range(4)}
+        assert check_ba_invariants(inputs, outputs, [0, 1, 2, 3]) == []
+
+    def test_agreement_split(self):
+        inputs = {i: 1 for i in range(4)}
+        outputs = {0: 0, 1: 1, 2: 1, 3: 1}
+        names = _names(check_ba_invariants(inputs, outputs, [0, 1, 2, 3]))
+        assert "agreement" in names
+
+    def test_corrupt_outputs_ignored(self):
+        inputs = {i: i % 2 for i in range(4)}
+        outputs = {0: 1, 1: 0, 2: 1, 3: 1}  # party 1 is corrupt
+        assert check_ba_invariants(inputs, outputs, [0, 2, 3]) == []
+
+    def test_missing_output(self):
+        inputs = {i: 1 for i in range(4)}
+        outputs = {0: 1, 1: None, 2: 1}
+        names = _names(check_ba_invariants(inputs, outputs, [0, 1, 2, 3]))
+        assert "no-output" in names
+
+    def test_validity(self):
+        inputs = {i: 1 for i in range(4)}
+        outputs = {i: 0 for i in range(4)}
+        names = _names(check_ba_invariants(inputs, outputs, [0, 1, 2, 3]))
+        assert "validity" in names
+        assert "agreement" not in names
+
+    def test_split_inputs_any_common_value_is_valid(self):
+        inputs = {0: 0, 1: 1, 2: 0, 3: 1}
+        outputs = {i: 0 for i in range(4)}
+        assert check_ba_invariants(inputs, outputs, [0, 1, 2, 3]) == []
+
+    def test_bits_budget(self):
+        inputs = {i: 1 for i in range(4)}
+        outputs = {i: 1 for i in range(4)}
+        ok = check_ba_invariants(
+            inputs, outputs, [0, 1, 2, 3],
+            measured_bits=100, budget_bits=200,
+        )
+        assert ok == []
+        over = check_ba_invariants(
+            inputs, outputs, [0, 1, 2, 3],
+            measured_bits=300, budget_bits=200,
+        )
+        assert _names(over) == ["bits-budget"]
+
+
+class TestBroadcastInvariants:
+    def test_honest_sender_delivers(self):
+        outputs = {i: 1 for i in range(4)}
+        assert check_broadcast_invariants(outputs, True, 1) == []
+
+    def test_honest_sender_wrong_value(self):
+        outputs = {i: 0 for i in range(4)}
+        names = _names(check_broadcast_invariants(outputs, True, 1))
+        assert "validity" in names
+
+    def test_corrupt_sender_common_bot_is_fine(self):
+        # Dolev-Strong's guarantee under a corrupt sender is agreement
+        # on *some* value; the default fallback counts.
+        outputs = {i: 0 for i in range(4)}
+        assert check_broadcast_invariants(outputs, False, 1) == []
+
+    def test_split_is_agreement_violation(self):
+        outputs = {0: 0, 1: 1, 2: 1, 3: 1}
+        names = _names(check_broadcast_invariants(outputs, False, 1))
+        assert names == ["agreement"]
+
+
+class TestGradecastInvariants:
+    def test_honest_sender_full_grade(self):
+        outputs = {i: (1, 2) for i in range(4)}
+        assert check_gradecast_invariants(outputs, True, 1) == []
+
+    def test_honest_sender_low_grade_flagged(self):
+        outputs = {i: (1, 1) for i in range(4)}
+        names = _names(check_gradecast_invariants(outputs, True, 1))
+        assert names == ["gradecast"]
+
+
+class TestSrdsInvariants:
+    def test_robustness_verdicts(self):
+        assert check_srds_robustness(True, "ctx") == []
+        violations = check_srds_robustness(False, "ctx")
+        assert _names(violations) == ["srds-robustness"]
+        assert "ctx" in violations[0].detail
+
+    def test_forgery_verdicts(self):
+        assert check_srds_unforgeability(False, "ctx") == []
+        violations = check_srds_unforgeability(True, "ctx")
+        assert _names(violations) == ["srds-forgery"]

@@ -1,0 +1,88 @@
+"""Greedy failure minimization: signature-preserving, 1-minimal."""
+
+import pytest
+
+from repro.campaign.minimize import minimize_failure
+from repro.campaign.runner import execute_spec
+from repro.campaign.spec import CampaignSpec
+from repro.errors import ConfigurationError
+
+
+def _planted_spec(**overrides):
+    fields = dict(
+        config="phase_king",
+        strategy="over-threshold",
+        schedule="none",
+        n=16,
+        seed=0,
+    )
+    fields.update(overrides)
+    return CampaignSpec(**fields)
+
+
+class TestMinimize:
+    def test_passing_spec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            minimize_failure(
+                CampaignSpec(
+                    config="phase_king",
+                    strategy="honest",
+                    schedule="none",
+                    n=16,
+                    seed=0,
+                )
+            )
+
+    def test_planted_failure_shrinks(self):
+        original = execute_spec(_planted_spec())
+        assert original.failed
+        result = minimize_failure(_planted_spec())
+        assert result.signature == original.signature
+        assert result.minimized.failed
+        assert result.minimized.signature == result.signature
+        # The plant corrupts n/2 = 8; fewer suffice for the same break.
+        assert len(result.minimized.spec.corrupt) < len(
+            original.spec.corrupt
+        )
+        assert result.shrunk
+        assert result.attempts > 0
+
+    def test_minimized_is_one_minimal(self):
+        result = minimize_failure(_planted_spec())
+        corrupt = result.minimized.spec.corrupt
+        for party in corrupt:
+            reduced = tuple(p for p in corrupt if p != party)
+            outcome = execute_spec(
+                result.minimized.spec.with_corrupt(reduced)
+            )
+            assert (
+                not outcome.failed
+                or outcome.signature != result.signature
+            ), f"removing {party} still fails identically — not 1-minimal"
+
+    def test_minimization_deterministic(self):
+        a = minimize_failure(_planted_spec())
+        b = minimize_failure(_planted_spec())
+        assert a.minimized.spec == b.minimized.spec
+        assert a.attempts == b.attempts
+
+    def test_crash_schedule_shrinks(self):
+        # crash-everyone on phase_king: a loud NetworkError.  Only a core
+        # of crashed parties is needed to keep the protocol from
+        # terminating; the minimizer strips the rest while preserving the
+        # error signature.
+        spec = _planted_spec(
+            strategy="honest", schedule="crash-everyone"
+        )
+        original = execute_spec(spec)
+        assert original.failed and original.spec.crashes
+        result = minimize_failure(spec)
+        assert result.minimized.failed
+        assert result.minimized.signature == result.signature
+        minimized_crashes = result.minimized.spec.crashes or {}
+        assert len(minimized_crashes) <= len(original.spec.crashes)
+
+    def test_attempt_cap_respected(self):
+        result = minimize_failure(_planted_spec(), max_attempts=3)
+        assert result.attempts <= 3
+        assert result.minimized.failed  # still a valid failing witness

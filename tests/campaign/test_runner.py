@@ -1,0 +1,222 @@
+"""Runner semantics on cheap cells, plus marked full-sweep checks.
+
+The unmarked tests stay in tier-1 by using the fast runtime-driver
+configs (phase_king, gradecast); everything that executes π_ba or SRDS
+cells or sweeps the matrix is ``@pytest.mark.campaign`` (run in CI's
+dedicated campaign job via ``pytest -m campaign``).
+"""
+
+import pytest
+
+from repro.campaign.runner import execute_spec, run_campaign
+from repro.campaign.spec import CampaignSpec, format_spec, parse_spec
+from repro.errors import ConfigurationError
+
+
+def _spec(**overrides):
+    fields = dict(
+        config="phase_king", strategy="honest", schedule="none", n=16, seed=0
+    )
+    fields.update(overrides)
+    return CampaignSpec(**fields)
+
+
+class TestExecuteSpec:
+    def test_honest_baseline_passes(self):
+        outcome = execute_spec(_spec())
+        assert not outcome.failed
+        assert not outcome.expected_failure
+        assert outcome.signature == ()
+        assert outcome.spec.resolved  # corrupted set pinned
+
+    def test_deterministic(self):
+        a = execute_spec(_spec(strategy="random-silent"))
+        b = execute_spec(_spec(strategy="random-silent"))
+        assert a.spec == b.spec
+        assert a.signature == b.signature
+        assert a.failed == b.failed
+
+    def test_replay_from_formatted_line(self):
+        first = execute_spec(_spec(strategy="random-silent"))
+        replayed = execute_spec(parse_spec(format_spec(first.spec)))
+        assert replayed.spec == first.spec
+        assert replayed.signature == first.signature
+
+    def test_planted_over_threshold_fails_loudly(self):
+        outcome = execute_spec(_spec(strategy="over-threshold"))
+        assert outcome.failed
+        assert outcome.expected_failure
+        assert not outcome.unexpected
+        # The failure is *visible* — an agreement split or raised error,
+        # never a silent pass.
+        assert outcome.violations or outcome.error is not None
+
+    def test_crash_everyone_is_loud(self):
+        outcome = execute_spec(_spec(schedule="crash-everyone"))
+        assert outcome.failed
+        assert outcome.expected_failure  # model-breaking schedule
+        assert outcome.error_type is not None
+        assert outcome.signature[0].startswith("error:")
+
+    def test_crashes_pinned_in_resolved_spec(self):
+        outcome = execute_spec(
+            _spec(strategy="random-silent", schedule="crash-corrupted")
+        )
+        assert outcome.spec.crashes is not None
+        assert set(outcome.spec.crashes) <= set(outcome.spec.corrupt)
+
+    def test_pinned_crashes_override_schedule(self):
+        outcome = execute_spec(
+            _spec(
+                strategy="random-silent",
+                schedule="crash-corrupted",
+                corrupt=(2, 5),
+                crashes={2: 1},
+            )
+        )
+        assert outcome.spec.crashes == {2: 1}
+
+    def test_gradecast_cell(self):
+        outcome = execute_spec(
+            _spec(config="gradecast", strategy="random-silent")
+        )
+        assert not outcome.failed
+
+    def test_inapplicable_strategy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            execute_spec(_spec(config="gradecast", strategy="boost-flood"))
+
+    def test_inapplicable_schedule_rejected(self):
+        with pytest.raises(ConfigurationError):
+            execute_spec(
+                _spec(config="dolev_strong", n=8, schedule="crash-everyone")
+            )
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            execute_spec(_spec(config="nope"))
+        with pytest.raises(ConfigurationError):
+            execute_spec(_spec(strategy="nope"))
+        with pytest.raises(ConfigurationError):
+            execute_spec(_spec(schedule="nope"))
+
+
+class TestRunCampaignCheap:
+    """Sweep mechanics exercised on a restricted fast matrix."""
+
+    def _matrix(self):
+        from repro.campaign.matrix import ProtocolConfig
+
+        return [
+            ProtocolConfig(
+                name="phase_king",
+                kind="phase_king",
+                n=16,
+                schedules=("none", "crash-corrupted", "crash-everyone"),
+            ),
+            ProtocolConfig(
+                name="gradecast",
+                kind="gradecast",
+                n=16,
+                schedules=("none",),
+            ),
+        ]
+
+    def test_summary_counts(self, tmp_path):
+        lines = []
+        summary = run_campaign(
+            12,
+            0,
+            matrix=self._matrix(),
+            results_dir=str(tmp_path),
+            emit=lines.append,
+        )
+        assert len(summary.outcomes) == 12
+        assert summary.passed + summary.expected_failures + len(
+            summary.unexpected_failures
+        ) == 12
+        assert summary.ok, [
+            format_spec(o.spec) for o in summary.unexpected_failures
+        ]
+        # crash-everyone cells fail loudly, as expected failures.
+        assert summary.expected_failures > 0
+        assert any("EXPECTED-FAIL" in line for line in lines)
+        assert summary.bench_path is not None
+
+    def test_bench_json_shape(self, tmp_path):
+        import json
+
+        summary = run_campaign(
+            6, 0, matrix=self._matrix(), results_dir=str(tmp_path)
+        )
+        payload = json.loads(
+            (tmp_path / "BENCH_campaign.json").read_text()
+        )
+        extra = payload["extra"] if "extra" in payload else payload
+        assert extra["cells"] == 6
+        assert len(extra["specs"]) == 6
+        for line in extra["failing_specs"]:
+            parse_spec(line)  # every recorded spec replays syntactically
+
+    def test_sweep_deterministic(self):
+        a = run_campaign(8, 3, matrix=self._matrix())
+        b = run_campaign(8, 3, matrix=self._matrix())
+        assert [format_spec(o.spec) for o in a.outcomes] == [
+            format_spec(o.spec) for o in b.outcomes
+        ]
+        assert [o.signature for o in a.outcomes] == [
+            o.signature for o in b.outcomes
+        ]
+
+    def test_zero_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_campaign(0, 0, matrix=self._matrix())
+
+
+@pytest.mark.campaign
+class TestFullMatrixSmoke:
+    """The acceptance sweep: the first 25 cells of the real matrix are
+    deterministic and free of unexpected failures."""
+
+    def test_budget_25_seed_0(self, tmp_path):
+        summary = run_campaign(25, 0, results_dir=str(tmp_path))
+        assert summary.ok, [
+            format_spec(o.spec) for o in summary.unexpected_failures
+        ]
+        assert len(summary.outcomes) == 25
+
+    def test_planted_cells_fail_and_replay(self):
+        from repro.campaign.matrix import enumerate_cells
+
+        planted = [
+            c for c in enumerate_cells(0, include_planted=True)
+            if c.strategy_name == "over-threshold"
+        ]
+        assert planted, "the full matrix must contain planted cells"
+        # One per config suffices: every plant must fail loudly and
+        # its emitted spec must replay to the identical failure.
+        seen_configs = set()
+        for cell in planted:
+            if cell.config.name in seen_configs:
+                continue
+            seen_configs.add(cell.config.name)
+            outcome = execute_spec(cell.spec)
+            assert outcome.failed and outcome.expected_failure
+            replayed = execute_spec(parse_spec(format_spec(outcome.spec)))
+            assert replayed.signature == outcome.signature
+            assert replayed.spec == outcome.spec
+
+    def test_pi_ba_cells_pass_with_bits_budget(self):
+        outcome = execute_spec(
+            CampaignSpec(
+                config="pi_ba-snark",
+                strategy="honest",
+                schedule="none",
+                n=16,
+                seed=0,
+            )
+        )
+        assert not outcome.failed
+        assert outcome.measured_bits is not None
+        assert outcome.budget_bits is not None
+        assert outcome.measured_bits <= outcome.budget_bits

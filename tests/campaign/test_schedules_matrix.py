@@ -1,0 +1,131 @@
+"""Fault schedules and the protocol matrix: composition invariants."""
+
+import pytest
+
+from repro.campaign.catalog import default_catalog
+from repro.campaign.matrix import (
+    config_by_name,
+    default_matrix,
+    enumerate_cells,
+)
+from repro.campaign.schedules import default_schedules, schedule_by_name
+from repro.errors import ConfigurationError
+from repro.net.adversary import random_corruption
+from repro.params import ProtocolParameters
+from repro.utils.randomness import Randomness
+
+
+def _plan(n=16, t=2, seed=1):
+    return random_corruption(n, t, Randomness(seed).fork("plan"))
+
+
+class TestSchedules:
+    def test_names_unique_and_lookup(self):
+        schedules = default_schedules()
+        names = [s.name for s in schedules]
+        assert len(names) == len(set(names))
+        for name in names:
+            assert schedule_by_name(name).name == name
+
+    def test_unknown_schedule_raises(self):
+        with pytest.raises(ConfigurationError):
+            schedule_by_name("gremlins")
+
+    def test_baseline_builds_no_fault_plan(self):
+        schedule = schedule_by_name("none")
+        assert schedule.build(16, _plan(), Randomness(0)) is None
+
+    def test_crash_corrupted_degenerates_without_corruption(self):
+        schedule = schedule_by_name("crash-corrupted")
+        empty = random_corruption(16, 0, Randomness(0))
+        assert schedule.build(16, empty, Randomness(0)) is None
+
+    def test_crash_corrupted_targets_only_corrupted(self):
+        schedule = schedule_by_name("crash-corrupted")
+        plan = _plan(t=3)
+        fault_plan = schedule.build(16, plan, Randomness(2).fork("s"))
+        assert fault_plan is not None
+        assert set(fault_plan.crashes) <= plan.corrupted
+        assert all(r <= 6 for r in fault_plan.crashes.values())
+
+    def test_crash_everyone_is_total(self):
+        schedule = schedule_by_name("crash-everyone")
+        fault_plan = schedule.build(16, _plan(), Randomness(0))
+        assert set(fault_plan.crashes) == set(range(16))
+        assert set(fault_plan.crashes.values()) == {1}
+        assert schedule.model_breaking
+
+    def test_model_breaking_flags(self):
+        flags = {
+            s.name: s.model_breaking for s in default_schedules()
+        }
+        assert flags["random-delay"], (
+            "late delivery exceeds the synchronous model"
+        )
+        assert flags["partition-early"]
+        assert flags["crash-everyone"]
+        assert not flags["none"]
+        assert not flags["reorder"]
+        assert not flags["crash-corrupted"]
+
+
+class TestMatrix:
+    def test_config_names_unique_and_lookup(self):
+        matrix = default_matrix()
+        names = [c.name for c in matrix]
+        assert len(names) == len(set(names))
+        for name in names:
+            assert config_by_name(name).name == name
+
+    def test_unknown_config_raises(self):
+        with pytest.raises(ConfigurationError):
+            config_by_name("pi_ba-quantum")
+
+    def test_schedules_exist(self):
+        for config in default_matrix():
+            for schedule_name in config.schedules:
+                schedule_by_name(schedule_name)  # must not raise
+
+    def test_cells_are_consistent(self):
+        catalog = default_catalog()
+        for cell in enumerate_cells(0):
+            strategy = catalog.get(cell.strategy_name)
+            assert strategy.applies_to(cell.config.kind)
+            assert cell.config.allows_schedule(cell.schedule_name)
+            assert not strategy.expect_violation  # not without the flag
+
+    def test_enumeration_deterministic(self):
+        a = [c.spec for c in enumerate_cells(0)]
+        b = [c.spec for c in enumerate_cells(0)]
+        assert a == b
+
+    def test_round_robin_prefix_touches_every_config(self):
+        matrix = default_matrix()
+        prefix = enumerate_cells(0)[: len(matrix)]
+        assert {c.config.name for c in prefix} == {c.name for c in matrix}
+
+    def test_include_planted_adds_cells(self):
+        base = enumerate_cells(0)
+        planted = enumerate_cells(0, include_planted=True)
+        assert len(planted) > len(base)
+        extra = {
+            c.strategy_name for c in planted
+        } - {c.strategy_name for c in base}
+        assert extra == {"over-threshold"}
+
+    def test_seed_propagates_to_specs(self):
+        assert all(c.spec.seed == 42 for c in enumerate_cells(42))
+
+
+class TestScheduleBuildersCompose:
+    """Every (config, schedule) pair in the matrix can build its fault
+    plan against a plausible corruption plan without raising."""
+
+    def test_all_cells_build(self):
+        params = ProtocolParameters()
+        for cell in enumerate_cells(0, include_planted=True):
+            schedule = schedule_by_name(cell.schedule_name)
+            n = cell.config.n
+            t = max(1, params.max_corruptions(n))
+            plan = random_corruption(n, t, Randomness(5).fork(cell.spec.config))
+            schedule.build(n, plan, Randomness(5).fork("sched"))

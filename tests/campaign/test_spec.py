@@ -1,0 +1,113 @@
+"""Repro-spec format: canonical rendering, exact parsing, validation."""
+
+import pytest
+
+from repro.campaign.spec import SCHEMA, CampaignSpec, format_spec, parse_spec
+from repro.errors import ConfigurationError
+
+
+def _spec(**overrides):
+    fields = dict(
+        config="phase_king", strategy="honest", schedule="none", n=16, seed=0
+    )
+    fields.update(overrides)
+    return CampaignSpec(**fields)
+
+
+class TestRoundTrip:
+    def test_minimal(self):
+        spec = _spec()
+        assert parse_spec(format_spec(spec)) == spec
+
+    def test_with_corrupt(self):
+        spec = _spec(corrupt=(3, 1, 2))
+        line = format_spec(spec)
+        assert "corrupt=1,2,3" in line  # canonical sorted order
+        assert parse_spec(line) == spec
+
+    def test_with_crashes(self):
+        spec = _spec(crashes={5: 2, 1: 4})
+        line = format_spec(spec)
+        assert "crashes=1@4,5@2" in line
+        assert parse_spec(line) == spec
+
+    def test_schema_tag_leads(self):
+        assert format_spec(_spec()).startswith(SCHEMA + " ")
+
+    def test_corrupt_deduplicated(self):
+        assert _spec(corrupt=(2, 2, 1)).corrupt == (1, 2)
+
+    def test_empty_corrupt_round_trips(self):
+        spec = _spec(corrupt=())
+        line = format_spec(spec)
+        assert "corrupt=" in line
+        assert parse_spec(line).corrupt == ()
+
+    def test_resolved_property(self):
+        assert not _spec().resolved
+        assert _spec(corrupt=(1,)).resolved
+
+
+class TestHelpers:
+    def test_with_corrupt_returns_new_spec(self):
+        spec = _spec()
+        pinned = spec.with_corrupt((4, 2))
+        assert pinned.corrupt == (2, 4)
+        assert spec.corrupt is None  # frozen original untouched
+
+    def test_with_crashes_none_clears(self):
+        spec = _spec(crashes={1: 1})
+        assert spec.with_crashes(None).crashes is None
+
+
+class TestValidation:
+    def test_rejects_wrong_schema(self):
+        with pytest.raises(ConfigurationError):
+            parse_spec("campaign/999 config=x strategy=y schedule=z n=8 seed=0")
+
+    def test_rejects_missing_keys(self):
+        with pytest.raises(ConfigurationError):
+            parse_spec(f"{SCHEMA} config=x strategy=y n=8 seed=0")
+
+    def test_rejects_unknown_key(self):
+        with pytest.raises(ConfigurationError):
+            parse_spec(
+                f"{SCHEMA} config=x strategy=y schedule=z n=8 seed=0 wat=1"
+            )
+
+    def test_rejects_duplicate_key(self):
+        with pytest.raises(ConfigurationError):
+            parse_spec(
+                f"{SCHEMA} config=x config=x strategy=y schedule=z n=8 seed=0"
+            )
+
+    def test_rejects_malformed_crash_entry(self):
+        with pytest.raises(ConfigurationError):
+            parse_spec(
+                f"{SCHEMA} config=x strategy=y schedule=z n=8 seed=0 "
+                f"crashes=3-1"
+            )
+
+    def test_rejects_non_integer_n(self):
+        with pytest.raises(ConfigurationError):
+            parse_spec(
+                f"{SCHEMA} config=x strategy=y schedule=z n=many seed=0"
+            )
+
+    def test_rejects_out_of_range_corrupt(self):
+        with pytest.raises(ConfigurationError):
+            _spec(corrupt=(16,))
+
+    def test_rejects_out_of_range_crash(self):
+        with pytest.raises(ConfigurationError):
+            _spec(crashes={16: 1})
+        with pytest.raises(ConfigurationError):
+            _spec(crashes={1: -1})
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ConfigurationError):
+            _spec(n=3)
+
+    def test_rejects_negative_seed(self):
+        with pytest.raises(ConfigurationError):
+            _spec(seed=-1)

@@ -1,9 +1,31 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and Hypothesis profiles for the test suite."""
+
+import os
 
 import pytest
 
 from repro.params import ProtocolParameters
 from repro.utils.randomness import Randomness
+
+try:  # Hypothesis is an optional test dependency.
+    from hypothesis import HealthCheck, settings
+
+    settings.register_profile(
+        "ci",
+        max_examples=25,
+        deadline=None,
+        derandomize=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile(
+        "dev",
+        max_examples=100,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
+except ImportError:  # pragma: no cover - property tests skip themselves
+    pass
 
 
 @pytest.fixture

@@ -47,6 +47,46 @@ class TestPlans:
         assert a.corrupted == b.corrupted
 
 
+class TestBudget:
+    """Construction-time enforcement of the corruption budget ``t``."""
+
+    def test_over_budget_construction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CorruptionPlan(corrupted=frozenset({0, 1, 2}), n=10, budget=2)
+
+    def test_at_budget_accepted(self):
+        plan = CorruptionPlan(corrupted=frozenset({0, 1}), n=10, budget=2)
+        assert plan.t == 2
+        assert plan.budget == 2
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CorruptionPlan(corrupted=frozenset(), n=10, budget=-1)
+
+    def test_zero_budget_allows_empty_plan_only(self):
+        plan = CorruptionPlan(corrupted=frozenset(), n=10, budget=0)
+        assert plan.t == 0
+        with pytest.raises(ConfigurationError):
+            CorruptionPlan(corrupted=frozenset({3}), n=10, budget=0)
+
+    def test_no_budget_is_unchecked(self):
+        # Explicitly unbounded plans (e.g. the campaign's planted
+        # over-threshold strategy) stay constructible.
+        plan = CorruptionPlan(corrupted=frozenset(range(6)), n=10)
+        assert plan.budget is None
+        assert plan.t == 6
+
+    def test_targeted_corruption_budget_passthrough(self):
+        with pytest.raises(ConfigurationError):
+            targeted_corruption(10, [1, 2, 3], budget=2)
+        plan = targeted_corruption(10, [1, 2], budget=2)
+        assert plan.corrupted == {1, 2}
+
+    def test_builders_attach_budget(self, rng):
+        assert random_corruption(30, 7, rng).budget == 7
+        assert prefix_corruption(30, 7).budget == 7
+
+
 class TestSetupAdaptive:
     def test_default_is_random(self, rng):
         plan = corrupt_after_setup(b"setup", 50, 10, rng)

@@ -20,12 +20,13 @@ from repro.srds.base_sigs import HashRegistryBase
 from repro.srds.owf import OwfSRDS
 from repro.srds.snark_based import SnarkSRDS
 from repro.utils.randomness import Randomness
+from tests.strategies import signer_subsets
 
 N = 60
 
+# max_examples / deadline / derandomization inherit from the active
+# Hypothesis profile (``ci`` by default; see tests/conftest.py).
 _snark_settings = settings(
-    max_examples=25,
-    deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
 
@@ -45,8 +46,7 @@ def snark_deployment():
     return scheme, pp, vks, message, signatures
 
 
-subsets = st.sets(st.integers(min_value=0, max_value=N - 1), min_size=1,
-                  max_size=N)
+subsets = signer_subsets(N)
 
 
 class TestSnarkInvariants:

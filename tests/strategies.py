@@ -1,0 +1,92 @@
+"""Shared Hypothesis strategies for the test suite.
+
+Centralizes the generators that were previously duplicated across
+property-test modules so new tests compose the same vocabulary:
+
+* ``party_counts`` — protocol sizes worth exercising.
+* ``corruption_sets(n, t)`` — corrupted-party subsets within budget
+  (``t < n/3`` by default, matching the paper's asymptotic bound; pass
+  an explicit ``t`` for the repo's concrete ``params.max_corruptions``
+  tolerance).
+* ``signer_subsets(n)`` — non-empty signer id subsets for SRDS
+  invariants.
+* ``fault_schedules(n)`` — small crash/delay descriptors for runtime
+  fault plans.
+* ``messages`` / ``garbage`` — protocol payloads and malformed wire
+  bytes for decoder fuzzing.
+
+Profiles: ``tests/conftest.py`` registers ``ci`` (small, deterministic
+budgets) and ``dev`` (wider exploration) Hypothesis profiles; select
+with ``HYPOTHESIS_PROFILE=dev pytest ...``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from hypothesis import strategies as st
+
+__all__ = [
+    "corruption_sets",
+    "fault_schedules",
+    "garbage",
+    "messages",
+    "party_counts",
+    "signer_subsets",
+]
+
+#: Protocol sizes that are cheap enough for property tests while still
+#: covering non-trivial committee geometry.
+party_counts = st.sampled_from([4, 8, 16, 32, 64])
+
+#: Arbitrary protocol payloads (what parties sign / broadcast).
+messages = st.binary(min_size=0, max_size=64)
+
+#: Malformed wire bytes for decoder / verifier fuzzing.
+garbage = st.binary(min_size=0, max_size=300)
+
+
+def signer_subsets(n: int) -> st.SearchStrategy[frozenset]:
+    """Non-empty subsets of ``range(n)`` — candidate signer sets."""
+    return st.frozensets(
+        st.integers(min_value=0, max_value=n - 1), min_size=1, max_size=n
+    )
+
+
+def corruption_sets(n: int, t: int | None = None) -> st.SearchStrategy[frozenset]:
+    """Corrupted-party subsets of ``range(n)`` with ``|S| <= t``.
+
+    ``t`` defaults to the asymptotic ``t < n/3`` ceiling; pass the
+    repo's concrete ``params.max_corruptions(n)`` when a test exercises
+    the implemented tolerance rather than the paper's limit.
+    """
+    if t is None:
+        t = max(0, (n - 1) // 3)
+    return st.frozensets(
+        st.integers(min_value=0, max_value=n - 1), min_size=0, max_size=t
+    )
+
+
+@st.composite
+def fault_schedules(
+    draw, n: int, max_round: int = 6
+) -> List[Tuple[int, int]]:
+    """Small crash schedules: sorted unique ``(party, round)`` pairs.
+
+    At most ``(n - 1) // 3`` parties crash, each at one round in
+    ``[1, max_round]`` — within the synchronous model, so protocols
+    must still satisfy their invariants under these schedules.
+    """
+    budget = max(0, (n - 1) // 3)
+    parties = draw(
+        st.frozensets(
+            st.integers(min_value=0, max_value=n - 1),
+            min_size=0,
+            max_size=budget,
+        )
+    )
+    schedule = []
+    for party in sorted(parties):
+        round_index = draw(st.integers(min_value=1, max_value=max_round))
+        schedule.append((party, round_index))
+    return schedule

@@ -7,16 +7,17 @@ on garbage inputs.
 """
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
 from repro.errors import ReproError
 from repro.utils.randomness import Randomness
+from tests.strategies import garbage
 
 LIBRARY_ERRORS = (ReproError, ValueError)
 
-garbage = st.binary(min_size=0, max_size=300)
-
-_fuzz = settings(max_examples=60, deadline=None)
+# Example counts and deadlines come from the active Hypothesis profile
+# (``ci`` by default; see tests/conftest.py).
+_fuzz = settings()
 
 
 class TestSerializationDecoders:
