@@ -26,6 +26,12 @@ Commands:
   writes ``BENCH_*.json`` records and Perfetto timeline JSON there.
 * ``obs timeline <trace-dir> <out.json>`` — convert a runtime trace
   directory into Chrome trace-event JSON (loads in ui.perfetto.dev).
+* ``lint {check,baseline,explain,rules}`` — protocol-aware static
+  analysis: determinism (seeded randomness, injected clocks),
+  bits-accounting (no byte path bypasses ``CommunicationMetrics``),
+  async-safety, exception hygiene, and wire-codec rules with a
+  ratcheted committed baseline (``lint check`` fails only on *new*
+  violations; ``lint explain DET001`` documents a rule).
 * ``campaign {run,replay,minimize,list}`` — adversarial conformance
   campaigns: sweep Byzantine strategies x fault schedules x protocol
   configs with invariant checking (``run --budget 25 --seed 0``),
@@ -373,6 +379,10 @@ def main(argv) -> int:
         from repro.campaign.cli import cmd_campaign
 
         return cmd_campaign(args)
+    if command == "lint":
+        from repro.lint.cli import cmd_lint
+
+        return cmd_lint(args)
     print(__doc__)
     return 2
 

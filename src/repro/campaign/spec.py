@@ -136,7 +136,7 @@ def parse_spec(line: str) -> CampaignSpec:
         n = int(fields["n"])
         seed = int(fields["seed"])
     except ValueError as exc:
-        raise ConfigurationError(f"non-integer n/seed in spec: {exc}")
+        raise ConfigurationError(f"non-integer n/seed in spec: {exc}") from exc
     return CampaignSpec(
         config=fields["config"],
         strategy=fields["strategy"],

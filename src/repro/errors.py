@@ -96,3 +96,23 @@ class TreeError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when a security experiment (Fig. 1 / Fig. 2) is misused."""
+
+
+#: The closed set of exception types that decoding *adversarial bytes* can
+#: legitimately raise: serialization framing errors, crypto-substrate
+#: rejections, and the built-ins that malformed structure triggers
+#: (short tuples -> ValueError, missing fields -> IndexError/KeyError,
+#: wrong shapes -> TypeError, oversized ints -> OverflowError).
+#:
+#: Byzantine-tolerant verify/decode paths catch exactly this tuple and
+#: return a rejection — catching plain ``Exception`` there would also
+#: swallow genuine verifier bugs (``lint``'s EXC001 enforces this).
+MALFORMED_INPUT_ERRORS = (
+    SerializationError,
+    CryptoError,
+    ValueError,
+    IndexError,
+    KeyError,
+    TypeError,
+    OverflowError,
+)

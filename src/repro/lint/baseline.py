@@ -1,0 +1,159 @@
+"""The committed baseline and its ratchet.
+
+The baseline (``lint-baseline.json`` at the repo root) is the list of
+*legacy* violations that existed when a rule was introduced.  The
+ratchet's contract:
+
+* a violation **matching** a baseline entry passes (it is legacy debt,
+  tracked for burn-down),
+* a violation **not** in the baseline fails the run (no new debt),
+* a baseline entry matching **nothing** is *stale* and is reported as a
+  warning (debt was paid — shrink the baseline so it cannot be re-spent).
+
+Entries are keyed by ``(rule, path, symbol, snippet)`` with an
+occurrence ``count``, not by line number, so pure line motion (an
+unrelated edit above the site) neither breaks the match nor lets a
+*second* identical violation hide behind a single entry.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.lint.model import Violation
+
+SCHEMA = "repro-lint-baseline/1"
+
+_Key = Tuple[str, str, str, str]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One tracked legacy violation site (``count`` occurrences)."""
+
+    rule: str
+    path: str
+    symbol: str
+    snippet: str
+    count: int = 1
+
+    @property
+    def key(self) -> _Key:
+        return (self.rule, self.path, self.symbol, self.snippet)
+
+
+@dataclass
+class RatchetOutcome:
+    """How one run's violations decompose under the baseline."""
+
+    new: List[Violation]
+    baselined: List[Violation]
+    stale: List[BaselineEntry]
+
+
+class Baseline:
+    """An in-memory baseline, loadable/serializable as JSON."""
+
+    def __init__(self, entries: List[BaselineEntry]) -> None:
+        self.entries = list(entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # -- persistence --------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls([])
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(
+                f"unreadable lint baseline {path}: {exc}"
+            ) from exc
+        if not isinstance(payload, dict) or payload.get("schema") != SCHEMA:
+            raise ConfigurationError(
+                f"lint baseline {path} is not a {SCHEMA} document"
+            )
+        entries: List[BaselineEntry] = []
+        for raw in payload.get("entries", []):
+            try:
+                entries.append(BaselineEntry(
+                    rule=str(raw["rule"]),
+                    path=str(raw["path"]),
+                    symbol=str(raw.get("symbol", "<module>")),
+                    snippet=str(raw.get("snippet", "")),
+                    count=int(raw.get("count", 1)),
+                ))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ConfigurationError(
+                    f"malformed baseline entry in {path}: {raw!r}"
+                ) from exc
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "schema": SCHEMA,
+            "entries": [
+                {
+                    "rule": entry.rule,
+                    "path": entry.path,
+                    "symbol": entry.symbol,
+                    "snippet": entry.snippet,
+                    "count": entry.count,
+                }
+                for entry in sorted(
+                    self.entries, key=lambda e: (e.rule, e.path, e.symbol)
+                )
+            ],
+        }
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+
+    # -- the ratchet --------------------------------------------------------
+
+    @classmethod
+    def from_violations(cls, violations: List[Violation]) -> "Baseline":
+        """Snapshot current violations as the new legacy set."""
+        counts: Dict[_Key, int] = {}
+        for violation in violations:
+            counts[violation.baseline_key] = (
+                counts.get(violation.baseline_key, 0) + 1
+            )
+        return cls([
+            BaselineEntry(
+                rule=key[0], path=key[1], symbol=key[2], snippet=key[3],
+                count=count,
+            )
+            for key, count in sorted(counts.items())
+        ])
+
+    def apply(self, violations: List[Violation]) -> RatchetOutcome:
+        """Split ``violations`` into new vs. legacy; find stale entries."""
+        budget: Dict[_Key, int] = {}
+        for entry in self.entries:
+            budget[entry.key] = budget.get(entry.key, 0) + entry.count
+        new: List[Violation] = []
+        baselined: List[Violation] = []
+        for violation in violations:
+            key = violation.baseline_key
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                baselined.append(violation)
+            else:
+                new.append(violation)
+        stale = [
+            entry for entry in self.entries if budget.get(entry.key, 0) > 0
+        ]
+        # A key listed twice in the file would double its budget; the
+        # stale report above intentionally names *every* entry of an
+        # under-consumed key so the operator sees the duplication.
+        return RatchetOutcome(new=new, baselined=baselined, stale=stale)

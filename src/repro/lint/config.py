@@ -1,0 +1,93 @@
+"""Lint run configuration: scopes, allowlists, and paths.
+
+Scopes are **path substrings** matched against the forward-slash
+relative path of each file (relative to the configured root).  This
+keeps the default config usable both on the real tree
+(``src/repro/protocols/balanced_ba.py`` matches scope ``protocols/``)
+and on test fixture trees that mirror the layout
+(``fixtures/protocols/det002_bad.py`` matches too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Tuple
+
+#: Default baseline file name, looked up relative to the lint root.
+BASELINE_FILENAME = "lint-baseline.json"
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Everything a lint run needs besides the rule set.
+
+    The defaults encode this repo's invariants; tests build narrowed
+    configs rooted at fixture directories.
+    """
+
+    #: Directory all relative paths are reported against.
+    root: Path = field(default_factory=Path.cwd)
+
+    #: Path prefixes/fragments to lint (relative to root).
+    paths: Tuple[str, ...] = ("src",)
+
+    #: Directory names that are never descended into.
+    exclude_dirs: Tuple[str, ...] = ("__pycache__", ".git", ".hypothesis")
+
+    #: Rule ids to run; empty tuple means "all registered rules".
+    rules: Tuple[str, ...] = ()
+
+    # -- per-rule knobs -----------------------------------------------------
+
+    #: DET001: files allowed to touch ``random``/``secrets``/``os.urandom``
+    #: directly.  The seeded :class:`repro.utils.randomness.Randomness`
+    #: wrapper is the one sanctioned consumer of :mod:`random`.
+    det001_allow: Tuple[str, ...] = ("utils/randomness.py",)
+
+    #: DET002: scopes in which wall-clock reads are forbidden (protocol
+    #: logic must use the injected logical clock so replays are exact).
+    det002_scopes: Tuple[str, ...] = (
+        "protocols/", "srds/", "runtime/", "campaign/",
+    )
+
+    #: ACC001: scopes in which raw transport/socket/queue sends are
+    #: forbidden (all bytes must route through CommunicationMetrics).
+    acc001_scopes: Tuple[str, ...] = ("protocols/", "srds/")
+
+    #: OBS001: instrumented modules — every metrics charge they make
+    #: must happen under an active ``repro.obs`` phase span.
+    obs001_instrumented: Tuple[str, ...] = ("protocols/balanced_ba.py",)
+
+    #: SER001: wire modules — every top-level dataclass must have a
+    #: registered encode/decode round-trip.
+    ser001_wire_modules: Tuple[str, ...] = ("campaign/spec.py",)
+
+    #: Baseline file (``None`` = ``root / lint-baseline.json``).
+    baseline_path: Optional[Path] = None
+
+    def resolved_baseline_path(self) -> Path:
+        if self.baseline_path is not None:
+            return self.baseline_path
+        return self.root / BASELINE_FILENAME
+
+    def in_scope(self, rel: str, scopes: Tuple[str, ...]) -> bool:
+        """Whether ``rel`` (posix relative path) matches any scope."""
+        return any(scope in rel for scope in scopes)
+
+
+def default_config(root: Optional[Path] = None) -> LintConfig:
+    """The repo configuration, rooted at ``root`` (default: auto-detect).
+
+    Auto-detection walks up from the current directory looking for
+    ``pyproject.toml`` so ``python -m repro lint`` works from any
+    subdirectory of a checkout.
+    """
+    if root is None:
+        candidate = Path.cwd()
+        for parent in (candidate, *candidate.parents):
+            if (parent / "pyproject.toml").exists():
+                candidate = parent
+                break
+        root = candidate
+    return LintConfig(root=root)

@@ -1,0 +1,163 @@
+"""Reporters: human text and machine JSON (``repro-lint-report/1``).
+
+The JSON document is the CI artifact — it carries the full decomposition
+(new / baselined / suppressed / meta) so a dashboard can plot the
+burn-down without re-running the linter.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Tuple
+
+from repro.lint.baseline import BaselineEntry, RatchetOutcome
+from repro.lint.engine import LintResult
+from repro.lint.model import Severity, Violation
+from repro.lint.pragmas import Pragma
+
+REPORT_SCHEMA = "repro-lint-report/1"
+
+
+def _violation_payload(violation: Violation) -> Dict[str, Any]:
+    return {
+        "rule": violation.rule_id,
+        "severity": str(violation.severity),
+        "path": violation.path,
+        "line": violation.line,
+        "col": violation.col,
+        "symbol": violation.symbol,
+        "message": violation.message,
+        "fix_hint": violation.fix_hint,
+        "snippet": violation.snippet,
+    }
+
+
+def render_json(
+    result: LintResult,
+    ratchet: RatchetOutcome,
+    exit_code: int,
+) -> str:
+    """The machine report (stable key order, newline-terminated)."""
+    payload: Dict[str, Any] = {
+        "schema": REPORT_SCHEMA,
+        "exit_code": exit_code,
+        "files_checked": result.files_checked,
+        "counts": {
+            "new": len(ratchet.new),
+            "baselined": len(ratchet.baselined),
+            "suppressed": len(result.suppressed),
+            "stale_baseline_entries": len(ratchet.stale),
+            "meta": len(result.meta_violations),
+        },
+        "new": [_violation_payload(v) for v in ratchet.new],
+        "baselined": [_violation_payload(v) for v in ratchet.baselined],
+        "suppressed": [
+            {
+                **_violation_payload(violation),
+                "pragma_line": pragma.line,
+                "pragma_reason": pragma.reason,
+            }
+            for violation, pragma in result.suppressed
+        ],
+        "stale_baseline_entries": [
+            {
+                "rule": entry.rule,
+                "path": entry.path,
+                "symbol": entry.symbol,
+                "snippet": entry.snippet,
+                "count": entry.count,
+            }
+            for entry in ratchet.stale
+        ],
+        "meta": [_violation_payload(v) for v in result.meta_violations],
+    }
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def render_text(
+    result: LintResult,
+    ratchet: RatchetOutcome,
+) -> str:
+    """The human report: findings first, then the one-line summary."""
+    sections: List[str] = []
+
+    def emit(title: str, violations: List[Violation]) -> None:
+        if not violations:
+            return
+        lines = [f"-- {title} " + "-" * max(0, 60 - len(title))]
+        lines.extend(v.format() for v in violations)
+        sections.append("\n".join(lines))
+
+    emit("new violations (fail)", ratchet.new)
+    meta_errors = [
+        v for v in result.meta_violations if v.severity is Severity.ERROR
+    ]
+    meta_warnings = [
+        v for v in result.meta_violations if v.severity is Severity.WARNING
+    ]
+    emit("annotation problems (fail)", meta_errors)
+    emit("baselined legacy violations (tracked, passing)", ratchet.baselined)
+    emit("advisories", meta_warnings)
+
+    if ratchet.stale:
+        lines = ["-- stale baseline entries (debt already paid) " + "-" * 14]
+        for entry in ratchet.stale:
+            lines.append(
+                f"{entry.path}: {entry.rule} x{entry.count} in "
+                f"{entry.symbol} — no longer occurs; run "
+                "`lint baseline` to shrink the baseline"
+            )
+        sections.append("\n".join(lines))
+
+    if result.suppressed:
+        lines = [f"pragma-suppressed: {len(result.suppressed)} "
+                 "(see --format json for the audit trail)"]
+        sections.append("\n".join(lines))
+
+    summary = (
+        f"checked {result.files_checked} files: "
+        f"{len(ratchet.new)} new, {len(ratchet.baselined)} baselined, "
+        f"{len(result.suppressed)} suppressed, "
+        f"{len(ratchet.stale)} stale baseline entries, "
+        f"{len(meta_errors)} annotation errors"
+    )
+    sections.append(summary)
+    return "\n\n".join(sections) + "\n"
+
+
+def summarize_by_rule(
+    violations: List[Violation],
+) -> List[Tuple[str, int]]:
+    """(rule id, count) pairs, most frequent first (for burndown views)."""
+    counts: Dict[str, int] = {}
+    for violation in violations:
+        counts[violation.rule_id] = counts.get(violation.rule_id, 0) + 1
+    return sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+
+
+def stale_entries_payload(stale: List[BaselineEntry]) -> List[Dict[str, Any]]:
+    """JSON-shaped stale entries (shared by reporters and tests)."""
+    return [
+        {
+            "rule": entry.rule,
+            "path": entry.path,
+            "symbol": entry.symbol,
+            "snippet": entry.snippet,
+            "count": entry.count,
+        }
+        for entry in stale
+    ]
+
+
+def suppressions_payload(
+    suppressed: List[Tuple[Violation, Pragma]],
+) -> List[Dict[str, Any]]:
+    """JSON-shaped pragma suppressions (audit trail helper)."""
+    return [
+        {
+            **_violation_payload(violation),
+            "pragma_line": pragma.line,
+            "pragma_reason": pragma.reason,
+        }
+        for violation, pragma in suppressed
+    ]

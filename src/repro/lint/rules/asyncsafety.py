@@ -1,0 +1,92 @@
+"""Async-safety rule: ASY001 (fire-and-forget tasks, unawaited coroutines).
+
+HoneyBadgerMPC-style asyncio protocol stacks are notorious for
+``asyncio.create_task`` calls whose reference is dropped — the event
+loop only holds a weak reference, so the task can be garbage-collected
+mid-flight and its exception silently lost.  In this repo that failure
+mode is worse than a latent bug: a dropped transport pump stalls a
+round barrier nondeterministically, which the differential-parity suite
+can only see as a flaky hang.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.lint.config import LintConfig
+from repro.lint.model import ModuleUnit, Rule, RuleMeta, Severity, Violation
+
+_SPAWNERS: Set[str] = {"create_task", "ensure_future"}
+
+
+class FireAndForgetRule(Rule):
+    """ASY001 — retain task handles; await your coroutines."""
+
+    meta = RuleMeta(
+        rule_id="ASY001",
+        name="fire-and-forget-async",
+        severity=Severity.ERROR,
+        summary=(
+            "asyncio.create_task/ensure_future with a discarded result, "
+            "or a locally-defined coroutine called without await"
+        ),
+        rationale=(
+            "The event loop keeps only a weak reference to tasks: a "
+            "create_task whose return value is dropped can be collected "
+            "mid-run, losing its exception and stalling round barriers "
+            "nondeterministically (the classic HoneyBadger-stack hang).  "
+            "A coroutine called without await never runs at all — the "
+            "protocol step it implements is silently skipped."
+        ),
+        fix_hint=(
+            "assign the task to a retained attribute/collection (and "
+            "cancel/await it on shutdown), or await the coroutine"
+        ),
+    )
+
+    def check(
+        self, module: ModuleUnit, config: LintConfig
+    ) -> Iterator[Violation]:
+        async_defs = {
+            node.name
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.AsyncFunctionDef)
+        }
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Expr):
+                continue
+            call = node.value
+            if not isinstance(call, ast.Call):
+                continue
+            func = call.func
+            spawner = None
+            if isinstance(func, ast.Attribute) and func.attr in _SPAWNERS:
+                spawner = func.attr
+            elif isinstance(func, ast.Name) and func.id in _SPAWNERS:
+                spawner = func.id
+            if spawner is not None:
+                yield self.violation(
+                    module, node,
+                    f"`{spawner}(...)` result is discarded — the task can "
+                    "be garbage-collected mid-flight",
+                )
+                continue
+            called = None
+            if isinstance(func, ast.Name) and func.id in async_defs:
+                called = func.id
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr in async_defs
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+            ):
+                called = func.attr
+            if called is not None:
+                yield self.violation(
+                    module, node,
+                    f"coroutine `{called}(...)` is called but never "
+                    "awaited — it will not run",
+                    fix_hint=f"`await {called}(...)` (or schedule and "
+                    "retain it as a task)",
+                )

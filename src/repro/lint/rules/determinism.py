@@ -1,0 +1,149 @@
+"""Determinism rules: DET001 (unseeded randomness), DET002 (wall clock).
+
+The repo's replay contract (PR 1) and trace fingerprints (PR 2/3) only
+hold if every random draw descends from one seed and every timestamp
+comes from the injected logical clock.  King et al.'s almost-everywhere
+agreement (the KSSV layer) composes across committees *because* each
+seam is deterministic under a seed; one stray ``random.random()``
+de-syncs the wire replay from the hybrid-model reference silently.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.lint.config import LintConfig
+from repro.lint.model import ModuleUnit, Rule, RuleMeta, Severity, Violation
+
+#: Module-level random API: all of these share interpreter-global state
+#: (or OS entropy) and are therefore unreplayable.
+_BANNED_RANDOM_CALLS: Set[str] = {
+    "random.random", "random.randint", "random.randrange", "random.choice",
+    "random.choices", "random.shuffle", "random.sample", "random.getrandbits",
+    "random.uniform", "random.gauss", "random.betavariate", "random.seed",
+    "os.urandom", "uuid.uuid4", "secrets.token_bytes", "secrets.token_hex",
+    "secrets.token_urlsafe", "secrets.randbelow", "secrets.choice",
+    "secrets.randbits", "numpy.random.rand", "numpy.random.randn",
+    "numpy.random.randint", "numpy.random.random", "numpy.random.choice",
+    "numpy.random.shuffle", "numpy.random.seed",
+}
+
+#: Wall-clock reads: forbidden in protocol scopes whether *called* or
+#: merely *referenced* (e.g. passed as a ``clock=`` argument).
+_WALL_CLOCK: Set[str] = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "datetime.datetime.now",
+    "datetime.datetime.utcnow", "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+class UnseededRandomnessRule(Rule):
+    """DET001 — all randomness must flow from a seeded source."""
+
+    meta = RuleMeta(
+        rule_id="DET001",
+        name="unseeded-randomness",
+        severity=Severity.ERROR,
+        summary=(
+            "module-level random.*, unseeded random.Random(), os.urandom, "
+            "secrets.*, or uuid4 outside the sanctioned wrapper"
+        ),
+        rationale=(
+            "Record-and-replay drivers, trace fingerprints, and campaign "
+            "repro specs pin executions by seed.  Global-state or "
+            "OS-entropy randomness produces runs that cannot be replayed "
+            "or minimized, invalidating every `campaign/1` spec and the "
+            "differential parity suite.  All draws must descend from "
+            "repro.utils.randomness.Randomness (which forks child seeds "
+            "deterministically)."
+        ),
+        fix_hint=(
+            "take a Randomness parameter (or fork one from the caller's) "
+            "instead; if this file IS the sanctioned wrapper, add it to "
+            "det001_allow"
+        ),
+    )
+
+    def check(
+        self, module: ModuleUnit, config: LintConfig
+    ) -> Iterator[Violation]:
+        if config.in_scope(module.rel, config.det001_allow):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = module.resolve(node.func)
+            if dotted is None:
+                continue
+            if dotted in _BANNED_RANDOM_CALLS:
+                yield self.violation(
+                    module, node,
+                    f"call to `{dotted}` draws unseeded randomness",
+                )
+            elif dotted == "random.Random" and not (
+                node.args or node.keywords
+            ):
+                yield self.violation(
+                    module, node,
+                    "`random.Random()` without a seed is entropy-seeded "
+                    "and unreplayable",
+                    fix_hint="pass an explicit seed: random.Random(seed)",
+                )
+            elif dotted == "random.SystemRandom":
+                yield self.violation(
+                    module, node,
+                    "`random.SystemRandom` reads OS entropy and is "
+                    "unreplayable",
+                )
+
+
+class WallClockRule(Rule):
+    """DET002 — protocol scopes must use the injected clock."""
+
+    meta = RuleMeta(
+        rule_id="DET002",
+        name="wall-clock-in-protocol",
+        severity=Severity.ERROR,
+        summary=(
+            "time.time/perf_counter/datetime.now (called or referenced) "
+            "inside protocols/, srds/, runtime/, campaign/"
+        ),
+        rationale=(
+            "The runtime's RoundSynchronizer recovers the paper's "
+            "synchronous model with a logical clock; traces stamp events "
+            "with ticks so two seeded runs are byte-identical.  A wall- "
+            "clock read in protocol logic makes behavior (timeouts, "
+            "orderings, recorded fields) machine-dependent and breaks "
+            "trace-fingerprint regression.  Observability-only wall time "
+            "is fine — annotate it with "
+            "`# lint: allow[DET002] reason=...`."
+        ),
+        fix_hint=(
+            "use the injected clock/tick counter; for observability-only "
+            "wall time add `# lint: allow[DET002] reason=...`"
+        ),
+    )
+
+    def check(
+        self, module: ModuleUnit, config: LintConfig
+    ) -> Iterator[Violation]:
+        if not config.in_scope(module.rel, config.det002_scopes):
+            return
+        for node in ast.walk(module.tree):
+            # References count too: passing `time.perf_counter` as a
+            # clock= argument injects wall time just as surely as
+            # calling it.  Resolve Attribute/Name chains only at their
+            # outermost position to avoid double-reporting `a.b.c`.
+            if isinstance(node, ast.Call):
+                continue  # the func/args are visited as expressions
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            dotted = module.resolve(node)
+            if dotted in _WALL_CLOCK:
+                yield self.violation(
+                    module, node,
+                    f"wall-clock source `{dotted}` in protocol scope",
+                )

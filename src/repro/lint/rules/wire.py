@@ -1,0 +1,156 @@
+"""Wire-format rule: SER001 (dataclasses without a codec round-trip).
+
+Wire modules (``campaign/spec.py``-style) define the records that cross
+process/replay boundaries: campaign repro specs, schedule descriptors,
+anything a CI artifact or a `replay` subcommand must reconstruct
+byte-for-byte.  A dataclass added to such a module without a registered
+encode/decode pair is a record that can be produced but never replayed
+— exactly the class of drift the single-line ``campaign/1`` spec format
+exists to prevent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.lint.config import LintConfig
+from repro.lint.model import ModuleUnit, Rule, RuleMeta, Severity, Violation
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator
+        if isinstance(target, ast.Call):
+            target = target.func
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def _annotation_names(annotation: Optional[ast.expr]) -> Set[str]:
+    """All plain identifiers appearing in an annotation expression."""
+    names: Set[str] = set()
+    if annotation is None:
+        return names
+    for node in ast.walk(annotation):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            # String annotations: "CampaignSpec", "Optional[CampaignSpec]".
+            for token in _identifier_tokens(node.value):
+                names.add(token)
+    return names
+
+
+def _identifier_tokens(text: str) -> List[str]:
+    tokens: List[str] = []
+    current = ""
+    for char in text:
+        if char.isalnum() or char == "_":
+            current += char
+        else:
+            if current:
+                tokens.append(current)
+            current = ""
+    if current:
+        tokens.append(current)
+    return tokens
+
+
+class WireCodecRule(Rule):
+    """SER001 — every wire dataclass needs an encode/decode round-trip."""
+
+    meta = RuleMeta(
+        rule_id="SER001",
+        name="wire-dataclass-without-codec",
+        severity=Severity.ERROR,
+        summary=(
+            "top-level dataclass in a wire module lacking a registered "
+            "encode/decode pair"
+        ),
+        rationale=(
+            "Campaign repro specs promise: any failure is replayable "
+            "from one line.  That only holds if every record in a wire "
+            "module round-trips — an encoder (a function/method taking "
+            "the class) AND a decoder (a function/classmethod returning "
+            "it).  A codec-less wire dataclass produces artifacts that "
+            "`replay`/`minimize` cannot reconstruct."
+        ),
+        fix_hint=(
+            "add `encode`/`decode` methods, or a module-level "
+            "format_x(obj: X) / parse_x(...) -> X pair, and a round-trip "
+            "test"
+        ),
+    )
+
+    def check(
+        self, module: ModuleUnit, config: LintConfig
+    ) -> Iterator[Violation]:
+        if not config.in_scope(module.rel, config.ser001_wire_modules):
+            return
+        # Collect module-level functions' parameter/return annotations.
+        encoder_types: Set[str] = set()  # classes some function consumes
+        decoder_types: Set[str] = set()  # classes some function returns
+        for node in module.tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for arg in (
+                list(node.args.posonlyargs)
+                + list(node.args.args)
+                + list(node.args.kwonlyargs)
+            ):
+                encoder_types |= _annotation_names(arg.annotation)
+            decoder_types |= _annotation_names(node.returns)
+
+        for node in module.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not _is_dataclass_decorated(node):
+                continue
+            has_encode = False
+            has_decode = False
+            for member in node.body:
+                if not isinstance(
+                    member, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                if member.name in ("encode", "to_line", "to_json"):
+                    has_encode = True
+                if member.name in ("decode", "from_line", "from_json"):
+                    has_decode = True
+                # Methods returning the class count as decoders too.
+                if node.name in _annotation_names(member.returns):
+                    has_decode = has_decode or _is_constructorish(member)
+            if node.name in encoder_types:
+                has_encode = True
+            if node.name in decoder_types:
+                has_decode = True
+            missing = []
+            if not has_encode:
+                missing.append("encoder")
+            if not has_decode:
+                missing.append("decoder")
+            if missing:
+                yield self.violation(
+                    module, node,
+                    f"wire dataclass `{node.name}` has no registered "
+                    f"{' or '.join(missing)} — it cannot round-trip "
+                    "through a repro spec/artifact",
+                )
+
+
+def _is_constructorish(member: ast.AST) -> bool:
+    """Whether a method is classmethod/staticmethod (a factory decoder)."""
+    if not isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return False
+    for decorator in member.decorator_list:
+        if isinstance(decorator, ast.Name) and decorator.id in (
+            "classmethod", "staticmethod",
+        ):
+            return True
+    return False

@@ -38,7 +38,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.crypto import ec, vss
 from repro.crypto.hashing import hash_domain
 from repro.crypto.shamir import Share
-from repro.errors import ConfigurationError
+from repro.errors import MALFORMED_INPUT_ERRORS, ConfigurationError
 from repro.fields.prime_field import FieldElement, default_field
 from repro.net.party import Envelope, Party
 from repro.utils.randomness import Randomness
@@ -150,7 +150,7 @@ class CoinTossParty(Party):
                     self._commitments.setdefault(
                         envelope.sender, _decode_commitment(body)
                     )
-            except Exception:
+            except MALFORMED_INPUT_ERRORS:
                 continue
 
     def _complain(self) -> List[Envelope]:
@@ -183,7 +183,7 @@ class CoinTossParty(Party):
                     self._complaints.setdefault(dealer, set()).add(
                         envelope.sender
                     )
-            except Exception:
+            except MALFORMED_INPUT_ERRORS:
                 continue
 
     def _qualified(self) -> List[int]:
@@ -223,7 +223,7 @@ class CoinTossParty(Party):
                 dealer, _ = decode_uint(fields[0], 0)
                 x = int.from_bytes(fields[1], "big")
                 y = int.from_bytes(fields[2], "big")
-            except Exception:
+            except MALFORMED_INPUT_ERRORS:
                 continue
             if (dealer, x) in seen:
                 continue

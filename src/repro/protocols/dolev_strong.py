@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.crypto import schnorr
-from repro.errors import ConfigurationError
+from repro.errors import MALFORMED_INPUT_ERRORS, ConfigurationError
 from repro.net.party import Envelope, Party
 from repro.utils.randomness import Randomness
 from repro.utils.serialization import (
@@ -146,7 +146,7 @@ class DolevStrongParty(Party):
         for envelope in inbox:
             try:
                 chain = SignatureChain.decode(envelope.payload)
-            except Exception:
+            except MALFORMED_INPUT_ERRORS:
                 continue
             if not chain.is_valid(self.sender, round_index - 1,
                                   self.public_keys):

@@ -28,7 +28,7 @@ from __future__ import annotations
 from collections import Counter
 from typing import Dict, List, Optional, Sequence
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SerializationError
 from repro.net.party import Envelope, Party
 from repro.obs.spans import span
 from repro.utils.serialization import encode_uint
@@ -48,7 +48,7 @@ def _decode(payload: bytes) -> Optional[tuple]:
     try:
         tag, pos = decode_uint(payload, 0)
         value, pos = decode_uint(payload, pos)
-    except Exception:
+    except SerializationError:
         return None
     if pos != len(payload):
         return None

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SerializationError
 from repro.net.party import Envelope, Party
 from repro.utils.serialization import decode_uint, encode_uint
 
@@ -40,7 +40,7 @@ def _decode(payload: bytes) -> Optional[Tuple[int, int]]:
     try:
         tag, pos = decode_uint(payload, 0)
         value, pos = decode_uint(payload, pos)
-    except Exception:
+    except SerializationError:
         return None
     if pos != len(payload) or tag not in (_SEND, _ECHO, _READY):
         return None

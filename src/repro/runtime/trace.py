@@ -158,6 +158,7 @@ class TraceRecorder:
 
 def wall_clock_recorder() -> TraceRecorder:
     """A recorder stamping monotonic wall times (non-reproducible)."""
+    # lint: allow[DET002] reason=explicit opt-in wall-clock recorder; default traces use logical ticks
     return TraceRecorder(clock=time.perf_counter)
 
 

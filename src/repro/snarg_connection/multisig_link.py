@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.crypto.snark import Proof, SnarkSystem
-from repro.errors import ProofError
+from repro.errors import MALFORMED_INPUT_ERRORS, ProofError
 from repro.snarg_connection.subset_problems import (
     SubsetInstance,
     XorGroup,
@@ -56,7 +56,7 @@ def register_subset_relation(snark_system: SnarkSystem,
             return False
         try:
             indices = decode_witness(witness)
-        except Exception:
+        except MALFORMED_INPUT_ERRORS:
             return False
         return instance.check_witness(indices)
 
@@ -81,7 +81,7 @@ def _decode_statement(statement: bytes, group: XorGroup
             return None
         if len(target) != group.width_bytes:
             return None
-    except Exception:
+    except MALFORMED_INPUT_ERRORS:
         return None
     return SubsetInstance(
         group=group, elements=elements, target=target,

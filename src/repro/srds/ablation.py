@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.crypto.hashing import hash_chain, hash_domain
 from repro.crypto.snark import SnarkSystem
+from repro.errors import MALFORMED_INPUT_ERRORS
 from repro.srds.base import PublicParameters, SRDSSignature
 from repro.srds.snark_based import (
     CertifiedBaseSignature,
@@ -174,7 +175,7 @@ def _check_internal_no_ranges(
     try:
         message, count, lo, hi, digest, vk_root = _decode_statement(statement)
         encoded_children, _ = decode_sequence(witness, 0)
-    except Exception:
+    except MALFORMED_INPUT_ERRORS:
         return False
     if not encoded_children:
         return False
@@ -184,7 +185,7 @@ def _check_internal_no_ranges(
             fields, _ = decode_sequence(blob, 0)
             child_blob, child_message = fields
             child = decode_aggregate(child_blob)
-        except Exception:
+        except MALFORMED_INPUT_ERRORS:
             return False
         if child_message != message or child.vk_root != vk_root:
             return False

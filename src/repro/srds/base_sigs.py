@@ -20,7 +20,7 @@ from typing import Dict, Tuple
 
 from repro.crypto import schnorr
 from repro.crypto.prf import prf
-from repro.errors import KeyError_
+from repro.errors import MALFORMED_INPUT_ERRORS, KeyError_
 
 
 class BaseSignatureScheme(abc.ABC):
@@ -82,7 +82,7 @@ class SchnorrBase(BaseSignatureScheme):
 
             public = ec.decode_point(verification_key)
             decoded = schnorr.SchnorrSignature.decode(signature)
-        except Exception:
+        except MALFORMED_INPUT_ERRORS:
             return False
         return schnorr.verify(public, message, decoded)
 

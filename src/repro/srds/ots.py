@@ -17,6 +17,7 @@ import abc
 from typing import Tuple
 
 from repro.crypto import lamport, winternitz
+from repro.errors import MALFORMED_INPUT_ERRORS
 
 
 class OneTimeSignatureScheme(abc.ABC):
@@ -75,7 +76,7 @@ class LamportOts(OneTimeSignatureScheme):
                 verification_key, self.message_bits
             )
             sig = lamport.decode_signature(signature, self.message_bits)
-        except Exception:
+        except MALFORMED_INPUT_ERRORS:
             return False
         return lamport.verify(vk, message, sig)
 
@@ -121,7 +122,7 @@ class WinternitzOts(OneTimeSignatureScheme):
             sig = winternitz.decode_signature(
                 signature, self.message_bits, self.w
             )
-        except Exception:
+        except MALFORMED_INPUT_ERRORS:
             return False
         return winternitz.verify(vk, message, sig)
 

@@ -26,7 +26,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import ConfigurationError, SignatureError
+from repro.errors import (
+    MALFORMED_INPUT_ERRORS,
+    ConfigurationError,
+    SignatureError,
+)
 from repro.obs.spans import span
 from repro.params import ceil_log2
 from repro.pki.registry import PKIMode
@@ -274,7 +278,7 @@ def decode_signature(data: bytes) -> SRDSSignature:
             )
         if pos == len(data) and bases:
             return OwfAggregateSignature(contributions=tuple(bases))
-    except Exception:
+    except MALFORMED_INPUT_ERRORS:
         pass
     index, pos = decode_uint(data, 0)
     sig_bytes, pos = decode_bytes(data, pos)

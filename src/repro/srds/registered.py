@@ -35,7 +35,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.crypto.prf import prf
 from repro.crypto.snark import Proof, SnarkSystem
-from repro.errors import ConfigurationError, SignatureError
+from repro.errors import (
+    MALFORMED_INPUT_ERRORS,
+    ConfigurationError,
+    SignatureError,
+)
 from repro.pki.registry import PKIMode
 from repro.srds.base import (
     PublicParameters,
@@ -476,7 +480,7 @@ class RegisteredSRDS(SRDSScheme):
             fields, _ = decode_sequence(witness, 0)
             message, encoded_bases_blob = fields
             encoded_bases, _ = decode_sequence(encoded_bases_blob, 0)
-        except Exception:
+        except MALFORMED_INPUT_ERRORS:
             return False
         if prf(b"", "registered-srds/msg", message) != digest:
             return False
@@ -489,7 +493,7 @@ class RegisteredSRDS(SRDSScheme):
             try:
                 index, pos = decode_uint(blob, 0)
                 tag = blob[pos:]
-            except Exception:
+            except MALFORMED_INPUT_ERRORS:
                 return False
             if len(tag) != TAG_BYTES or index in seen:
                 return False
@@ -515,7 +519,7 @@ class RegisteredSRDS(SRDSScheme):
         digest, count, lo, hi, combined, board_digest = decoded
         try:
             encoded_children, _ = decode_sequence(witness, 0)
-        except Exception:
+        except MALFORMED_INPUT_ERRORS:
             return False
         if not encoded_children:
             return False
@@ -561,7 +565,7 @@ def _decode_statement(statement: bytes):
         board_digest = fields[5]
         if len(combined) != TAG_BYTES:
             return None
-    except Exception:
+    except MALFORMED_INPUT_ERRORS:
         return None
     return digest, count, lo, hi, combined, board_digest
 
@@ -579,7 +583,7 @@ def decode_aggregate(data: bytes) -> Optional[RegisteredAggregateSignature]:
         digest = fields[4]
         board_digest = fields[5]
         proof_tag = fields[6]
-    except Exception:
+    except MALFORMED_INPUT_ERRORS:
         return None
     return RegisteredAggregateSignature(
         combined_tag=combined,

@@ -37,7 +37,12 @@ from repro.crypto.merkle import (
     verify_inclusion,
 )
 from repro.crypto.snark import Proof, SnarkSystem
-from repro.errors import ConfigurationError, ProofError, SignatureError
+from repro.errors import (
+    MALFORMED_INPUT_ERRORS,
+    ConfigurationError,
+    ProofError,
+    SignatureError,
+)
 from repro.obs.spans import span
 from repro.pki.registry import PKIMode
 from repro.srds.base import (
@@ -522,7 +527,7 @@ def _check_leaf_relation(
     try:
         message, count, lo, hi, digest, vk_root = _decode_statement(statement)
         encoded_certified, _ = decode_sequence(witness, 0)
-    except Exception:
+    except MALFORMED_INPUT_ERRORS:
         return False
     if count != len(encoded_certified) or count == 0:
         return False
@@ -536,7 +541,7 @@ def _check_leaf_relation(
             index, pos = decode_uint(base_blob, 0)
             sig_bytes, _ = decode_bytes(base_blob, pos)
             inclusion, _ = _decode_merkle_proof(proof_blob, 0)
-        except Exception:
+        except MALFORMED_INPUT_ERRORS:
             return False
         if index in seen_indices:
             return False
@@ -568,7 +573,7 @@ def _check_internal_relation(
     try:
         message, count, lo, hi, digest, vk_root = _decode_statement(statement)
         encoded_children, _ = decode_sequence(witness, 0)
-    except Exception:
+    except MALFORMED_INPUT_ERRORS:
         return False
     if not encoded_children:
         return False
@@ -578,7 +583,7 @@ def _check_internal_relation(
             fields, _ = decode_sequence(blob, 0)
             child_blob, child_message = fields
             child = decode_aggregate(child_blob)
-        except Exception:
+        except MALFORMED_INPUT_ERRORS:
             return False
         if child_message != message:
             return False

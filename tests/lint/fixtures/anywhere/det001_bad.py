@@ -1,0 +1,31 @@
+"""DET001 positive fixture: every line here draws unseeded randomness."""
+
+import os
+import random
+import secrets
+import uuid
+from random import Random
+
+
+def roll() -> int:
+    return random.randint(0, 6)  # module-level global-state PRG
+
+
+def entropy() -> bytes:
+    return os.urandom(16)  # OS entropy: unreplayable
+
+
+def token() -> str:
+    return secrets.token_hex(8)
+
+
+def ident() -> str:
+    return str(uuid.uuid4())
+
+
+def make_rng() -> Random:
+    return Random()  # no seed argument
+
+
+def sys_rng() -> random.SystemRandom:
+    return random.SystemRandom()

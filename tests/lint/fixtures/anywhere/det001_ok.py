@@ -1,0 +1,17 @@
+"""DET001 negative fixture: seeded sources only."""
+
+import random
+
+
+class FakeRandomness:
+    """Mimics the sanctioned wrapper: explicit seed in, forks out."""
+
+    def __init__(self, seed: int) -> None:
+        self._rng = random.Random(seed)  # seeded: replayable
+
+    def bit(self) -> int:
+        return self._rng.getrandbits(1)  # method on a seeded instance
+
+
+def derive(seed: int) -> random.Random:
+    return random.Random(seed * 31 + 7)

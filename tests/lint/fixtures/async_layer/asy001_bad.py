@@ -1,0 +1,21 @@
+"""ASY001 positive fixture: dropped tasks and unawaited coroutines."""
+
+import asyncio
+
+
+async def pump() -> None:
+    await asyncio.sleep(0)
+
+
+class Endpoint:
+    async def drain(self) -> None:
+        await asyncio.sleep(0)
+
+    async def run(self) -> None:
+        self.drain()  # coroutine never awaited: step silently skipped
+
+
+async def launch() -> None:
+    asyncio.create_task(pump())  # weak ref only: collectable mid-flight
+    asyncio.ensure_future(pump())
+    pump()  # bare unawaited coroutine call

@@ -1,0 +1,25 @@
+"""ASY001 negative fixture: retained tasks, awaited coroutines."""
+
+import asyncio
+
+
+async def pump() -> None:
+    await asyncio.sleep(0)
+
+
+class Endpoint:
+    def __init__(self) -> None:
+        self.pump_task = None
+
+    async def start(self) -> None:
+        self.pump_task = asyncio.create_task(pump())  # retained handle
+
+    async def stop(self) -> None:
+        if self.pump_task is not None:
+            self.pump_task.cancel()
+        await pump()  # awaited
+
+
+async def gather_all() -> None:
+    tasks = [asyncio.create_task(pump()) for _ in range(3)]  # retained
+    await asyncio.gather(*tasks)

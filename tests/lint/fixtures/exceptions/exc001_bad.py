@@ -1,0 +1,22 @@
+"""EXC001 positive fixture: silent broad excepts."""
+
+
+def swallow_all(blob: bytes) -> bool:
+    try:
+        return blob.decode("utf-8") == "ok"
+    except Exception:
+        return False  # a verifier bug also reads as 'reject'
+
+
+def bare(blob: bytes):
+    try:
+        return int(blob)
+    except:  # noqa: E722 - deliberately bare for the fixture
+        pass
+
+
+def tuple_hides_broad(blob: bytes):
+    try:
+        return int(blob)
+    except (ValueError, Exception):
+        return None

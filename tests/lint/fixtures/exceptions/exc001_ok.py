@@ -1,0 +1,37 @@
+"""EXC001 negative fixture: every sanctioned handling pattern."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+MALFORMED_INPUT_ERRORS = (ValueError, IndexError, TypeError)
+
+
+def narrow(blob: bytes):
+    try:
+        return int(blob)
+    except MALFORMED_INPUT_ERRORS:
+        return None  # narrowed catch: fine to swallow
+
+
+def reraise(blob: bytes):
+    try:
+        return int(blob)
+    except Exception as exc:
+        raise RuntimeError("decode failed") from exc  # translated
+
+
+def logged(blob: bytes):
+    try:
+        return int(blob)
+    except Exception:
+        logger.warning("rejecting malformed blob")
+        return None
+
+
+def justified(blob: bytes):
+    try:
+        return int(blob)
+    # lint: allow[EXC001] reason=adversarial blob rejection; decode raises open-ended plugin errors
+    except Exception:
+        return None

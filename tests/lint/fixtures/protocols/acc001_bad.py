@@ -1,0 +1,24 @@
+"""ACC001 positive fixture: byte paths that bypass the charge seam."""
+
+import asyncio
+import socket
+
+
+def open_backchannel() -> socket.socket:
+    return socket.socket()  # raw byte path in protocol code
+
+
+def leak(sock, payload: bytes) -> None:
+    sock.sendall(payload)  # never charged to the ledger
+
+
+def gossip(writer, frame: bytes) -> None:
+    writer.write(frame)  # transport receiver + transport verb
+
+
+def enqueue(queue, item: bytes) -> None:
+    queue.put_nowait(item)
+
+
+def side_queue() -> "asyncio.Queue":
+    return asyncio.Queue()

@@ -1,0 +1,18 @@
+"""ACC001 negative fixture: the sanctioned seams."""
+
+
+def broadcast(party, members, payload: bytes):
+    # Party.send builds an Envelope the simulator charges.
+    return [party.send(peer, payload) for peer in members]
+
+
+def hybrid_charge(metrics, committee, bits: int) -> None:
+    metrics.charge_functionality(committee, bits, peers_per_party=2)
+
+
+def direct_charge(metrics, sender: int, recipient: int, bits: int) -> None:
+    metrics.record_message(sender, recipient, bits)
+
+
+def persist(report_file, text: str) -> None:
+    report_file.write(text)  # receiver name is not transport-like

@@ -1,0 +1,22 @@
+"""DET002 positive fixture: wall-clock reads in a protocol scope."""
+
+import time as time_mod
+from datetime import datetime
+from time import perf_counter
+
+
+def deadline() -> float:
+    return time_mod.time() + 5.0  # aliased module still resolves
+
+
+def stamp() -> str:
+    return datetime.now().isoformat()
+
+
+def latency_probe() -> float:
+    return perf_counter()  # from-import resolves too
+
+
+def make_recorder(factory):
+    # A *reference* (no call) injects wall time just the same.
+    return factory(clock=time_mod.perf_counter)

@@ -1,0 +1,17 @@
+"""DET002 negative fixture: injected clock + justified wall time."""
+
+import time
+
+
+class Synchronizer:
+    def __init__(self, clock) -> None:
+        self.clock = clock  # injected: replayable under seed
+        self.tick = 0
+
+    def now(self) -> int:
+        self.tick += 1
+        return self.tick
+
+    def profile(self) -> float:
+        # lint: allow[DET002] reason=observability-only latency probe
+        return time.perf_counter()

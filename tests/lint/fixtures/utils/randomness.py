@@ -1,0 +1,16 @@
+"""DET001 allowlist fixture: this path mirrors utils/randomness.py.
+
+The sanctioned wrapper is the one place allowed to touch :mod:`random`
+directly — the default ``det001_allow`` covers this file by path.
+"""
+
+import os
+import random
+
+
+def raw_entropy() -> bytes:
+    return os.urandom(8)  # allowed here (and only here)
+
+
+def global_draw() -> float:
+    return random.random()  # allowed here (and only here)

@@ -1,0 +1,21 @@
+"""SER001 positive fixture: a wire dataclass with no codec."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OrphanRecord:
+    """Produced by sweeps, impossible to replay: no encoder/decoder."""
+
+    name: str
+    seed: int
+
+
+@dataclass
+class HalfRecord:
+    """Has an encoder but no decoder."""
+
+    value: int
+
+    def encode(self) -> str:
+        return str(self.value)

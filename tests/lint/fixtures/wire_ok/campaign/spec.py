@@ -1,0 +1,34 @@
+"""SER001 negative fixture: both codec registration styles."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LineSpec:
+    """Round-trips via a module-level format/parse pair."""
+
+    name: str
+    seed: int
+
+
+def format_line_spec(spec: LineSpec) -> str:
+    return f"{spec.name}:{spec.seed}"
+
+
+def parse_line_spec(line: str) -> LineSpec:
+    name, _, seed = line.partition(":")
+    return LineSpec(name=name, seed=int(seed))
+
+
+@dataclass
+class MethodSpec:
+    """Round-trips via encode/decode methods."""
+
+    value: int
+
+    def encode(self) -> bytes:
+        return str(self.value).encode("ascii")
+
+    @classmethod
+    def decode(cls, blob: bytes) -> "MethodSpec":
+        return cls(value=int(blob.decode("ascii")))

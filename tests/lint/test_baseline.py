@@ -1,0 +1,118 @@
+"""Baseline ratchet: legacy debt passes, new debt fails, stale debt warns."""
+
+import json
+
+from repro.lint.baseline import Baseline, BaselineEntry
+from repro.lint.config import LintConfig
+from repro.lint.engine import run_lint
+from tests.lint.conftest import FIXTURES
+
+
+def _det002_result():
+    config = LintConfig(
+        root=FIXTURES, paths=("protocols/det002_bad.py",), rules=("DET002",),
+    )
+    return run_lint(config)
+
+
+def test_empty_baseline_reports_everything_as_new():
+    result = _det002_result()
+    outcome = Baseline([]).apply(result.violations)
+    assert len(outcome.new) == 4
+    assert outcome.baselined == []
+    assert outcome.stale == []
+
+
+def test_full_baseline_absorbs_known_violations():
+    result = _det002_result()
+    baseline = Baseline.from_violations(result.violations)
+    outcome = baseline.apply(result.violations)
+    assert outcome.new == []
+    assert len(outcome.baselined) == 4
+    assert outcome.stale == []
+
+
+def test_ratchet_burns_down_but_never_up():
+    result = _det002_result()
+    baseline = Baseline.from_violations(result.violations)
+
+    # Fixing one violation: the freed budget surfaces as a stale entry.
+    fixed = result.violations[1:]
+    outcome = baseline.apply(fixed)
+    assert outcome.new == []
+    assert len(outcome.baselined) == 3
+    assert len(outcome.stale) == 1
+
+    # Regressing past the budget: the extra occurrence is new.
+    doubled = list(result.violations) + [result.violations[0]]
+    outcome = baseline.apply(doubled)
+    assert len(outcome.new) == 1
+    assert len(outcome.baselined) == 4
+
+
+def test_count_budget_is_per_key():
+    result = _det002_result()
+    violation = result.violations[0]
+    baseline = Baseline.from_violations([violation, violation])
+    outcome = baseline.apply([violation])
+    assert outcome.new == []
+    assert len(outcome.baselined) == 1
+    assert len(outcome.stale) == 1  # the unused second occurrence
+
+
+def test_save_load_round_trip(tmp_path):
+    result = _det002_result()
+    baseline = Baseline.from_violations(result.violations)
+    path = tmp_path / "lint-baseline.json"
+    baseline.save(path)
+
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    assert payload["schema"] == "repro-lint-baseline/1"
+    assert payload["entries"] == sorted(
+        payload["entries"],
+        key=lambda e: (e["rule"], e["path"], e["symbol"], e["snippet"]),
+    )
+
+    reloaded = Baseline.load(path)
+    outcome = reloaded.apply(result.violations)
+    assert outcome.new == []
+
+
+def test_missing_baseline_file_is_empty(tmp_path):
+    baseline = Baseline.load(tmp_path / "does-not-exist.json")
+    assert len(baseline) == 0
+
+
+def test_malformed_baseline_is_rejected(tmp_path):
+    import pytest
+
+    from repro.errors import ConfigurationError
+
+    path = tmp_path / "lint-baseline.json"
+    path.write_text('{"schema": "other/9", "entries": []}', encoding="utf-8")
+    with pytest.raises(ConfigurationError):
+        Baseline.load(path)
+    path.write_text("not json", encoding="utf-8")
+    with pytest.raises(ConfigurationError):
+        Baseline.load(path)
+
+
+def test_baseline_keys_are_line_number_insensitive():
+    # Shifting code down a line must not invalidate the baseline.
+    import dataclasses
+
+    result = _det002_result()
+    violation = result.violations[0]
+    baseline = Baseline([
+        BaselineEntry(
+            rule=violation.rule_id,
+            path=violation.path,
+            symbol=violation.symbol,
+            snippet=violation.snippet,
+            count=1,
+        ),
+    ])
+    shifted = dataclasses.replace(violation, line=violation.line + 7)
+    outcome = baseline.apply([shifted])
+    assert outcome.new == []
+    assert len(outcome.baselined) == 1

@@ -1,0 +1,106 @@
+"""End-to-end CLI behaviour: subcommands, formats, and exit codes."""
+
+import json
+
+import pytest
+
+from repro.lint.cli import cmd_lint
+from tests.lint.conftest import FIXTURES
+
+
+@pytest.fixture
+def tree(tmp_path):
+    """A minimal repo-shaped tree with one DET002 violation."""
+    (tmp_path / "pyproject.toml").write_text("[project]\n", encoding="utf-8")
+    src = tmp_path / "src" / "protocols"
+    src.mkdir(parents=True)
+    (src / "proto.py").write_text(
+        "import time\n\n\ndef run():\n    return time.time()\n",
+        encoding="utf-8",
+    )
+    return tmp_path
+
+
+def test_check_exits_nonzero_on_new_violation(tree, capsys):
+    code = cmd_lint(["check", "--root", str(tree)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "DET002" in out
+    assert "protocols/proto.py" in out.replace("\\", "/")
+
+
+def test_baseline_then_check_passes(tree, capsys):
+    assert cmd_lint(["baseline", "--root", str(tree)]) == 0
+    assert (tree / "lint-baseline.json").exists()
+    code = cmd_lint(["check", "--root", str(tree)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "baselined" in out
+
+
+def test_no_baseline_flag_resurfaces_legacy_debt(tree, capsys):
+    cmd_lint(["baseline", "--root", str(tree)])
+    capsys.readouterr()
+    assert cmd_lint(["check", "--root", str(tree), "--no-baseline"]) == 1
+
+
+def test_check_json_format_and_output_file(tree, tmp_path, capsys):
+    report_path = tmp_path / "lint-report.json"
+    code = cmd_lint([
+        "check", "--root", str(tree),
+        "--format", "json", "--output", str(report_path),
+    ])
+    assert code == 1
+    payload = json.loads(report_path.read_text(encoding="utf-8"))
+    assert payload["schema"] == "repro-lint-report/1"
+    assert payload["exit_code"] == 1
+    assert any(v["rule"] == "DET002" for v in payload["new"])
+    # stdout only carries the pointer line, not the report body
+    out = capsys.readouterr().out
+    assert "lint report ->" in out
+
+
+def test_rules_subset_flag(tree, capsys):
+    code = cmd_lint(["check", "--root", str(tree), "--rules", "EXC001"])
+    capsys.readouterr()
+    assert code == 0  # the DET002 site is invisible to an EXC001-only run
+
+
+def test_unknown_rule_id_is_usage_error(tree, capsys):
+    code = cmd_lint(["check", "--root", str(tree), "--rules", "NOPE999"])
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "unknown rule" in out
+
+
+def test_explain_prints_rationale(capsys):
+    assert cmd_lint(["explain", "DET002"]) == 0
+    out = capsys.readouterr().out
+    assert "DET002" in out
+    assert "reason=" in out  # shows the suppression recipe
+
+
+def test_explain_unknown_rule(capsys):
+    assert cmd_lint(["explain", "ZZZ999"]) == 2
+
+
+def test_rules_lists_every_rule(capsys):
+    assert cmd_lint(["rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("DET001", "DET002", "ACC001", "OBS001",
+                    "ASY001", "EXC001", "SER001", "LNT000"):
+        assert rule_id in out
+
+
+def test_no_subcommand_is_usage_error(capsys):
+    assert cmd_lint([]) == 2
+
+
+def test_check_on_fixture_tree_with_explicit_paths(capsys):
+    code = cmd_lint([
+        "check", "--root", str(FIXTURES),
+        "--no-baseline", "protocols/det002_ok.py",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "suppressed" in out

@@ -1,0 +1,130 @@
+"""Suppression-pragma semantics: placement, reasons, and meta-rules."""
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import run_lint
+from repro.lint.pragmas import parse_pragmas
+from tests.lint.conftest import FIXTURES, rule_ids_of
+
+
+def _lint_source(tmp_path, source: str, rules: tuple = ("DET002",)):
+    target = tmp_path / "protocols" / "module.py"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source, encoding="utf-8")
+    config = LintConfig(
+        root=tmp_path, paths=("protocols/module.py",), rules=rules,
+    )
+    return run_lint(config)
+
+
+def test_same_line_pragma_suppresses(tmp_path):
+    result = _lint_source(
+        tmp_path,
+        "import time\n"
+        "t = time.time()  # lint: allow[DET002] reason=timing harness only\n",
+    )
+    assert rule_ids_of(result) == []
+    assert len(result.suppressed) == 1
+    violation, pragma = result.suppressed[0]
+    assert violation.rule_id == "DET002"
+    assert pragma.reason == "timing harness only"
+
+
+def test_line_above_pragma_suppresses(tmp_path):
+    result = _lint_source(
+        tmp_path,
+        "import time\n"
+        "# lint: allow[DET002] reason=wall time feeds a histogram only\n"
+        "t = time.time()\n",
+    )
+    assert rule_ids_of(result) == []
+    assert len(result.suppressed) == 1
+
+
+def test_file_allow_pragma_suppresses_everywhere(tmp_path):
+    result = _lint_source(
+        tmp_path,
+        "# lint: file-allow[DET002] reason=benchmark driver, not protocol\n"
+        "import time\n"
+        "a = time.time()\n"
+        "b = time.monotonic()\n",
+    )
+    assert rule_ids_of(result) == []
+    assert len(result.suppressed) == 2
+
+
+def test_pragma_does_not_leak_to_other_lines(tmp_path):
+    result = _lint_source(
+        tmp_path,
+        "import time\n"
+        "a = time.time()  # lint: allow[DET002] reason=observability\n"
+        "\n"
+        "\n"
+        "b = time.time()\n",
+    )
+    assert rule_ids_of(result) == ["DET002"]
+    assert len(result.suppressed) == 1
+
+
+def test_missing_reason_is_lnt000(tmp_path):
+    result = _lint_source(
+        tmp_path,
+        "import time\n"
+        "t = time.time()  # lint: allow[DET002]\n",
+    )
+    meta_ids = [v.rule_id for v in result.meta_violations]
+    assert "LNT000" in meta_ids
+    # The un-backed pragma must not silence the violation.
+    assert rule_ids_of(result) == ["DET002"]
+
+
+def test_malformed_rule_id_is_lnt000(tmp_path):
+    result = _lint_source(
+        tmp_path,
+        "import time\n"
+        "t = time.time()  # lint: allow[det-2] reason=lowercase id\n",
+    )
+    assert "LNT000" in [v.rule_id for v in result.meta_violations]
+    assert rule_ids_of(result) == ["DET002"]
+
+
+def test_unused_pragma_is_lnt001(tmp_path):
+    result = _lint_source(
+        tmp_path,
+        "# lint: allow[DET002] reason=nothing here actually needs this\n"
+        "x = 1\n",
+    )
+    assert [v.rule_id for v in result.meta_violations] == ["LNT001"]
+    assert rule_ids_of(result) == []
+
+
+def test_unused_pragma_not_reported_for_inactive_rules(tmp_path):
+    # A subset run must not flag pragmas for rules it never evaluated.
+    result = _lint_source(
+        tmp_path,
+        "# lint: allow[ACC001] reason=charged one frame up\n"
+        "x = 1\n",
+        rules=("DET002",),
+    )
+    assert result.meta_violations == []
+
+
+def test_pragmas_inside_strings_are_ignored():
+    source = (
+        'DOC = """\n'
+        "# lint: allow[DET002] reason=this is documentation, not a pragma\n"
+        '"""\n'
+        "# lint: allow[EXC001] reason=a real comment pragma\n"
+        "x = 1\n"
+    )
+    index = parse_pragmas(source)
+    assert index.problems == []
+    assert len(index.pragmas) == 1
+    assert index.pragmas[0].rule_ids == ("EXC001",)
+
+
+def test_repo_fixture_suppression_records_reason():
+    config = LintConfig(root=FIXTURES, paths=("protocols/det002_ok.py",))
+    result = run_lint(config)
+    assert result.violations == []
+    (_, pragma), = result.suppressed
+    assert "observability" in pragma.reason

@@ -1,0 +1,95 @@
+"""The linter applied to this repository itself.
+
+Two guarantees, mirroring the acceptance criteria:
+
+* the committed tree is clean under the committed baseline (new
+  invariant-breaking code cannot merge), and
+* *seeding* a violation — the canonical example is a ``time.time()``
+  call added to ``protocols/balanced_ba.py`` — flips the run to
+  failing, demonstrated on a copy of the real module so the test never
+  mutates the working tree.
+"""
+
+import shutil
+
+from repro.lint.baseline import Baseline
+from repro.lint.config import LintConfig, default_config
+from repro.lint.engine import run_lint
+from repro.lint.model import Severity
+from tests.lint.conftest import REPO_ROOT
+
+
+def _repo_result():
+    config = default_config(REPO_ROOT)
+    return run_lint(config)
+
+
+def test_repo_src_is_clean_under_committed_baseline():
+    result = _repo_result()
+    baseline = Baseline.load(
+        default_config(REPO_ROOT).resolved_baseline_path()
+    )
+    outcome = baseline.apply(result.violations)
+    assert outcome.new == [], "\n".join(v.format() for v in outcome.new)
+    meta_errors = [
+        v for v in result.meta_violations if v.severity is Severity.ERROR
+    ]
+    assert meta_errors == [], "\n".join(v.format() for v in meta_errors)
+    assert result.files_checked > 50  # sanity: the walk saw the real tree
+
+
+def test_committed_baseline_has_no_stale_entries():
+    result = _repo_result()
+    baseline = Baseline.load(
+        default_config(REPO_ROOT).resolved_baseline_path()
+    )
+    outcome = baseline.apply(result.violations)
+    assert outcome.stale == [], [entry.key for entry in outcome.stale]
+
+
+def test_every_repo_suppression_carries_a_reason():
+    result = _repo_result()
+    assert result.suppressed, "expected the known wall-clock pragmas"
+    for violation, pragma in result.suppressed:
+        assert pragma.reason.strip(), violation.format()
+
+
+def test_seeded_wall_clock_in_balanced_ba_fails_the_gate(tmp_path):
+    src = REPO_ROOT / "src" / "repro" / "protocols" / "balanced_ba.py"
+    dst = tmp_path / "src" / "repro" / "protocols" / "balanced_ba.py"
+    dst.parent.mkdir(parents=True)
+    shutil.copy(src, dst)
+
+    config = LintConfig(root=tmp_path, paths=("src",))
+    baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
+
+    # Pristine copy: clean.
+    before = baseline.apply(run_lint(config).violations)
+    assert before.new == []
+
+    # Seed the violation the gate exists to catch.
+    text = dst.read_text(encoding="utf-8")
+    import_anchor = "from dataclasses import dataclass"
+    def_anchor = "def run_balanced_ba("
+    assert import_anchor in text and def_anchor in text
+    seeded = text.replace(
+        import_anchor, f"import time\n\n{import_anchor}", 1,
+    ).replace(
+        def_anchor,
+        f"def _seeded_probe():\n    return time.time()\n\n\n{def_anchor}",
+        1,
+    )
+    dst.write_text(seeded, encoding="utf-8")
+
+    after = baseline.apply(run_lint(config).violations)
+    assert len(after.new) == 1
+    violation = after.new[0]
+    assert violation.rule_id == "DET002"
+    assert "time.time" in violation.message
+    assert violation.symbol == "_seeded_probe"
+
+
+def test_fixture_tree_is_excluded_from_the_repo_run():
+    # The deliberately-bad fixtures must never pollute the repo gate.
+    result = _repo_result()
+    assert all("fixtures" not in v.path for v in result.violations)
