@@ -32,6 +32,13 @@ Commands:
   async-safety, exception hygiene, and wire-codec rules with a
   ratcheted committed baseline (``lint check`` fails only on *new*
   violations; ``lint explain DET001`` documents a rule).
+* ``cluster {run,resume,status,bench}`` — sharded multi-process party
+  execution: shard the party set across worker OS processes with
+  durable checkpoints and crash-restart recovery (``run --kill 3:1``
+  SIGKILLs worker 1 mid-round to exercise resume), describe a run
+  directory (``status``), pick an interrupted run back up (``resume``),
+  or record the 1-vs-k-worker scaling benchmark with differential
+  parity against the single-process runtime (``bench``).
 * ``campaign {run,replay,minimize,list}`` — adversarial conformance
   campaigns: sweep Byzantine strategies x fault schedules x protocol
   configs with invariant checking (``run --budget 25 --seed 0``),
@@ -379,6 +386,10 @@ def main(argv) -> int:
         from repro.campaign.cli import cmd_campaign
 
         return cmd_campaign(args)
+    if command == "cluster":
+        from repro.cluster.cli import cmd_cluster
+
+        return cmd_cluster(args)
     if command == "lint":
         from repro.lint.cli import cmd_lint
 

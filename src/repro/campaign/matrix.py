@@ -54,7 +54,10 @@ class ProtocolConfig:
     ``kind`` selects the execution path in the runner and which catalog
     strategies apply; ``scheme`` picks the SRDS construction where
     relevant; ``unanimous_inputs`` makes validity (not just agreement)
-    the live guarantee.
+    the live guarantee; ``backend`` selects the execution substrate —
+    ``"inproc"`` (the default single-process path) or ``"cluster"``
+    (wire replay sharded across worker OS processes, where the
+    ``kill-worker`` schedule arms the supervisor's SIGKILL plan).
     """
 
     name: str
@@ -63,6 +66,7 @@ class ProtocolConfig:
     scheme: Optional[str] = None  # "snark" | "owf"
     unanimous_inputs: bool = False
     schedules: Tuple[str, ...] = _SYNC_ONLY
+    backend: str = "inproc"  # "inproc" | "cluster"
 
     def allows_schedule(self, schedule_name: str) -> bool:
         return schedule_name in self.schedules
@@ -131,6 +135,14 @@ _DEFAULT: List[ProtocolConfig] = [
         kind=KIND_SRDS_FORGE,
         n=16,
         scheme="owf",
+    ),
+    ProtocolConfig(
+        name="pi_ba-snark-cluster",
+        kind=KIND_PI_BA,
+        n=16,
+        scheme="snark",
+        schedules=("none", "kill-worker"),
+        backend="cluster",
     ),
 ]
 

@@ -241,18 +241,23 @@ def _run_pi_ba(
         adversary = strategy.make_adversary(
             plan, config.n, rng.fork("adversary")
         )
-    delivery_rng = (
-        rng.fork("delivery") if schedule.name == "reorder" else None
-    )
-    result = run_balanced_ba(
-        inputs,
-        plan,
-        scheme,
-        params,
-        rng.fork("protocol"),
-        adversary,
-        delivery_rng=delivery_rng,
-    )
+    if config.backend == "cluster":
+        result = _run_pi_ba_cluster_backend(
+            config, schedule, inputs, plan, scheme, params, rng, adversary
+        )
+    else:
+        delivery_rng = (
+            rng.fork("delivery") if schedule.name == "reorder" else None
+        )
+        result = run_balanced_ba(
+            inputs,
+            plan,
+            scheme,
+            params,
+            rng.fork("protocol"),
+            adversary,
+            delivery_rng=delivery_rng,
+        )
     outcome.measured_bits = result.metrics.max_bits_per_party
     outcome.budget_bits = pi_ba_per_party_budget(
         config.n,
@@ -267,6 +272,43 @@ def _run_pi_ba(
         measured_bits=outcome.measured_bits,
         budget_bits=outcome.budget_bits,
     )
+
+
+def _run_pi_ba_cluster_backend(
+    config: ProtocolConfig,
+    schedule: Schedule,
+    inputs: Dict[int, int],
+    plan: CorruptionPlan,
+    scheme,
+    params: ProtocolParameters,
+    rng: Randomness,
+    adversary,
+):
+    """π_ba over the multi-process cluster substrate.
+
+    The ``kill-worker`` schedule arms the supervisor's SIGKILL plan
+    (worker 1 dies after the round-3 dispatch); recovery must replay
+    from the durable checkpoint and still satisfy every BA invariant
+    and the bits budget — silent divergence here would surface as an
+    unexpected campaign failure.
+    """
+    from repro.cluster.drivers import run_balanced_ba_cluster
+    from repro.cluster.supervisor import ClusterConfig
+
+    kill_plan = {3: 1} if schedule.name == "kill-worker" else {}
+    cluster_config = ClusterConfig(num_workers=2, kill_plan=kill_plan)
+    result, _ = run_balanced_ba_cluster(
+        inputs,
+        plan,
+        scheme,
+        params,
+        rng.fork("protocol"),
+        adversary,
+        num_workers=2,
+        checkpoint_interval=2,
+        config=cluster_config,
+    )
+    return result
 
 
 def _run_phase_king(

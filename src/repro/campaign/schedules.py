@@ -53,6 +53,19 @@ def _none(n: int, plan: CorruptionPlan, rng: Randomness) -> Optional[FaultPlan]:
     return None
 
 
+def _kill_worker(
+    n: int, plan: CorruptionPlan, rng: Randomness
+) -> Optional[FaultPlan]:
+    """No network-level faults: the SIGKILL is a *process* fault.
+
+    The cluster runner reads this schedule's name and arms the
+    supervisor's kill plan (SIGKILL one worker after a mid-protocol
+    round barrier); the wire-level fault plan stays empty because the
+    parties themselves never misbehave — the substrate does.
+    """
+    return None
+
+
 def _reorder(n: int, plan: CorruptionPlan, rng: Randomness) -> FaultPlan:
     return adversarial_schedule(
         rng.fork("sched"), reorder=True, duplicate_probability=0.0
@@ -147,6 +160,12 @@ _DEFAULT: List[Schedule] = [
         _crash_everyone,
         needs_runtime=True,
         model_breaking=True,
+    ),
+    Schedule(
+        "kill-worker",
+        "SIGKILL one cluster worker mid-round; the supervisor must "
+        "restart it from its durable checkpoint (cluster backend only)",
+        _kill_worker,
     ),
 ]
 

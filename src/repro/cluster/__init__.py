@@ -1,0 +1,65 @@
+"""Sharded multi-process party execution with durable checkpoints.
+
+``repro.cluster`` shards the ``n`` parties of a protocol run across
+``k`` worker OS processes, recovering true multicore parallelism for the
+Lamport/Merkle/SNARK-heavy per-party hot paths that the GIL serializes
+inside one interpreter.  The layer is built from:
+
+* :mod:`repro.cluster.engine` — :class:`ShardEngine`, the deterministic
+  single-shard round executor (the worker's inner loop, also usable
+  in-process for checkpoint/parity tests);
+* :mod:`repro.cluster.checkpoint` — the durable per-party checkpoint
+  codec (round number, party state snapshot, trace offsets, metrics
+  tally, staged frames) built on :mod:`repro.utils.serialization`;
+* :mod:`repro.cluster.wire` — the supervisor⇄worker control channel:
+  length-prefixed messages whose frame batches reuse the *existing*
+  :class:`repro.runtime.transport.Frame` wire format;
+* :mod:`repro.cluster.job` — the serializable job description workers
+  rebuild their party shard from;
+* :mod:`repro.cluster.worker` / :mod:`repro.cluster.supervisor` — the
+  worker process main loop (round stepping, heartbeats, checkpoint
+  writes) and the supervisor (round barriers, frame routing, health
+  monitoring, crash-restart recovery, SIGKILL fault injection);
+* :mod:`repro.cluster.drivers` — convenience drivers (π_ba over the
+  cluster with differential parity against :func:`run_parties`) and the
+  ``BENCH_cluster.json`` scaling benchmark.
+
+See ``docs/cluster.md`` for the architecture, checkpoint format, and
+the recovery state machine.
+"""
+
+from repro.cluster.checkpoint import (
+    ClusterCheckpoint,
+    PartyCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.cluster.engine import (
+    ShardEngine,
+    resume_shard_locally,
+    run_shard_locally,
+)
+from repro.cluster.job import ClusterJob
+from repro.cluster.supervisor import ClusterConfig, ClusterResult, ClusterSupervisor
+from repro.cluster.drivers import (
+    run_balanced_ba_cluster,
+    run_cluster_bench,
+    run_phase_king_cluster,
+)
+
+__all__ = [
+    "ClusterCheckpoint",
+    "ClusterConfig",
+    "ClusterJob",
+    "ClusterResult",
+    "ClusterSupervisor",
+    "PartyCheckpoint",
+    "ShardEngine",
+    "load_checkpoint",
+    "resume_shard_locally",
+    "run_balanced_ba_cluster",
+    "run_cluster_bench",
+    "run_phase_king_cluster",
+    "run_shard_locally",
+    "save_checkpoint",
+]

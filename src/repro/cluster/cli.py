@@ -1,0 +1,262 @@
+"""``python -m repro cluster`` — the cluster operator interface.
+
+Subcommands::
+
+    cluster run [--workload {pi-ba,phase-king}] [--n N] [--workers K]
+                [--scheme {snark,owf}] [--seed S] [--run-dir DIR]
+                [--checkpoint-interval I] [--kill ROUND:WORKER ...]
+        Execute a workload sharded across K worker processes; print the
+        agreement/parity summary and the run directory (checkpoints,
+        worker logs, supervisor state).
+
+    cluster resume --run-dir DIR [same workload flags as run]
+        Pick a crashed or interrupted run back up from its last durable
+        barrier.  The workload flags must match the original run — the
+        builders are deterministic, so the supervisor rebuilds the same
+        job and validates it against the saved state.
+
+    cluster status --run-dir DIR
+        Describe a run directory: saved supervisor state, worker
+        checkpoint inventory, halted parties.
+
+    cluster bench [--n N] [--workers 1,2,4] [--scheme {snark,owf}]
+                  [--seed S] [--results-dir DIR]
+        The ``BENCH_cluster.json`` record: 1-vs-k-worker wall clock for
+        pi_ba replay with differential parity against ``run_parties``.
+
+    cluster worker --host H --port P --worker-id W
+                   [--heartbeat-interval SECONDS]
+        Internal: one shard-owning worker process.  The supervisor
+        spawns exactly this command line; you never run it by hand.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.errors import ClusterError
+
+
+def _parse_kill_plan(items: List[str]) -> Dict[int, int]:
+    """``ROUND:WORKER`` pairs → the supervisor's SIGKILL schedule."""
+    plan: Dict[int, int] = {}
+    for item in items:
+        round_str, _, worker_str = item.partition(":")
+        try:
+            plan[int(round_str)] = int(worker_str)
+        except ValueError:
+            raise ClusterError(
+                f"--kill wants ROUND:WORKER, got {item!r}"
+            ) from None
+    return plan
+
+
+def _workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", choices=("pi-ba", "phase-king"),
+                        default="pi-ba")
+    parser.add_argument("--n", type=int, default=16)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--scheme", choices=("snark", "owf"),
+                        default="snark")
+    parser.add_argument("--seed", type=int, default=2021)
+    parser.add_argument("--checkpoint-interval", type=int, default=8)
+    parser.add_argument("--run-dir", type=Path, default=None)
+    parser.add_argument(
+        "--kill", action="append", default=[], metavar="ROUND:WORKER",
+        help="SIGKILL worker WORKER after dispatching round ROUND "
+             "(repeatable; exercises checkpoint recovery)",
+    )
+    parser.add_argument(
+        "--trace-dir", type=Path, default=None,
+        help="dump the merged per-party JSONL trace here (feed it to "
+             "'python -m repro obs timeline' for a Perfetto view)",
+    )
+
+
+def _dump_traces(result, trace_dir: Optional[Path]) -> None:
+    """Write the merged per-party JSONL trace for timeline export."""
+    if trace_dir is None:
+        return
+    trace_dir.mkdir(parents=True, exist_ok=True)
+    result.trace.dump_dir(trace_dir)
+    print(f"traces: {trace_dir}")
+
+
+def _run_workload(args: argparse.Namespace, resume: bool) -> int:
+    from repro.analysis.tables import format_bits
+    from repro.cluster.drivers import (
+        make_scheme,
+        run_balanced_ba_cluster,
+        run_phase_king_cluster,
+    )
+    from repro.cluster.supervisor import ClusterConfig
+    from repro.net.adversary import random_corruption
+    from repro.params import ProtocolParameters
+    from repro.utils.randomness import Randomness
+
+    if resume and args.run_dir is None:
+        print("cluster resume needs --run-dir")
+        return 2
+    config = ClusterConfig(
+        num_workers=args.workers,
+        kill_plan=_parse_kill_plan(args.kill),
+    )
+    inputs = {i: i % 2 for i in range(args.n)}
+    if args.workload == "phase-king":
+        byzantine = (args.n - 1,) if args.n >= 4 else ()
+        outputs, result = run_phase_king_cluster(
+            inputs,
+            byzantine,
+            num_workers=args.workers,
+            checkpoint_interval=args.checkpoint_interval,
+            config=config,
+            run_dir=args.run_dir,
+            resume=resume,
+        )
+        decided = set(outputs.values())
+        _dump_traces(result, args.trace_dir)
+        print(
+            f"phase-king n={args.n} workers={args.workers} "
+            f"agree={len(decided) == 1} rounds={result.rounds} "
+            f"restarts={result.restarts} "
+            f"max/party={format_bits(result.metrics.max_bits_per_party)}"
+        )
+        print(f"run dir: {result.run_dir}")
+        return 0 if len(decided) == 1 else 1
+
+    params = ProtocolParameters()
+    rng = Randomness(args.seed)
+    plan = random_corruption(
+        args.n, params.max_corruptions(args.n), rng.fork("corruption")
+    )
+    ba_result, result = run_balanced_ba_cluster(
+        inputs,
+        plan,
+        make_scheme(args.scheme),
+        params,
+        rng.fork("protocol"),
+        num_workers=args.workers,
+        checkpoint_interval=args.checkpoint_interval,
+        config=config,
+        run_dir=args.run_dir,
+        resume=resume,
+    )
+    _dump_traces(result, args.trace_dir)
+    print(
+        f"pi_ba n={args.n} t={plan.t} scheme={args.scheme} "
+        f"workers={args.workers} agree={ba_result.agreement} "
+        f"rounds={result.rounds} restarts={result.restarts} "
+        f"max/party={format_bits(ba_result.metrics.max_bits_per_party)}"
+    )
+    print(f"run dir: {result.run_dir}")
+    return 0 if ba_result.agreement else 1
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.cluster.supervisor import describe_run
+
+    status = describe_run(args.run_dir)
+    print(json.dumps(status, indent=2, sort_keys=True))
+    return 0 if status.get("has_state") else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.cluster.drivers import run_cluster_bench
+
+    worker_counts = tuple(
+        int(item) for item in args.workers.split(",") if item
+    )
+    payload = run_cluster_bench(
+        n=args.n,
+        worker_counts=worker_counts,
+        scheme_name=args.scheme,
+        seed=args.seed,
+        checkpoint_interval=args.checkpoint_interval,
+        results_dir=args.results_dir,
+    )
+    extra = payload["extra"]
+    print(
+        f"cluster bench: n={extra['n']} scheme={extra['scheme']} "
+        f"replay_rounds={extra['replay_rounds']}"
+    )
+    for key, value in sorted(payload["wall_times"].items()):
+        print(f"  {key:<24} {value:8.3f}s")
+    ok = True
+    for workers, checks in sorted(extra["parity"].items(), key=lambda kv: int(kv[0])):
+        verdict = all(checks.values())
+        ok = ok and verdict
+        print(
+            f"  parity @ {workers} workers: "
+            f"{'ok' if verdict else 'MISMATCH ' + str(checks)}"
+        )
+    if args.results_dir is not None:
+        print(f"  BENCH_cluster.json -> {args.results_dir}")
+    return 0 if ok else 1
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.cluster.worker import worker_main
+
+    return worker_main(
+        args.host,
+        args.port,
+        args.worker_id,
+        heartbeat_interval=args.heartbeat_interval,
+    )
+
+
+def cmd_cluster(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro cluster",
+        description="sharded multi-process party execution",
+    )
+    sub = parser.add_subparsers(dest="subcommand", required=True)
+
+    run_parser = sub.add_parser("run", help="run a workload on the cluster")
+    _workload_args(run_parser)
+
+    resume_parser = sub.add_parser(
+        "resume", help="resume a run from its last durable barrier"
+    )
+    _workload_args(resume_parser)
+
+    status_parser = sub.add_parser("status", help="describe a run directory")
+    status_parser.add_argument("--run-dir", type=Path, required=True)
+
+    bench_parser = sub.add_parser(
+        "bench", help="1-vs-k-worker scaling benchmark"
+    )
+    bench_parser.add_argument("--n", type=int, default=64)
+    bench_parser.add_argument("--workers", default="1,2,4",
+                              help="comma-separated worker counts")
+    bench_parser.add_argument("--scheme", choices=("snark", "owf"),
+                              default="snark")
+    bench_parser.add_argument("--seed", type=int, default=2021)
+    bench_parser.add_argument("--checkpoint-interval", type=int, default=8)
+    bench_parser.add_argument("--results-dir", type=Path, default=None)
+
+    worker_parser = sub.add_parser(
+        "worker", help="internal: one worker process"
+    )
+    worker_parser.add_argument("--host", required=True)
+    worker_parser.add_argument("--port", type=int, required=True)
+    worker_parser.add_argument("--worker-id", type=int, required=True)
+    worker_parser.add_argument("--heartbeat-interval", type=float,
+                               default=0.25)
+
+    args = parser.parse_args(argv)
+    if args.subcommand == "run":
+        return _run_workload(args, resume=False)
+    if args.subcommand == "resume":
+        return _run_workload(args, resume=True)
+    if args.subcommand == "status":
+        return _cmd_status(args)
+    if args.subcommand == "bench":
+        return _cmd_bench(args)
+    if args.subcommand == "worker":
+        return _cmd_worker(args)
+    parser.print_help()
+    return 2

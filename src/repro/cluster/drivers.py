@@ -1,0 +1,261 @@
+"""Convenience drivers: protocols over the cluster, plus the scaling bench.
+
+These mirror the runtime drivers (:mod:`repro.runtime.drivers`) on the
+multi-process substrate:
+
+* :func:`run_phase_king_cluster` — the committee BA as real
+  message-passing machines sharded across workers;
+* :func:`run_balanced_ba_cluster` — π_ba's headline workload: phase 1
+  executes Fig. 3 in the hybrid model against a
+  :class:`~repro.runtime.replay.RecordingLedger` (outputs, certificate
+  and reference snapshot untouched), phase 2 replays the recorded wire
+  traffic across worker processes, charging the supervisor's ledger at
+  the routing layer and applying the hybrid charges verbatim — exactly
+  the :func:`~repro.runtime.drivers.run_balanced_ba_runtime` recipe;
+* :func:`run_cluster_bench` — the ``BENCH_cluster.json`` record: π_ba
+  replay at 1/2/4 workers with wall-clock scaling and differential
+  parity (outputs, ``max_bits_per_party``, and full per-party tallies)
+  against a single-process :func:`~repro.runtime.synchronizer.run_parties`
+  execution of the same script.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.cluster.job import phase_king_job, replay_job
+from repro.cluster.supervisor import (
+    ClusterConfig,
+    ClusterResult,
+    ClusterSupervisor,
+)
+from repro.errors import ClusterError
+from repro.net.metrics import CommunicationMetrics
+from repro.obs.bench import bench_payload, write_bench_json
+from repro.runtime.replay import (
+    RecordingLedger,
+    apply_func_ops,
+    build_replay_parties,
+    tallies_equal,
+)
+from repro.runtime.synchronizer import run_parties
+from repro.utils.randomness import Randomness
+
+
+def _config(
+    config: Optional[ClusterConfig], num_workers: int
+) -> ClusterConfig:
+    if config is not None:
+        return config
+    return ClusterConfig(num_workers=num_workers)
+
+
+def run_phase_king_cluster(
+    inputs: Dict[int, int],
+    byzantine: Sequence[int] = (),
+    *,
+    num_workers: int = 2,
+    checkpoint_interval: int = 8,
+    config: Optional[ClusterConfig] = None,
+    run_dir: Optional[Path] = None,
+    resume: bool = False,
+) -> Tuple[Dict[int, int], ClusterResult]:
+    """Phase-king BA sharded across worker processes.
+
+    Returns ``(honest_outputs, cluster_result)`` — the honest outputs
+    match :func:`repro.runtime.drivers.run_phase_king_runtime` on a
+    fault-free plan, and ``cluster_result.metrics`` is the supervisor's
+    authoritative ledger.
+    """
+    job = phase_king_job(
+        inputs, byzantine, checkpoint_interval=checkpoint_interval
+    )
+    supervisor = ClusterSupervisor(
+        job, _config(config, num_workers), run_dir=run_dir
+    )
+    result = supervisor.run(resume=resume)
+    outputs = {
+        member: result.outputs[member] for member in job.target_ids()
+    }
+    return outputs, result
+
+
+def record_balanced_ba_script(
+    inputs: Dict[int, int],
+    plan,
+    scheme,
+    params,
+    rng: Randomness,
+    adversary=None,
+):
+    """Phase 1 of the replay recipe: run Fig. 3 against a recording
+    ledger; returns ``(reference_result, replay_script)``."""
+    from repro.protocols.balanced_ba import BalancedBA
+
+    recorder = RecordingLedger()
+    protocol = BalancedBA(
+        inputs, plan, scheme, params, rng, adversary, metrics=recorder
+    )
+    reference = protocol.run()
+    return reference, recorder.script()
+
+
+def run_balanced_ba_cluster(
+    inputs: Dict[int, int],
+    plan,
+    scheme,
+    params,
+    rng: Randomness,
+    adversary=None,
+    *,
+    num_workers: int = 2,
+    checkpoint_interval: int = 8,
+    config: Optional[ClusterConfig] = None,
+    run_dir: Optional[Path] = None,
+    resume: bool = False,
+):
+    """π_ba with its wire traffic routed across worker processes.
+
+    Returns ``(ba_result, cluster_result)`` where ``ba_result.metrics``
+    is the snapshot of the *cluster-charged* ledger (wire frames routed
+    by the supervisor + hybrid charges applied verbatim) — comparable
+    bit-for-bit with :func:`~repro.runtime.drivers.run_balanced_ba_runtime`
+    and the synchronous reference.
+    """
+    reference, script = record_balanced_ba_script(
+        inputs, plan, scheme, params, rng, adversary
+    )
+    n = len(inputs)
+    job = replay_job(script, n, checkpoint_interval=checkpoint_interval)
+    supervisor = ClusterSupervisor(
+        job, _config(config, num_workers), run_dir=run_dir
+    )
+    result = supervisor.run(resume=resume)
+    apply_func_ops(script, result.metrics)
+    ba_result = dataclasses.replace(
+        reference, metrics=result.metrics.snapshot()
+    )
+    return ba_result, result
+
+
+# -- the scaling benchmark -----------------------------------------------------
+
+
+def make_scheme(name: str):
+    """``"snark"`` / ``"owf"`` → a fresh SRDS scheme instance."""
+    if name == "snark":
+        from repro.srds.snark_based import SnarkSRDS
+
+        return SnarkSRDS()
+    if name == "owf":
+        from repro.srds.owf import OwfSRDS
+
+        return OwfSRDS()
+    raise ClusterError(f"unknown SRDS scheme {name!r}")
+
+
+def run_cluster_bench(
+    n: int = 64,
+    worker_counts: Sequence[int] = (1, 2, 4),
+    scheme_name: str = "snark",
+    seed: int = 2021,
+    checkpoint_interval: int = 8,
+    results_dir: Optional[Path] = None,
+    config: Optional[ClusterConfig] = None,
+) -> Dict[str, Any]:
+    """1-vs-k-worker wall clock for π_ba, with differential parity.
+
+    Records π_ba once (hybrid model), then executes the *same* replay
+    script single-process (``run_parties``, the parity reference) and at
+    each requested worker count.  Every cluster run must reproduce the
+    reference outputs, ``max_bits_per_party``, and full per-party
+    tallies.  Returns the ``repro-bench/1`` payload (written as
+    ``BENCH_cluster.json`` when ``results_dir`` is given).
+    """
+    from repro.net.adversary import random_corruption
+    from repro.params import ProtocolParameters
+
+    scheme = make_scheme(scheme_name)
+    params = ProtocolParameters()
+    inputs = {i: i % 2 for i in range(n)}
+    plan = random_corruption(
+        n, params.max_corruptions(n), Randomness(seed).fork("corruption")
+    )
+    # lint: allow[DET002] reason=bench wall times; protocol state never reads them
+    clock = time.perf_counter
+    started = clock()
+    reference, script = record_balanced_ba_script(
+        inputs, plan, scheme, params, Randomness(seed).fork("protocol")
+    )
+    wall_times: Dict[str, float] = {"record_hybrid": clock() - started}
+
+    # Single-process parity reference over the same script.
+    ref_metrics = CommunicationMetrics()
+    started = clock()
+    ref_result = run_parties(
+        build_replay_parties(script, n),
+        metrics=ref_metrics,
+        max_rounds=script.num_rounds + 2,
+    )
+    wall_times["run_parties_1proc"] = clock() - started
+    apply_func_ops(script, ref_metrics)
+
+    parity: Dict[str, Any] = {}
+    restarts: Dict[str, int] = {}
+    last_metrics = ref_metrics
+    for workers in worker_counts:
+        job = replay_job(
+            script,
+            n,
+            name=f"pi-ba-bench-{workers}w",
+            checkpoint_interval=checkpoint_interval,
+        )
+        run_config = dataclasses.replace(
+            config if config is not None else ClusterConfig(),
+            num_workers=workers,
+        )
+        supervisor = ClusterSupervisor(job, run_config)
+        started = clock()
+        result = supervisor.run()
+        wall_times[f"cluster_{workers}_workers"] = clock() - started
+        apply_func_ops(script, result.metrics)
+        parity[str(workers)] = {
+            "outputs": result.outputs == ref_result.outputs,
+            "max_bits_per_party": (
+                result.metrics.max_bits_per_party
+                == ref_metrics.max_bits_per_party
+            ),
+            "tallies": tallies_equal(
+                result.metrics, ref_metrics, range(n)
+            ),
+        }
+        restarts[str(workers)] = result.restarts
+        last_metrics = result.metrics
+
+    payload = bench_payload(
+        "cluster",
+        snapshot=last_metrics.snapshot(),
+        phase_breakdown=last_metrics.phase_breakdown(),
+        wall_times=wall_times,
+        extra={
+            "n": n,
+            "scheme": scheme_name,
+            "seed": seed,
+            "worker_counts": list(worker_counts),
+            "checkpoint_interval": checkpoint_interval,
+            "replay_rounds": script.num_rounds,
+            "replay_messages": script.num_messages,
+            "parity": parity,
+            "restarts": restarts,
+            "reference_agreement": reference.agreement,
+            "reference_max_bits_per_party": (
+                ref_metrics.max_bits_per_party
+            ),
+        },
+    )
+    if results_dir is not None:
+        write_bench_json(results_dir, payload)
+    return payload

@@ -1,0 +1,756 @@
+"""The cluster supervisor: round barriers, routing, recovery.
+
+The supervisor shards the ``n`` parties of a :class:`ClusterJob` across
+``k`` worker OS processes and drives them in lockstep rounds over the
+control channel (:mod:`repro.cluster.wire`).  Topology is hub-and-spoke:
+workers never talk to each other — a frame emitted by a party on worker
+A reaches a party on worker B inside A's ``done`` and B's next
+``round`` message, in the transport's existing
+:class:`~repro.runtime.transport.Frame` wire encoding.  That keeps the
+supervisor the single authority over
+
+* **staging** — frames sent but not yet due, exactly like the
+  synchronizer's staged buffers;
+* **metrics** — the one :class:`CommunicationMetrics` ledger, charged
+  once per routed frame in its sent round with ``end_round`` per
+  barrier, so ``max_bits_per_party`` is measured identically to
+  :func:`~repro.runtime.synchronizer.run_parties`;
+* **traces** — workers drain their per-round trace events into ``done``
+  messages; the supervisor merges them into one
+  :class:`~repro.runtime.trace.TraceRecorder` whose per-party streams
+  (and fingerprint) match a single-process run.
+
+Recovery state machine (see ``docs/cluster.md``): every ``round``
+message is logged per worker; every ``checkpoint_interval`` barriers the
+supervisor broadcasts ``checkpoint``, awaits every ack, durably writes
+its own state (staged frames, outputs, metrics, merged trace), trims the
+logs, and prunes stale worker checkpoints.  When a worker dies —
+heartbeat silence, connection loss, or nonzero exit — the supervisor
+respawns it pinned to the last fully-acknowledged barrier, replays the
+logged rounds (discarding the duplicate results), re-sends the in-flight
+round, and continues.  ``kill_plan`` turns this path into a real fault
+injector: the supervisor SIGKILLs its own worker right after dispatching
+the scheduled round.
+"""
+
+# lint: file-allow[ACC001] reason=channel.send ships control messages; party
+# frames are charged via metrics.record_message exactly where they are routed
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.cluster.checkpoint import (
+    ClusterCheckpoint,
+    decode_checkpoint,
+    encode_checkpoint,
+)
+from repro.cluster.job import ClusterJob, split_shards
+from repro.cluster.wire import (
+    CHECKPOINT,
+    CHECKPOINTED,
+    DONE,
+    HEARTBEAT,
+    HELLO,
+    JOB,
+    RESUMED,
+    ROUND,
+    STOP,
+    Message,
+    MessageChannel,
+    accept_channel,
+    open_listener,
+)
+from repro.cluster.worker import checkpoint_name
+from repro.errors import ClusterError
+from repro.net.metrics import CommunicationMetrics
+from repro.obs.registry import MetricsRegistry
+from repro.runtime.trace import TraceRecorder
+from repro.runtime.transport import Frame
+
+#: Durable supervisor state file inside the run directory.
+STATE_FILE = "supervisor.ckpt"
+STATE_FORMAT = "repro-cluster-supervisor/1"
+
+
+@dataclass
+class ClusterConfig:
+    """Tunables for one supervised run."""
+
+    num_workers: int = 2
+    #: Seconds between worker heartbeat beacons.
+    heartbeat_interval: float = 0.25
+    #: Seconds of *total silence* (no heartbeat, no result) after which
+    #: a worker is declared dead.
+    heartbeat_timeout: float = 5.0
+    #: Hard wall-clock ceiling for one worker's round turn — catches a
+    #: worker that heartbeats forever but never produces its result.
+    round_timeout: float = 120.0
+    #: Seconds allowed for a spawned worker to dial in and handshake.
+    spawn_timeout: float = 30.0
+    #: Worker deaths tolerated across the whole run before giving up.
+    max_restarts: int = 3
+    #: Fault injection: round index -> worker id to SIGKILL right after
+    #: that round's dispatch (the campaign's ``kill-worker`` schedule).
+    kill_plan: Dict[int, int] = field(default_factory=dict)
+    registry: Optional[MetricsRegistry] = None
+    host: str = "127.0.0.1"
+
+
+@dataclass
+class ClusterResult:
+    """Outcome of one supervised cluster execution."""
+
+    outputs: Dict[int, Any]
+    metrics: CommunicationMetrics
+    rounds: int
+    trace: TraceRecorder
+    restarts: int
+    num_workers: int
+    run_dir: Path
+
+
+@dataclass
+class _Worker:
+    """Supervisor-side handle on one worker process."""
+
+    worker_id: int
+    shard: List[int]
+    process: subprocess.Popen
+    channel: MessageChannel
+    log_handle: Any
+
+
+class _WorkerDied(Exception):
+    """Internal: a worker stopped answering (recoverable)."""
+
+
+class ClusterSupervisor:
+    """Drives one :class:`ClusterJob` across worker processes."""
+
+    def __init__(
+        self,
+        job: ClusterJob,
+        config: Optional[ClusterConfig] = None,
+        run_dir: Optional[Path] = None,
+    ) -> None:
+        self.job = job
+        self.config = config if config is not None else ClusterConfig()
+        self.shards = split_shards(job.n, self.config.num_workers)
+        self.run_dir: Optional[Path] = (
+            Path(run_dir) if run_dir is not None else None
+        )
+        self._party_worker: Dict[int, int] = {}
+        for worker_id, shard in enumerate(self.shards):
+            for party_id in shard:
+                self._party_worker[party_id] = worker_id
+        # Mutable run state (reset/restored in run()).
+        self.metrics = CommunicationMetrics()
+        self.trace = TraceRecorder()
+        self.outputs: Dict[int, Any] = {}
+        self.staged: Dict[int, List[Frame]] = {
+            p: [] for p in range(job.n)
+        }
+        self.round_index = 0
+        self.checkpoint_round = 0
+        self.restarts = 0
+        self.workers: Dict[int, _Worker] = {}
+        self._delivery_log: Dict[int, Dict[int, List[Frame]]] = {
+            w: {} for w in range(self.config.num_workers)
+        }
+        self._listener = None
+        self._port: Optional[int] = None
+        registry = self.config.registry
+        if registry is not None:
+            self._rounds_total = registry.counter(
+                "repro_cluster_rounds_total",
+                "Cluster round barriers completed",
+            )
+            self._round_latency = registry.histogram(
+                "repro_cluster_round_latency_seconds",
+                "Wall time per cluster round barrier",
+            )
+            self._restarts_total = registry.counter(
+                "repro_cluster_restarts_total",
+                "Worker processes restarted after a detected death",
+                ("worker",),
+            )
+            self._kills_total = registry.counter(
+                "repro_cluster_sigkills_total",
+                "Workers SIGKILLed by the fault-injection plan",
+            )
+            self._frames_routed = registry.counter(
+                "repro_cluster_frames_routed_total",
+                "Frames routed worker-to-worker through the supervisor",
+            )
+            self._checkpoints_total = registry.counter(
+                "repro_cluster_checkpoints_total",
+                "Durable checkpoint barriers completed",
+            )
+            self._workers_gauge = registry.gauge(
+                "repro_cluster_workers", "Worker processes in the cluster"
+            )
+            self._workers_gauge.set(self.config.num_workers)
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self, resume: bool = False) -> ClusterResult:
+        """Execute the job to completion (optionally resuming a run)."""
+        if self.run_dir is None:
+            self.run_dir = Path(
+                tempfile.mkdtemp(prefix="repro-cluster-")
+            )
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        if resume:
+            self._load_state()
+        self._listener, self._port = open_listener(self.config.host)
+        try:
+            for worker_id in range(self.config.num_workers):
+                self._launch(worker_id, self.checkpoint_round)
+            self._round_loop()
+            for worker in self.workers.values():
+                try:
+                    worker.channel.send(Message(STOP))
+                except ClusterError:
+                    pass
+            self._save_state(completed=True)
+            return ClusterResult(
+                outputs=dict(self.outputs),
+                metrics=self.metrics,
+                rounds=self.round_index,
+                trace=self.trace,
+                restarts=self.restarts,
+                num_workers=self.config.num_workers,
+                run_dir=self.run_dir,
+            )
+        finally:
+            self._teardown()
+
+    # -- worker lifecycle -----------------------------------------------------
+
+    def _launch(self, worker_id: int, resume_round: int) -> None:
+        """Spawn one worker, accept its connection, hand it the job."""
+        assert self.run_dir is not None and self._port is not None
+        log_path = self.run_dir / f"worker-{worker_id}.log"
+        log_handle = log_path.open("ab")
+        import repro as _repro_pkg
+
+        src_root = str(Path(_repro_pkg.__file__).resolve().parent.parent)
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH", "")
+        env["PYTHONPATH"] = (
+            src_root + (os.pathsep + existing if existing else "")
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "cluster",
+                "worker",
+                "--host",
+                self.config.host,
+                "--port",
+                str(self._port),
+                "--worker-id",
+                str(worker_id),
+                "--heartbeat-interval",
+                str(self.config.heartbeat_interval),
+            ],
+            stdout=log_handle,
+            stderr=subprocess.STDOUT,
+            env=env,
+        )
+        try:
+            channel = accept_channel(
+                self._listener, timeout=self.config.spawn_timeout
+            )
+            hello = channel.recv(timeout=self.config.spawn_timeout)
+        except TimeoutError as exc:
+            process.kill()
+            log_handle.close()
+            raise ClusterError(
+                f"worker {worker_id} did not dial in "
+                f"within {self.config.spawn_timeout}s (see {log_path})"
+            ) from exc
+        if hello.kind != HELLO or hello.fields.get("worker_id") != worker_id:
+            process.kill()
+            log_handle.close()
+            raise ClusterError(
+                f"expected hello from worker {worker_id}, got "
+                f"{hello.kind!r} {hello.fields!r}"
+            )
+        channel.send(
+            Message(
+                JOB,
+                {
+                    "shard": self.shards[worker_id],
+                    "resume_round": resume_round,
+                    "checkpoint_dir": str(self.run_dir),
+                    "checkpoint_stem": f"shard-{worker_id}",
+                },
+                blob=Message.pack_payload(self.job),
+            )
+        )
+        resumed = channel.recv(timeout=self.config.spawn_timeout)
+        if resumed.kind != RESUMED:
+            raise ClusterError(
+                f"worker {worker_id} answered {resumed.kind!r} to its job"
+            )
+        at_round = int(resumed.fields["next_round"])
+        if at_round != resume_round:
+            raise ClusterError(
+                f"worker {worker_id} resumed at round {at_round}, "
+                f"supervisor pinned round {resume_round}"
+            )
+        self.workers[worker_id] = _Worker(
+            worker_id=worker_id,
+            shard=self.shards[worker_id],
+            process=process,
+            channel=channel,
+            log_handle=log_handle,
+        )
+
+    def _recover(
+        self,
+        worker_id: int,
+        current_round: int,
+        reason: Optional[str] = None,
+    ) -> None:
+        """Restart a dead worker and bring it back to ``current_round``."""
+        while True:
+            self.restarts += 1
+            if self.config.registry is not None:
+                self._restarts_total.inc(worker=str(worker_id))
+            if self.restarts > self.config.max_restarts:
+                detail = f" (last failure: {reason})" if reason else ""
+                raise ClusterError(
+                    f"worker {worker_id} keeps dying: restart budget of "
+                    f"{self.config.max_restarts} exhausted{detail}"
+                )
+            try:
+                self._restart_once(worker_id, current_round)
+                return
+            except _WorkerDied as exc:
+                reason = str(exc)
+                continue
+
+    def _restart_once(self, worker_id: int, current_round: int) -> None:
+        old = self.workers.get(worker_id)
+        if old is not None:
+            self._reap(old)
+        self._launch(worker_id, self.checkpoint_round)
+        worker = self.workers[worker_id]
+        # Replay the logged rounds between the worker's checkpoint and
+        # the in-flight barrier; its regenerated results (frames,
+        # outputs, trace events) are duplicates of what this supervisor
+        # already processed, so they are discarded wholesale.
+        for replay_round in range(self.checkpoint_round, current_round):
+            frames = self._delivery_log[worker_id].get(replay_round, [])
+            worker.channel.send(
+                Message(
+                    ROUND,
+                    {"round": replay_round, "replay": True},
+                    frames=frames,
+                )
+            )
+            self._await(worker, DONE, round_index=replay_round)
+        # Re-send the in-flight round if it was already dispatched;
+        # its (first and only) result is collected by the caller.
+        frames = self._delivery_log[worker_id].get(current_round)
+        if frames is not None:
+            worker.channel.send(
+                Message(
+                    ROUND,
+                    {"round": current_round, "replay": False},
+                    frames=frames,
+                )
+            )
+
+    def _reap(self, worker: _Worker) -> None:
+        """Make sure a worker process is dead and its handles closed."""
+        try:
+            os.kill(worker.process.pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):
+            pass
+        try:
+            worker.process.wait(timeout=10)
+        except subprocess.TimeoutExpired:  # pragma: no cover - kernel lag
+            pass
+        worker.channel.close()
+        try:
+            worker.log_handle.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def _sigkill(self, worker_id: int) -> None:
+        """Fault injection: SIGKILL one of our own workers, mid-round."""
+        worker = self.workers.get(worker_id)
+        if worker is None:
+            raise ClusterError(f"kill plan names unknown worker {worker_id}")
+        try:
+            os.kill(worker.process.pid, signal.SIGKILL)
+        except ProcessLookupError:  # already dead — plan still satisfied
+            pass
+        if self.config.registry is not None:
+            self._kills_total.inc()
+
+    # -- the round loop -------------------------------------------------------
+
+    def _round_loop(self) -> None:
+        targets = set(self.job.target_ids())
+        for _ in range(self.job.max_rounds):
+            if targets <= set(self.outputs):
+                return
+            self._step_round()
+        raise ClusterError(
+            f"cluster run did not terminate in {self.job.max_rounds} rounds"
+        )
+
+    def _step_round(self) -> None:
+        # lint: allow[DET002] reason=round-latency histogram feed; protocol state never reads it
+        started = time.monotonic() if self.config.registry else 0.0
+        round_index = self.round_index
+        due = self._pop_due(round_index)
+        for worker_id in sorted(self.workers):
+            frames = due.get(worker_id, [])
+            self._delivery_log[worker_id][round_index] = frames
+            try:
+                self.workers[worker_id].channel.send(
+                    Message(
+                        ROUND,
+                        {"round": round_index, "replay": False},
+                        frames=frames,
+                    )
+                )
+            except ClusterError as exc:
+                self._recover(worker_id, round_index, reason=str(exc))
+        victim = self.config.kill_plan.get(round_index)
+        if victim is not None:
+            self._sigkill(victim)
+        for worker_id in sorted(self.workers):
+            self._collect_done(worker_id, round_index)
+        self.metrics.end_round()
+        self.round_index = round_index + 1
+        if self.config.registry is not None:
+            self._rounds_total.inc()
+            # lint: allow[DET002] reason=round-latency histogram feed; protocol state never reads it
+            self._round_latency.observe(time.monotonic() - started)
+        if (
+            self.job.checkpoint_interval > 0
+            and self.round_index % self.job.checkpoint_interval == 0
+        ):
+            self._checkpoint_barrier()
+
+    def _pop_due(self, round_index: int) -> Dict[int, List[Frame]]:
+        """Pop every staged frame due at this barrier, grouped by the
+        worker that owns its recipient."""
+        due: Dict[int, List[Frame]] = {}
+        for party_id, staged in self.staged.items():
+            ready = [f for f in staged if f.deliver_round <= round_index]
+            if not ready:
+                continue
+            self.staged[party_id] = [
+                f for f in staged if f.deliver_round > round_index
+            ]
+            due.setdefault(self._party_worker[party_id], []).extend(ready)
+        return due
+
+    def _collect_done(self, worker_id: int, round_index: int) -> None:
+        while True:
+            worker = self.workers[worker_id]
+            try:
+                message = self._await(worker, DONE, round_index=round_index)
+            except _WorkerDied as exc:
+                self._recover(worker_id, round_index, reason=str(exc))
+                continue
+            break
+        self._process_done(message)
+
+    def _process_done(self, message: Message) -> None:
+        for frame in message.frames:
+            if frame.recipient not in self.staged:
+                raise ClusterError(
+                    f"worker emitted a frame for unknown party "
+                    f"{frame.recipient}"
+                )
+            # One charge per routed frame, in its sent round — the same
+            # point in the round the transports charge at.
+            self.metrics.record_message(
+                frame.sender, frame.recipient, frame.bits()
+            )
+            self.staged[frame.recipient].append(frame)
+        if self.config.registry is not None and message.frames:
+            self._frames_routed.inc(len(message.frames))
+        payload = message.payload() or {}
+        self.outputs.update(payload.get("outputs", {}))
+        for party_id in sorted(payload.get("trace", {})):
+            self.trace.preload(party_id, payload["trace"][party_id])
+
+    def _await(
+        self,
+        worker: _Worker,
+        kind: str,
+        round_index: Optional[int] = None,
+    ) -> Message:
+        """Receive one expected message, tolerating heartbeats.
+
+        Declares the worker dead (:class:`_WorkerDied`) on connection
+        loss, heartbeat silence past ``heartbeat_timeout``, or total
+        round time past ``round_timeout``.
+        """
+        # lint: allow[DET002] reason=liveness deadline for crash detection; protocol state never reads it
+        deadline = time.monotonic() + self.config.round_timeout
+        while True:
+            try:
+                message = worker.channel.recv(
+                    timeout=self.config.heartbeat_timeout
+                )
+            except TimeoutError as exc:
+                raise _WorkerDied(
+                    f"worker {worker.worker_id}: no heartbeat for "
+                    f"{self.config.heartbeat_timeout}s"
+                ) from exc
+            except ClusterError as exc:
+                raise _WorkerDied(
+                    f"worker {worker.worker_id}: {exc}"
+                ) from exc
+            if message.kind == HEARTBEAT:
+                # lint: allow[DET002] reason=liveness deadline for crash detection; protocol state never reads it
+                if time.monotonic() > deadline:
+                    raise _WorkerDied(
+                        f"worker {worker.worker_id} heartbeats but "
+                        f"produced no result within "
+                        f"{self.config.round_timeout}s"
+                    )
+                continue
+            if message.kind != kind:
+                raise ClusterError(
+                    f"worker {worker.worker_id} sent {message.kind!r} "
+                    f"while supervisor awaited {kind!r}"
+                )
+            if (
+                round_index is not None
+                and int(message.fields.get("round", -1)) != round_index
+            ):
+                raise ClusterError(
+                    f"worker {worker.worker_id} answered for round "
+                    f"{message.fields.get('round')}, awaited {round_index}"
+                )
+            return message
+
+    # -- checkpoint barrier ---------------------------------------------------
+
+    def _checkpoint_barrier(self) -> None:
+        barrier = self.round_index
+        for worker_id in sorted(self.workers):
+            while True:
+                worker = self.workers[worker_id]
+                try:
+                    worker.channel.send(
+                        Message(CHECKPOINT, {"round": barrier})
+                    )
+                except ClusterError as exc:
+                    # Send failure: the connection is gone — same
+                    # recovery path as heartbeat silence.
+                    self._recover(worker_id, barrier, reason=str(exc))
+                    continue
+                try:
+                    self._await(worker, CHECKPOINTED, round_index=barrier)
+                except _WorkerDied as exc:
+                    self._recover(worker_id, barrier, reason=str(exc))
+                    continue
+                break
+        self.checkpoint_round = barrier
+        for log in self._delivery_log.values():
+            for logged_round in [r for r in log if r < barrier]:
+                del log[logged_round]
+        self._prune_worker_checkpoints(barrier)
+        self._save_state(completed=False)
+        if self.config.registry is not None:
+            self._checkpoints_total.inc()
+
+    def _prune_worker_checkpoints(self, barrier: int) -> None:
+        assert self.run_dir is not None
+        for path in self.run_dir.glob("shard-*-r*.ckpt"):
+            try:
+                logged_round = int(path.stem.rsplit("-r", 1)[1])
+            except (IndexError, ValueError):  # pragma: no cover - alien file
+                continue
+            if logged_round < barrier:
+                path.unlink(missing_ok=True)
+
+    # -- durable supervisor state --------------------------------------------
+
+    def _save_state(self, completed: bool) -> None:
+        assert self.run_dir is not None
+        container = ClusterCheckpoint(
+            next_round=self.round_index,
+            parties=[],
+            staged=[
+                frame
+                for party_id in sorted(self.staged)
+                for frame in self.staged[party_id]
+            ],
+        )
+        state = {
+            "format": STATE_FORMAT,
+            "job_name": self.job.name,
+            "n": self.job.n,
+            "num_workers": self.config.num_workers,
+            "round": self.round_index,
+            "completed": completed,
+            "restarts": self.restarts,
+            "container": encode_checkpoint(container),
+            "outputs": dict(self.outputs),
+            "metrics": self.metrics,
+            "trace_events": {
+                party_id: self.trace.events_of(party_id)
+                for party_id in self.trace.party_ids
+            },
+        }
+        target = self.run_dir / STATE_FILE
+        temp = target.with_suffix(".ckpt.tmp")
+        with temp.open("wb") as handle:
+            pickle.dump(state, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, target)
+
+    def _load_state(self) -> None:
+        assert self.run_dir is not None
+        state = read_state(self.run_dir)
+        if state is None:
+            raise ClusterError(
+                f"no supervisor state in {self.run_dir}; nothing to resume"
+            )
+        if state.get("job_name") != self.job.name or state.get("n") != self.job.n:
+            raise ClusterError(
+                f"run dir {self.run_dir} belongs to job "
+                f"{state.get('job_name')!r} (n={state.get('n')}), "
+                f"not {self.job.name!r} (n={self.job.n})"
+            )
+        if state.get("num_workers") != self.config.num_workers:
+            raise ClusterError(
+                f"run was sharded over {state.get('num_workers')} workers; "
+                f"resume must use the same count "
+                f"(got {self.config.num_workers})"
+            )
+        container = decode_checkpoint(state["container"])
+        self.round_index = int(state["round"])
+        self.checkpoint_round = self.round_index
+        self.restarts = int(state["restarts"])
+        self.outputs = dict(state["outputs"])
+        self.metrics = state["metrics"]
+        self.staged = {p: [] for p in range(self.job.n)}
+        for frame in container.staged:
+            if frame.recipient not in self.staged:
+                raise ClusterError(
+                    f"staged frame for unknown party {frame.recipient}"
+                )
+            self.staged[frame.recipient].append(frame)
+        self.trace = TraceRecorder()
+        for party_id in sorted(state["trace_events"]):
+            self.trace.preload(party_id, state["trace_events"][party_id])
+
+    # -- teardown -------------------------------------------------------------
+
+    def _teardown(self) -> None:
+        for worker in self.workers.values():
+            try:
+                worker.process.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                worker.process.kill()
+                worker.process.wait(timeout=5)
+            worker.channel.close()
+            try:
+                worker.log_handle.close()
+            except OSError:  # pragma: no cover
+                pass
+        self.workers.clear()
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+
+
+def read_state(run_dir: Path) -> Optional[Dict[str, Any]]:
+    """Load a run directory's durable supervisor state (``None`` if absent).
+
+    Used by resume and by the ``cluster status`` CLI.
+    """
+    path = Path(run_dir) / STATE_FILE
+    if not path.exists():
+        return None
+    try:
+        with path.open("rb") as handle:
+            state = pickle.load(handle)
+    except Exception as exc:  # pickle raises a zoo of types
+        raise ClusterError(
+            f"corrupt supervisor state in {run_dir}: {exc}"
+        ) from exc
+    if not isinstance(state, dict) or state.get("format") != STATE_FORMAT:
+        raise ClusterError(
+            f"{path} is not {STATE_FORMAT} supervisor state"
+        )
+    return state
+
+
+def describe_run(run_dir: Path) -> Dict[str, Any]:
+    """A JSON-friendly status summary of one run directory.
+
+    Combines the supervisor's durable state with the worker checkpoint
+    files on disk (``shard-<w>-r<round>.ckpt``) so ``cluster status``
+    can answer "how far did it get, and can it resume?".
+    """
+    run_dir = Path(run_dir)
+    state = read_state(run_dir)
+    checkpoints: Dict[str, List[int]] = {}
+    for path in sorted(run_dir.glob("shard-*-r*.ckpt")):
+        stem, _, tail = path.stem.rpartition("-r")
+        try:
+            barrier = int(tail)
+        except ValueError:  # pragma: no cover - alien file
+            continue
+        checkpoints.setdefault(stem, []).append(barrier)
+    summary: Dict[str, Any] = {
+        "run_dir": str(run_dir),
+        "has_state": state is not None,
+        "worker_checkpoints": {
+            stem: sorted(rounds) for stem, rounds in checkpoints.items()
+        },
+    }
+    if state is not None:
+        summary.update(
+            {
+                "job_name": state["job_name"],
+                "n": state["n"],
+                "num_workers": state["num_workers"],
+                "round": state["round"],
+                "completed": state["completed"],
+                "restarts": state["restarts"],
+                "halted_parties": len(state["outputs"]),
+                "max_bits_per_party": state["metrics"].max_bits_per_party,
+            }
+        )
+    return summary
+
+
+# Re-exported for the package namespace; the worker module owns the
+# canonical name format.
+__all__ = [
+    "ClusterConfig",
+    "ClusterResult",
+    "ClusterSupervisor",
+    "checkpoint_name",
+    "describe_run",
+    "read_state",
+]

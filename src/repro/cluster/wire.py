@@ -1,0 +1,395 @@
+"""The supervisor⇄worker control channel.
+
+All cluster control traffic — job dispatch, round barriers, heartbeats,
+checkpoint commands, and the worker's per-round results — travels as
+length-prefixed :class:`Message` records over one blocking TCP
+connection per worker.  Party-to-party traffic rides *inside* ROUND and
+DONE messages as batches of :class:`~repro.runtime.transport.Frame`
+records in the transport's existing wire encoding, so the bytes a party
+emits on the cluster are exactly the bytes it emits under
+:class:`~repro.runtime.transport.TcpTransport`.
+
+Message layout (everything length-prefixed with the transport's 4-byte
+big-endian ``_LENGTH`` prefix or :mod:`repro.utils.serialization`
+varints)::
+
+    u32 total | bytes json_header | bytes blob | seq frame_encodings
+
+* ``json_header`` — ``{"kind": ..., **fields}``, sorted keys: the small
+  structured part (round numbers, worker ids, shard assignments);
+* ``blob`` — an opaque pickle for Python payloads that are not JSON
+  (party outputs, the job description);
+* ``frame_encodings`` — each item is ``Frame.encode()`` verbatim.
+
+Kinds (see ``docs/cluster.md`` for the full state machine):
+
+===============  ======  =======================================================
+kind             dir     meaning
+===============  ======  =======================================================
+``hello``        w → s   worker is up; fields: ``worker_id``
+``job``          s → w   shard assignment; blob: pickled ClusterJob;
+                         fields: ``shard`` (party ids), ``resume`` (bool),
+                         ``checkpoint_dir``, ``checkpoint_name``
+``resumed``      w → s   checkpoint loaded; fields: ``next_round``
+``round``        s → w   step one round; fields: ``round``, ``replay``;
+                         frames: the shard's due deliveries
+``done``         w → s   round finished; fields: ``round``; frames: the
+                         shard's emissions; blob: pickled
+                         ``{"outputs": {...}, "trace": {...}}``
+``checkpoint``   s → w   write a checkpoint at the current barrier;
+                         fields: ``round``
+``checkpointed`` w → s   ack; fields: ``round``
+``heartbeat``    w → s   liveness beacon (worker-side timer thread)
+``stop``         s → w   run over; worker exits 0
+``part``         both    one chunk of an oversized message; fields:
+                         ``last`` (bool); blob: a slice of the encoded
+                         body (channel-internal, never seen by callers)
+===============  ======  =======================================================
+
+:class:`MessageChannel` wraps one socket with a send lock (the worker's
+heartbeat thread and main loop share the connection) and a receive
+buffer that survives timeouts: a ``recv`` interrupted by its deadline
+keeps any partial bytes and resumes cleanly on the next call, so the
+supervisor can poll with short deadlines without ever losing framing.
+"""
+
+# lint: file-allow[ACC001] reason=control-channel sockets; party traffic is
+# charged by the supervisor per routed Frame, never from this module
+
+from __future__ import annotations
+
+import json
+import pickle
+import socket
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ClusterError
+from repro.runtime.transport import Frame, _LENGTH
+from repro.utils.serialization import (
+    decode_bytes,
+    decode_sequence,
+    encode_bytes,
+    encode_sequence,
+)
+
+# Hard cap on a single wire record.  Logical messages larger than the
+# chunk threshold are split into ``part`` records by the channel and
+# reassembled on receive, so this bounds framing damage from a corrupt
+# length prefix — not the size of a round's traffic.
+_MAX_MESSAGE = 1 << 28
+#: Bodies above this are shipped as a train of ``part`` records.  A
+#: heavy gossip round at n=64 under the OWF scheme can exceed 256 MiB
+#: in one DONE message; chunking keeps every wire record small while
+#: letting logical messages grow with the protocol.
+_CHUNK_BYTES = 32 << 20
+#: Sanity bound on a reassembled chunked message.
+_MAX_ASSEMBLED = 1 << 33
+
+HELLO = "hello"
+JOB = "job"
+RESUMED = "resumed"
+ROUND = "round"
+DONE = "done"
+CHECKPOINT = "checkpoint"
+CHECKPOINTED = "checkpointed"
+HEARTBEAT = "heartbeat"
+STOP = "stop"
+PART = "part"
+
+KINDS = (
+    HELLO, JOB, RESUMED, ROUND, DONE, CHECKPOINT, CHECKPOINTED,
+    HEARTBEAT, STOP, PART,
+)
+
+
+@dataclass
+class Message:
+    """One control-channel message."""
+
+    kind: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+    frames: List[Frame] = field(default_factory=list)
+    blob: bytes = b""
+
+    def encode_body(self) -> bytes:
+        """Wire encoding without the length prefix (no size cap —
+        :class:`MessageChannel` chunks oversized bodies on send)."""
+        if self.kind not in KINDS:
+            raise ClusterError(f"unknown control message kind {self.kind!r}")
+        header = json.dumps(
+            {"kind": self.kind, **self.fields},
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+        return (
+            encode_bytes(header)
+            + encode_bytes(self.blob)
+            + encode_sequence([frame.encode() for frame in self.frames])
+        )
+
+    def encode(self) -> bytes:
+        """Length-prefixed single-record wire encoding."""
+        body = self.encode_body()
+        if len(body) > _MAX_MESSAGE:
+            raise ClusterError(
+                f"control message exceeds {_MAX_MESSAGE} bytes"
+            )
+        return _LENGTH.pack(len(body)) + body
+
+    @staticmethod
+    def decode(body: bytes) -> "Message":
+        """Inverse of :meth:`encode` (without the length prefix)."""
+        try:
+            header_bytes, offset = decode_bytes(body, 0)
+            blob, offset = decode_bytes(body, offset)
+            frame_blobs, offset = decode_sequence(body, offset)
+            header = json.loads(header_bytes.decode("utf-8"))
+        except Exception as exc:  # framing or JSON garbage
+            raise ClusterError(f"corrupt control message: {exc}") from exc
+        if offset != len(body):
+            raise ClusterError(
+                f"{len(body) - offset} trailing bytes in control message"
+            )
+        if not isinstance(header, dict) or "kind" not in header:
+            raise ClusterError("control message header has no kind")
+        kind = header.pop("kind")
+        if kind not in KINDS:
+            raise ClusterError(f"unknown control message kind {kind!r}")
+        frames = [
+            Frame.decode(item[_LENGTH.size:]) for item in frame_blobs
+        ]
+        return Message(kind=kind, fields=header, frames=frames, blob=blob)
+
+    # -- blob helpers ---------------------------------------------------------
+
+    def payload(self) -> Any:
+        """Unpickle the opaque blob (``None`` when empty)."""
+        if not self.blob:
+            return None
+        try:
+            return pickle.loads(self.blob)
+        except Exception as exc:
+            raise ClusterError(f"corrupt message payload: {exc}") from exc
+
+    @staticmethod
+    def pack_payload(obj: Any) -> bytes:
+        return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+class ChannelClosed(ClusterError):
+    """The peer closed the connection at a message boundary."""
+
+
+class MessageChannel:
+    """A blocking socket carrying :class:`Message` records.
+
+    Sends are serialized by a lock (heartbeat thread vs. main loop);
+    receives keep a persistent buffer so a deadline expiring mid-message
+    never loses framing — the next ``recv`` resumes where the last one
+    stopped.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._send_lock = threading.Lock()
+        self._buffer = bytearray()
+        self._parts: List[bytes] = []  # in-flight chunked reassembly
+        self._closed = False
+        try:
+            self._sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+        except OSError:  # pragma: no cover - platform quirk
+            pass
+
+    def send(self, message: Message) -> None:
+        """Ship one message (thread-safe).
+
+        Bodies above ``_CHUNK_BYTES`` are split into a train of
+        ``part`` records sent under one lock acquisition, so the
+        heartbeat thread can never interleave a record mid-train.
+        """
+        body = message.encode_body()
+        if len(body) <= _CHUNK_BYTES:
+            records = [_LENGTH.pack(len(body)) + body]
+        else:
+            pieces = [
+                body[offset:offset + _CHUNK_BYTES]
+                for offset in range(0, len(body), _CHUNK_BYTES)
+            ]
+            records = [
+                Message(
+                    PART,
+                    {"last": index == len(pieces) - 1},
+                    blob=piece,
+                ).encode()
+                for index, piece in enumerate(pieces)
+            ]
+        with self._send_lock:
+            if self._closed:
+                raise ClusterError("send on a closed control channel")
+            try:
+                for record in records:
+                    self._sock.sendall(record)
+            except OSError as exc:
+                raise ClusterError(
+                    f"control channel send failed: {exc}"
+                ) from exc
+
+    def recv(self, timeout: Optional[float] = None) -> Message:
+        """Receive one message.
+
+        Blocks up to ``timeout`` seconds (``None`` = forever).  Raises
+        :class:`TimeoutError` when the deadline expires (partial bytes
+        are kept), :class:`ChannelClosed` on clean EOF at a message
+        boundary, and :class:`ClusterError` on a torn or corrupt stream.
+        """
+        self._sock.settimeout(timeout)
+        while True:
+            message = self._try_parse()
+            if message is not None:
+                if message.kind == PART:
+                    self._absorb_part(message)
+                    if message.fields.get("last"):
+                        return self._finish_parts()
+                    continue
+                if self._parts:
+                    raise ClusterError(
+                        f"{message.kind!r} record interleaved inside a "
+                        "chunked transfer"
+                    )
+                return message
+            try:
+                chunk = self._sock.recv(1 << 16)
+            except socket.timeout as exc:
+                raise TimeoutError("control channel recv timed out") from exc
+            except OSError as exc:
+                raise ClusterError(
+                    f"control channel recv failed: {exc}"
+                ) from exc
+            if not chunk:
+                if self._buffer or self._parts:
+                    raise ClusterError(
+                        "peer closed the control channel mid-message"
+                    )
+                raise ChannelClosed("control channel closed by peer")
+            self._buffer.extend(chunk)
+
+    def _absorb_part(self, message: Message) -> None:
+        self._parts.append(message.blob)
+        if sum(len(piece) for piece in self._parts) > _MAX_ASSEMBLED:
+            self._parts = []
+            raise ClusterError(
+                f"chunked control message exceeds {_MAX_ASSEMBLED} bytes"
+            )
+
+    def _finish_parts(self) -> Message:
+        body = b"".join(self._parts)
+        self._parts = []
+        return Message.decode(body)
+
+    def _try_parse(self) -> Optional[Message]:
+        if len(self._buffer) < _LENGTH.size:
+            return None
+        (length,) = _LENGTH.unpack_from(bytes(self._buffer[:_LENGTH.size]))
+        if length > _MAX_MESSAGE:
+            raise ClusterError(f"oversized control message ({length} bytes)")
+        end = _LENGTH.size + length
+        if len(self._buffer) < end:
+            return None
+        body = bytes(self._buffer[_LENGTH.size:end])
+        del self._buffer[:end]
+        return Message.decode(body)
+
+    def close(self) -> None:
+        """Close the underlying socket (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+    def __enter__(self) -> "MessageChannel":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def connect_channel(
+    host: str, port: int, timeout: float = 10.0
+) -> MessageChannel:
+    """Dial the supervisor's control listener (worker side)."""
+    try:
+        sock = socket.create_connection((host, port), timeout=timeout)
+    except OSError as exc:
+        raise ClusterError(
+            f"cannot reach supervisor at {host}:{port}: {exc}"
+        ) from exc
+    sock.settimeout(None)
+    return MessageChannel(sock)
+
+
+def open_listener(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    retries: int = 3,
+    retry_delay: float = 0.05,
+) -> "tuple[socket.socket, int]":
+    """Open the supervisor's control listener.
+
+    ``port`` is a *preference*: when it is busy (``EADDRINUSE``) the
+    bind is retried ``retries`` times with a short pause, then falls
+    back to an OS-assigned ephemeral port — the same policy as the
+    runtime's :class:`~repro.runtime.transport.TcpTransport` router.
+    ``port=0`` (the default) goes straight to OS-assigned.
+    """
+    import errno
+    import time
+
+    attempts = [port] * (1 + max(0, retries)) if port else []
+    attempts.append(0)
+    last_error: Optional[OSError] = None
+    for index, candidate in enumerate(attempts):
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            listener.bind((host, candidate))
+            listener.listen()
+            return listener, listener.getsockname()[1]
+        except OSError as exc:
+            listener.close()
+            if candidate and exc.errno == errno.EADDRINUSE:
+                last_error = exc
+                if index < len(attempts) - 1 and attempts[index + 1]:
+                    time.sleep(retry_delay)
+                continue
+            raise ClusterError(
+                f"cannot open control listener: {exc}"
+            ) from exc
+    raise ClusterError(  # pragma: no cover - attempts always ends in 0
+        f"cannot open control listener: {last_error}"
+    )
+
+
+def accept_channel(
+    listener: socket.socket, timeout: Optional[float] = None
+) -> MessageChannel:
+    """Accept one worker connection (supervisor side).
+
+    Raises :class:`TimeoutError` when no worker dials in time.
+    """
+    listener.settimeout(timeout)
+    try:
+        conn, _ = listener.accept()
+    except socket.timeout as exc:
+        raise TimeoutError("no worker connected in time") from exc
+    except OSError as exc:
+        raise ClusterError(f"control listener accept failed: {exc}") from exc
+    conn.settimeout(None)
+    return MessageChannel(conn)

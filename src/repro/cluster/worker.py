@@ -1,0 +1,205 @@
+"""The cluster worker process.
+
+A worker is one OS process owning one shard of the party set.  Its life
+is a small state machine driven entirely by the supervisor over a single
+:class:`~repro.cluster.wire.MessageChannel`:
+
+1. dial the supervisor, introduce itself (``hello``);
+2. receive its ``job`` (builder reference + shard assignment + resume
+   flag), rebuild the shard — from the last durable checkpoint when
+   resuming — and report the round it stands at (``resumed``);
+3. loop: on ``round`` step the :class:`~repro.cluster.engine.ShardEngine`
+   and reply ``done`` with the emitted frames, the shard's halted
+   outputs, and the round's drained trace events; on ``checkpoint``
+   durably snapshot the shard and ack; on ``stop`` exit 0.
+
+A daemon heartbeat thread shares the channel (sends are locked) and
+beacons ``heartbeat`` on a fixed interval so the supervisor can tell a
+slow round from a dead process.  The worker never owns a metrics
+ledger: the supervisor charges the authoritative one as it routes
+frames, so sharding cannot double-charge the paper's headline metric.
+
+The worker is deliberately crash-naked: any unexpected exception
+escapes, the process dies nonzero, and the supervisor's recovery path —
+restart, resume from checkpoint, replay the logged rounds — is the only
+error handling.  That is what makes SIGKILL fault injection honest.
+"""
+
+# lint: file-allow[ACC001] reason=channel.send ships control replies; the
+# worker never owns a ledger — the supervisor charges frames as it routes them
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Optional
+
+from repro.cluster.checkpoint import load_checkpoint, save_checkpoint
+from repro.cluster.engine import ShardEngine
+from repro.cluster.job import ClusterJob
+from repro.cluster.wire import (
+    CHECKPOINT,
+    CHECKPOINTED,
+    DONE,
+    HEARTBEAT,
+    HELLO,
+    JOB,
+    RESUMED,
+    ROUND,
+    STOP,
+    ChannelClosed,
+    Message,
+    MessageChannel,
+    connect_channel,
+)
+from repro.errors import ClusterError
+from repro.runtime.trace import TraceRecorder
+
+#: Default seconds between heartbeat beacons.
+HEARTBEAT_INTERVAL = 0.25
+
+
+class _Heartbeat(threading.Thread):
+    """Beacons liveness on the shared channel until stopped."""
+
+    def __init__(self, channel: MessageChannel, interval: float) -> None:
+        super().__init__(name="cluster-heartbeat", daemon=True)
+        self._channel = channel
+        self._interval = interval
+        self._stop = threading.Event()
+
+    def run(self) -> None:
+        # Event.wait paces the beacon; the worker never reads a clock.
+        while not self._stop.wait(self._interval):
+            try:
+                self._channel.send(Message(HEARTBEAT))
+            except ClusterError:
+                return  # supervisor is gone; main loop will notice too
+
+    def stop(self) -> None:
+        self._stop.set()
+
+
+def worker_main(
+    host: str,
+    port: int,
+    worker_id: int,
+    heartbeat_interval: float = HEARTBEAT_INTERVAL,
+) -> int:
+    """Run one worker to completion; returns the process exit code."""
+    channel = connect_channel(host, port)
+    heartbeat: Optional[_Heartbeat] = None
+    try:
+        channel.send(Message(HELLO, {"worker_id": worker_id}))
+        job_msg = channel.recv()
+        if job_msg.kind != JOB:
+            raise ClusterError(
+                f"worker {worker_id} expected a job, got {job_msg.kind!r}"
+            )
+        job = job_msg.payload()
+        if not isinstance(job, ClusterJob):
+            raise ClusterError(
+                f"job payload decoded to {type(job).__name__}, not ClusterJob"
+            )
+        shard = list(job_msg.fields["shard"])
+        resume_round = int(job_msg.fields.get("resume_round", 0))
+        checkpoint_dir = Path(job_msg.fields["checkpoint_dir"])
+        checkpoint_stem = str(job_msg.fields["checkpoint_stem"])
+
+        trace = TraceRecorder()
+        engine = _build_engine(
+            job, shard, resume_round, checkpoint_dir, checkpoint_stem, trace
+        )
+        channel.send(Message(RESUMED, {"next_round": engine.next_round}))
+
+        heartbeat = _Heartbeat(channel, heartbeat_interval)
+        heartbeat.start()
+
+        while True:
+            message = channel.recv()
+            if message.kind == STOP:
+                return 0
+            if message.kind == CHECKPOINT:
+                # Staged frames are supervisor-owned; the worker's
+                # checkpoint carries party state + counters only.  The
+                # name is versioned by barrier round so the supervisor
+                # can pin a resume to its last fully-acknowledged
+                # barrier even if this worker raced ahead.
+                barrier = int(message.fields["round"])
+                save_checkpoint(
+                    checkpoint_dir,
+                    checkpoint_name(checkpoint_stem, barrier),
+                    engine.snapshot(),
+                )
+                channel.send(Message(CHECKPOINTED, {"round": barrier}))
+                continue
+            if message.kind != ROUND:
+                raise ClusterError(
+                    f"worker {worker_id} cannot handle {message.kind!r}"
+                )
+            round_index = int(message.fields["round"])
+            out_frames = engine.step_round(round_index, message.frames)
+            channel.send(
+                Message(
+                    DONE,
+                    {
+                        "round": round_index,
+                        "replay": bool(message.fields.get("replay", False)),
+                    },
+                    frames=out_frames,
+                    blob=Message.pack_payload(
+                        {
+                            "outputs": engine.outputs(),
+                            "trace": trace.drain(),
+                        }
+                    ),
+                )
+            )
+    except ChannelClosed:
+        # Supervisor vanished without a STOP: die loudly so an attached
+        # terminal sees a nonzero exit, but don't traceback.
+        return 1
+    finally:
+        if heartbeat is not None:
+            heartbeat.stop()
+        channel.close()
+
+
+def checkpoint_name(stem: str, barrier: int) -> str:
+    """Canonical versioned checkpoint name: ``<stem>-r<barrier>``."""
+    return f"{stem}-r{barrier}"
+
+
+def _build_engine(
+    job: ClusterJob,
+    shard: list,
+    resume_round: int,
+    checkpoint_dir: Path,
+    checkpoint_stem: str,
+    trace: TraceRecorder,
+) -> ShardEngine:
+    """Fresh build, or restore from a specific durable checkpoint.
+
+    ``resume_round == 0`` means a fresh build (the supervisor replays
+    from round 0); a positive value names the barrier the supervisor
+    knows every shard has durably reached, so the file must exist.
+    """
+    if resume_round > 0:
+        name = checkpoint_name(checkpoint_stem, resume_round)
+        checkpoint = load_checkpoint(checkpoint_dir, name)
+        if checkpoint is None:
+            raise ClusterError(
+                f"supervisor pinned resume to missing checkpoint {name!r} "
+                f"in {checkpoint_dir}"
+            )
+        engine = ShardEngine.restore(checkpoint, trace=trace)
+        if set(engine.party_ids) != set(shard):
+            raise ClusterError(
+                f"checkpoint {name!r} holds parties "
+                f"{engine.party_ids}, job assigns {sorted(shard)}"
+            )
+        return engine
+    parties = [
+        party for party in job.build_parties() if party.party_id in set(shard)
+    ]
+    return ShardEngine(parties, trace=trace)

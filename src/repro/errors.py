@@ -94,6 +94,15 @@ class TreeError(ReproError):
     """Raised for malformed almost-everywhere communication trees."""
 
 
+class ClusterError(ReproError):
+    """Raised by the multi-process cluster layer on unrecoverable faults.
+
+    Examples: a worker that keeps dying past its restart budget, a
+    corrupt or version-mismatched checkpoint file, or a control-channel
+    message that violates the supervisor⇄worker protocol.
+    """
+
+
 class ExperimentError(ReproError):
     """Raised when a security experiment (Fig. 1 / Fig. 2) is misused."""
 

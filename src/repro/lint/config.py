@@ -48,12 +48,17 @@ class LintConfig:
     #: DET002: scopes in which wall-clock reads are forbidden (protocol
     #: logic must use the injected logical clock so replays are exact).
     det002_scopes: Tuple[str, ...] = (
-        "protocols/", "srds/", "runtime/", "campaign/",
+        "protocols/", "srds/", "runtime/", "campaign/", "cluster/",
     )
 
     #: ACC001: scopes in which raw transport/socket/queue sends are
     #: forbidden (all bytes must route through CommunicationMetrics).
-    acc001_scopes: Tuple[str, ...] = ("protocols/", "srds/")
+    acc001_scopes: Tuple[str, ...] = ("protocols/", "srds/", "cluster/")
+
+    #: ASY001: scopes in which dropped task handles / unawaited
+    #: coroutines are flagged — the asyncio execution layers, where a
+    #: garbage-collected pump stalls a round barrier nondeterministically.
+    asy001_scopes: Tuple[str, ...] = ("runtime/", "cluster/")
 
     #: OBS001: instrumented modules — every metrics charge they make
     #: must happen under an active ``repro.obs`` phase span.

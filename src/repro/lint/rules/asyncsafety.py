@@ -48,6 +48,8 @@ class FireAndForgetRule(Rule):
     def check(
         self, module: ModuleUnit, config: LintConfig
     ) -> Iterator[Violation]:
+        if not config.in_scope(module.rel, config.asy001_scopes):
+            return
         async_defs = {
             node.name
             for node in ast.walk(module.tree)

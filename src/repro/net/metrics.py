@@ -158,6 +158,30 @@ class CommunicationMetrics:
         self._current_round_bits = 0
         self.rounds_completed += 1
 
+    def absorb_tally(self, party_id: int, tally: PartyTally) -> None:
+        """Merge a previously snapshotted tally into this ledger.
+
+        Used on checkpoint resume (:mod:`repro.cluster`): the fresh
+        ledger of a restarted run is pre-charged with each party's
+        tally as of the checkpoint, so aggregate queries
+        (``max_bits_per_party``, localities, message counts) match an
+        uninterrupted run exactly.  Phase attribution cannot be
+        reconstructed from a tally, so the absorbed ``bits_total`` lands
+        under the currently active span (usually
+        :data:`~repro.obs.spans.UNATTRIBUTED`), preserving the
+        ``sum(bits_by_phase) == bits_total`` invariant.
+        """
+        target = self._tally(party_id)
+        target.bits_sent += tally.bits_sent
+        target.bits_received += tally.bits_received
+        target.messages_sent += tally.messages_sent
+        target.messages_received += tally.messages_received
+        target.peers_sent_to.update(tally.peers_sent_to)
+        target.peers_received_from.update(tally.peers_received_from)
+        if tally.bits_total:
+            phase = current_phase() or UNATTRIBUTED
+            self._attribute(party_id, phase, tally.bits_total)
+
     # -- aggregate queries ----------------------------------------------------
 
     def tally_of(self, party_id: int) -> PartyTally:

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import abc
 import asyncio
+import errno
 import struct
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
@@ -32,6 +33,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.errors import NetworkError
 from repro.net.metrics import CommunicationMetrics
 from repro.obs.registry import MetricsRegistry
+from repro.utils.randomness import Randomness
 
 _HEADER = struct.Struct(">BIIIII")  # type, sender, recipient, sent, deliver, charge
 _LENGTH = struct.Struct(">I")
@@ -93,6 +95,30 @@ class Frame:
         )
 
 
+def backoff_schedule(
+    attempts: int,
+    base: float,
+    cap: float,
+    rng: Randomness,
+) -> List[float]:
+    """Bounded exponential backoff with seeded jitter.
+
+    Attempt ``i`` waits ``min(cap, base * 2**i)`` scaled by a jitter
+    factor drawn uniformly from ``[0.5, 1.5)`` — seeded through the
+    repo's :class:`~repro.utils.randomness.Randomness` wrapper, so a
+    retry storm replays identically under the same seed.  Returns the
+    full list of delays (empty when ``attempts <= 0``).
+    """
+    if base < 0 or cap < 0:
+        raise NetworkError("backoff delays cannot be negative")
+    delays: List[float] = []
+    for attempt in range(max(0, attempts)):
+        nominal = min(cap, base * (2 ** attempt))
+        jitter = 0.5 + rng.random_int(1000) / 1000.0
+        delays.append(nominal * jitter)
+    return delays
+
+
 class Transport(abc.ABC):
     """Moves frames between party endpoints, charging the shared ledger.
 
@@ -114,20 +140,29 @@ class Transport(abc.ABC):
         self._sent = 0
         self._delivered = 0
         self._registry: Optional[MetricsRegistry] = None
+        #: Successful endpoint re-dials (only the TCP transport moves it).
+        self.reconnects = 0
 
     def bind_registry(self, registry: MetricsRegistry) -> None:
         """Feed operational gauges/counters into an obs registry.
 
         Registers ``repro_transport_frames_sent_total``,
         ``repro_transport_frames_delivered_total``,
-        ``repro_transport_in_flight`` and
+        ``repro_transport_in_flight``,
         ``repro_transport_queue_depth_max`` (high-water arrived-buffer
-        depth per party, labeled).
+        depth per party, labeled) and
+        ``repro_transport_reconnects_total`` (successful endpoint
+        re-dials after a lost router connection — always 0 on the local
+        transport).
         """
         self._registry = registry
         self._frames_sent = registry.counter(
             "repro_transport_frames_sent_total",
             "Frames accepted by the transport for delivery",
+        )
+        self._reconnects_counter = registry.counter(
+            "repro_transport_reconnects_total",
+            "Endpoint reconnects after a lost router connection",
         )
         self._frames_delivered = registry.counter(
             "repro_transport_frames_delivered_total",
@@ -149,6 +184,12 @@ class Transport(abc.ABC):
         if self._registry is not None:
             self._frames_sent.inc()
             self._in_flight_gauge.set(self.in_flight)
+
+    def _note_reconnect(self) -> None:
+        """Record one successful endpoint re-dial."""
+        self.reconnects += 1
+        if self._registry is not None:
+            self._reconnects_counter.inc()
 
     # -- hooks ---------------------------------------------------------------
 
@@ -243,6 +284,14 @@ class TcpTransport(Transport):
     The router intentionally does *not* reorder or drop: scheduling
     adversaries live in :class:`~repro.runtime.faults.FaultPlan`, at the
     delivery layer, where they are seeded and reproducible.
+
+    Resilience: a send that hits a torn endpoint connection re-dials the
+    router on a bounded, seeded :func:`backoff_schedule` (re-HELLO, then
+    retry the write); successful re-dials are counted in
+    :attr:`~Transport.reconnects` and surfaced through the obs registry
+    as ``repro_transport_reconnects_total``.  A preferred ``port`` that
+    is already in use is retried on the same schedule before falling
+    back to an OS-assigned port.
     """
 
     def __init__(
@@ -250,38 +299,92 @@ class TcpTransport(Transport):
         party_ids: Sequence[int],
         metrics: Optional[CommunicationMetrics] = None,
         host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        reconnect_attempts: int = 4,
+        reconnect_base: float = 0.05,
+        reconnect_cap: float = 1.0,
+        rng: Optional[Randomness] = None,
     ) -> None:
         super().__init__(party_ids, metrics)
         self._host = host
+        self._preferred_port = port
+        self._reconnect_attempts = reconnect_attempts
+        self._reconnect_base = reconnect_base
+        self._reconnect_cap = reconnect_cap
+        self._rng = rng if rng is not None else Randomness(0x7C9)
         self._server: Optional[asyncio.base_events.Server] = None
         self._endpoints: Dict[int, _Endpoint] = {}
         self._router_writers: Dict[int, asyncio.StreamWriter] = {}
         self._router_tasks: List[asyncio.Task] = []
+        self._retired_pumps: List[asyncio.Task] = []
         self._idle = asyncio.Event()
         self._idle.set()
+        self._hello_count = 0
+        self._stopping = False
         self.port: Optional[int] = None
+        #: Preferred-port bind attempts that hit ``EADDRINUSE``.
+        self.bind_retries = 0
 
     # -- lifecycle ----------------------------------------------------------
 
     async def start(self) -> None:
-        self._server = await asyncio.start_server(
-            self._router_accept, host=self._host, port=0
-        )
+        self._stopping = False
+        self._server = await self._open_server()
         self.port = self._server.sockets[0].getsockname()[1]
         for party_id in self.party_ids:
-            reader, writer = await asyncio.open_connection(self._host, self.port)
-            hello = _HEADER.pack(_TYPE_HELLO, party_id, 0, 0, 0, 0)
-            writer.write(_LENGTH.pack(len(hello)) + hello)
-            await writer.drain()
-            endpoint = _Endpoint(reader=reader, writer=writer)
-            endpoint.pump = asyncio.create_task(self._endpoint_pump(endpoint))
-            self._endpoints[party_id] = endpoint
+            await self._connect_endpoint(party_id)
         # Wait until the router has registered every endpoint, so sends
         # cannot race ahead of their HELLOs.
-        while len(self._router_writers) < len(self.party_ids):
+        while self._hello_count < len(self.party_ids):
             await asyncio.sleep(0)
 
+    async def _open_server(self) -> "asyncio.base_events.Server":
+        """Bind the router listener.
+
+        A preferred port that is busy (``EADDRINUSE``) is retried on the
+        seeded backoff schedule; when every retry loses the race the
+        transport falls back to an OS-assigned ephemeral port rather
+        than failing the run.
+        """
+        if self._preferred_port is not None:
+            delays = backoff_schedule(
+                self._reconnect_attempts,
+                self._reconnect_base,
+                self._reconnect_cap,
+                self._rng.fork("bind"),
+            )
+            for delay in [0.0, *delays]:
+                if delay:
+                    await asyncio.sleep(delay)
+                try:
+                    return await asyncio.start_server(
+                        self._router_accept,
+                        host=self._host,
+                        port=self._preferred_port,
+                    )
+                except OSError as exc:
+                    if exc.errno != errno.EADDRINUSE:
+                        raise
+                    self.bind_retries += 1
+            # Preferred port never freed up: OS-assigned fallback.
+        return await asyncio.start_server(
+            self._router_accept, host=self._host, port=0
+        )
+
+    async def _connect_endpoint(self, party_id: int) -> _Endpoint:
+        """Dial the router, introduce the party, start its pump."""
+        assert self.port is not None
+        reader, writer = await asyncio.open_connection(self._host, self.port)
+        hello = _HEADER.pack(_TYPE_HELLO, party_id, 0, 0, 0, 0)
+        writer.write(_LENGTH.pack(len(hello)) + hello)
+        await writer.drain()
+        endpoint = _Endpoint(reader=reader, writer=writer)
+        endpoint.pump = asyncio.create_task(self._endpoint_pump(endpoint))
+        self._endpoints[party_id] = endpoint
+        return endpoint
+
     async def stop(self) -> None:
+        self._stopping = True
         # Close the endpoint sides first; EOF then propagates through the
         # router handlers and receive pumps, which all exit cleanly (no
         # task cancellation — cancelling server-owned handler tasks makes
@@ -299,6 +402,12 @@ class TcpTransport(Transport):
                     await endpoint.pump
                 except asyncio.CancelledError:
                     pass
+        for pump in self._retired_pumps:
+            try:
+                await pump
+            except asyncio.CancelledError:
+                pass
+        self._retired_pumps.clear()
         for task in self._router_tasks:
             try:
                 await task
@@ -326,9 +435,63 @@ class TcpTransport(Transport):
             frame = replace(frame, sender=true_sender)
         self._note_sent()
         self._idle.clear()
-        async with endpoint.lock:
-            endpoint.writer.write(frame.encode())
-            await endpoint.writer.drain()
+        try:
+            async with endpoint.lock:
+                endpoint.writer.write(frame.encode())
+                await endpoint.writer.drain()
+        except (ConnectionError, OSError):
+            await self._resend_with_reconnect(true_sender, frame)
+
+    async def _resend_with_reconnect(
+        self, party_id: int, frame: Frame
+    ) -> None:
+        """Re-dial the router on the backoff schedule and retry the write.
+
+        Each attempt sleeps its jittered delay, opens a fresh endpoint
+        connection, re-HELLOs, waits for the router to register the new
+        identity, and retries the frame.  Exhausting the schedule raises
+        :class:`~repro.errors.NetworkError` — a dead router is a run
+        failure, not a silent drop.
+        """
+        delays = backoff_schedule(
+            self._reconnect_attempts,
+            self._reconnect_base,
+            self._reconnect_cap,
+            self._rng.fork(f"reconnect-{party_id}-{self.reconnects}"),
+        )
+        last_error: Optional[BaseException] = None
+        for delay in delays:
+            await asyncio.sleep(delay)
+            try:
+                endpoint = await self._redial(party_id)
+                async with endpoint.lock:
+                    endpoint.writer.write(frame.encode())
+                    await endpoint.writer.drain()
+            except (ConnectionError, OSError) as exc:
+                last_error = exc
+                continue
+            self._note_reconnect()
+            return
+        raise NetworkError(
+            f"party {party_id} could not reach the router after "
+            f"{len(delays)} reconnect attempts: {last_error}"
+        )
+
+    async def _redial(self, party_id: int) -> _Endpoint:
+        """Replace a torn endpoint connection with a fresh one."""
+        stale = self._endpoints.get(party_id)
+        if stale is not None:
+            stale.writer.close()
+            # The stale pump exits on its own at EOF; awaiting it here
+            # could deadlock if the router side is wedged, so the task is
+            # retained for `stop()` to reap (never dropped mid-flight).
+            if stale.pump is not None:
+                self._retired_pumps.append(stale.pump)
+        target = self._hello_count + 1
+        endpoint = await self._connect_endpoint(party_id)
+        while self._hello_count < target:
+            await asyncio.sleep(0)
+        return endpoint
 
     async def flush(self) -> None:
         while self._sent != self._delivered:
@@ -354,6 +517,7 @@ class TcpTransport(Transport):
                     (_, claimed, _, _, _, _) = _HEADER.unpack_from(body)
                     identity = claimed
                     self._router_writers[claimed] = writer
+                    self._hello_count += 1
                     continue
                 if identity is None:
                     raise NetworkError("data frame before HELLO")
@@ -401,11 +565,18 @@ def make_transport(
     kind: str,
     party_ids: Sequence[int],
     metrics: Optional[CommunicationMetrics] = None,
+    port: Optional[int] = None,
 ) -> Transport:
     """Factory: ``"local"`` → :class:`AsyncLocalTransport`, ``"tcp"`` →
-    :class:`TcpTransport`."""
+    :class:`TcpTransport`.
+
+    ``port`` is the TCP router's *preferred* listen port: busy ports are
+    retried on the seeded backoff schedule and then fall back to an
+    OS-assigned ephemeral port (``None`` skips straight to OS-assigned).
+    The local transport ignores it.
+    """
     if kind == "local":
         return AsyncLocalTransport(party_ids, metrics)
     if kind == "tcp":
-        return TcpTransport(party_ids, metrics)
+        return TcpTransport(party_ids, metrics, port=port)
     raise NetworkError(f"unknown transport kind {kind!r}")

@@ -1,0 +1,153 @@
+"""Multi-process cluster executions (marked ``cluster``; excluded from
+tier-1 — run with ``pytest -m cluster``).
+
+The acceptance properties:
+
+* π_ba n=16 over 2 workers reproduces the single-process runtime driver
+  bit-for-bit — outputs, ``max_bits_per_party``, and full per-party
+  tallies — with and without a SIGKILL mid-round;
+* a SIGKILLed worker resumes from its durable checkpoint and the run
+  still converges to the identical answer;
+* a crashed *supervisor* resumes from its own durable state;
+* π_ba n=64 differential parity holds for both SRDS schemes.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import pytest
+
+from repro.cluster.drivers import (
+    make_scheme,
+    run_balanced_ba_cluster,
+    run_phase_king_cluster,
+)
+from repro.cluster.supervisor import ClusterConfig, describe_run
+from repro.errors import ClusterError
+from repro.net.adversary import random_corruption
+from repro.params import ProtocolParameters
+from repro.runtime.drivers import (
+    run_balanced_ba_runtime,
+    run_phase_king_runtime,
+)
+from repro.runtime.replay import tallies_equal
+from repro.utils.randomness import Randomness
+
+pytestmark = pytest.mark.cluster
+
+SEED = 2021
+
+
+def _pi_ba_setup(n):
+    params = ProtocolParameters()
+    inputs = {i: i % 2 for i in range(n)}
+    plan = random_corruption(
+        n, params.max_corruptions(n), Randomness(SEED).fork("corruption")
+    )
+    return params, inputs, plan
+
+
+@lru_cache(maxsize=None)
+def _runtime_reference(n, scheme_name):
+    params, inputs, plan = _pi_ba_setup(n)
+    result, _ = run_balanced_ba_runtime(
+        inputs, plan, make_scheme(scheme_name), params,
+        Randomness(SEED).fork("protocol"),
+    )
+    return result
+
+
+def _cluster_run(n, scheme_name, *, kill_plan=None, run_dir=None,
+                 resume=False, max_restarts=3):
+    params, inputs, plan = _pi_ba_setup(n)
+    config = ClusterConfig(
+        num_workers=2,
+        kill_plan=dict(kill_plan or {}),
+        max_restarts=max_restarts,
+    )
+    return run_balanced_ba_cluster(
+        inputs, plan, make_scheme(scheme_name), params,
+        Randomness(SEED).fork("protocol"),
+        num_workers=2, checkpoint_interval=2,
+        config=config, run_dir=run_dir, resume=resume,
+    )
+
+
+def _assert_parity(result, reference, n):
+    assert result.agreement
+    assert result.outputs == reference.outputs
+    assert (
+        result.metrics.max_bits_per_party
+        == reference.metrics.max_bits_per_party
+    )
+    assert result.metrics.total_bits == reference.metrics.total_bits
+
+
+class TestPiBaParity:
+    def test_two_worker_parity_n16(self):
+        result, cluster = _cluster_run(16, "snark")
+        _assert_parity(result, _runtime_reference(16, "snark"), 16)
+        assert cluster.restarts == 0
+
+    def test_sigkill_mid_round_recovers_to_same_output(self):
+        result, cluster = _cluster_run(16, "snark", kill_plan={3: 1})
+        _assert_parity(result, _runtime_reference(16, "snark"), 16)
+        assert cluster.restarts == 1
+
+    def test_two_sigkills_same_worker(self):
+        result, cluster = _cluster_run(
+            16, "snark", kill_plan={2: 0, 6: 0}
+        )
+        _assert_parity(result, _runtime_reference(16, "snark"), 16)
+        assert cluster.restarts == 2
+
+    @pytest.mark.parametrize("scheme_name", ["snark", "owf"])
+    def test_n64_differential_parity_both_schemes(self, scheme_name):
+        result, cluster = _cluster_run(64, scheme_name)
+        _assert_parity(result, _runtime_reference(64, scheme_name), 64)
+
+
+class TestSupervisorResume:
+    def test_restart_budget_exhaustion_then_resume(self, tmp_path):
+        with pytest.raises(ClusterError, match="restart budget"):
+            _cluster_run(
+                16, "snark", kill_plan={5: 0}, run_dir=tmp_path,
+                max_restarts=0,
+            )
+        status = describe_run(tmp_path)
+        assert status["has_state"] and not status["completed"]
+        assert status["round"] > 0
+
+        result, _cluster = _cluster_run(
+            16, "snark", run_dir=tmp_path, resume=True
+        )
+        _assert_parity(result, _runtime_reference(16, "snark"), 16)
+        assert describe_run(tmp_path)["completed"]
+
+    def test_describe_run_without_state(self, tmp_path):
+        status = describe_run(tmp_path)
+        assert not status["has_state"]
+
+
+class TestPhaseKingCluster:
+    def test_matches_runtime_driver(self):
+        n = 16
+        inputs = {i: i % 2 for i in range(n)}
+        byzantine = (3,)
+        reference, _metrics = run_phase_king_runtime(inputs, byzantine)
+        outputs, cluster = run_phase_king_cluster(
+            inputs, byzantine, num_workers=2
+        )
+        assert outputs == reference
+        assert len(set(outputs.values())) == 1
+
+    def test_metrics_tallies_match_runtime(self):
+        n = 16
+        inputs = {i: i % 2 for i in range(n)}
+        byzantine = (3,)
+        _, ref_metrics = run_phase_king_runtime(inputs, byzantine)
+        _, cluster = run_phase_king_cluster(
+            inputs, byzantine, num_workers=4
+        )
+        assert tallies_equal(cluster.metrics, ref_metrics, range(n))

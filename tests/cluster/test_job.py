@@ -1,0 +1,71 @@
+"""Job descriptions, builder resolution, and shard partitioning."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster.job import (
+    ClusterJob,
+    phase_king_job,
+    resolve_builder,
+    split_shards,
+)
+from repro.errors import ClusterError
+
+
+class TestSplitShards:
+    @given(
+        st.integers(min_value=1, max_value=256),
+        st.integers(min_value=1, max_value=32),
+    )
+    def test_partition_properties(self, n, k):
+        if k > n:
+            with pytest.raises(ClusterError):
+                split_shards(n, k)
+            return
+        shards = split_shards(n, k)
+        assert len(shards) == k
+        flat = [p for shard in shards for p in shard]
+        assert flat == list(range(n))  # contiguous, disjoint, complete
+        sizes = [len(shard) for shard in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ClusterError):
+            split_shards(8, 0)
+
+
+class TestClusterJob:
+    def test_builder_reference_validated(self):
+        with pytest.raises(ClusterError, match="module:function"):
+            ClusterJob(name="x", n=4, builder="not-a-reference")
+
+    def test_unknown_builder_module(self):
+        with pytest.raises(ClusterError, match="cannot import"):
+            resolve_builder("repro.no_such_module:build")
+
+    def test_builder_must_be_callable(self):
+        with pytest.raises(ClusterError, match="callable"):
+            resolve_builder("repro.cluster.job:MAGIC_DOES_NOT_EXIST")
+
+    def test_build_parties_validates_ids(self):
+        job = ClusterJob(
+            name="bad", n=5,
+            builder="repro.cluster.job:phase_king_parties",
+            args={"inputs": {i: 0 for i in range(4)}},
+        )
+        with pytest.raises(ClusterError):
+            job.build_parties()
+
+    def test_phase_king_job_round_trips_through_pickle(self):
+        import pickle
+
+        inputs = {i: i % 2 for i in range(8)}
+        job = phase_king_job(inputs, byzantine=(1,))
+        clone = pickle.loads(pickle.dumps(job))
+        assert clone == job
+        parties = clone.build_parties()
+        assert sorted(p.party_id for p in parties) == list(range(8))
+        assert job.target_ids() == [i for i in range(8) if i != 1]

@@ -1,0 +1,236 @@
+"""Control-channel codec and socket behavior."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster.wire import (
+    DONE,
+    HEARTBEAT,
+    KINDS,
+    ROUND,
+    ChannelClosed,
+    Message,
+    MessageChannel,
+    accept_channel,
+    open_listener,
+)
+from repro.errors import ClusterError
+from repro.runtime.transport import Frame, _LENGTH
+
+frames = st.builds(
+    Frame,
+    sender=st.integers(min_value=0, max_value=255),
+    recipient=st.integers(min_value=0, max_value=255),
+    payload=st.binary(max_size=48),
+    sent_round=st.integers(min_value=0, max_value=500),
+    deliver_round=st.integers(min_value=0, max_value=501),
+    charge_bits=st.integers(min_value=-1, max_value=1 << 20),
+    seq=st.integers(min_value=0, max_value=1 << 16),
+)
+
+json_fields = st.dictionaries(
+    st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=12
+    ).filter(lambda k: k != "kind"),
+    st.one_of(
+        st.integers(min_value=-(1 << 31), max_value=1 << 31),
+        st.booleans(),
+        st.text(max_size=16),
+    ),
+    max_size=4,
+)
+
+messages = st.builds(
+    Message,
+    kind=st.sampled_from(KINDS),
+    fields=json_fields,
+    frames=st.lists(frames, max_size=6),
+    blob=st.binary(max_size=128),
+)
+
+
+@given(messages)
+def test_message_round_trip(message):
+    decoded = Message.decode(message.encode()[_LENGTH.size:])
+    assert decoded.kind == message.kind
+    assert decoded.fields == message.fields
+    assert decoded.frames == message.frames
+    assert decoded.blob == message.blob
+
+
+def test_unknown_kind_rejected_on_encode():
+    with pytest.raises(ClusterError, match="kind"):
+        Message("gremlin").encode()
+
+
+def test_corrupt_body_rejected():
+    with pytest.raises(ClusterError):
+        Message.decode(b"\x07garbage-that-is-not-a-message")
+
+
+def test_payload_round_trip():
+    payload = {"outputs": {0: 1}, "trace": {0: [{"seq": 0}]}}
+    message = Message(DONE, blob=Message.pack_payload(payload))
+    assert message.payload() == payload
+    assert Message(DONE).payload() is None
+
+
+def _channel_pair():
+    a, b = socket.socketpair()
+    return MessageChannel(a), MessageChannel(b)
+
+
+class TestMessageChannel:
+    def test_send_recv(self):
+        left, right = _channel_pair()
+        try:
+            left.send(Message(ROUND, {"round": 3},
+                              frames=[Frame(0, 1, b"x")]))
+            got = right.recv(timeout=5.0)
+            assert got.kind == ROUND
+            assert got.fields == {"round": 3}
+            assert got.frames[0].payload == b"x"
+        finally:
+            left.close()
+            right.close()
+
+    def test_timeout_preserves_framing(self):
+        """A deadline mid-message must not lose partial bytes."""
+        left, right = _channel_pair()
+        try:
+            data = Message(HEARTBEAT).encode()
+            # Dribble the first half, let the recv time out, then finish.
+            left._sock.sendall(data[:3])
+            with pytest.raises(TimeoutError):
+                right.recv(timeout=0.05)
+            left._sock.sendall(data[3:])
+            assert right.recv(timeout=5.0).kind == HEARTBEAT
+        finally:
+            left.close()
+            right.close()
+
+    def test_clean_eof_raises_channel_closed(self):
+        left, right = _channel_pair()
+        left.close()
+        with pytest.raises(ChannelClosed):
+            right.recv(timeout=5.0)
+        right.close()
+
+    def test_eof_mid_message_is_a_torn_stream(self):
+        left, right = _channel_pair()
+        data = Message(HEARTBEAT).encode()
+        left._sock.sendall(data[:-2])
+        left.close()
+        with pytest.raises(ClusterError, match="mid-message"):
+            right.recv(timeout=5.0)
+        right.close()
+
+    def test_oversized_message_is_chunked_transparently(self, monkeypatch):
+        """Bodies past the chunk threshold ride as ``part`` trains and
+        reassemble on recv — the n=64 OWF gossip rounds depend on it."""
+        import repro.cluster.wire as wire
+
+        monkeypatch.setattr(wire, "_CHUNK_BYTES", 64)
+        left, right = _channel_pair()
+        try:
+            big = Message(
+                DONE,
+                {"round": 9},
+                frames=[Frame(0, 1, bytes([i]) * 40) for i in range(8)],
+                blob=b"\xab" * 500,
+            )
+            left.send(Message(HEARTBEAT))
+            left.send(big)
+            left.send(Message(HEARTBEAT))
+            assert right.recv(timeout=5.0).kind == HEARTBEAT
+            got = right.recv(timeout=5.0)
+            assert got.kind == DONE
+            assert got.fields == {"round": 9}
+            assert got.blob == big.blob
+            assert [f.payload for f in got.frames] == [
+                f.payload for f in big.frames
+            ]
+            assert right.recv(timeout=5.0).kind == HEARTBEAT
+        finally:
+            left.close()
+            right.close()
+
+    def test_chunked_transfer_survives_recv_timeout(self, monkeypatch):
+        import repro.cluster.wire as wire
+
+        monkeypatch.setattr(wire, "_CHUNK_BYTES", 64)
+        left, right = _channel_pair()
+        try:
+            big = Message(DONE, blob=b"y" * 300)
+            body = big.encode_body()
+            pieces = [body[o:o + 64] for o in range(0, len(body), 64)]
+            records = [
+                Message(
+                    wire.PART, {"last": i == len(pieces) - 1}, blob=p
+                ).encode()
+                for i, p in enumerate(pieces)
+            ]
+            left._sock.sendall(records[0])
+            with pytest.raises(TimeoutError):
+                right.recv(timeout=0.05)
+            for record in records[1:]:
+                left._sock.sendall(record)
+            got = right.recv(timeout=5.0)
+            assert got.kind == DONE and got.blob == big.blob
+        finally:
+            left.close()
+            right.close()
+
+    def test_concurrent_sends_stay_framed(self):
+        """Heartbeat-thread + main-loop interleaving never tears frames."""
+        left, right = _channel_pair()
+        per_thread = 50
+
+        def blast(kind):
+            for _ in range(per_thread):
+                left.send(Message(kind))
+
+        threads = [
+            threading.Thread(target=blast, args=(HEARTBEAT,)),
+            threading.Thread(target=blast, args=(DONE,)),
+        ]
+        try:
+            for t in threads:
+                t.start()
+            got = [right.recv(timeout=5.0).kind for _ in range(2 * per_thread)]
+            assert sorted(got).count(HEARTBEAT) == per_thread
+            assert sorted(got).count(DONE) == per_thread
+        finally:
+            for t in threads:
+                t.join()
+            left.close()
+            right.close()
+
+
+class TestListener:
+    def test_accept_timeout(self):
+        listener, _port = open_listener()
+        try:
+            with pytest.raises(TimeoutError):
+                accept_channel(listener, timeout=0.05)
+        finally:
+            listener.close()
+
+    def test_preferred_port_falls_back_when_busy(self):
+        first, port = open_listener(port=0)
+        try:
+            second, actual = open_listener(
+                port=port, retries=1, retry_delay=0.01
+            )
+            try:
+                assert actual != port
+            finally:
+                second.close()
+        finally:
+            first.close()

@@ -85,7 +85,7 @@ def test_acc001_accepts_party_send_and_metrics_charges():
 # -- ASY001: fire-and-forget async ------------------------------------------
 
 def test_asy001_flags_dropped_tasks_and_unawaited_coroutines():
-    result = lint_fixture("async_layer/asy001_bad.py")
+    result = lint_fixture("runtime/asy001_bad.py")
     ids = rule_ids_of(result)
     assert ids.count("ASY001") == 4  # create_task, ensure_future,
     #                                  bare pump(), self.drain()
@@ -95,8 +95,28 @@ def test_asy001_flags_dropped_tasks_and_unawaited_coroutines():
 
 
 def test_asy001_accepts_retained_and_awaited():
-    result = lint_fixture("async_layer/asy001_ok.py")
+    result = lint_fixture("runtime/asy001_ok.py")
     assert rule_ids_of(result) == []
+
+
+def test_asy001_is_scoped_to_async_execution_layers():
+    # The same dropped tasks outside runtime/cluster (e.g. an analysis
+    # helper spawning a task) are out of ASY001's blast radius.
+    from repro.lint.engine import run_lint
+    from tests.lint.conftest import FIXTURES
+    from repro.lint.config import LintConfig
+
+    src = FIXTURES / "runtime" / "asy001_bad.py"
+    elsewhere = FIXTURES / "anywhere" / "_asy001_copy.py"
+    elsewhere.write_text(src.read_text(encoding="utf-8"), encoding="utf-8")
+    try:
+        config = LintConfig(
+            root=FIXTURES, paths=("anywhere/_asy001_copy.py",),
+        )
+        result = run_lint(config)
+        assert "ASY001" not in rule_ids_of(result)
+    finally:
+        elsewhere.unlink()
 
 
 # -- EXC001: swallowed broad excepts ----------------------------------------

@@ -1,0 +1,162 @@
+"""TcpTransport resilience: seeded reconnect backoff and port fallback."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.obs.registry import MetricsRegistry
+from repro.runtime.transport import (
+    Frame,
+    TcpTransport,
+    backoff_schedule,
+    make_transport,
+)
+from repro.utils.randomness import Randomness
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+class TestBackoffSchedule:
+    def test_deterministic_under_seed(self):
+        a = backoff_schedule(6, 0.05, 0.8, Randomness(7))
+        b = backoff_schedule(6, 0.05, 0.8, Randomness(7))
+        assert a == b
+        assert backoff_schedule(6, 0.05, 0.8, Randomness(8)) != a
+
+    def test_bounded_exponential_with_jitter(self):
+        delays = backoff_schedule(8, 0.05, 0.4, Randomness(3))
+        assert len(delays) == 8
+        for attempt, delay in enumerate(delays):
+            nominal = min(0.4, 0.05 * (2 ** attempt))
+            assert 0.5 * nominal <= delay < 1.5 * nominal + 1e-9
+        # The cap bites: late delays never exceed 1.5 * cap.
+        assert all(d < 1.5 * 0.4 + 1e-9 for d in delays[4:])
+
+    def test_empty_and_invalid(self):
+        assert backoff_schedule(0, 0.1, 1.0, Randomness(0)) == []
+        with pytest.raises(NetworkError):
+            backoff_schedule(3, -0.1, 1.0, Randomness(0))
+
+
+class TestReconnect:
+    def test_send_survives_torn_endpoint_connection(self):
+        async def scenario():
+            transport = TcpTransport(
+                [0, 1], reconnect_base=0.01, reconnect_cap=0.05
+            )
+            registry = MetricsRegistry()
+            transport.bind_registry(registry)
+            await transport.start()
+            try:
+                await transport.send(0, Frame(0, 1, b"before"))
+                await transport.flush()
+                assert [f.payload for f in transport.collect(1)] == [b"before"]
+
+                # Tear party 0's router connection out from under it.
+                endpoint = transport._endpoints[0]
+                endpoint.writer.close()
+                try:
+                    await endpoint.writer.wait_closed()
+                except OSError:
+                    pass
+
+                await transport.send(0, Frame(0, 1, b"after"))
+                await transport.flush()
+                assert [f.payload for f in transport.collect(1)] == [b"after"]
+                assert transport.reconnects == 1
+                assert (
+                    "repro_transport_reconnects_total 1" in registry.render()
+                )
+            finally:
+                await transport.stop()
+
+        _run(scenario())
+
+    def test_dead_router_exhausts_schedule_loudly(self):
+        async def scenario():
+            transport = TcpTransport(
+                [0, 1],
+                reconnect_attempts=2,
+                reconnect_base=0.01,
+                reconnect_cap=0.02,
+            )
+            await transport.start()
+            # Kill the router outright: reconnects cannot succeed.
+            server = transport._server
+            assert server is not None
+            server.close()
+            await server.wait_closed()
+            for endpoint in transport._endpoints.values():
+                endpoint.writer.close()
+            with pytest.raises(NetworkError, match="reconnect attempts"):
+                for _ in range(8):  # first writes may land in OS buffers
+                    await transport.send(0, Frame(0, 1, b"x"))
+                    await asyncio.sleep(0.02)
+            transport._server = None
+            await transport.stop()
+
+        _run(scenario())
+
+
+class TestPortFallback:
+    def test_busy_preferred_port_falls_back_to_os_assigned(self):
+        async def scenario():
+            first = TcpTransport([0, 1])
+            await first.start()
+            busy = first.port
+            second = TcpTransport(
+                [0, 1],
+                port=busy,
+                reconnect_attempts=2,
+                reconnect_base=0.005,
+                reconnect_cap=0.01,
+            )
+            await second.start()
+            try:
+                assert second.port != busy
+                assert second.bind_retries >= 1
+                # The fallback transport still moves frames.
+                await second.send(0, Frame(0, 1, b"ok"))
+                await second.flush()
+                assert [f.payload for f in second.collect(1)] == [b"ok"]
+            finally:
+                await second.stop()
+                await first.stop()
+
+        _run(scenario())
+
+    def test_free_preferred_port_is_used(self):
+        async def scenario():
+            probe = TcpTransport([0])
+            await probe.start()
+            port = probe.port
+            await probe.stop()
+            transport = TcpTransport([0, 1], port=port)
+            await transport.start()
+            try:
+                assert transport.port == port
+                assert transport.bind_retries == 0
+            finally:
+                await transport.stop()
+
+        _run(scenario())
+
+    def test_make_transport_forwards_preferred_port(self):
+        async def scenario():
+            probe = TcpTransport([0])
+            await probe.start()
+            port = probe.port
+            await probe.stop()
+            transport = make_transport("tcp", [0, 1], port=port)
+            await transport.start()
+            try:
+                assert transport.port == port
+            finally:
+                await transport.stop()
+
+        _run(scenario())
