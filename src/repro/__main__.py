@@ -39,6 +39,14 @@ Commands:
   directory (``status``), pick an interrupted run back up (``resume``),
   or record the 1-vs-k-worker scaling benchmark with differential
   parity against the single-process runtime (``bench``).
+* ``serve {run,client,bench}`` — the agreement-as-a-service gateway:
+  a long-running asyncio server multiplexing concurrent BA sessions
+  with admission control and explicit backpressure, amortized SRDS
+  setup across sessions (Corollary 1.2), a newline-delimited JSON
+  client protocol plus ``GET /metrics`` Prometheus scraping on the
+  same port, and graceful SIGTERM drain.  ``serve bench`` records the
+  pipelined repeated-BA throughput (``BENCH_gateway.json``) with
+  bit-tally parity against a one-shot run.
 * ``campaign {run,replay,minimize,list}`` — adversarial conformance
   campaigns: sweep Byzantine strategies x fault schedules x protocol
   configs with invariant checking (``run --budget 25 --seed 0``),
@@ -382,6 +390,10 @@ def main(argv) -> int:
         return 0
     if command == "obs":
         return _cmd_obs(args)
+    if command == "serve":
+        from repro.serve.cli import cmd_serve
+
+        return cmd_serve(args)
     if command == "campaign":
         from repro.campaign.cli import cmd_campaign
 

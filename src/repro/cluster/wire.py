@@ -345,36 +345,19 @@ def open_listener(
 
     ``port`` is a *preference*: when it is busy (``EADDRINUSE``) the
     bind is retried ``retries`` times with a short pause, then falls
-    back to an OS-assigned ephemeral port — the same policy as the
-    runtime's :class:`~repro.runtime.transport.TcpTransport` router.
-    ``port=0`` (the default) goes straight to OS-assigned.
+    back to an OS-assigned ephemeral port — the shared
+    :mod:`repro.net.bind` policy, also used by the runtime's
+    :class:`~repro.runtime.transport.TcpTransport` router and the
+    :mod:`repro.serve` gateway.  ``port=0`` (the default) goes straight
+    to OS-assigned.
     """
-    import errno
-    import time
+    from repro.errors import NetworkError
+    from repro.net.bind import open_listener as bind_open_listener
 
-    attempts = [port] * (1 + max(0, retries)) if port else []
-    attempts.append(0)
-    last_error: Optional[OSError] = None
-    for index, candidate in enumerate(attempts):
-        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        try:
-            listener.bind((host, candidate))
-            listener.listen()
-            return listener, listener.getsockname()[1]
-        except OSError as exc:
-            listener.close()
-            if candidate and exc.errno == errno.EADDRINUSE:
-                last_error = exc
-                if index < len(attempts) - 1 and attempts[index + 1]:
-                    time.sleep(retry_delay)
-                continue
-            raise ClusterError(
-                f"cannot open control listener: {exc}"
-            ) from exc
-    raise ClusterError(  # pragma: no cover - attempts always ends in 0
-        f"cannot open control listener: {last_error}"
-    )
+    try:
+        return bind_open_listener(host, port, retries, retry_delay)
+    except NetworkError as exc:
+        raise ClusterError(f"cannot open control listener: {exc}") from exc
 
 
 def accept_channel(

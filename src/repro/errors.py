@@ -107,6 +107,17 @@ class ExperimentError(ReproError):
     """Raised when a security experiment (Fig. 1 / Fig. 2) is misused."""
 
 
+class GatewayError(ReproError):
+    """Raised by the agreement-as-a-service gateway (:mod:`repro.serve`).
+
+    Examples: a malformed client request line, a session spec naming an
+    unknown workload or scheme, or a client operation against a gateway
+    that already shut down.  Backpressure is *not* an error — an
+    over-capacity submit gets a structured reject response with a
+    retry-after hint, never an exception.
+    """
+
+
 #: The closed set of exception types that decoding *adversarial bytes* can
 #: legitimately raise: serialization framing errors, crypto-substrate
 #: rejections, and the built-ins that malformed structure triggers

@@ -49,6 +49,7 @@ class LintConfig:
     #: logic must use the injected logical clock so replays are exact).
     det002_scopes: Tuple[str, ...] = (
         "protocols/", "srds/", "runtime/", "campaign/", "cluster/",
+        "serve/",
     )
 
     #: ACC001: scopes in which raw transport/socket/queue sends are
@@ -58,7 +59,7 @@ class LintConfig:
     #: ASY001: scopes in which dropped task handles / unawaited
     #: coroutines are flagged — the asyncio execution layers, where a
     #: garbage-collected pump stalls a round barrier nondeterministically.
-    asy001_scopes: Tuple[str, ...] = ("runtime/", "cluster/")
+    asy001_scopes: Tuple[str, ...] = ("runtime/", "cluster/", "serve/")
 
     #: OBS001: instrumented modules — every metrics charge they make
     #: must happen under an active ``repro.obs`` phase span.

@@ -96,6 +96,62 @@ def encode_pair(y: int, seed: bytes) -> bytes:
     return canonical_tuple(encode_uint(y), seed)
 
 
+@dataclass(frozen=True)
+class SRDSSetupMaterial:
+    """The pre-protocol SRDS setup of one pi_ba execution.
+
+    Everything Fig. 3's setup phase produces before the first protocol
+    message: the scheme's public parameters and the per-virtual-identity
+    key pairs.  Producing this material charges *nothing* to the
+    communication ledger (setup is the trusted/amortized phase the paper
+    excludes from the per-party budget), so a cached copy can replace a
+    fresh computation without perturbing any bit tally — which is
+    exactly how the :mod:`repro.serve` gateway amortizes keygen across
+    repeated invocations per Corollary 1.2.
+
+    ``rng_seed`` records the seed of the :class:`Randomness` the
+    material was derived from; consumers use it to refuse material that
+    would diverge from a fresh computation.
+    """
+
+    rng_seed: int
+    num_virtual: int
+    public_parameters: object
+    verification_keys: Dict[int, bytes]
+    signing_keys: Dict[int, object]
+
+
+#: Signature of the pluggable setup source consumed by
+#: :class:`BalancedBA`: ``(scheme, num_virtual, rng) -> material``.
+SetupProvider = Callable[[SRDSScheme, int, Randomness], SRDSSetupMaterial]
+
+
+def compute_srds_setup(
+    scheme: SRDSScheme, num_virtual: int, rng: Randomness
+) -> SRDSSetupMaterial:
+    """Run SRDS ``Setup`` + per-virtual-id ``KeyGen`` (the default provider).
+
+    Forks are label-derived (stateless), so the material is a pure
+    function of ``(scheme, num_virtual, rng.seed)``: precomputing it —
+    or caching it across executions — yields byte-identical keys to the
+    in-line computation :class:`BalancedBA` historically performed.
+    """
+    pp = scheme.setup(num_virtual, rng.fork("srds-setup"))
+    verification_keys: Dict[int, bytes] = {}
+    signing_keys: Dict[int, object] = {}
+    for virtual_id in range(num_virtual):
+        vk, sk = scheme.keygen(pp, rng.fork(f"kg-{virtual_id}"))
+        verification_keys[virtual_id] = vk
+        signing_keys[virtual_id] = sk
+    return SRDSSetupMaterial(
+        rng_seed=rng.seed,
+        num_virtual=num_virtual,
+        public_parameters=pp,
+        verification_keys=verification_keys,
+        signing_keys=signing_keys,
+    )
+
+
 class BalancedBA:
     """One pi_ba execution for a fixed scheme, corruption, and inputs."""
 
@@ -109,6 +165,7 @@ class BalancedBA:
         adversary: Optional[AdversaryBehavior] = None,
         metrics: Optional[CommunicationMetrics] = None,
         delivery_rng: Optional[Randomness] = None,
+        setup_provider: Optional[SetupProvider] = None,
     ) -> None:
         self.n = len(inputs)
         if plan.n != self.n:
@@ -129,6 +186,14 @@ class BalancedBA:
         # inbox the protocol consumes is presented in a permuted order;
         # honest outputs must be invariant (tests/runtime pins this).
         self.delivery_rng = delivery_rng
+        # The setup seam: a provider may serve cached SRDS material (the
+        # gateway's amortization path); `None` computes it in line.  The
+        # default provider forks the same labels either way, so outputs
+        # and tallies are independent of the choice.
+        self.setup_provider = (
+            setup_provider if setup_provider is not None
+            else compute_srds_setup
+        )
 
     def _delivered_order(self, items: List, label: str) -> List:
         """Within-round delivery order of one inbox (identity unless a
@@ -159,17 +224,22 @@ class BalancedBA:
         tree = ae.tree
         self.tree = tree
         with span("srds-setup"):
-            pp = self.scheme.setup(
-                tree.num_virtual, self.rng.fork("srds-setup")
+            material = self.setup_provider(
+                self.scheme, tree.num_virtual, self.rng
             )
-            verification_keys: Dict[int, bytes] = {}
-            signing_keys: Dict[int, object] = {}
-            for virtual_id in range(tree.num_virtual):
-                vk, sk = self.scheme.keygen(
-                    pp, self.rng.fork(f"kg-{virtual_id}")
+            if (
+                material.num_virtual != tree.num_virtual
+                or material.rng_seed != self.rng.seed
+            ):
+                raise ProtocolError(
+                    "setup material mismatch: provider returned keys for "
+                    f"(num_virtual={material.num_virtual}, "
+                    f"seed={material.rng_seed}), run needs "
+                    f"(num_virtual={tree.num_virtual}, seed={self.rng.seed})"
                 )
-                verification_keys[virtual_id] = vk
-                signing_keys[virtual_id] = sk
+            pp = material.public_parameters
+            verification_keys = material.verification_keys
+            signing_keys = material.signing_keys
 
         # Step 2: the supreme committee runs f_ba on its inputs and f_ct.
         committee = list(tree.supreme_committee)
@@ -548,16 +618,20 @@ def run_balanced_ba(
     adversary: Optional[AdversaryBehavior] = None,
     delivery_rng: Optional[Randomness] = None,
     metrics: Optional[CommunicationMetrics] = None,
+    setup_provider: Optional[SetupProvider] = None,
 ) -> BAResult:
     """Convenience wrapper: construct and run one pi_ba execution.
 
     Pass a live ``metrics`` ledger to read the phase-labeled breakdown
     (``metrics.phase_breakdown()``) after the run; the returned
     ``BAResult.metrics`` only carries the aggregate snapshot.
+    ``setup_provider`` substitutes a cached/amortized SRDS setup source
+    (see :class:`SRDSSetupMaterial`).
     """
     protocol = BalancedBA(
         inputs, plan, scheme, params, rng, adversary,
         metrics=metrics,
         delivery_rng=delivery_rng,
+        setup_provider=setup_provider,
     )
     return protocol.run()

@@ -25,12 +25,12 @@ from __future__ import annotations
 
 import abc
 import asyncio
-import errno
 import struct
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import NetworkError
+from repro.net.bind import start_asyncio_server
 from repro.net.metrics import CommunicationMetrics
 from repro.obs.registry import MetricsRegistry
 from repro.utils.randomness import Randomness
@@ -339,13 +339,14 @@ class TcpTransport(Transport):
             await asyncio.sleep(0)
 
     async def _open_server(self) -> "asyncio.base_events.Server":
-        """Bind the router listener.
+        """Bind the router listener via the shared bind policy.
 
         A preferred port that is busy (``EADDRINUSE``) is retried on the
         seeded backoff schedule; when every retry loses the race the
         transport falls back to an OS-assigned ephemeral port rather
-        than failing the run.
+        than failing the run (:mod:`repro.net.bind`).
         """
+        delays: List[float] = []
         if self._preferred_port is not None:
             delays = backoff_schedule(
                 self._reconnect_attempts,
@@ -353,23 +354,11 @@ class TcpTransport(Transport):
                 self._reconnect_cap,
                 self._rng.fork("bind"),
             )
-            for delay in [0.0, *delays]:
-                if delay:
-                    await asyncio.sleep(delay)
-                try:
-                    return await asyncio.start_server(
-                        self._router_accept,
-                        host=self._host,
-                        port=self._preferred_port,
-                    )
-                except OSError as exc:
-                    if exc.errno != errno.EADDRINUSE:
-                        raise
-                    self.bind_retries += 1
-            # Preferred port never freed up: OS-assigned fallback.
-        return await asyncio.start_server(
-            self._router_accept, host=self._host, port=0
+        server, busy_retries = await start_asyncio_server(
+            self._router_accept, self._host, self._preferred_port, delays
         )
+        self.bind_retries += busy_retries
+        return server
 
     async def _connect_endpoint(self, party_id: int) -> _Endpoint:
         """Dial the router, introduce the party, start its pump."""

@@ -1,0 +1,145 @@
+"""Blocking client library for the gateway's NDJSON protocol.
+
+:class:`GatewayClient` is a thin, dependency-free socket wrapper meant
+for scripts, tests, and the ``repro serve client`` CLI: one connection,
+one request/response pair per call, structured responses passed through
+verbatim.  :meth:`GatewayClient.submit_with_retry` implements the
+polite-client half of the backpressure contract — on a ``busy`` reject
+it sleeps for the server-provided ``retry_after`` and tries again.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Dict, Optional
+
+from repro.errors import GatewayError
+from repro.serve import wire
+
+#: Generous default: `await` ops block server-side for their timeout.
+DEFAULT_SOCKET_TIMEOUT = 600.0
+
+
+class GatewayClient:
+    """One NDJSON connection to a running gateway."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float = DEFAULT_SOCKET_TIMEOUT,
+    ) -> None:
+        if port <= 0:
+            raise GatewayError("client needs the gateway's bound port")
+        self.host = host
+        self.port = port
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=timeout
+            )
+        except OSError as exc:
+            raise GatewayError(
+                f"cannot reach gateway at {host}:{port}: {exc}"
+            ) from exc
+        self._file = self._sock.makefile("rb")
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "GatewayClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- core request/response ---------------------------------------------
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request line, block for its response line."""
+        self._sock.sendall(wire.encode_line(payload))
+        line = self._file.readline(wire.MAX_LINE_BYTES + 1)
+        if not line:
+            raise GatewayError(
+                "gateway closed the connection without responding"
+            )
+        return wire.decode_line(line.rstrip(b"\r\n"))
+
+    # -- operation helpers --------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request({"op": "ping"})
+
+    def submit(self, **spec_fields: Any) -> Dict[str, Any]:
+        return self.request({"op": "submit", **spec_fields})
+
+    def submit_with_retry(
+        self,
+        max_attempts: int = 8,
+        default_backoff: float = 0.25,
+        **spec_fields: Any,
+    ) -> Dict[str, Any]:
+        """Submit, honoring ``busy`` backpressure by sleeping and retrying.
+
+        Only ``busy`` rejects are retried — they carry ``retry_after``
+        and promise a lane will free up; every other reject (bad
+        request, shutting down) is returned to the caller immediately.
+        """
+        response: Dict[str, Any] = wire.reject(
+            "busy", "submit_with_retry never attempted"
+        )
+        for _ in range(max_attempts):
+            response = self.submit(**spec_fields)
+            if response.get("ok") or response.get("code") != "busy":
+                return response
+            time.sleep(float(response.get("retry_after", default_backoff)))
+        return response
+
+    def await_result(
+        self, session: str, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"op": "await", "session": session}
+        if timeout is not None:
+            payload["timeout"] = timeout
+        return self.request(payload)
+
+    def status(self, session: Optional[str] = None) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"op": "status"}
+        if session is not None:
+            payload["session"] = session
+        return self.request(payload)
+
+    def cancel(self, session: str) -> Dict[str, Any]:
+        return self.request({"op": "cancel", "session": session})
+
+    def metrics_text(self) -> str:
+        """The gateway's Prometheus exposition, via the JSON op."""
+        response = self.request({"op": "metrics"})
+        if not response.get("ok"):
+            raise GatewayError(
+                f"metrics op failed: {response.get('error')}"
+            )
+        return str(response["metrics"])
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request({"op": "shutdown"})
+
+
+def run_session(
+    host: str,
+    port: int,
+    *,
+    await_timeout: Optional[float] = None,
+    **spec_fields: Any,
+) -> Dict[str, Any]:
+    """Convenience: submit one session (with retry) and await its result."""
+    with GatewayClient(host, port) as client:
+        submitted = client.submit_with_retry(**spec_fields)
+        if not submitted.get("ok"):
+            return submitted
+        return client.await_result(
+            str(submitted["session"]), await_timeout
+        )

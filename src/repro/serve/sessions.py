@@ -1,0 +1,511 @@
+"""Gateway sessions: specs, admission control, pipelined repeated BA.
+
+A *session* is one client-submitted unit of agreement work: ``repeat``
+back-to-back pi_ba decisions for a fixed ``(n, scheme, seed)``.  The
+:class:`SessionManager` admits sessions against a bounded concurrency
+lane (explicit backpressure — an over-capacity submit gets a structured
+reject with a retry-after hint, never a hidden queue), runs the
+CPU-bound protocol executions on a thread pool so the asyncio gateway
+stays responsive, and pipelines a session's repeated decisions through
+one :class:`~repro.serve.setup_cache.SetupLease` so only the first
+decision anywhere on a key pays SRDS keygen (Corollary 1.2's
+amortization).
+
+Every completed session returns the agreed value **together with its
+per-party bit tallies** — the certificate that the polylog budget held:
+the tallies are checked against the analytic ceiling of
+:func:`repro.protocols.cost_model.pi_ba_per_party_budget`, and (because
+all randomness is seed-derived) they are identical to a one-shot
+:func:`~repro.protocols.balanced_ba.run_balanced_ba` of the same
+``(workload, scheme, seed)`` — :func:`one_shot_reference` reproduces
+that reference and the conformance tests pin the equality.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import GatewayError
+from repro.net.adversary import random_corruption
+from repro.net.metrics import CommunicationMetrics
+from repro.obs.registry import MetricsRegistry
+from repro.params import ProtocolParameters
+from repro.protocols.balanced_ba import run_balanced_ba
+from repro.protocols.cost_model import pi_ba_per_party_budget
+from repro.serve import wire
+from repro.serve.setup_cache import (
+    SCHEME_LABELS,
+    SetupCache,
+    SetupLease,
+    scheme_for,
+)
+from repro.utils.randomness import Randomness
+
+#: Supported workloads (the certified-output service of Fig. 3).
+WORKLOADS = ("pi-ba",)
+
+#: Input patterns a spec may request.
+INPUT_PATTERNS = ("split", "zero", "one")
+
+#: Guard rails on spec fields (loopback service, but garbage in a JSON
+#: line must not allocate unbounded work).
+MAX_N = 4096
+MAX_REPEAT = 10_000
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """What one client asked the gateway to decide."""
+
+    workload: str = "pi-ba"
+    n: int = 16
+    scheme: str = "owf"
+    seed: int = 2021
+    repeat: int = 1
+    inputs: str = "split"
+
+    def __post_init__(self) -> None:
+        if self.workload not in WORKLOADS:
+            raise GatewayError(
+                f"unknown workload {self.workload!r} "
+                f"(expected one of {WORKLOADS})"
+            )
+        if self.scheme not in SCHEME_LABELS:
+            raise GatewayError(
+                f"unknown scheme {self.scheme!r} "
+                f"(expected one of {SCHEME_LABELS})"
+            )
+        if not isinstance(self.n, int) or not 4 <= self.n <= MAX_N:
+            raise GatewayError(f"n must be an int in [4, {MAX_N}]")
+        if not isinstance(self.seed, int):
+            raise GatewayError("seed must be an int")
+        if (
+            not isinstance(self.repeat, int)
+            or not 1 <= self.repeat <= MAX_REPEAT
+        ):
+            raise GatewayError(f"repeat must be an int in [1, {MAX_REPEAT}]")
+        if self.inputs not in INPUT_PATTERNS:
+            raise GatewayError(
+                f"unknown inputs pattern {self.inputs!r} "
+                f"(expected one of {INPUT_PATTERNS})"
+            )
+
+    @staticmethod
+    def from_wire(payload: Dict[str, Any]) -> "SessionSpec":
+        """Build a spec from a ``submit`` request, validating types."""
+        fields_in = {}
+        for name, kind in (
+            ("workload", str), ("n", int), ("scheme", str),
+            ("seed", int), ("repeat", int), ("inputs", str),
+        ):
+            if name in payload and payload[name] is not None:
+                value = payload[name]
+                if not isinstance(value, kind) or isinstance(value, bool):
+                    raise GatewayError(
+                        f"field {name!r} must be {kind.__name__}"
+                    )
+                fields_in[name] = value
+        return SessionSpec(**fields_in)
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "workload": self.workload, "n": self.n, "scheme": self.scheme,
+            "seed": self.seed, "repeat": self.repeat, "inputs": self.inputs,
+        }
+
+    def setup_key(self) -> Dict[str, Any]:
+        """The (scheme, n, seed-domain) triple the setup cache keys on."""
+        return {"scheme": self.scheme, "n": self.n, "seed": self.seed}
+
+
+def make_inputs(spec: SessionSpec) -> Dict[int, int]:
+    """The per-party input vector a spec's pattern denotes."""
+    if spec.inputs == "split":
+        return {i: i % 2 for i in range(spec.n)}
+    value = 0 if spec.inputs == "zero" else 1
+    return {i: value for i in range(spec.n)}
+
+
+def _probe_base_signature_bytes(spec: SessionSpec, material: Any) -> int:
+    """Wire size of one base signature under the session's key material."""
+    pp = material.public_parameters
+    scheme = scheme_for(spec.scheme)
+    for virtual_id, signing_key in material.signing_keys.items():
+        if signing_key is None:
+            continue
+        signature = scheme.sign(pp, virtual_id, signing_key, b"gateway-probe")
+        if signature is not None:
+            return signature.size_bytes()
+    return 0
+
+
+def run_decision(spec: SessionSpec, lease: SetupLease) -> Dict[str, Any]:
+    """Execute one pi_ba decision for a spec over a setup lease.
+
+    Seed derivation mirrors the one-shot drivers exactly: everything
+    descends from ``Randomness(spec.seed)`` via stateless forks, so the
+    decision — outputs *and* per-party bit tallies — is a pure function
+    of the spec regardless of cache state.
+    """
+    params = ProtocolParameters()
+    rng = Randomness(spec.seed)
+    plan = random_corruption(
+        spec.n, params.max_corruptions(spec.n), rng.fork("c")
+    )
+    metrics = CommunicationMetrics()
+    result = run_balanced_ba(
+        make_inputs(spec), plan, lease.scheme, params, rng.fork("session"),
+        metrics=metrics,
+        setup_provider=lease.provider,
+    )
+    per_party_bits = {
+        str(party): metrics.tally_of(party).bits_total
+        for party in sorted(metrics.party_ids)
+    }
+    budget_bits = pi_ba_per_party_budget(
+        spec.n, params, result.certificate_bytes,
+        _probe_base_signature_bytes(spec, lease._entry.material),
+    )
+    return {
+        "value": result.agreed_value,
+        "agreement": result.agreement,
+        "validity": result.validity,
+        "certificate_bytes": result.certificate_bytes,
+        "per_party_bits": per_party_bits,
+        "max_bits_per_party": result.metrics.max_bits_per_party,
+        "total_bits": result.metrics.total_bits,
+        "budget_bits": budget_bits,
+        "within_budget": result.metrics.max_bits_per_party <= budget_bits,
+        "num_virtual": result.num_virtual,
+    }
+
+
+def one_shot_reference(spec: SessionSpec) -> Dict[str, Any]:
+    """The uncached single-invocation reference for a spec.
+
+    Runs the identical derivation on a fresh scheme and a cold one-entry
+    cache; gateway sessions must match its value and per-party tallies
+    bit for bit (the bench and conformance tests enforce this).
+    """
+    cache = SetupCache(max_entries=1)
+    lease = cache.lease(spec.scheme, spec.n, spec.seed)
+    return run_decision(spec, lease)
+
+
+#: Pluggable per-decision runner (tests inject slow/stub workloads).
+DecisionRunner = Callable[[SessionSpec, SetupLease], Dict[str, Any]]
+
+
+@dataclass
+class SessionRecord:
+    """One admitted session's lifecycle state."""
+
+    session_id: str
+    spec: SessionSpec
+    state: str = "running"  # running | done | failed | cancelled
+    error: Optional[str] = None
+    result: Optional[Dict[str, Any]] = None
+    decisions_completed: int = 0
+    wall_seconds: Optional[float] = None
+    done_event: asyncio.Event = field(default_factory=asyncio.Event)
+    cancel_requested: threading.Event = field(
+        default_factory=threading.Event
+    )
+
+    def summary(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "session": self.session_id,
+            "state": self.state,
+            "spec": self.spec.to_wire(),
+            "decisions_completed": self.decisions_completed,
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+
+class SessionManager:
+    """Admission control + execution for multiplexed BA sessions.
+
+    ``max_sessions`` bounds *concurrent* sessions (the lane semaphore);
+    a submit beyond the bound is rejected with ``code="busy"`` and a
+    ``retry_after`` hint sized from recent session wall times, so a
+    well-behaved client backs off exactly as long as the lane needs to
+    drain.  All methods except the decision runners run on the event
+    loop thread; protocol executions run on the thread pool.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_sessions: int = 2,
+        retry_after: float = 0.5,
+        cache: Optional[SetupCache] = None,
+        registry: Optional[MetricsRegistry] = None,
+        decision_runner: DecisionRunner = run_decision,
+        executor_workers: Optional[int] = None,
+    ) -> None:
+        if max_sessions < 1:
+            raise GatewayError("max_sessions must be at least 1")
+        self.max_sessions = max_sessions
+        self._base_retry_after = retry_after
+        self.registry = registry
+        self.cache = cache if cache is not None else SetupCache(
+            registry=registry
+        )
+        self._decision_runner = decision_runner
+        self._pool = ThreadPoolExecutor(
+            max_workers=executor_workers or max_sessions,
+            thread_name_prefix="repro-gateway-session",
+        )
+        self._records: Dict[str, SessionRecord] = {}
+        self._tasks: Dict[str, "asyncio.Task[None]"] = {}
+        self._active = 0
+        self._admitting = True
+        self._next_id = 0
+        self._recent_walls: List[float] = []
+        self._admitted_counter = None
+        self._rejected_counter = None
+        self._decisions_counter = None
+        self._latency_histogram = None
+        self._active_gauge = None
+        if registry is not None:
+            self._admitted_counter = registry.counter(
+                "repro_gateway_sessions_admitted_total",
+                "Sessions accepted past admission control",
+            )
+            self._rejected_counter = registry.counter(
+                "repro_gateway_sessions_rejected_total",
+                "Sessions rejected with backpressure", ("code",),
+            )
+            self._decisions_counter = registry.counter(
+                "repro_gateway_decisions_total",
+                "Completed BA decisions across all sessions",
+            )
+            self._latency_histogram = registry.histogram(
+                "repro_gateway_session_seconds",
+                "Wall-clock duration of one completed session",
+            )
+            self._active_gauge = registry.gauge(
+                "repro_gateway_sessions_active",
+                "Sessions currently holding a concurrency lane",
+            )
+
+    # -- admission ----------------------------------------------------------
+
+    @property
+    def active(self) -> int:
+        """Sessions currently holding a lane."""
+        return self._active
+
+    def stop_admitting(self) -> None:
+        """Graceful-shutdown step 1: every further submit is rejected."""
+        self._admitting = False
+
+    def retry_after_hint(self) -> float:
+        """Backpressure hint: ~half a recent session, floored at base."""
+        if self._recent_walls:
+            recent = sum(self._recent_walls) / len(self._recent_walls)
+            return max(self._base_retry_after, round(recent / 2, 3))
+        return self._base_retry_after
+
+    def submit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Admit (or reject) one session; returns the wire response."""
+        if not self._admitting:
+            if self._rejected_counter is not None:
+                self._rejected_counter.inc(code="shutting-down")
+            return wire.reject(
+                "shutting-down", "gateway is draining; not admitting"
+            )
+        try:
+            spec = SessionSpec.from_wire(payload)
+        except GatewayError as exc:
+            return wire.reject("bad-request", str(exc))
+        if self._active >= self.max_sessions:
+            if self._rejected_counter is not None:
+                self._rejected_counter.inc(code="busy")
+            return wire.reject(
+                "busy",
+                f"all {self.max_sessions} session lanes are busy",
+                retry_after=self.retry_after_hint(),
+            )
+        self._next_id += 1
+        record = SessionRecord(session_id=f"s-{self._next_id}", spec=spec)
+        self._records[record.session_id] = record
+        self._active += 1
+        if self._admitted_counter is not None:
+            self._admitted_counter.inc()
+        if self._active_gauge is not None:
+            self._active_gauge.set(self._active)
+        task = asyncio.get_running_loop().create_task(self._run(record))
+        self._tasks[record.session_id] = task
+        return wire.ok(
+            session=record.session_id,
+            state=record.state,
+            setup_key=spec.setup_key(),
+        )
+
+    # -- execution ----------------------------------------------------------
+
+    async def _run(self, record: SessionRecord) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            await loop.run_in_executor(self._pool, self._execute, record)
+        except Exception as exc:  # lint: allow[EXC001] reason=session isolation: one failed session must not kill the gateway; the error is stored and reported to the awaiting client
+            record.state = "failed"
+            record.error = f"{type(exc).__name__}: {exc}"
+        finally:
+            self._active -= 1
+            if self._active_gauge is not None:
+                self._active_gauge.set(self._active)
+            if record.wall_seconds is not None:
+                self._recent_walls.append(record.wall_seconds)
+                del self._recent_walls[:-8]
+                if self._latency_histogram is not None:
+                    self._latency_histogram.observe(record.wall_seconds)
+            if self._decisions_counter is not None:
+                self._decisions_counter.inc(record.decisions_completed)
+            record.done_event.set()
+
+    def _execute(self, record: SessionRecord) -> None:
+        """Thread-pool body: pipelined repeated decisions over one lease."""
+        import time
+
+        spec = record.spec
+        lease = self.cache.lease(spec.scheme, spec.n, spec.seed)
+        decision_walls: List[float] = []
+        last: Optional[Dict[str, Any]] = None
+        started = time.perf_counter()  # lint: allow[DET002] reason=decision latency observability; protocol state never reads wall time
+        for _ in range(spec.repeat):
+            if record.cancel_requested.is_set():
+                break
+            turn = time.perf_counter()  # lint: allow[DET002] reason=decision latency observability; protocol state never reads wall time
+            last = self._decision_runner(spec, lease)
+            decision_walls.append(time.perf_counter() - turn)  # lint: allow[DET002] reason=decision latency observability; protocol state never reads wall time
+            record.decisions_completed += 1
+        record.wall_seconds = time.perf_counter() - started  # lint: allow[DET002] reason=decision latency observability; protocol state never reads wall time
+        cancelled = record.cancel_requested.is_set()
+        record.state = "cancelled" if cancelled else "done"
+        if last is None:
+            record.result = None
+            return
+        busy = sum(decision_walls)
+        steady = decision_walls[1:]
+        record.result = dict(last)
+        record.result.update(
+            spec=spec.to_wire(),
+            decisions=record.decisions_completed,
+            setup_cache={"hits": lease.hits, "misses": lease.misses},
+            wall={
+                "session_s": round(record.wall_seconds, 6),
+                "first_decision_s": round(decision_walls[0], 6),
+                "steady_mean_s": (
+                    round(sum(steady) / len(steady), 6) if steady else None
+                ),
+                "decisions_per_sec": (
+                    round(record.decisions_completed / busy, 3)
+                    if busy > 0 else None
+                ),
+            },
+        )
+
+    # -- client-facing queries ----------------------------------------------
+
+    def _record_or_none(self, session_id: str) -> Optional[SessionRecord]:
+        return self._records.get(session_id)
+
+    async def await_result(
+        self, session_id: str, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        record = self._record_or_none(session_id)
+        if record is None:
+            return wire.reject(
+                "unknown-session", f"no session {session_id!r}"
+            )
+        if timeout is not None:
+            try:
+                await asyncio.wait_for(record.done_event.wait(), timeout)
+            except asyncio.TimeoutError:
+                return wire.reject(
+                    "timeout",
+                    f"session {session_id} still {record.state} "
+                    f"after {timeout}s",
+                    retry_after=self.retry_after_hint(),
+                )
+        else:
+            await record.done_event.wait()
+        return self.result_response(record)
+
+    def result_response(self, record: SessionRecord) -> Dict[str, Any]:
+        if record.state == "failed":
+            return wire.reject(
+                "failed", record.error or "session failed"
+            )
+        return wire.ok(**record.summary(), result=record.result)
+
+    def status(
+        self, session_id: Optional[str] = None
+    ) -> Dict[str, Any]:
+        if session_id is not None:
+            record = self._record_or_none(session_id)
+            if record is None:
+                return wire.reject(
+                    "unknown-session", f"no session {session_id!r}"
+                )
+            return wire.ok(**record.summary())
+        by_state: Dict[str, int] = {}
+        for record in self._records.values():
+            by_state[record.state] = by_state.get(record.state, 0) + 1
+        return wire.ok(
+            admitting=self._admitting,
+            active=self._active,
+            max_sessions=self.max_sessions,
+            sessions=by_state,
+            setup_cache=self.cache.stats(),
+            retry_after=self.retry_after_hint(),
+        )
+
+    def cancel(self, session_id: str) -> Dict[str, Any]:
+        record = self._record_or_none(session_id)
+        if record is None:
+            return wire.reject(
+                "unknown-session", f"no session {session_id!r}"
+            )
+        record.cancel_requested.set()
+        return wire.ok(session=session_id, state=record.state)
+
+    # -- shutdown -----------------------------------------------------------
+
+    async def drain(self, deadline: float) -> bool:
+        """Wait for in-flight sessions; escalate to cooperative cancel.
+
+        Phase 1 waits up to ``deadline`` seconds for every session task
+        to finish on its own.  Phase 2 flags the stragglers' cancel
+        events (honored between pipelined decisions) and waits one more
+        deadline.  Returns ``True`` when nothing is left in flight.
+        """
+        for escalate in (False, True):
+            pending = [
+                task for task in self._tasks.values() if not task.done()
+            ]
+            if not pending:
+                return True
+            if escalate:
+                for record in self._records.values():
+                    if not record.done_event.is_set():
+                        record.cancel_requested.set()
+            done, still_pending = await asyncio.wait(
+                pending, timeout=deadline
+            )
+            del done
+            if not still_pending and escalate:
+                return True
+        return all(task.done() for task in self._tasks.values())
+
+    def close(self) -> None:
+        """Release the executor (after :meth:`drain`)."""
+        self._pool.shutdown(wait=False)
