@@ -13,6 +13,10 @@ Commands:
   parity check (hybrid-model reference vs wire replay over the
   transport).  Pass ``tcp`` to use loopback TCP sockets instead of
   in-process queues; pass a directory to dump per-party JSONL traces.
+  ``--flow-out FILE`` attaches the wire-level flow ledger to the pi_ba
+  replay and writes its ``repro-flow/1`` report; ``--metrics-out FILE``
+  flushes the Prometheus snapshot (flow summary comment included)
+  through the same atomic helper the cluster and gateway CLIs use.
 * ``report [path]`` — assemble the benchmark records from
   ``benchmarks/results/`` into one measured-experiment report (stdout,
   or written to ``path``).
@@ -26,6 +30,26 @@ Commands:
   writes ``BENCH_*.json`` records and Perfetto timeline JSON there.
 * ``obs timeline <trace-dir> <out.json>`` — convert a runtime trace
   directory into Chrome trace-event JSON (loads in ui.perfetto.dev).
+* ``obs top <FLOW_*.json> [--k N] [--spill]`` — the hottest cells of a
+  wire-level flow report (who sent how many bits to whom, in which
+  round/phase, over which wire); ``--spill`` also counts the evicted
+  cells in the report's spill JSONL.
+* ``obs flows <FLOW_*.json> [--by phase|kind|party]`` — the flow
+  report's aggregate views: bits per protocol phase, per wire kind,
+  and per party (sent/received, exact even under cell eviction).
+* ``obs diff <baseline> <fresh> [--wall-tolerance F] [--json]`` — the
+  bench regression gate: compare fresh ``BENCH_*.json`` records (file
+  vs file, or directory vs directory) against committed baselines.
+  Bit counts and structural counts are gated exactly (any drift is a
+  hard failure, nonzero exit); wall clocks only warn.
+* ``obs profile [n] [--phases a,b] [--memory] [--top K]`` — opt-in
+  phase-scoped profiling: run pi_ba fresh under a cProfile-per-span
+  collector (plus tracemalloc peaks with ``--memory``) and print the
+  hottest functions of each selected phase.
+* ``obs merge <spans-dir> <out.json> [--wall]`` — merge a span
+  directory (supervisor + worker + session tracks; the cluster CLI's
+  ``--spans-dir`` writes one) into a single Perfetto timeline, every
+  track labeled with the run's shared trace id.
 * ``lint {check,baseline,explain,rules}`` — protocol-aware static
   analysis: determinism (seeded randomness, injected clocks),
   bits-accounting (no byte path bypasses ``CommunicationMetrics``),
@@ -93,7 +117,9 @@ def _cmd_ba(n: int) -> int:
     return 0
 
 
-def _cmd_runtime(n: int, kind: str, trace_dir=None) -> int:
+def _cmd_runtime(n: int, kind: str, trace_dir=None,
+                 metrics_out=None, flow_out=None) -> int:
+    from repro.net.metrics import CommunicationMetrics
     from repro.protocols.balanced_ba import run_balanced_ba
     from repro.protocols.phase_king import run_phase_king
     from repro.runtime import (
@@ -105,6 +131,19 @@ def _cmd_runtime(n: int, kind: str, trace_dir=None) -> int:
     from repro.runtime.trace import summarize
     from repro.srds.base_sigs import HashRegistryBase
     from repro.srds.snark_based import SnarkSRDS
+
+    flow = None
+    registry = None
+    if metrics_out is not None or flow_out is not None:
+        from repro.obs.flow import FlowLedger
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        spill = (
+            flow_out.with_name(flow_out.name + ".spill.jsonl")
+            if flow_out is not None else None
+        )
+        flow = FlowLedger(spill_path=spill, registry=registry)
 
     params = ProtocolParameters()
     rng = Randomness(2021)
@@ -151,8 +190,11 @@ def _cmd_runtime(n: int, kind: str, trace_dir=None) -> int:
     plan = random_corruption(n, params.max_corruptions(n), plan_rng.fork("c"))
     scheme = SnarkSRDS(base_scheme=HashRegistryBase())
     ref = run_balanced_ba(inputs, plan, scheme, params, Randomness(99))
+    runtime_metrics = CommunicationMetrics()
+    runtime_metrics.attach_flow(flow)
     res, replay = run_balanced_ba_runtime(
-        inputs, plan, scheme, params, Randomness(99), transport=kind
+        inputs, plan, scheme, params, Randomness(99), transport=kind,
+        metrics=runtime_metrics,
     )
     parity = (
         res.outputs == ref.outputs
@@ -164,6 +206,36 @@ def _cmd_runtime(n: int, kind: str, trace_dir=None) -> int:
         f"agree={res.agreement} parity-with-hybrid={parity} "
         f"max/party={format_bits(res.metrics.max_bits_per_party)}"
     )
+
+    if flow is not None:
+        import json as json_mod
+
+        from repro.obs.flush import flush_metrics_file, write_atomic_text
+
+        flow_problems = flow.verify_against(runtime_metrics)
+        print(f"  flow        coverage={flow.coverage():.1%} "
+              f"parity-with-tallies={not flow_problems}")
+        for problem in flow_problems:
+            print(f"    {problem}")
+        if flow_out is not None:
+            name = flow_out.stem
+            if name.startswith("FLOW_"):
+                name = name[len("FLOW_"):]
+            payload = flow.report(
+                name, metrics=runtime_metrics,
+                extra={"n": n, "transport": kind, "workload": "pi-ba"},
+            )
+            write_atomic_text(
+                flow_out,
+                json_mod.dumps(payload, sort_keys=True, indent=2) + "\n",
+            )
+            print(f"  flow        report -> {flow_out}")
+        if metrics_out is not None:
+            flush_metrics_file(metrics_out, registry, flow=flow)
+            print(f"  metrics     snapshot -> {metrics_out}")
+        flow.close()
+        if flow_problems:
+            return 1
     return 0 if parity else 1
 
 
@@ -282,12 +354,272 @@ def _obs_fresh_report(n: int, out_dir=None) -> int:
     return 0 if all_ok else 1
 
 
+def _party_label(pid: int) -> str:
+    """Human name for a flow-ledger endpoint id (pseudo ids included)."""
+    from repro.cluster.supervisor import WORKER_PSEUDO_BASE
+    from repro.obs.flow import FUNCTIONALITY, INFRA
+
+    if pid == FUNCTIONALITY:
+        return "F*"
+    if pid == INFRA:
+        return "infra"
+    if pid <= WORKER_PSEUDO_BASE:
+        return f"worker-{WORKER_PSEUDO_BASE - pid}"
+    return str(pid)
+
+
+def _obs_top(rest) -> int:
+    import pathlib
+
+    from repro.obs.flow import load_flow_json, load_spill
+
+    k = 20
+    spill = False
+    target = None
+    rest = list(rest)
+    while rest:
+        arg = rest.pop(0)
+        if arg == "--k":
+            if not rest or not rest[0].isdigit():
+                print("--k needs a count")
+                return 2
+            k = int(rest.pop(0))
+        elif arg == "--spill":
+            spill = True
+        else:
+            target = pathlib.Path(arg)
+    if target is None:
+        print("usage: obs top <FLOW_*.json> [--k N] [--spill]")
+        return 2
+    payload = load_flow_json(target)
+    print(
+        f"flow report {payload['name']}: "
+        f"{format_bits(payload['total_bits'])} data "
+        f"(+{format_bits(payload['control_bits'])} control), "
+        f"coverage={payload['coverage']:.1%}, "
+        f"cells={payload['live_cells']} live "
+        f"/ {payload['evicted_cells']} evicted"
+    )
+    cells = list(payload.get("top_cells", []))
+    if spill and payload.get("spill_path"):
+        spill_file = pathlib.Path(payload["spill_path"])
+        if spill_file.exists():
+            cells.extend(c.to_wire() for c in load_spill(spill_file))
+            cells.sort(key=lambda c: (-c["bits"], c["round"], c["phase"]))
+        else:
+            print(f"  (spill file {spill_file} missing; live cells only)")
+    print(f"{'bits':>14}  {'frames':>7}  {'rnd':>4}  "
+          f"{'edge':<22}  {'kind':<10} phase")
+    for cell in cells[:k]:
+        edge = f"{_party_label(cell['src'])}->{_party_label(cell['dst'])}"
+        print(
+            f"{cell['bits']:>14,}  {cell['frames']:>7,}  "
+            f"{cell['round']:>4}  {edge:<22}  "
+            f"{cell['kind']:<10} {cell['phase']}"
+        )
+    return 0
+
+
+def _obs_flows(rest) -> int:
+    import pathlib
+
+    from repro.obs.flow import load_flow_json
+
+    by = None
+    target = None
+    rest = list(rest)
+    while rest:
+        arg = rest.pop(0)
+        if arg == "--by":
+            if not rest or rest[0] not in ("phase", "kind", "party"):
+                print("--by needs one of: phase, kind, party")
+                return 2
+            by = rest.pop(0)
+        else:
+            target = pathlib.Path(arg)
+    if target is None:
+        print("usage: obs flows <FLOW_*.json> [--by phase|kind|party]")
+        return 2
+    payload = load_flow_json(target)
+    total = payload["total_bits"]
+    if by in (None, "phase"):
+        print("bits by phase:")
+        for phase, bits in sorted(
+            payload["by_phase"].items(), key=lambda kv: (-kv[1], kv[0])
+        ):
+            share = bits / total if total else 0.0
+            print(f"  {format_bits(bits):>12}  {share:>6.1%}  {phase}")
+    if by in (None, "kind"):
+        print("bits by wire kind:")
+        for kind, bits in sorted(
+            payload["by_kind"].items(), key=lambda kv: (-kv[1], kv[0])
+        ):
+            print(f"  {format_bits(bits):>12}  {kind}")
+    if by in (None, "party"):
+        per_party = payload["per_party_bits"]
+        print(f"per-party (exact; {len(per_party)} parties):")
+        rows = sorted(
+            per_party.items(), key=lambda kv: (-kv[1]["total"], int(kv[0]))
+        )
+        for pid, sides in rows[:10]:
+            print(
+                f"  party {_party_label(int(pid)):>6}: "
+                f"sent={format_bits(sides['sent'])} "
+                f"recv={format_bits(sides['received'])}"
+            )
+        if len(rows) > 10:
+            print(f"  ... and {len(rows) - 10} more")
+    if payload.get("parity_with_metrics") is not None:
+        print(f"parity with CommunicationMetrics: "
+              f"{payload['parity_with_metrics']}")
+    return 0
+
+
+def _obs_diff(rest) -> int:
+    import pathlib
+
+    from repro.obs.regression import (
+        WALL_TOLERANCE,
+        diff_dirs,
+        diff_files,
+        diffs_to_json,
+        render_diffs,
+    )
+
+    tolerance = WALL_TOLERANCE
+    as_json = False
+    paths = []
+    rest = list(rest)
+    while rest:
+        arg = rest.pop(0)
+        if arg == "--wall-tolerance":
+            if not rest:
+                print("--wall-tolerance needs a fraction")
+                return 2
+            tolerance = float(rest.pop(0))
+        elif arg == "--json":
+            as_json = True
+        else:
+            paths.append(pathlib.Path(arg))
+    if len(paths) != 2:
+        print("usage: obs diff <baseline> <fresh> "
+              "[--wall-tolerance F] [--json]")
+        return 2
+    baseline, fresh = paths
+    if baseline.is_dir() and fresh.is_dir():
+        results = diff_dirs(baseline, fresh, wall_tolerance=tolerance)
+    elif baseline.is_file() and fresh.is_file():
+        results = [diff_files(baseline, fresh, wall_tolerance=tolerance)]
+    else:
+        print(f"need two files or two directories, got "
+              f"{baseline} and {fresh}")
+        return 2
+    if as_json:
+        print(diffs_to_json(results), end="")
+    else:
+        print(render_diffs(results))
+    return 0 if all(result.ok for result in results) else 1
+
+
+def _obs_profile(rest) -> int:
+    from repro.net.metrics import CommunicationMetrics
+    from repro.obs.profile import TOP_FUNCTIONS, PhaseProfiler
+    from repro.obs.spans import recording
+    from repro.protocols.balanced_ba import run_balanced_ba
+    from repro.srds.base_sigs import HashRegistryBase
+    from repro.srds.snark_based import SnarkSRDS
+
+    n = 16
+    phases = None
+    memory = False
+    top = TOP_FUNCTIONS
+    rest = list(rest)
+    while rest:
+        arg = rest.pop(0)
+        if arg == "--phases":
+            if not rest:
+                print("--phases needs a comma-separated list")
+                return 2
+            phases = {p for p in rest.pop(0).split(",") if p}
+        elif arg == "--memory":
+            memory = True
+        elif arg == "--top":
+            if not rest or not rest[0].isdigit():
+                print("--top needs a count")
+                return 2
+            top = int(rest.pop(0))
+        elif arg.isdigit():
+            n = int(arg)
+        else:
+            print("usage: obs profile [n] [--phases a,b] "
+                  "[--memory] [--top K]")
+            return 2
+    params = ProtocolParameters()
+    rng = Randomness(2021)
+    plan = random_corruption(n, params.max_corruptions(n), rng.fork("c"))
+    inputs = {i: i % 2 for i in range(n)}
+    watched = "all spans" if phases is None else ",".join(sorted(phases))
+    print(f"obs profile: pi_ba n={n} t={plan.t} snark-srds "
+          f"(profiling {watched}, memory={memory})")
+    profiler = PhaseProfiler(phases=phases, memory=memory)
+    metrics = CommunicationMetrics()
+    try:
+        with recording(profiler):  # type: ignore[arg-type]
+            result = run_balanced_ba(
+                inputs, plan, SnarkSRDS(base_scheme=HashRegistryBase()),
+                params, rng.fork("profile"), metrics=metrics,
+            )
+    finally:
+        profiler.stop()
+    print(f"agree={result.agreement} "
+          f"max/party={format_bits(metrics.max_bits_per_party)}\n")
+    print(profiler.render(top))
+    return 0
+
+
+def _obs_merge(rest) -> int:
+    import pathlib
+
+    from repro.obs.merge import export_merged_trace, load_span_dir
+    from repro.obs.timeline import validate_trace_events
+
+    wall = "--wall" in rest
+    paths = [arg for arg in rest if arg != "--wall"]
+    if len(paths) != 2:
+        print("usage: obs merge <spans-dir> <out.json> [--wall]")
+        return 2
+    trace_id, tracks = load_span_dir(pathlib.Path(paths[0]))
+    path = export_merged_trace(
+        pathlib.Path(paths[1]), tracks, trace_id,
+        deterministic=False if wall else None,
+    )
+    import json as json_mod
+
+    document = json_mod.loads(path.read_text(encoding="utf-8"))
+    validate_trace_events(document["traceEvents"])
+    spans = sum(len(records) for records in tracks.values())
+    print(f"merged timeline: {len(tracks)} tracks "
+          f"({', '.join(sorted(tracks))}), {spans} spans, "
+          f"trace={trace_id or '(none)'} -> {path}")
+    return 0
+
+
 def _cmd_obs(args) -> int:
     import pathlib
 
     if not args:
         args = ["report"]
     sub, *rest = args
+    if sub == "top":
+        return _obs_top(rest)
+    if sub == "flows":
+        return _obs_flows(rest)
+    if sub == "diff":
+        return _obs_diff(rest)
+    if sub == "profile":
+        return _obs_profile(rest)
+    if sub == "merge":
+        return _obs_merge(rest)
     if sub == "timeline":
         from repro.obs.timeline import export_chrome_trace, load_trace_dir
 
@@ -300,8 +632,7 @@ def _cmd_obs(args) -> int:
               f"{len(events)} parties) -> {path}")
         return 0
     if sub != "report":
-        print("usage: obs report [path] [n] [--out dir] | "
-              "obs timeline <trace-dir> <out.json>")
+        print("usage: obs {report,timeline,top,flows,diff,profile,merge}")
         return 2
 
     out_dir = None
@@ -366,17 +697,33 @@ def main(argv) -> int:
     if command == "tree":
         return _cmd_tree(int(args[0]) if args else 256)
     if command == "runtime":
+        import pathlib
+
         n = 16
         kind = "local"
         trace_dir = None
-        for arg in args:
+        metrics_out = None
+        flow_out = None
+        rest = list(args)
+        while rest:
+            arg = rest.pop(0)
             if arg in ("local", "tcp"):
                 kind = arg
             elif arg.isdigit():
                 n = int(arg)
+            elif arg == "--metrics-out":
+                if not rest:
+                    print("--metrics-out needs a file")
+                    return 2
+                metrics_out = pathlib.Path(rest.pop(0))
+            elif arg == "--flow-out":
+                if not rest:
+                    print("--flow-out needs a file")
+                    return 2
+                flow_out = pathlib.Path(rest.pop(0))
             else:
                 trace_dir = arg
-        return _cmd_runtime(n, kind, trace_dir)
+        return _cmd_runtime(n, kind, trace_dir, metrics_out, flow_out)
     if command == "report":
         import pathlib
 

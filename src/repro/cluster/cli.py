@@ -5,9 +5,15 @@ Subcommands::
     cluster run [--workload {pi-ba,phase-king}] [--n N] [--workers K]
                 [--scheme {snark,owf}] [--seed S] [--run-dir DIR]
                 [--checkpoint-interval I] [--kill ROUND:WORKER ...]
+                [--metrics-out FILE] [--flow-out FILE] [--flow-cells N]
+                [--spans-dir DIR] [--timeline-out FILE]
         Execute a workload sharded across K worker processes; print the
         agreement/parity summary and the run directory (checkpoints,
-        worker logs, supervisor state).
+        worker logs, supervisor state).  ``--flow-out`` enables the
+        wire-level flow ledger and writes its ``repro-flow/1`` report
+        (exit 1 on a metrics-parity failure); ``--spans-dir`` /
+        ``--timeline-out`` export the cross-process span tracks and the
+        merged Perfetto timeline.
 
     cluster resume --run-dir DIR [same workload flags as run]
         Pick a crashed or interrupted run back up from its last durable
@@ -74,6 +80,29 @@ def _workload_args(parser: argparse.ArgumentParser) -> None:
         help="dump the merged per-party JSONL trace here (feed it to "
              "'python -m repro obs timeline' for a Perfetto view)",
     )
+    parser.add_argument(
+        "--metrics-out", type=Path, default=None,
+        help="flush a Prometheus text snapshot here on exit "
+             "(atomic; carries the flow summary as a comment line)",
+    )
+    parser.add_argument(
+        "--flow-out", type=Path, default=None,
+        help="write the wire-level repro-flow/1 report here "
+             "(enables the flow ledger)",
+    )
+    parser.add_argument(
+        "--flow-cells", type=int, default=0,
+        help="flow-ledger cell capacity (0 = default when enabled)",
+    )
+    parser.add_argument(
+        "--spans-dir", type=Path, default=None,
+        help="dump supervisor + worker span tracks here (feed it to "
+             "'python -m repro obs merge' for the merged timeline)",
+    )
+    parser.add_argument(
+        "--timeline-out", type=Path, default=None,
+        help="write the merged supervisor+worker Perfetto timeline here",
+    )
 
 
 def _dump_traces(result, trace_dir: Optional[Path]) -> None:
@@ -83,6 +112,70 @@ def _dump_traces(result, trace_dir: Optional[Path]) -> None:
     trace_dir.mkdir(parents=True, exist_ok=True)
     result.trace.dump_dir(trace_dir)
     print(f"traces: {trace_dir}")
+
+
+def _flow_report_name(flow_out: Path) -> str:
+    name = flow_out.stem
+    if name.startswith("FLOW_"):
+        name = name[len("FLOW_"):]
+    return name
+
+
+def _dump_observability(args: argparse.Namespace, result, flow,
+                        registry) -> int:
+    """Write the run's flow / metrics / span artifacts; 0 unless the
+    flow ledger failed bit-exact parity with the metrics ledger."""
+    import json as _json
+
+    from repro.obs.flush import flush_metrics_file, write_atomic_text
+    from repro.obs.merge import (
+        cluster_tracks,
+        dump_span_dir,
+        export_merged_trace,
+    )
+
+    status = 0
+    if flow is not None:
+        problems = flow.verify_against(result.metrics)
+        if problems:
+            status = 1
+            print(f"flow parity FAILED: {problems[:3]}")
+        payload = flow.report(
+            _flow_report_name(args.flow_out),
+            metrics=result.metrics,
+            extra={
+                "n": args.n,
+                "workload": args.workload,
+                "scheme": args.scheme,
+                "seed": args.seed,
+                "workers": args.workers,
+                "rounds": result.rounds,
+                "trace_id": result.trace_id,
+            },
+        )
+        flow.close()
+        write_atomic_text(
+            args.flow_out,
+            _json.dumps(payload, sort_keys=True, indent=2) + "\n",
+        )
+        print(
+            f"flow: {args.flow_out} coverage={payload['coverage']} "
+            f"parity={payload['parity_with_metrics']}"
+        )
+    if args.metrics_out is not None and registry is not None:
+        flush_metrics_file(args.metrics_out, registry, flow=flow)
+        print(f"metrics: {args.metrics_out}")
+    if args.spans_dir is not None or args.timeline_out is not None:
+        tracks = cluster_tracks(result)
+        if args.spans_dir is not None:
+            dump_span_dir(args.spans_dir, result.trace_id, tracks)
+            print(f"spans: {args.spans_dir}")
+        if args.timeline_out is not None:
+            export_merged_trace(
+                args.timeline_out, tracks, result.trace_id
+            )
+            print(f"timeline: {args.timeline_out}")
+    return status
 
 
 def _run_workload(args: argparse.Namespace, resume: bool) -> int:
@@ -100,9 +193,30 @@ def _run_workload(args: argparse.Namespace, resume: bool) -> int:
     if resume and args.run_dir is None:
         print("cluster resume needs --run-dir")
         return 2
+    registry = None
+    if args.metrics_out is not None:
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+    flow = None
+    if args.flow_out is not None or args.flow_cells > 0:
+        from repro.obs.flow import FlowLedger
+
+        if args.flow_out is None:
+            print("--flow-cells needs --flow-out")
+            return 2
+        flow = FlowLedger(
+            max_cells=args.flow_cells or 65536,
+            spill_path=args.flow_out.with_name(
+                args.flow_out.name + ".spill.jsonl"
+            ),
+            registry=registry,
+        )
     config = ClusterConfig(
         num_workers=args.workers,
         kill_plan=_parse_kill_plan(args.kill),
+        registry=registry,
+        flow=flow,
     )
     inputs = {i: i % 2 for i in range(args.n)}
     if args.workload == "phase-king":
@@ -118,6 +232,7 @@ def _run_workload(args: argparse.Namespace, resume: bool) -> int:
         )
         decided = set(outputs.values())
         _dump_traces(result, args.trace_dir)
+        obs_status = _dump_observability(args, result, flow, registry)
         print(
             f"phase-king n={args.n} workers={args.workers} "
             f"agree={len(decided) == 1} rounds={result.rounds} "
@@ -125,7 +240,7 @@ def _run_workload(args: argparse.Namespace, resume: bool) -> int:
             f"max/party={format_bits(result.metrics.max_bits_per_party)}"
         )
         print(f"run dir: {result.run_dir}")
-        return 0 if len(decided) == 1 else 1
+        return 0 if len(decided) == 1 and obs_status == 0 else 1
 
     params = ProtocolParameters()
     rng = Randomness(args.seed)
@@ -145,6 +260,7 @@ def _run_workload(args: argparse.Namespace, resume: bool) -> int:
         resume=resume,
     )
     _dump_traces(result, args.trace_dir)
+    obs_status = _dump_observability(args, result, flow, registry)
     print(
         f"pi_ba n={args.n} t={plan.t} scheme={args.scheme} "
         f"workers={args.workers} agree={ba_result.agreement} "
@@ -152,7 +268,7 @@ def _run_workload(args: argparse.Namespace, resume: bool) -> int:
         f"max/party={format_bits(ba_result.metrics.max_bits_per_party)}"
     )
     print(f"run dir: {result.run_dir}")
-    return 0 if ba_result.agreement else 1
+    return 0 if ba_result.agreement and obs_status == 0 else 1
 
 
 def _cmd_status(args: argparse.Namespace) -> int:

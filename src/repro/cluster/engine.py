@@ -33,6 +33,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 from repro.errors import ClusterError
 from repro.net.metrics import CommunicationMetrics, PartyTally
 from repro.net.party import Envelope, Party
+from repro.obs.flow import flow_tags
 from repro.runtime import trace as trace_mod
 from repro.runtime.synchronizer import RuntimeResult
 from repro.runtime.trace import TraceRecorder, load_jsonl
@@ -68,6 +69,11 @@ class ShardEngine:
         self.trace = trace
         self.next_round = first_round
         self._seq: Dict[int, int] = {p: 0 for p in self.parties}
+        #: Flow-ledger side channel: after each :meth:`step_round`, the
+        #: obs phase of each emitted frame (parallel to the returned
+        #: list; "" when the stepped party attached none).  Checkpoints
+        #: ignore it — phases only matter for the round they are routed.
+        self.last_phases: List[str] = []
 
     # -- queries ---------------------------------------------------------------
 
@@ -127,6 +133,7 @@ class ShardEngine:
                 )
             inboxes.setdefault(frame.recipient, []).append(frame)
         out: List[Frame] = []
+        phases: List[str] = []
         for party_id in sorted(self.parties):
             party = self.parties[party_id]
             if party.halted:
@@ -177,6 +184,7 @@ class ShardEngine:
                     bits=frame.bits(),
                 )
                 out.append(frame)
+                phases.append(getattr(envelope, "phase", ""))
             if party.halted:
                 self._trace(
                     party_id,
@@ -185,6 +193,7 @@ class ShardEngine:
                     output=repr(party.output),
                 )
         self.next_round = round_index + 1
+        self.last_phases = phases
         return out
 
     def _trace(
@@ -295,10 +304,16 @@ def _drive(
         due = [f for f in pending if f.deliver_round <= round_index]
         pending = [f for f in pending if f.deliver_round > round_index]
         out = engine.step_round(round_index, due)
-        for frame in out:
+        for frame, phase in zip(out, engine.last_phases):
             # Same timing as the runtime transports: a frame is charged
             # in the round it was sent, before that round's end_round.
-            metrics.record_message(frame.sender, frame.recipient, frame.bits())
+            # The engine's phase side channel feeds the flow ledger the
+            # span recorded at emit time (replay parties carry it).
+            with flow_tags(phase=phase or None, kind="frame"):
+                # lint: allow[OBS001] reason=routing-plane charge; the emitting party's span was recorded at emit time and rides in via flow_tags, so phase attribution is preserved without a local span
+                metrics.record_message(
+                    frame.sender, frame.recipient, frame.bits()
+                )
         pending.extend(out)
         metrics.end_round()
         if (

@@ -73,13 +73,24 @@ from repro.cluster.wire import (
 from repro.cluster.worker import checkpoint_name
 from repro.errors import ClusterError
 from repro.net.metrics import CommunicationMetrics
+from repro.obs.flow import FUNCTIONALITY, INFRA, FlowLedger, flow_tags
 from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import SpanLog, SpanRecord, span_from_wire, span_to_wire
 from repro.runtime.trace import TraceRecorder
 from repro.runtime.transport import Frame
 
 #: Durable supervisor state file inside the run directory.
 STATE_FILE = "supervisor.ckpt"
 STATE_FORMAT = "repro-cluster-supervisor/1"
+
+#: Flow-ledger pseudo ids for control-plane endpoints: the supervisor
+#: is :data:`~repro.obs.flow.INFRA` (-2); worker ``w`` is ``-10 - w``.
+WORKER_PSEUDO_BASE = -10
+
+
+def worker_pseudo_id(worker_id: int) -> int:
+    """The flow-ledger pseudo party id of one worker process."""
+    return WORKER_PSEUDO_BASE - worker_id
 
 
 @dataclass
@@ -104,6 +115,13 @@ class ClusterConfig:
     kill_plan: Dict[int, int] = field(default_factory=dict)
     registry: Optional[MetricsRegistry] = None
     host: str = "127.0.0.1"
+    #: Optional wire-level flow ledger attached to the authoritative
+    #: metrics ledger (every routed frame becomes a traffic-matrix cell;
+    #: control messages are metered under ``ctl:*`` kinds).
+    flow: Optional[FlowLedger] = None
+    #: Cross-process trace id stamped on every job and echoed by every
+    #: done; empty string derives a deterministic one from the job.
+    trace_id: str = ""
 
 
 @dataclass
@@ -117,6 +135,11 @@ class ClusterResult:
     restarts: int
     num_workers: int
     run_dir: Path
+    #: Cross-process observability: the run's trace id, the
+    #: supervisor's own round spans, and each worker's shipped digests.
+    trace_id: str = ""
+    supervisor_spans: List[SpanRecord] = field(default_factory=list)
+    worker_spans: Dict[int, List[SpanRecord]] = field(default_factory=dict)
 
 
 @dataclass
@@ -153,8 +176,19 @@ class ClusterSupervisor:
         for worker_id, shard in enumerate(self.shards):
             for party_id in shard:
                 self._party_worker[party_id] = worker_id
+        # Cross-process observability.  The trace id is deterministic
+        # (derived from the job, never a clock — DET002): it stamps
+        # every job message and is echoed by every done, correlating
+        # supervisor, worker, and timeline artifacts of one run.
+        self.trace_id = self.config.trace_id or (
+            f"{job.name}-n{job.n}-w{self.config.num_workers}"
+        )
+        self.span_log = SpanLog()
+        self.worker_spans: Dict[int, List[SpanRecord]] = {}
         # Mutable run state (reset/restored in run()).
         self.metrics = CommunicationMetrics()
+        if self.config.flow is not None:
+            self.metrics.attach_flow(self.config.flow)
         self.trace = TraceRecorder()
         self.outputs: Dict[int, Any] = {}
         self.staged: Dict[int, List[Frame]] = {
@@ -231,6 +265,12 @@ class ClusterSupervisor:
                 restarts=self.restarts,
                 num_workers=self.config.num_workers,
                 run_dir=self.run_dir,
+                trace_id=self.trace_id,
+                supervisor_spans=list(self.span_log.records),
+                worker_spans={
+                    w: list(records)
+                    for w, records in sorted(self.worker_spans.items())
+                },
             )
         finally:
             self._teardown()
@@ -274,6 +314,11 @@ class ClusterSupervisor:
             channel = accept_channel(
                 self._listener, timeout=self.config.spawn_timeout
             )
+            # Control-plane metering: every byte on this channel (job,
+            # round, done, heartbeat, ...) lands in the flow ledger as
+            # a ctl:* cell between INFRA and the worker's pseudo id —
+            # kept out of data-plane totals and parity by kind.
+            channel.set_meter(self._channel_meter(worker_id))
             hello = channel.recv(timeout=self.config.spawn_timeout)
         except TimeoutError as exc:
             process.kill()
@@ -297,6 +342,7 @@ class ClusterSupervisor:
                     "resume_round": resume_round,
                     "checkpoint_dir": str(self.run_dir),
                     "checkpoint_stem": f"shard-{worker_id}",
+                    "trace_id": self.trace_id,
                 },
                 blob=Message.pack_payload(self.job),
             )
@@ -319,6 +365,25 @@ class ClusterSupervisor:
             channel=channel,
             log_handle=log_handle,
         )
+
+    def _channel_meter(self, worker_id: int) -> Any:
+        """A :data:`~repro.cluster.wire.ChannelMeter` for one worker."""
+
+        def meter(direction: str, kind: str, num_bytes: int) -> None:
+            flow = self.metrics.flow
+            if flow is None:
+                return
+            src, dst = (
+                (INFRA, worker_pseudo_id(worker_id))
+                if direction == "send"
+                else (worker_pseudo_id(worker_id), INFRA)
+            )
+            flow.charge(
+                self.round_index, "(control)", src, dst,
+                num_bytes * 8, kind=f"ctl:{kind}",
+            )
+
+        return meter
 
     def _recover(
         self,
@@ -421,6 +486,18 @@ class ClusterSupervisor:
         started = time.monotonic() if self.config.registry else 0.0
         round_index = self.round_index
         due = self._pop_due(round_index)
+        # Supervisor-side round span, recorded by direct open/close so
+        # it never enters the attribution stack (the routed-frame
+        # charges below must keep their recorded phases, not ours).
+        round_span = self.span_log.open(
+            "supervisor-round",
+            "supervisor-round",
+            0,
+            {
+                "round": round_index,
+                "frames_dispatched": sum(len(f) for f in due.values()),
+            },
+        )
         for worker_id in sorted(self.workers):
             frames = due.get(worker_id, [])
             self._delivery_log[worker_id][round_index] = frames
@@ -440,6 +517,7 @@ class ClusterSupervisor:
         for worker_id in sorted(self.workers):
             self._collect_done(worker_id, round_index)
         self.metrics.end_round()
+        self.span_log.close(round_span)
         self.round_index = round_index + 1
         if self.config.registry is not None:
             self._rounds_total.inc()
@@ -474,10 +552,15 @@ class ClusterSupervisor:
                 self._recover(worker_id, round_index, reason=str(exc))
                 continue
             break
-        self._process_done(message)
+        self._process_done(worker_id, message)
 
-    def _process_done(self, message: Message) -> None:
-        for frame in message.frames:
+    def _process_done(self, worker_id: int, message: Message) -> None:
+        # Flow refinement: workers record the obs phase of each emitted
+        # frame (parallel "phases" list); the flow_tags override
+        # re-attaches it to the routed charge without touching span
+        # attribution (bits_by_phase is unchanged either way).
+        phases = message.fields.get("phases") or []
+        for index, frame in enumerate(message.frames):
             if frame.recipient not in self.staged:
                 raise ClusterError(
                     f"worker emitted a frame for unknown party "
@@ -485,9 +568,12 @@ class ClusterSupervisor:
                 )
             # One charge per routed frame, in its sent round — the same
             # point in the round the transports charge at.
-            self.metrics.record_message(
-                frame.sender, frame.recipient, frame.bits()
-            )
+            phase = str(phases[index]) if index < len(phases) else ""
+            with flow_tags(phase=phase or None, kind="frame"):
+                # lint: allow[OBS001] reason=routing-plane charge; the worker recorded the frame's phase at emit time and ships it home, so flow_tags re-attaches it without a supervisor-side span
+                self.metrics.record_message(
+                    frame.sender, frame.recipient, frame.bits()
+                )
             self.staged[frame.recipient].append(frame)
         if self.config.registry is not None and message.frames:
             self._frames_routed.inc(len(message.frames))
@@ -495,6 +581,11 @@ class ClusterSupervisor:
         self.outputs.update(payload.get("outputs", {}))
         for party_id in sorted(payload.get("trace", {})):
             self.trace.preload(party_id, payload["trace"][party_id])
+        rows = payload.get("spans") or []
+        if rows:
+            self.worker_spans.setdefault(worker_id, []).extend(
+                span_from_wire(row) for row in rows
+            )
 
     def _await(
         self,
@@ -617,6 +708,17 @@ class ClusterSupervisor:
                 party_id: self.trace.events_of(party_id)
                 for party_id in self.trace.party_ids
             },
+            # Observability carry-over (wire dicts, not live objects):
+            # a resumed run keeps the same trace id and does not lose
+            # the spans of the rounds before the checkpoint.
+            "trace_id": self.trace_id,
+            "supervisor_spans": [
+                span_to_wire(record) for record in self.span_log.records
+            ],
+            "worker_spans": {
+                w: [span_to_wire(record) for record in records]
+                for w, records in sorted(self.worker_spans.items())
+            },
         }
         target = self.run_dir / STATE_FILE
         temp = target.with_suffix(".ckpt.tmp")
@@ -661,6 +763,34 @@ class ClusterSupervisor:
         self.trace = TraceRecorder()
         for party_id in sorted(state["trace_events"]):
             self.trace.preload(party_id, state["trace_events"][party_id])
+        self.trace_id = str(state.get("trace_id", "")) or self.trace_id
+        self.span_log = SpanLog()
+        self.span_log.preload(
+            [span_from_wire(row) for row in state.get("supervisor_spans", [])]
+        )
+        self.worker_spans = {
+            int(w): [span_from_wire(row) for row in rows]
+            for w, rows in state.get("worker_spans", {}).items()
+        }
+        flow = self.config.flow
+        if flow is not None:
+            # The pickled metrics never carries a ledger (see
+            # CommunicationMetrics.__getstate__): re-attach the
+            # caller's and seed its per-party side counters from the
+            # restored tallies so bit-exact parity survives resume.
+            self.metrics.attach_flow(flow)
+            for party_id in self.metrics.party_ids:
+                tally = self.metrics.tally_of(party_id)
+                if tally.bits_sent:
+                    flow.charge(
+                        self.round_index, "(resumed)", party_id,
+                        FUNCTIONALITY, tally.bits_sent, kind="absorbed",
+                    )
+                if tally.bits_received:
+                    flow.charge(
+                        self.round_index, "(resumed)", FUNCTIONALITY,
+                        party_id, tally.bits_received, kind="absorbed",
+                    )
 
     # -- teardown -------------------------------------------------------------
 

@@ -63,7 +63,7 @@ import pickle
 import socket
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import ClusterError
 from repro.runtime.transport import Frame, _LENGTH
@@ -102,6 +102,12 @@ KINDS = (
     HELLO, JOB, RESUMED, ROUND, DONE, CHECKPOINT, CHECKPOINTED,
     HEARTBEAT, STOP, PART,
 )
+
+#: Control-plane byte meter: ``(direction, kind, num_bytes)`` with
+#: direction ``"send"`` or ``"recv"``.  Installed by the supervisor so
+#: the flow ledger can account control overhead separately from the
+#: party traffic it routes (which is charged per Frame, not here).
+ChannelMeter = Callable[[str, str, int], None]
 
 
 @dataclass
@@ -191,12 +197,14 @@ class MessageChannel:
     stopped.
     """
 
-    def __init__(self, sock: socket.socket) -> None:
+    def __init__(self, sock: socket.socket,
+                 meter: Optional[ChannelMeter] = None) -> None:
         self._sock = sock
         self._send_lock = threading.Lock()
         self._buffer = bytearray()
         self._parts: List[bytes] = []  # in-flight chunked reassembly
         self._closed = False
+        self._meter = meter
         try:
             self._sock.setsockopt(
                 socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
@@ -237,6 +245,10 @@ class MessageChannel:
                 raise ClusterError(
                     f"control channel send failed: {exc}"
                 ) from exc
+        if self._meter is not None:
+            self._meter(
+                "send", message.kind, sum(len(r) for r in records)
+            )
 
     def recv(self, timeout: Optional[float] = None) -> Message:
         """Receive one message.
@@ -285,10 +297,19 @@ class MessageChannel:
                 f"chunked control message exceeds {_MAX_ASSEMBLED} bytes"
             )
 
+    def set_meter(self, meter: Optional[ChannelMeter]) -> None:
+        """Install (or clear) the control-plane byte meter."""
+        self._meter = meter
+
+    def _metered(self, message: Message, num_bytes: int) -> Message:
+        if self._meter is not None and message.kind != PART:
+            self._meter("recv", message.kind, num_bytes)
+        return message
+
     def _finish_parts(self) -> Message:
         body = b"".join(self._parts)
         self._parts = []
-        return Message.decode(body)
+        return self._metered(Message.decode(body), len(body))
 
     def _try_parse(self) -> Optional[Message]:
         if len(self._buffer) < _LENGTH.size:
@@ -301,7 +322,7 @@ class MessageChannel:
             return None
         body = bytes(self._buffer[_LENGTH.size:end])
         del self._buffer[:end]
-        return Message.decode(body)
+        return self._metered(Message.decode(body), end)
 
     def close(self) -> None:
         """Close the underlying socket (idempotent)."""

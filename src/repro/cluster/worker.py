@@ -53,6 +53,7 @@ from repro.cluster.wire import (
     connect_channel,
 )
 from repro.errors import ClusterError
+from repro.obs.spans import SpanLog, span_to_wire
 from repro.runtime.trace import TraceRecorder
 
 #: Default seconds between heartbeat beacons.
@@ -105,8 +106,13 @@ def worker_main(
         resume_round = int(job_msg.fields.get("resume_round", 0))
         checkpoint_dir = Path(job_msg.fields["checkpoint_dir"])
         checkpoint_stem = str(job_msg.fields["checkpoint_stem"])
+        # Cross-process trace propagation: the supervisor mints one
+        # trace id per run and stamps it on the job; every done reply
+        # echoes it so any hop of the conversation can be correlated.
+        trace_id = str(job_msg.fields.get("trace_id", ""))
 
         trace = TraceRecorder()
+        span_log = SpanLog()
         engine = _build_engine(
             job, shard, resume_round, checkpoint_dir, checkpoint_stem, trace
         )
@@ -138,19 +144,35 @@ def worker_main(
                     f"worker {worker_id} cannot handle {message.kind!r}"
                 )
             round_index = int(message.fields["round"])
+            round_span = span_log.open(
+                "cluster-round", "cluster-round", 0,
+                {"round": round_index, "worker": worker_id,
+                 "frames_in": len(message.frames)},
+            )
             out_frames = engine.step_round(round_index, message.frames)
+            round_span.attrs["frames_out"] = len(out_frames)
+            span_log.close(round_span)
+            span_digest = [span_to_wire(r) for r in span_log.records]
+            span_log.records.clear()
             channel.send(
                 Message(
                     DONE,
                     {
                         "round": round_index,
                         "replay": bool(message.fields.get("replay", False)),
+                        "trace_id": trace_id,
+                        # Flow refinement: the obs phase of each emitted
+                        # frame, parallel to the frames list, so the
+                        # supervisor can charge its flow ledger with the
+                        # phase recorded at emit time.
+                        "phases": engine.last_phases,
                     },
                     frames=out_frames,
                     blob=Message.pack_payload(
                         {
                             "outputs": engine.outputs(),
                             "trace": trace.drain(),
+                            "spans": span_digest,
                         }
                     ),
                 )

@@ -62,8 +62,14 @@ class LintConfig:
     asy001_scopes: Tuple[str, ...] = ("runtime/", "cluster/", "serve/")
 
     #: OBS001: instrumented modules — every metrics charge they make
-    #: must happen under an active ``repro.obs`` phase span.
-    obs001_instrumented: Tuple[str, ...] = ("protocols/balanced_ba.py",)
+    #: must happen under an active ``repro.obs`` phase span.  The
+    #: cluster and gateway layers joined in PR 7: their data-plane
+    #: charges feed the flow ledger's per-phase cells, so an unspanned
+    #: charge there lands in ``(unattributed)`` and erodes the flow
+    #: coverage gate; genuine control-plane sites carry pragmas.
+    obs001_instrumented: Tuple[str, ...] = (
+        "protocols/balanced_ba.py", "cluster/", "serve/",
+    )
 
     #: SER001: wire modules — every top-level dataclass must have a
     #: registered encode/decode round-trip.

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set
 
 from repro.errors import NetworkError
+from repro.obs.flow import FUNCTIONALITY, FlowLedger, current_flow_tags
 from repro.obs.spans import UNATTRIBUTED, current_phase
 
 
@@ -59,6 +60,40 @@ class CommunicationMetrics:
         # identical aggregates — these dicts are pure side accounting.
         self._phase_bits: Dict[int, Dict[str, int]] = {}
         self._phase_messages: Dict[str, int] = {}
+        # The flow dimension (repro.obs.flow): every charge is refined
+        # into a (round, phase, src, dst, kind) cell when a ledger is
+        # attached.  Pure side accounting — aggregates never move.
+        self._flow: Optional[FlowLedger] = None
+
+    def __getstate__(self) -> Dict[str, object]:
+        # The attached flow ledger never pickles (it may hold an open
+        # spill file and live registry instruments); checkpoint resume
+        # re-attaches the caller's ledger and uses absorb_tally to keep
+        # flow parity (see repro.cluster.supervisor._load_state).
+        state = dict(self.__dict__)
+        state["_flow"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._flow = None
+
+    def attach_flow(self, ledger: Optional[FlowLedger]) -> None:
+        """Attach (or detach, with ``None``) a wire-level flow ledger.
+
+        Every subsequent :meth:`record_message` /
+        :meth:`charge_functionality` / :meth:`absorb_tally` is mirrored
+        into the ledger as traffic-matrix cells.  The flow phase is the
+        innermost obs span unless a :func:`repro.obs.flow.flow_tags`
+        override is active (replay backends re-attach recorded phases
+        that way); overrides never touch span attribution here.
+        """
+        self._flow = ledger
+
+    @property
+    def flow(self) -> Optional[FlowLedger]:
+        """The attached flow ledger, if any."""
+        return self._flow
 
     def _tally(self, party_id: int) -> PartyTally:
         tally = self._tallies.get(party_id)
@@ -90,6 +125,16 @@ class CommunicationMetrics:
         self._attribute(sender, phase, num_bits)
         self._attribute(recipient, phase, num_bits)
         self._phase_messages[phase] = self._phase_messages.get(phase, 0) + 1
+        if self._flow is not None:
+            tag_phase, tag_kind = current_flow_tags()
+            self._flow.charge(
+                round_index=len(self._round_bits),
+                phase=tag_phase or phase,
+                src=sender,
+                dst=recipient,
+                bits=num_bits,
+                kind=tag_kind or "wire",
+            )
 
     def charge_functionality(
         self,
@@ -151,6 +196,26 @@ class CommunicationMetrics:
             bits_per_party - bits_per_party // 2 for _ in participant_list
         )
         self.rounds_completed += rounds
+        if self._flow is not None:
+            # Flow refinement mirrors the tally split exactly: the sent
+            # half flows p -> FUNCTIONALITY, the received half flows
+            # FUNCTIONALITY -> p, so per-party flow side counters stay
+            # bit-identical to bits_sent / bits_received.
+            tag_phase, tag_kind = current_flow_tags()
+            flow_phase = tag_phase or phase
+            flow_kind = tag_kind or "hybrid"
+            round_index = len(self._round_bits)
+            sent_half = bits_per_party - bits_per_party // 2
+            recv_half = bits_per_party // 2
+            for party_id in participant_list:
+                self._flow.charge(
+                    round_index, flow_phase, party_id, FUNCTIONALITY,
+                    sent_half, kind=flow_kind,
+                )
+                self._flow.charge(
+                    round_index, flow_phase, FUNCTIONALITY, party_id,
+                    recv_half, kind=flow_kind,
+                )
 
     def end_round(self) -> None:
         """Close the current round's tally (called by the simulator)."""
@@ -181,6 +246,22 @@ class CommunicationMetrics:
         if tally.bits_total:
             phase = current_phase() or UNATTRIBUTED
             self._attribute(party_id, phase, tally.bits_total)
+            if self._flow is not None:
+                # Keep flow parity across checkpoint resume: the
+                # absorbed halves land on FUNCTIONALITY edges under the
+                # dedicated "absorbed" kind (resume provenance is not
+                # reconstructible per edge from a tally).
+                round_index = len(self._round_bits)
+                if tally.bits_sent:
+                    self._flow.charge(
+                        round_index, phase, party_id, FUNCTIONALITY,
+                        tally.bits_sent, kind="absorbed",
+                    )
+                if tally.bits_received:
+                    self._flow.charge(
+                        round_index, phase, FUNCTIONALITY, party_id,
+                        tally.bits_received, kind="absorbed",
+                    )
 
     # -- aggregate queries ----------------------------------------------------
 

@@ -22,6 +22,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from repro.errors import NetworkError
 from repro.net.metrics import CommunicationMetrics
 from repro.net.party import Envelope, Party
+from repro.obs.flow import flow_tags
 
 
 class SynchronousNetwork:
@@ -76,9 +77,19 @@ class SynchronousNetwork:
                     f"party {claimed_sender} exceeded its message budget "
                     f"of {self._budget}"
                 )
-        self.metrics.record_message(
-            envelope.sender, envelope.recipient, envelope.size_bits()
-        )
+        # Replayed envelopes (repro.runtime.replay.SizedEnvelope) carry
+        # the obs phase recorded at charge time; re-attach it for the
+        # flow ledger only — span attribution is the live stack's job.
+        envelope_phase = getattr(envelope, "phase", "")
+        if envelope_phase:
+            with flow_tags(phase=envelope_phase):
+                self.metrics.record_message(
+                    envelope.sender, envelope.recipient, envelope.size_bits()
+                )
+        else:
+            self.metrics.record_message(
+                envelope.sender, envelope.recipient, envelope.size_bits()
+            )
         self._pending[envelope.recipient].append(envelope)
 
     def run(self, max_rounds: int = 10_000) -> None:

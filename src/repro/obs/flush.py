@@ -1,0 +1,67 @@
+"""Atomic metrics flushing — the one ``--metrics-out`` implementation.
+
+Three CLI surfaces flush a Prometheus text snapshot on exit (``serve
+run``, ``cluster run``/``bench``, ``runtime``).  They historically each
+did a bare ``write_text``, which can leave a half-written file when the
+process dies mid-flush — exactly the moment a post-mortem needs the
+file.  This module is the single shared path: render the registry,
+append the flow-ledger summary (when one is attached) as Prometheus
+comment lines, and publish the file atomically (tmp + fsync +
+``os.replace``), so a scraper or CI artifact collector never observes a
+torn snapshot.
+
+The flow summary rides along as ``# repro-flow {...}`` comment lines —
+legal in the text exposition format (scrapers ignore comments), and
+greppable by humans and the CI artifact checks without a second file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Optional
+
+#: Prefix of the flow-summary comment line appended to flushed snapshots.
+FLOW_COMMENT_PREFIX = "# repro-flow "
+
+
+def write_atomic_text(path: Path, text: str) -> Path:
+    """Durably publish ``text`` at ``path`` (tmp + fsync + replace)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temp = path.with_name(path.name + ".tmp")
+    with temp.open("w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, path)
+    return path
+
+
+def render_snapshot(registry: Any, flow: Optional[Any] = None) -> str:
+    """The flushable snapshot body: exposition text + flow comment."""
+    body: str = registry.render()
+    if flow is not None:
+        summary = json.dumps(
+            flow.summary(), sort_keys=True, separators=(",", ":")
+        )
+        if body and not body.endswith("\n"):
+            body += "\n"
+        body += FLOW_COMMENT_PREFIX + summary + "\n"
+    return body
+
+
+def flush_metrics_file(
+    path: Path, registry: Any, flow: Optional[Any] = None
+) -> Path:
+    """Atomically write one metrics snapshot (plus flow summary)."""
+    return write_atomic_text(path, render_snapshot(registry, flow))
+
+
+def read_flow_summary(path: Path) -> Optional[Any]:
+    """Parse the flow summary back out of a flushed snapshot file."""
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        if line.startswith(FLOW_COMMENT_PREFIX):
+            return json.loads(line[len(FLOW_COMMENT_PREFIX):])
+    return None

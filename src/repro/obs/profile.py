@@ -1,0 +1,194 @@
+"""Opt-in phase-scoped profiling: cProfile + tracemalloc per span.
+
+The span machinery (:mod:`repro.obs.spans`) already brackets every
+protocol phase; this module piggybacks on the collector seam to answer
+*why is this phase slow / fat* without touching protocol code:
+:class:`PhaseProfiler` implements the same ``open``/``close`` duck type
+as :class:`~repro.obs.spans.SpanLog`, so installing it is one line ::
+
+    profiler = PhaseProfiler(phases={"srds-aggregate"}, memory=True)
+    with recording(profiler):
+        run_balanced_ba(...)
+    print(profiler.render())
+
+Per selected phase it accumulates a :mod:`cProfile` run (function-level
+CPU attribution) and — with ``memory=True`` — the :mod:`tracemalloc`
+peak over the span.  Profiling is strictly observational and **off by
+default** everywhere: the hooks cost nothing unless a profiler is
+installed, and the deterministic span/flow artifacts never include
+profile numbers (wall clocks don't reproduce).
+
+cProfile cannot nest: when spans nest inside an already-profiled phase,
+the inner spans are counted (calls) but not re-profiled — their cost is
+already inside the outer profile.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+#: How many hot functions :meth:`PhaseProfiler.render` shows per phase.
+TOP_FUNCTIONS = 10
+
+
+@dataclass
+class PhaseProfile:
+    """Accumulated profile of one phase name."""
+
+    name: str
+    calls: int = 0
+    profiled_calls: int = 0
+    cpu_seconds: float = 0.0
+    function_calls: int = 0
+    peak_bytes: int = 0
+    stats: Optional[pstats.Stats] = None
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "calls": self.calls,
+            "profiled_calls": self.profiled_calls,
+            "cpu_seconds": round(self.cpu_seconds, 6),
+            "function_calls": self.function_calls,
+            "peak_bytes": self.peak_bytes,
+        }
+
+
+@dataclass
+class _OpenSpan:
+    """What :meth:`PhaseProfiler.open` hands back to ``span()``."""
+
+    name: str
+    profile: Optional[cProfile.Profile] = None
+    memory_before: int = 0
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+
+class PhaseProfiler:
+    """A span collector that profiles the phases it watches.
+
+    ``phases=None`` profiles every span name; pass a set to narrow to
+    the suspects (profiling is not free — narrow when measuring).
+    ``memory=True`` additionally starts :mod:`tracemalloc` for the
+    profiler's lifetime and records each phase's allocation peak.
+    """
+
+    def __init__(
+        self,
+        phases: Optional[Set[str]] = None,
+        memory: bool = False,
+    ) -> None:
+        self.phases = set(phases) if phases is not None else None
+        self.memory = memory
+        self.profiles: Dict[str, PhaseProfile] = {}
+        self._active_profile: Optional[cProfile.Profile] = None
+        self._started_tracemalloc = False
+        if memory and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracemalloc = True
+
+    # -- the SpanLog collector duck type -------------------------------------
+
+    def open(self, name: str, path: str, depth: int,
+             attrs: Dict[str, Any]) -> _OpenSpan:
+        del path, depth
+        record = _OpenSpan(name=name, attrs=dict(attrs))
+        entry = self.profiles.setdefault(name, PhaseProfile(name=name))
+        entry.calls += 1
+        if self._watching(name) and self._active_profile is None:
+            profile = cProfile.Profile()
+            try:
+                profile.enable()
+            except ValueError:
+                # Another profiler (pytest-cov, an outer PhaseProfiler)
+                # owns the hook: count the span, skip the profile.
+                return record
+            record.profile = profile
+            self._active_profile = profile
+            if self.memory and tracemalloc.is_tracing():
+                tracemalloc.reset_peak()
+                record.memory_before = tracemalloc.get_traced_memory()[0]
+        return record
+
+    def close(self, record: _OpenSpan) -> None:
+        if record.profile is None:
+            return
+        record.profile.disable()
+        self._active_profile = None
+        entry = self.profiles[record.name]
+        entry.profiled_calls += 1
+        stats = pstats.Stats(record.profile)
+        entry.cpu_seconds += stats.total_tt  # type: ignore[attr-defined]
+        entry.function_calls += stats.total_calls  # type: ignore[attr-defined]
+        if entry.stats is None:
+            entry.stats = stats
+        else:
+            entry.stats.add(record.profile)
+        if self.memory and tracemalloc.is_tracing():
+            entry.peak_bytes = max(
+                entry.peak_bytes, tracemalloc.get_traced_memory()[1]
+            )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def stop(self) -> None:
+        """Release tracemalloc if this profiler started it (idempotent)."""
+        if self._started_tracemalloc and tracemalloc.is_tracing():
+            tracemalloc.stop()
+        self._started_tracemalloc = False
+
+    # -- queries -------------------------------------------------------------
+
+    def _watching(self, name: str) -> bool:
+        return self.phases is None or name in self.phases
+
+    def summary(self) -> List[Dict[str, Any]]:
+        """Per-phase rollups, heaviest CPU first (deterministic ties)."""
+        return [
+            entry.to_wire()
+            for entry in sorted(
+                self.profiles.values(),
+                key=lambda item: (-item.cpu_seconds, item.name),
+            )
+        ]
+
+    def render(self, top: int = TOP_FUNCTIONS) -> str:
+        """Human-readable report: rollup + hottest functions per phase."""
+        lines: List[str] = []
+        for entry in sorted(
+            self.profiles.values(),
+            key=lambda item: (-item.cpu_seconds, item.name),
+        ):
+            lines.append(
+                f"{entry.name}: calls={entry.calls} "
+                f"profiled={entry.profiled_calls} "
+                f"cpu={entry.cpu_seconds:.4f}s "
+                f"funcs={entry.function_calls}"
+                + (
+                    f" peak={entry.peak_bytes / 1024:.1f}KiB"
+                    if self.memory
+                    else ""
+                )
+            )
+            if entry.stats is not None and entry.profiled_calls:
+                buffer = io.StringIO()
+                entry.stats.stream = buffer  # type: ignore[attr-defined]
+                entry.stats.sort_stats("cumulative").print_stats(top)
+                body = buffer.getvalue().splitlines()
+                # Drop the pstats banner; keep the table.
+                table = [
+                    line for line in body
+                    if line.strip()
+                    and not line.lstrip().startswith("Ordered by")
+                    and not line.lstrip().startswith("List reduced")
+                    and "function calls" not in line
+                ]
+                lines.extend("  " + line for line in table[:top + 1])
+        if not lines:
+            lines.append("no phases profiled")
+        return "\n".join(lines)

@@ -1,0 +1,219 @@
+"""The bench regression gate: ``obs diff`` against committed baselines.
+
+Every benchmark in this repo writes a ``repro-bench/1`` record
+(:mod:`repro.obs.bench`).  The committed copies under
+``benchmarks/results/`` are the *baselines*: the bit counts in them are
+deterministic functions of the seeds, so any drift is a real behavioral
+change — a protocol edit that moved the paper's headline metric, or an
+accounting bug.  Wall-clock numbers, by contrast, are hostage to the
+machine that ran them.  The gate therefore splits verdicts:
+
+* **hard failures** — any integer field of ``snapshot`` or any
+  ``total_bits`` / ``max_bits_per_party`` / ``messages`` / ``parties``
+  in ``phase_breakdown`` that differs at all (these are bit counts and
+  structural counts: exactly reproducible, tolerance zero);
+* **warnings** — ``wall_times`` entries that regressed by more than
+  ``wall_tolerance`` (fractional; default +50%), and fields present on
+  one side only.  Warnings never affect the exit code.
+
+:func:`diff_bench` compares two loaded payloads, :func:`diff_dirs`
+pairs ``BENCH_*.json`` files across two directories, and
+``python -m repro obs diff`` turns the result into an exit status:
+nonzero iff any hard failure anywhere.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.obs.bench import load_bench_json
+
+#: ``snapshot`` keys gated exactly (ints; floats are derived from them).
+HARD_SNAPSHOT_KEYS = (
+    "total_bits",
+    "max_bits_per_party",
+    "max_locality",
+    "max_messages_per_party",
+    "rounds",
+    "num_parties",
+)
+
+#: ``phase_breakdown`` per-phase keys gated exactly.
+HARD_PHASE_KEYS = ("total_bits", "max_bits_per_party", "messages", "parties")
+
+#: Default wall-clock regression threshold (fraction of the baseline).
+WALL_TOLERANCE = 0.5
+
+
+@dataclass
+class BenchDiff:
+    """The verdict of comparing one fresh record to its baseline."""
+
+    name: str
+    hard_failures: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.hard_failures
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "ok": self.ok,
+            "hard_failures": list(self.hard_failures),
+            "warnings": list(self.warnings),
+        }
+
+
+def diff_bench(
+    baseline: Dict[str, Any],
+    fresh: Dict[str, Any],
+    wall_tolerance: float = WALL_TOLERANCE,
+) -> BenchDiff:
+    """Compare one fresh ``repro-bench/1`` payload against its baseline."""
+    name = str(fresh.get("name") or baseline.get("name") or "?")
+    diff = BenchDiff(name=name)
+
+    base_snap = baseline.get("snapshot") or {}
+    fresh_snap = fresh.get("snapshot") or {}
+    for key in HARD_SNAPSHOT_KEYS:
+        base_value = base_snap.get(key)
+        fresh_value = fresh_snap.get(key)
+        if base_value is None and fresh_value is None:
+            continue
+        if base_value is None or fresh_value is None:
+            diff.warnings.append(
+                f"snapshot.{key}: present on one side only "
+                f"(baseline={base_value!r}, fresh={fresh_value!r})"
+            )
+            continue
+        if base_value != fresh_value:
+            diff.hard_failures.append(
+                f"snapshot.{key}: baseline {base_value} != fresh "
+                f"{fresh_value}"
+            )
+
+    base_phases = baseline.get("phase_breakdown") or {}
+    fresh_phases = fresh.get("phase_breakdown") or {}
+    for phase in sorted(set(base_phases) | set(fresh_phases)):
+        if phase not in base_phases or phase not in fresh_phases:
+            diff.warnings.append(
+                f"phase {phase!r}: present only in "
+                f"{'fresh' if phase in fresh_phases else 'baseline'}"
+            )
+            continue
+        for key in HARD_PHASE_KEYS:
+            base_value = base_phases[phase].get(key)
+            fresh_value = fresh_phases[phase].get(key)
+            if base_value != fresh_value:
+                diff.hard_failures.append(
+                    f"phase {phase!r}.{key}: baseline {base_value} "
+                    f"!= fresh {fresh_value}"
+                )
+
+    base_walls = baseline.get("wall_times") or {}
+    fresh_walls = fresh.get("wall_times") or {}
+    for label in sorted(set(base_walls) | set(fresh_walls)):
+        base_value = base_walls.get(label)
+        fresh_value = fresh_walls.get(label)
+        if not isinstance(base_value, (int, float)) or not isinstance(
+            fresh_value, (int, float)
+        ):
+            continue  # null / missing walls carry no signal
+        if base_value > 0 and fresh_value > base_value * (
+            1.0 + wall_tolerance
+        ):
+            diff.warnings.append(
+                f"wall {label}: {fresh_value:.3f}s is "
+                f"{fresh_value / base_value:.2f}x the baseline "
+                f"{base_value:.3f}s (warn-only)"
+            )
+    return diff
+
+
+def diff_files(
+    baseline_path: Union[str, Path],
+    fresh_path: Union[str, Path],
+    wall_tolerance: float = WALL_TOLERANCE,
+) -> BenchDiff:
+    """Compare two on-disk records."""
+    return diff_bench(
+        load_bench_json(baseline_path),
+        load_bench_json(fresh_path),
+        wall_tolerance=wall_tolerance,
+    )
+
+
+def pair_bench_files(
+    baseline_dir: Union[str, Path], fresh_dir: Union[str, Path]
+) -> List[Tuple[str, Optional[Path], Optional[Path]]]:
+    """Match ``BENCH_*.json`` files by name across two directories."""
+    baseline_dir, fresh_dir = Path(baseline_dir), Path(fresh_dir)
+    names: Dict[str, List[Optional[Path]]] = {}
+    for index, directory in enumerate((baseline_dir, fresh_dir)):
+        if not directory.is_dir():
+            continue
+        for path in sorted(directory.glob("BENCH_*.json")):
+            slot = names.setdefault(path.stem[len("BENCH_"):], [None, None])
+            slot[index] = path
+    return [
+        (name, pair[0], pair[1]) for name, pair in sorted(names.items())
+    ]
+
+
+def diff_dirs(
+    baseline_dir: Union[str, Path],
+    fresh_dir: Union[str, Path],
+    wall_tolerance: float = WALL_TOLERANCE,
+) -> List[BenchDiff]:
+    """Gate every fresh record in a directory against its baseline.
+
+    A fresh record with no committed baseline (or vice versa) is a
+    warning-only entry — new benchmarks must not fail the gate, and a
+    retired one is visible without blocking.
+    """
+    results: List[BenchDiff] = []
+    for name, baseline_path, fresh_path in pair_bench_files(
+        baseline_dir, fresh_dir
+    ):
+        if baseline_path is None or fresh_path is None:
+            side = "baseline" if baseline_path is None else "fresh copy"
+            results.append(BenchDiff(
+                name=name, warnings=[f"no {side} for BENCH_{name}.json"]
+            ))
+            continue
+        results.append(
+            diff_files(baseline_path, fresh_path, wall_tolerance)
+        )
+    return results
+
+
+def render_diffs(results: List[BenchDiff]) -> str:
+    """Human-readable multi-line summary of a gate run."""
+    lines: List[str] = []
+    for result in results:
+        verdict = "ok" if result.ok else "FAIL"
+        lines.append(f"{result.name}: {verdict}")
+        for failure in result.hard_failures:
+            lines.append(f"  HARD {failure}")
+        for warning in result.warnings:
+            lines.append(f"  warn {warning}")
+    if not results:
+        lines.append("no benchmark records to compare")
+    return "\n".join(lines)
+
+
+def diffs_to_json(results: List[BenchDiff]) -> str:
+    """The machine-readable gate verdict (one JSON document)."""
+    return json.dumps(
+        {
+            "ok": all(result.ok for result in results),
+            "results": [result.to_wire() for result in results],
+        },
+        sort_keys=True,
+        indent=2,
+    ) + "\n"

@@ -159,6 +159,7 @@ def run_balanced_ba_runtime(
     transport: Union[str, Transport] = "local",
     fault_plan: Optional[FaultPlan] = None,
     trace: Optional[TraceRecorder] = None,
+    metrics: Optional[CommunicationMetrics] = None,
 ):
     """π_ba with its wire traffic shipped over a runtime transport.
 
@@ -167,7 +168,8 @@ def run_balanced_ba_runtime(
     reference snapshot are untouched).  Phase 2 replays the recorded
     wire traffic as :class:`ReplayParty` machines over the requested
     transport, with the hybrid-model charges applied verbatim, charging
-    a fresh ledger at the transport layer.
+    a fresh ledger at the transport layer (or the caller's ``metrics``,
+    so a flow ledger / registry can observe the wire traffic).
 
     If the fault plan requests within-round reordering, the protocol is
     additionally executed with a permuted delivery order at every point
@@ -194,7 +196,9 @@ def run_balanced_ba_runtime(
     script = recorder.script()
 
     n = len(inputs)
-    runtime_metrics = CommunicationMetrics()
+    runtime_metrics = metrics if metrics is not None else (
+        CommunicationMetrics()
+    )
     parties = build_replay_parties(script, n)
     runtime_result = run_parties(
         parties,

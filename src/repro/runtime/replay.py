@@ -34,19 +34,37 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.errors import NetworkError
 from repro.net.metrics import CommunicationMetrics
 from repro.net.party import Envelope, Party
+from repro.obs.flow import flow_tags
+from repro.obs.spans import current_phase
 
 
 @dataclass(frozen=True)
 class FuncOp:
-    """One recorded ``charge_functionality`` invocation."""
+    """One recorded ``charge_functionality`` invocation.
+
+    ``phase`` is the obs span that was active at record time; replaying
+    re-attaches it as a flow-ledger tag (span attribution itself follows
+    whatever spans the replaying context has open, exactly as before).
+    """
 
     participants: Tuple[int, ...]
     bits_per_party: int
     peers_per_party: int
     rounds: int
     peer_pool: Optional[Tuple[int, ...]]
+    phase: str = ""
 
     def apply(self, metrics: CommunicationMetrics) -> None:
+        if self.phase:
+            with flow_tags(phase=self.phase):
+                metrics.charge_functionality(
+                    self.participants,
+                    self.bits_per_party,
+                    self.peers_per_party,
+                    rounds=self.rounds,
+                    peer_pool=self.peer_pool,
+                )
+            return
         metrics.charge_functionality(
             self.participants,
             self.bits_per_party,
@@ -58,10 +76,18 @@ class FuncOp:
 
 @dataclass
 class ReplaySegment:
-    """One replay round: per-sender wire sends plus attached hybrid ops."""
+    """One replay round: per-sender wire sends plus attached hybrid ops.
+
+    ``tags`` is a parallel structure to ``sends``: ``tags[sender][i]``
+    is the obs phase active when ``sends[sender][i]`` was recorded (an
+    empty string when no span was open).  It is optional — scripts built
+    by hand (tests) may omit it, and replay then leaves flow attribution
+    to the replaying context.
+    """
 
     sends: Dict[int, List[Tuple[int, int]]] = field(default_factory=dict)
     funcs: List[FuncOp] = field(default_factory=list)
+    tags: Dict[int, List[str]] = field(default_factory=dict)
 
     @property
     def num_messages(self) -> int:
@@ -117,6 +143,9 @@ class RecordingLedger(CommunicationMetrics):
         self._current.sends.setdefault(sender, []).append(
             (recipient, num_bits)
         )
+        self._current.tags.setdefault(sender, []).append(
+            current_phase() or ""
+        )
 
     def charge_functionality(
         self,
@@ -142,6 +171,7 @@ class RecordingLedger(CommunicationMetrics):
                 peers_per_party=peers_per_party,
                 rounds=rounds,
                 peer_pool=tuple(pool) if pool is not None else None,
+                phase=current_phase() or "",
             )
         )
 
@@ -166,9 +196,13 @@ class SizedEnvelope(Envelope):
     The payload is zero-filled filler of ``ceil(bits / 8)`` bytes; the
     ledger charge is the recorded ``bits`` (which for π_ba's wire
     messages is always a byte multiple, so filler and charge agree).
+    ``phase`` carries the obs span recorded at charge time so
+    flow-ledger attribution survives the replay (transports read it
+    with ``getattr``; plain envelopes simply have none).
     """
 
     bits: int = 0
+    phase: str = ""
 
     def size_bits(self) -> int:
         return self.bits
@@ -182,13 +216,24 @@ class ReplayParty(Party):
         party_id: int,
         per_round_sends: Sequence[Sequence[Tuple[int, int]]],
         total_rounds: int,
+        per_round_tags: Optional[Sequence[Sequence[str]]] = None,
     ) -> None:
         super().__init__(party_id)
         if len(per_round_sends) > total_rounds:
             raise NetworkError("send schedule longer than the replay run")
         self._sends = [list(round_sends) for round_sends in per_round_sends]
+        self._tags = (
+            [list(round_tags) for round_tags in per_round_tags]
+            if per_round_tags is not None else None
+        )
         self._total_rounds = total_rounds
         self.received_bits = 0
+
+    def _tag(self, round_index: int, send_index: int) -> str:
+        if self._tags is None or round_index >= len(self._tags):
+            return ""
+        round_tags = self._tags[round_index]
+        return round_tags[send_index] if send_index < len(round_tags) else ""
 
     def step(self, round_index: int, inbox: Sequence[Envelope]) -> List[Envelope]:
         self.received_bits += sum(e.size_bits() for e in inbox)
@@ -202,8 +247,11 @@ class ReplayParty(Party):
                 recipient=recipient,
                 payload=bytes((bits + 7) // 8),
                 bits=bits,
+                phase=self._tag(round_index, index),
             )
-            for recipient, bits in self._sends[round_index]
+            for index, (recipient, bits) in enumerate(
+                self._sends[round_index]
+            )
         ]
 
 
@@ -217,6 +265,9 @@ def build_replay_parties(script: ReplayScript, n: int) -> List[ReplayParty]:
     per_party: Dict[int, List[List[Tuple[int, int]]]] = {
         party: [[] for _ in range(total)] for party in range(n)
     }
+    per_party_tags: Dict[int, List[List[str]]] = {
+        party: [[] for _ in range(total)] for party in range(n)
+    }
     for index, segment in enumerate(script.segments):
         for sender, sends in segment.sends.items():
             if sender not in per_party:
@@ -224,8 +275,12 @@ def build_replay_parties(script: ReplayScript, n: int) -> List[ReplayParty]:
                     f"script references party {sender} outside range({n})"
                 )
             per_party[sender][index] = list(sends)
+            per_party_tags[sender][index] = list(
+                segment.tags.get(sender, [])
+            )
     return [
-        ReplayParty(party, per_party[party], total) for party in range(n)
+        ReplayParty(party, per_party[party], total, per_party_tags[party])
+        for party in range(n)
     ]
 
 

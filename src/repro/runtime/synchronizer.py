@@ -34,6 +34,7 @@ from repro.errors import NetworkError
 from repro.net.metrics import CommunicationMetrics
 from repro.net.party import Envelope, Party
 from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import current_phase
 from repro.runtime import trace as trace_mod
 from repro.runtime.faults import FaultPlan
 from repro.runtime.trace import TraceRecorder
@@ -258,6 +259,10 @@ class RoundSynchronizer:
             # carry an exact analytic bit count.
             charge_bits=envelope.size_bits(),
             seq=seq,
+            # Flow attribution: replayed envelopes carry the phase that
+            # was active at record time; live protocol envelopes get the
+            # span open right now.
+            phase=getattr(envelope, "phase", "") or (current_phase() or ""),
         )
         self._trace(
             sender,

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.errors import NetworkError
 from repro.net.bind import start_asyncio_server
 from repro.net.metrics import CommunicationMetrics
+from repro.obs.flow import flow_tags
 from repro.obs.registry import MetricsRegistry
 from repro.utils.randomness import Randomness
 
@@ -54,6 +55,11 @@ class Frame:
     bit counts that are not byte multiples.
     ``seq`` is the per-sender emission sequence number; together with the
     sender id it defines the canonical (simulator-identical) inbox order.
+    ``phase`` is the obs span active when the frame was shipped — pure
+    flow-ledger attribution metadata: it rides the wire (so attribution
+    survives the TCP transport's cross-task delivery) but is **never**
+    part of ``charge_bits``, which stays exactly the analytic size the
+    protocol declared.
     """
 
     sender: int
@@ -63,6 +69,7 @@ class Frame:
     deliver_round: int = 1
     charge_bits: int = -1
     seq: int = 0
+    phase: str = ""
 
     def bits(self) -> int:
         """Bits charged to the ledger for this frame."""
@@ -70,10 +77,16 @@ class Frame:
 
     def encode(self) -> bytes:
         """Length-prefixed wire encoding (used by :class:`TcpTransport`)."""
-        body = _HEADER.pack(
-            _TYPE_DATA, self.sender, self.recipient, self.sent_round,
-            self.deliver_round, self.bits(),
-        ) + _LENGTH.pack(self.seq) + self.payload
+        phase_bytes = self.phase.encode("utf-8")
+        body = (
+            _HEADER.pack(
+                _TYPE_DATA, self.sender, self.recipient, self.sent_round,
+                self.deliver_round, self.bits(),
+            )
+            + _LENGTH.pack(self.seq)
+            + _LENGTH.pack(len(phase_bytes)) + phase_bytes
+            + self.payload
+        )
         if len(body) > _MAX_FRAME:
             raise NetworkError(f"frame exceeds {_MAX_FRAME} bytes")
         return _LENGTH.pack(len(body)) + body
@@ -81,17 +94,22 @@ class Frame:
     @staticmethod
     def decode(body: bytes) -> "Frame":
         """Inverse of :meth:`encode` (without the length prefix)."""
-        if len(body) < _HEADER.size + _LENGTH.size:
+        if len(body) < _HEADER.size + 2 * _LENGTH.size:
             raise NetworkError("short frame")
         kind, sender, recipient, sent, deliver, charge = _HEADER.unpack_from(body)
         if kind != _TYPE_DATA:
             raise NetworkError(f"unexpected frame type {kind}")
         (seq,) = _LENGTH.unpack_from(body, _HEADER.size)
-        payload = body[_HEADER.size + _LENGTH.size:]
+        (phase_len,) = _LENGTH.unpack_from(body, _HEADER.size + _LENGTH.size)
+        phase_start = _HEADER.size + 2 * _LENGTH.size
+        if len(body) < phase_start + phase_len:
+            raise NetworkError("short frame (truncated phase)")
+        phase = body[phase_start:phase_start + phase_len].decode("utf-8")
+        payload = body[phase_start + phase_len:]
         return Frame(
             sender=sender, recipient=recipient, payload=payload,
             sent_round=sent, deliver_round=deliver, charge_bits=charge,
-            seq=seq,
+            seq=seq, phase=phase,
         )
 
 
@@ -214,7 +232,13 @@ class Transport(abc.ABC):
         """Accept a frame at its destination and charge the ledger."""
         if frame.recipient not in self._arrived:
             raise NetworkError(f"unknown recipient {frame.recipient}")
-        self.metrics.record_message(frame.sender, frame.recipient, frame.bits())
+        # Flow-ledger refinement: runtime traffic is frame-shaped; the
+        # phase stamped at ship time rides the frame so it survives the
+        # TCP transport's cross-task (cross-contextvar) delivery.
+        with flow_tags(phase=frame.phase or None, kind="frame"):
+            self.metrics.record_message(
+                frame.sender, frame.recipient, frame.bits()
+            )
         self._arrived[frame.recipient].append(frame)
         self._delivered += 1
         if self._registry is not None:

@@ -5,10 +5,14 @@ Subcommands::
     serve run [--host H] [--port P] [--max-sessions K]
               [--retry-after S] [--drain-deadline S] [--cache-entries N]
               [--metrics-out FILE] [--port-file FILE]
+              [--flow-cells N] [--flow-out FILE]
         Run the agreement-as-a-service gateway until SIGTERM/SIGINT (or
         a client ``shutdown`` op), then drain gracefully and exit 0.
         ``--port 0`` (default) binds an OS-assigned port; ``--port-file``
         publishes whatever port was bound for scripts to discover.
+        ``--flow-out`` enables the wire-level flow ledger and writes its
+        ``repro-flow/1`` report on shutdown; ``--metrics-out`` flushes
+        atomically and carries the flow summary as a comment line.
 
     serve client <op> --port P [--host H] [op-specific flags]
         One-shot NDJSON client.  Ops: ping, submit (--n --scheme --seed
@@ -56,6 +60,15 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--cache-entries", type=int, default=8)
     run.add_argument("--metrics-out", type=Path, default=None)
     run.add_argument("--port-file", type=Path, default=None)
+    run.add_argument(
+        "--flow-cells", type=int, default=0,
+        help="enable the wire-level flow ledger with this cell capacity",
+    )
+    run.add_argument(
+        "--flow-out", type=Path, default=None,
+        help="write the final repro-flow/1 report here on shutdown "
+             "(implies the flow ledger)",
+    )
 
     client = sub.add_parser("client", help="one-shot NDJSON client")
     client.add_argument(
@@ -110,6 +123,8 @@ def _cmd_run(ns: argparse.Namespace) -> int:
         cache_entries=ns.cache_entries,
         metrics_out=ns.metrics_out,
         port_file=ns.port_file,
+        flow_cells=ns.flow_cells,
+        flow_out=ns.flow_out,
     )
     return asyncio.run(run_gateway(config))
 

@@ -21,6 +21,7 @@ process exit 0.
 from __future__ import annotations
 
 import asyncio
+import json
 import os
 import signal
 from dataclasses import dataclass
@@ -29,7 +30,10 @@ from typing import Any, Dict, Optional
 
 from repro.errors import GatewayError
 from repro.net.bind import bound_port, start_asyncio_server
+from repro.obs.flow import FlowLedger
+from repro.obs.flush import flush_metrics_file, write_atomic_text
 from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import SpanLog
 from repro.serve import wire
 from repro.serve.sessions import SessionManager
 from repro.serve.setup_cache import SetupCache
@@ -50,12 +54,23 @@ class GatewayConfig:
     cache_entries: int = 8
     metrics_out: Optional[Path] = None
     port_file: Optional[Path] = None
+    #: Flow-ledger capacity; 0 disables wire-level flow accounting.
+    flow_cells: int = 0
+    #: Where to write the final ``repro-flow/1`` report (implies a
+    #: default ``flow_cells`` when left at 0).
+    flow_out: Optional[Path] = None
 
     def __post_init__(self) -> None:
         if self.max_sessions < 1:
             raise GatewayError("max_sessions must be at least 1")
         if self.drain_deadline <= 0:
             raise GatewayError("drain_deadline must be positive")
+        if self.flow_cells < 0:
+            raise GatewayError("flow_cells cannot be negative")
+
+    @property
+    def flow_enabled(self) -> bool:
+        return self.flow_cells > 0 or self.flow_out is not None
 
 
 def _http_response(status: str, body: str) -> bytes:
@@ -80,6 +95,20 @@ class GatewayServer:
     ) -> None:
         self.config = config
         self.registry = registry if registry is not None else MetricsRegistry()
+        self.flow: Optional[FlowLedger] = None
+        self.span_log: Optional[SpanLog] = None
+        if manager is None and config.flow_enabled:
+            spill = (
+                config.flow_out.with_name(config.flow_out.name + ".spill.jsonl")
+                if config.flow_out is not None
+                else None
+            )
+            self.flow = FlowLedger(
+                max_cells=config.flow_cells or 65536,
+                spill_path=spill,
+                registry=self.registry,
+            )
+            self.span_log = SpanLog()
         self.manager = manager if manager is not None else SessionManager(
             max_sessions=config.max_sessions,
             retry_after=config.retry_after,
@@ -87,6 +116,8 @@ class GatewayServer:
                 max_entries=config.cache_entries, registry=self.registry
             ),
             registry=self.registry,
+            flow=self.flow,
+            span_log=self.span_log,
         )
         self.port: Optional[int] = None
         self._server: Optional[asyncio.base_events.Server] = None
@@ -151,9 +182,21 @@ class GatewayServer:
         self._stopped.set()
 
     def flush_metrics(self) -> None:
-        """Write the final Prometheus snapshot, if an outfile was given."""
+        """Flush the final snapshot (and flow report) atomically."""
         if self.config.metrics_out is not None:
-            self.config.metrics_out.write_text(self.registry.render())
+            flush_metrics_file(
+                self.config.metrics_out, self.registry, flow=self.flow
+            )
+        if self.config.flow_out is not None and self.flow is not None:
+            name = self.config.flow_out.stem
+            if name.startswith("FLOW_"):
+                name = name[len("FLOW_"):]
+            payload = self.flow.report(name)
+            self.flow.close()
+            write_atomic_text(
+                self.config.flow_out,
+                json.dumps(payload, sort_keys=True, indent=2) + "\n",
+            )
 
     async def serve_until_stopped(self) -> int:
         """Block until shutdown completes; the process exit status."""

@@ -26,13 +26,16 @@ from __future__ import annotations
 import asyncio
 import threading
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import GatewayError
 from repro.net.adversary import random_corruption
 from repro.net.metrics import CommunicationMetrics
+from repro.obs.flow import FlowLedger, flow_tags
 from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import SpanLog, recording
 from repro.params import ProtocolParameters
 from repro.protocols.balanced_ba import run_balanced_ba
 from repro.protocols.cost_model import pi_ba_per_party_budget
@@ -143,13 +146,24 @@ def _probe_base_signature_bytes(spec: SessionSpec, material: Any) -> int:
     return 0
 
 
-def run_decision(spec: SessionSpec, lease: SetupLease) -> Dict[str, Any]:
+def run_decision(
+    spec: SessionSpec,
+    lease: SetupLease,
+    flow: Optional[FlowLedger] = None,
+    span_log: Optional[SpanLog] = None,
+) -> Dict[str, Any]:
     """Execute one pi_ba decision for a spec over a setup lease.
 
     Seed derivation mirrors the one-shot drivers exactly: everything
     descends from ``Randomness(spec.seed)`` via stateless forks, so the
     decision — outputs *and* per-party bit tallies — is a pure function
     of the spec regardless of cache state.
+
+    ``flow``, when given, receives every charge of the decision as
+    traffic-matrix cells under ``kind="session"`` (the gateway's wire in
+    the flow ledger); ``span_log`` collects the protocol's phase spans
+    for the sessions track of a merged timeline.  Neither changes the
+    decision or its tallies.
     """
     params = ProtocolParameters()
     rng = Randomness(spec.seed)
@@ -157,11 +171,19 @@ def run_decision(spec: SessionSpec, lease: SetupLease) -> Dict[str, Any]:
         spec.n, params.max_corruptions(spec.n), rng.fork("c")
     )
     metrics = CommunicationMetrics()
-    result = run_balanced_ba(
-        make_inputs(spec), plan, lease.scheme, params, rng.fork("session"),
-        metrics=metrics,
-        setup_provider=lease.provider,
-    )
+    if flow is not None:
+        metrics.attach_flow(flow)
+    with ExitStack() as stack:
+        if span_log is not None:
+            stack.enter_context(recording(span_log))
+        if flow is not None:
+            stack.enter_context(flow_tags(kind="session"))
+        result = run_balanced_ba(
+            make_inputs(spec), plan, lease.scheme, params,
+            rng.fork("session"),
+            metrics=metrics,
+            setup_provider=lease.provider,
+        )
     per_party_bits = {
         str(party): metrics.tally_of(party).bits_total
         for party in sorted(metrics.party_ids)
@@ -200,12 +222,32 @@ def one_shot_reference(spec: SessionSpec) -> Dict[str, Any]:
 DecisionRunner = Callable[[SessionSpec, SetupLease], Dict[str, Any]]
 
 
+def flow_decision_runner(
+    flow: Optional[FlowLedger], span_log: Optional[SpanLog] = None
+) -> DecisionRunner:
+    """Bind :func:`run_decision` to a shared flow ledger (and span log).
+
+    The returned runner has the plain :data:`DecisionRunner` signature,
+    so the :class:`SessionManager` plumbing is unchanged; the ledger
+    accumulates across every decision of every session it serves.
+    """
+
+    def runner(spec: SessionSpec, lease: SetupLease) -> Dict[str, Any]:
+        return run_decision(spec, lease, flow=flow, span_log=span_log)
+
+    return runner
+
+
 @dataclass
 class SessionRecord:
     """One admitted session's lifecycle state."""
 
     session_id: str
     spec: SessionSpec
+    #: Client-supplied (or gateway-minted) trace id — echoed on every
+    #: response about this session, correlating client, gateway, and
+    #: timeline artifacts.
+    trace_id: str = ""
     state: str = "running"  # running | done | failed | cancelled
     error: Optional[str] = None
     result: Optional[Dict[str, Any]] = None
@@ -223,6 +265,8 @@ class SessionRecord:
             "spec": self.spec.to_wire(),
             "decisions_completed": self.decisions_completed,
         }
+        if self.trace_id:
+            payload["trace"] = self.trace_id
         if self.error is not None:
             payload["error"] = self.error
         return payload
@@ -246,14 +290,28 @@ class SessionManager:
         retry_after: float = 0.5,
         cache: Optional[SetupCache] = None,
         registry: Optional[MetricsRegistry] = None,
-        decision_runner: DecisionRunner = run_decision,
+        decision_runner: Optional[DecisionRunner] = None,
         executor_workers: Optional[int] = None,
+        flow: Optional[FlowLedger] = None,
+        span_log: Optional[SpanLog] = None,
     ) -> None:
         if max_sessions < 1:
             raise GatewayError("max_sessions must be at least 1")
         self.max_sessions = max_sessions
         self._base_retry_after = retry_after
         self.registry = registry
+        # Flow observability: when a ledger is given (and no custom
+        # runner overrides it), every decision's charges land in it
+        # under kind="session"; the span log collects the phase spans
+        # for the merged timeline's sessions track.
+        self.flow = flow
+        self.span_log = span_log
+        if decision_runner is None:
+            decision_runner = (
+                flow_decision_runner(flow, span_log)
+                if flow is not None or span_log is not None
+                else run_decision
+            )
         self.cache = cache if cache is not None else SetupCache(
             registry=registry
         )
@@ -334,7 +392,18 @@ class SessionManager:
                 retry_after=self.retry_after_hint(),
             )
         self._next_id += 1
-        record = SessionRecord(session_id=f"s-{self._next_id}", spec=spec)
+        # Cross-process trace propagation: a client may stamp its own
+        # trace id on the submit; otherwise the gateway mints a
+        # deterministic one from the session counter and spec.
+        trace = payload.get("trace")
+        trace_id = (
+            str(trace)
+            if isinstance(trace, str) and trace
+            else f"gateway-s{self._next_id}-{spec.workload}-n{spec.n}"
+        )
+        record = SessionRecord(
+            session_id=f"s-{self._next_id}", spec=spec, trace_id=trace_id
+        )
         self._records[record.session_id] = record
         self._active += 1
         if self._admitted_counter is not None:
@@ -347,6 +416,7 @@ class SessionManager:
             session=record.session_id,
             state=record.state,
             setup_key=spec.setup_key(),
+            trace=record.trace_id,
         )
 
     # -- execution ----------------------------------------------------------
@@ -460,7 +530,7 @@ class SessionManager:
         by_state: Dict[str, int] = {}
         for record in self._records.values():
             by_state[record.state] = by_state.get(record.state, 0) + 1
-        return wire.ok(
+        payload = wire.ok(
             admitting=self._admitting,
             active=self._active,
             max_sessions=self.max_sessions,
@@ -468,6 +538,9 @@ class SessionManager:
             setup_cache=self.cache.stats(),
             retry_after=self.retry_after_hint(),
         )
+        if self.flow is not None:
+            payload["flow"] = self.flow.summary()
+        return payload
 
     def cancel(self, session_id: str) -> Dict[str, Any]:
         record = self._record_or_none(session_id)

@@ -1,0 +1,110 @@
+"""Cluster flow + trace propagation: parity, determinism, merged view.
+
+These spawn real worker OS processes, so they carry the ``cluster``
+marker (CI's dedicated job runs them; tier-1 skips them).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster.drivers import make_scheme, run_balanced_ba_cluster
+from repro.cluster.supervisor import ClusterConfig, worker_pseudo_id
+from repro.net.adversary import random_corruption
+from repro.obs.flow import INFRA, FlowLedger
+from repro.obs.merge import cluster_tracks, dump_span_dir, export_merged_trace
+from repro.obs.timeline import validate_trace_events
+from repro.params import ProtocolParameters
+from repro.utils.randomness import Randomness
+
+pytestmark = pytest.mark.cluster
+
+N = 8
+WORKERS = 2
+
+
+def _run(flow=None, trace_id=""):
+    params = ProtocolParameters()
+    rng = Randomness(2021)
+    plan = random_corruption(N, params.max_corruptions(N), rng.fork("c"))
+    inputs = {i: i % 2 for i in range(N)}
+    config = ClusterConfig(
+        num_workers=WORKERS, flow=flow, trace_id=trace_id
+    )
+    return run_balanced_ba_cluster(
+        inputs, plan, make_scheme("snark"), params, rng.fork("run"),
+        config=config,
+    )
+
+
+class TestFlowThroughCluster:
+    def test_parity_coverage_and_control_plane(self, tmp_path):
+        flow = FlowLedger(spill_path=tmp_path / "spill.jsonl")
+        ba_result, cluster_result = _run(flow=flow)
+        assert ba_result.agreement
+        # Exact parity: flow side counters == supervisor ledger tallies.
+        assert flow.verify_against(cluster_result.metrics) == []
+        # Every data-plane bit carries a real phase (the workers ship
+        # per-frame phases home; hybrid charges replay recorded phases).
+        assert flow.coverage() == 1.0
+        kinds = flow.by_kind()
+        assert "frame" in kinds and "hybrid" in kinds
+        # Control traffic is metered on ctl:* kinds, off the data plane.
+        ctl = {k for k in kinds if k.startswith("ctl:")}
+        assert {"ctl:hello", "ctl:job", "ctl:round", "ctl:done"} <= ctl
+        assert flow.control_bits > 0
+        # Control endpoints are pseudo ids, never real parties.
+        assert INFRA not in flow.party_bits()
+        assert worker_pseudo_id(0) not in flow.party_bits()
+        flow.close()
+
+    def test_srds_aggregate_dominates(self):
+        flow = FlowLedger()
+        _run(flow=flow)
+        by_phase = flow.by_phase()
+        assert max(by_phase, key=by_phase.get) == "srds-aggregate"
+
+
+class TestTracePropagation:
+    def test_trace_id_minted_deterministically_and_echoed(self):
+        _, result = _run()
+        assert result.trace_id == f"pi-ba-replay-n{N}-w{WORKERS}"
+        _, pinned = _run(trace_id="custom-trace")
+        assert pinned.trace_id == "custom-trace"
+
+    def test_supervisor_and_worker_tracks(self):
+        _, result = _run()
+        assert result.supervisor_spans, "supervisor recorded no spans"
+        assert set(result.worker_spans) == set(range(WORKERS))
+        assert all(result.worker_spans.values())
+        names = {r.name for r in result.supervisor_spans}
+        assert "supervisor-round" in names
+        for records in result.worker_spans.values():
+            assert "cluster-round" in {r.name for r in records}
+            # Per-track ticks stay monotone across per-round drains.
+            ticks = [r.start_tick for r in records]
+            assert ticks == sorted(ticks)
+
+    def test_merged_export_byte_identical_across_seeded_runs(self, tmp_path):
+        paths = []
+        for index in range(2):
+            _, result = _run()
+            tracks = cluster_tracks(result)
+            dump_span_dir(
+                tmp_path / f"spans-{index}", result.trace_id, tracks
+            )
+            paths.append(export_merged_trace(
+                tmp_path / f"merged-{index}.json", tracks, result.trace_id
+            ))
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+        document = json.loads(paths[0].read_text())
+        validate_trace_events(document["traceEvents"])
+        slices = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        # Supervisor and each worker land on distinct tracks (pids),
+        # all labeled with the one shared trace id.
+        assert {e["pid"] for e in slices} == {0, 1, 2}
+        assert {e["args"]["trace_id"] for e in slices} == {
+            f"pi-ba-replay-n{N}-w{WORKERS}"
+        }

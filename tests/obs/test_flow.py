@@ -1,0 +1,227 @@
+"""FlowLedger: cells, tags, eviction/spill, parity with the metrics ledger."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.metrics import CommunicationMetrics, PartyTally
+from repro.obs.flow import (
+    FLOW_SCHEMA,
+    FUNCTIONALITY,
+    INFRA,
+    FlowLedger,
+    current_flow_tags,
+    flow_tags,
+    load_flow_json,
+    load_spill,
+    write_flow_json,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import UNATTRIBUTED, span
+
+
+class TestCharge:
+    def test_cells_accumulate_and_order_hottest_first(self):
+        flow = FlowLedger()
+        flow.charge(0, "setup", 1, 2, 100, kind="wire")
+        flow.charge(0, "setup", 1, 2, 50, kind="wire")
+        flow.charge(1, "boost", 3, 4, 700, kind="frame")
+        cells = flow.cells()
+        assert [(c.bits, c.frames) for c in cells] == [(700, 1), (150, 2)]
+        assert cells[0].kind == "frame"
+        assert flow.top(1)[0].phase == "boost"
+
+    def test_aggregates(self):
+        flow = FlowLedger()
+        flow.charge(0, "a", 1, 2, 10)
+        flow.charge(2, "b", 2, 1, 30)
+        flow.charge(0, "", 1, 2, 5)
+        assert flow.by_phase() == {"a": 10, "b": 30, UNATTRIBUTED: 5}
+        assert flow.by_kind() == {"wire": 45}
+        assert flow.party_bits()[1] == {
+            "sent": 15, "received": 30, "total": 45,
+        }
+        assert flow.data_bits == 45
+        assert flow.coverage() == pytest.approx(40 / 45)
+
+    def test_control_kind_excluded_from_data_plane(self):
+        flow = FlowLedger()
+        flow.charge(0, "(control)", INFRA, -10, 999, kind="ctl:job")
+        flow.charge(0, "p", 0, 1, 8)
+        assert flow.data_bits == 8
+        assert flow.control_bits == 999
+        assert flow.coverage() == 1.0  # control bits never dilute coverage
+        assert flow.party_bits() == {
+            0: {"sent": 8, "received": 0, "total": 8},
+            1: {"sent": 0, "received": 8, "total": 8},
+        }
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FlowLedger().charge(0, "p", 0, 1, -1)
+
+    def test_tiny_max_cells_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FlowLedger(max_cells=8)
+
+
+class TestFlowTags:
+    def test_default_no_override(self):
+        assert current_flow_tags() == (None, None)
+
+    def test_nesting_inherits_outer_values(self):
+        with flow_tags(phase="outer", kind="frame"):
+            with flow_tags(kind="session"):
+                assert current_flow_tags() == ("outer", "session")
+            assert current_flow_tags() == ("outer", "frame")
+        assert current_flow_tags() == (None, None)
+
+    def test_override_beats_span_for_flow_but_not_span_attribution(self):
+        metrics = CommunicationMetrics()
+        flow = FlowLedger()
+        metrics.attach_flow(flow)
+        with span("real-phase"):
+            with flow_tags(phase="replayed-phase", kind="frame"):
+                metrics.record_message(0, 1, 64)
+        # Span attribution (the existing goldens) sees the real span...
+        assert metrics.bits_by_phase(0) == {"real-phase": 64}
+        # ...while the flow cell carries the override.
+        (cell,) = flow.cells()
+        assert (cell.phase, cell.kind) == ("replayed-phase", "frame")
+
+
+class TestEviction:
+    def test_eviction_spills_coldest_and_keeps_aggregates_exact(self, tmp_path):
+        spill = tmp_path / "spill.jsonl"
+        flow = FlowLedger(max_cells=16, spill_path=spill)
+        # 17 distinct cells with distinct sizes: inserting the 17th
+        # evicts a batch of the coldest cells.
+        for i in range(17):
+            flow.charge(i, "p", 0, 1, (i + 1) * 8)
+        assert len(flow.cells()) <= 16
+        assert flow.evicted_cells > 0
+        spilled = load_spill(spill)
+        assert len(spilled) == flow.evicted_cells
+        # The evicted cells are the coldest ones.
+        live_min = min(c.bits for c in flow.cells())
+        assert all(c.bits <= live_min for c in spilled)
+        # Aggregates and side counters never lose evicted bits.
+        total = sum((i + 1) * 8 for i in range(17))
+        assert flow.by_phase() == {"p": total}
+        assert flow.party_bits()[0]["sent"] == total
+        assert flow.data_bits == total
+        flow.close()
+
+    def test_eviction_is_deterministic(self):
+        def run():
+            flow = FlowLedger(max_cells=16)
+            for i in range(40):
+                flow.charge(i % 5, f"phase-{i % 3}", i % 7, (i + 1) % 7,
+                            (i * 37) % 256)
+            return ([c.to_wire() for c in flow.cells()],
+                    flow.evicted_cells, flow.evicted_bits)
+
+        assert run() == run()
+
+
+class TestMetricsParity:
+    def test_record_message_parity(self):
+        metrics = CommunicationMetrics()
+        flow = FlowLedger()
+        metrics.attach_flow(flow)
+        metrics.record_message(0, 1, 100)
+        metrics.record_message(1, 2, 36)
+        metrics.end_round()
+        metrics.record_message(2, 0, 7)
+        assert flow.verify_against(metrics) == []
+        # Round refinement: post-end_round charges land in round 1.
+        assert {c.round for c in flow.cells()} == {0, 1}
+
+    def test_charge_functionality_halves_keep_parity(self):
+        metrics = CommunicationMetrics()
+        flow = FlowLedger()
+        metrics.attach_flow(flow)
+        with span("srds-aggregate"):
+            metrics.charge_functionality([0, 1, 2], 33, 2)
+        assert flow.verify_against(metrics) == []
+        kinds = {c.kind for c in flow.cells()}
+        assert kinds == {"hybrid"}
+        # Sent half 17 (p -> F), received half 16 (F -> p).
+        sent = [c for c in flow.cells() if c.dst == FUNCTIONALITY]
+        recv = [c for c in flow.cells() if c.src == FUNCTIONALITY]
+        assert {c.bits for c in sent} == {17}
+        assert {c.bits for c in recv} == {16}
+
+    def test_absorb_tally_keeps_parity(self):
+        metrics = CommunicationMetrics()
+        flow = FlowLedger()
+        metrics.attach_flow(flow)
+        tally = PartyTally(bits_sent=120, bits_received=80,
+                           messages_sent=3, messages_received=2)
+        metrics.absorb_tally(5, tally)
+        assert flow.verify_against(metrics) == []
+        assert {c.kind for c in flow.cells()} == {"absorbed"}
+
+    def test_verify_reports_mismatch(self):
+        metrics = CommunicationMetrics()
+        flow = FlowLedger()
+        metrics.record_message(0, 1, 50)  # flow not attached: no mirror
+        problems = flow.verify_against(metrics)
+        assert len(problems) == 2
+        assert any("party 0" in p and "sent" in p for p in problems)
+
+    def test_pickled_metrics_drop_flow(self):
+        import pickle
+
+        metrics = CommunicationMetrics()
+        flow = FlowLedger(registry=MetricsRegistry())
+        metrics.attach_flow(flow)
+        metrics.record_message(0, 1, 10)
+        clone = pickle.loads(pickle.dumps(metrics))
+        assert clone.flow is None
+        assert clone.tally_of(0).bits_sent == 10
+
+
+class TestRegistryInstruments:
+    def test_flow_bytes_and_histogram_series(self):
+        registry = MetricsRegistry()
+        flow = FlowLedger(registry=registry)
+        flow.charge(0, "boost", 0, 1, 800, kind="frame")
+        text = registry.render()
+        assert "repro_flow_bytes_total" in text
+        assert 'phase="boost"' in text
+        assert "repro_flow_frame_bits" in text
+
+
+class TestReports:
+    def test_report_round_trip(self, tmp_path):
+        metrics = CommunicationMetrics()
+        flow = FlowLedger()
+        metrics.attach_flow(flow)
+        with span("p"):
+            metrics.record_message(0, 1, 40)
+        payload = flow.report("unit", metrics=metrics, extra={"n": 2})
+        assert payload["schema"] == FLOW_SCHEMA
+        assert payload["parity_with_metrics"] is True
+        assert payload["coverage"] == 1.0
+        assert payload["n"] == 2
+        path = write_flow_json(tmp_path, payload)
+        assert path.name == "FLOW_unit.json"
+        assert load_flow_json(path)["total_bits"] == 40
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "FLOW_bad.json"
+        path.write_text(json.dumps({"schema": "nope"}))
+        with pytest.raises(ConfigurationError):
+            load_flow_json(path)
+
+    def test_summary_shape(self):
+        flow = FlowLedger()
+        flow.charge(0, "p", 0, 1, 8)
+        summary = flow.summary()
+        assert summary["data_bits"] == 8
+        assert summary["by_phase"] == {"p": 8}
+        assert summary["coverage"] == 1.0

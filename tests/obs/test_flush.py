@@ -1,0 +1,59 @@
+"""The shared --metrics-out flush: atomicity, flow summary comment."""
+
+from __future__ import annotations
+
+from repro.obs.flow import FlowLedger
+from repro.obs.flush import (
+    FLOW_COMMENT_PREFIX,
+    flush_metrics_file,
+    read_flow_summary,
+    render_snapshot,
+    write_atomic_text,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+class TestWriteAtomicText:
+    def test_creates_parents_and_replaces(self, tmp_path):
+        target = tmp_path / "deep" / "dir" / "out.txt"
+        write_atomic_text(target, "one\n")
+        write_atomic_text(target, "two\n")
+        assert target.read_text() == "two\n"
+
+    def test_leaves_no_temp_file(self, tmp_path):
+        target = tmp_path / "out.txt"
+        write_atomic_text(target, "x")
+        assert list(tmp_path.iterdir()) == [target]
+
+
+class TestSnapshot:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_unit_total", "unit").inc()
+        return registry
+
+    def test_without_flow_is_plain_exposition(self):
+        body = render_snapshot(self._registry())
+        assert "repro_unit_total" in body
+        assert FLOW_COMMENT_PREFIX not in body
+
+    def test_flow_summary_rides_as_comment(self, tmp_path):
+        flow = FlowLedger()
+        flow.charge(0, "boost", 0, 1, 80)
+        path = flush_metrics_file(
+            tmp_path / "metrics.prom", self._registry(), flow=flow
+        )
+        text = path.read_text()
+        assert "repro_unit_total" in text
+        comment_lines = [
+            line for line in text.splitlines()
+            if line.startswith(FLOW_COMMENT_PREFIX)
+        ]
+        assert len(comment_lines) == 1
+        summary = read_flow_summary(path)
+        assert summary["data_bits"] == 80
+        assert summary["by_phase"] == {"boost": 80}
+
+    def test_read_flow_summary_absent(self, tmp_path):
+        path = flush_metrics_file(tmp_path / "m.prom", self._registry())
+        assert read_flow_summary(path) is None

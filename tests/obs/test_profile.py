@@ -1,0 +1,116 @@
+"""PhaseProfiler: span-collector duck type, selection, nesting, memory."""
+
+from __future__ import annotations
+
+from repro.obs.profile import PhaseProfiler
+from repro.obs.spans import recording, span
+
+
+def _busy():
+    return sum(i * i for i in range(2000))
+
+
+class TestSelection:
+    def test_watches_all_by_default(self):
+        profiler = PhaseProfiler()
+        try:
+            with recording(profiler):
+                with span("alpha"):
+                    _busy()
+                with span("beta"):
+                    _busy()
+        finally:
+            profiler.stop()
+        assert set(profiler.profiles) == {"alpha", "beta"}
+        assert profiler.profiles["alpha"].profiled_calls == 1
+        assert profiler.profiles["alpha"].function_calls > 0
+
+    def test_narrowed_phases_still_count_unwatched_spans(self):
+        profiler = PhaseProfiler(phases={"alpha"})
+        try:
+            with recording(profiler):
+                with span("alpha"):
+                    _busy()
+                with span("beta"):
+                    _busy()
+        finally:
+            profiler.stop()
+        assert profiler.profiles["alpha"].profiled_calls == 1
+        beta = profiler.profiles["beta"]
+        assert beta.calls == 1
+        assert beta.profiled_calls == 0
+
+    def test_repeat_calls_accumulate(self):
+        profiler = PhaseProfiler(phases={"alpha"})
+        try:
+            with recording(profiler):
+                for _ in range(3):
+                    with span("alpha"):
+                        _busy()
+        finally:
+            profiler.stop()
+        entry = profiler.profiles["alpha"]
+        assert entry.calls == 3
+        assert entry.profiled_calls == 3
+
+
+class TestNesting:
+    def test_inner_span_counted_not_reprofiled(self):
+        # cProfile cannot nest: the inner span's cost already sits in
+        # the outer profile, so only the call is counted.
+        profiler = PhaseProfiler()
+        try:
+            with recording(profiler):
+                with span("outer"):
+                    with span("inner"):
+                        _busy()
+        finally:
+            profiler.stop()
+        assert profiler.profiles["outer"].profiled_calls == 1
+        inner = profiler.profiles["inner"]
+        assert inner.calls == 1
+        assert inner.profiled_calls == 0
+
+
+class TestMemory:
+    def test_peak_bytes_recorded(self):
+        profiler = PhaseProfiler(phases={"alloc"}, memory=True)
+        try:
+            with recording(profiler):
+                with span("alloc"):
+                    blob = [bytes(4096) for _ in range(64)]
+                    del blob
+        finally:
+            profiler.stop()
+        assert profiler.profiles["alloc"].peak_bytes > 0
+
+    def test_stop_is_idempotent(self):
+        profiler = PhaseProfiler(memory=True)
+        profiler.stop()
+        profiler.stop()
+
+
+class TestReporting:
+    def _profiled(self):
+        profiler = PhaseProfiler()
+        try:
+            with recording(profiler):
+                with span("alpha"):
+                    _busy()
+        finally:
+            profiler.stop()
+        return profiler
+
+    def test_summary_shape(self):
+        (entry,) = self._profiled().summary()
+        assert entry["name"] == "alpha"
+        assert entry["profiled_calls"] == 1
+        assert entry["cpu_seconds"] >= 0
+
+    def test_render_names_hot_functions(self):
+        text = self._profiled().render(top=3)
+        assert "alpha:" in text
+        assert "cumtime" in text  # the pstats table survived filtering
+
+    def test_render_empty(self):
+        assert PhaseProfiler().render() == "no phases profiled"

@@ -1,0 +1,172 @@
+"""The bench regression gate: exact bit gating, warn-only wall clocks."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+from repro.obs.bench import bench_payload, write_bench_json
+from repro.obs.regression import (
+    BenchDiff,
+    diff_bench,
+    diff_dirs,
+    diff_files,
+    diffs_to_json,
+    pair_bench_files,
+    render_diffs,
+)
+
+
+def _payload(**overrides):
+    base = bench_payload(
+        "unit",
+        snapshot={
+            "total_bits": 1000, "max_bits_per_party": 100,
+            "max_locality": 5, "max_messages_per_party": 20,
+            "rounds": 9, "num_parties": 8,
+        },
+        phase_breakdown={
+            "srds-aggregate": {
+                "total_bits": 800, "max_bits_per_party": 80,
+                "messages": 12, "parties": 8,
+            },
+        },
+        wall_times={"run": 1.0},
+    )
+    base.update(overrides)
+    return base
+
+
+class TestDiffBench:
+    def test_identical_is_ok(self):
+        diff = diff_bench(_payload(), _payload())
+        assert diff.ok
+        assert diff.hard_failures == []
+        assert diff.warnings == []
+
+    def test_bit_drift_is_hard_failure(self):
+        fresh = _payload()
+        fresh["snapshot"]["total_bits"] = 1100  # +10%
+        fresh["phase_breakdown"]["srds-aggregate"]["total_bits"] = 880
+        diff = diff_bench(_payload(), fresh)
+        assert not diff.ok
+        assert len(diff.hard_failures) == 2
+        assert any("snapshot.total_bits" in f for f in diff.hard_failures)
+        assert any("srds-aggregate" in f for f in diff.hard_failures)
+
+    def test_any_drift_fails_even_one_bit(self):
+        fresh = _payload()
+        fresh["snapshot"]["max_bits_per_party"] = 101
+        assert not diff_bench(_payload(), fresh).ok
+
+    def test_wall_regression_is_warn_only(self):
+        fresh = _payload()
+        fresh["wall_times"]["run"] = 1.9  # 1.9x > 1.5x tolerance
+        diff = diff_bench(_payload(), fresh)
+        assert diff.ok
+        assert len(diff.warnings) == 1
+        assert "warn-only" in diff.warnings[0]
+
+    def test_wall_within_tolerance_is_silent(self):
+        fresh = _payload()
+        fresh["wall_times"]["run"] = 1.4
+        assert diff_bench(_payload(), fresh).warnings == []
+
+    def test_wall_tolerance_configurable(self):
+        fresh = _payload()
+        fresh["wall_times"]["run"] = 1.2
+        assert diff_bench(_payload(), fresh, wall_tolerance=0.1).warnings
+
+    def test_one_sided_snapshot_key_warns_not_fails(self):
+        fresh = _payload()
+        del fresh["snapshot"]["max_locality"]
+        diff = diff_bench(_payload(), fresh)
+        assert diff.ok
+        assert any("one side only" in w for w in diff.warnings)
+
+    def test_one_sided_phase_warns_not_fails(self):
+        fresh = _payload()
+        fresh["phase_breakdown"]["new-phase"] = copy.deepcopy(
+            fresh["phase_breakdown"]["srds-aggregate"]
+        )
+        diff = diff_bench(_payload(), fresh)
+        assert diff.ok
+        assert any("new-phase" in w for w in diff.warnings)
+
+    def test_null_walls_carry_no_signal(self):
+        base = _payload()
+        base["wall_times"]["run"] = None
+        assert diff_bench(base, _payload()).warnings == []
+
+
+class TestDirs:
+    def _write(self, directory, payload):
+        return write_bench_json(directory, payload)
+
+    def test_pairing_and_gate(self, tmp_path):
+        base_dir = tmp_path / "base"
+        fresh_dir = tmp_path / "fresh"
+        self._write(base_dir, _payload())
+        self._write(fresh_dir, _payload())
+        self._write(fresh_dir, _payload(name="only_fresh"))
+        pairs = pair_bench_files(base_dir, fresh_dir)
+        assert [name for name, _, _ in pairs] == ["only_fresh", "unit"]
+        results = diff_dirs(base_dir, fresh_dir)
+        assert all(r.ok for r in results)
+        missing = next(r for r in results if r.name == "only_fresh")
+        assert "no baseline" in missing.warnings[0]
+
+    def test_diff_files(self, tmp_path):
+        a = self._write(tmp_path, _payload())
+        fresh = _payload()
+        fresh["snapshot"]["rounds"] = 10
+        b = write_bench_json(tmp_path / "f", fresh)
+        assert not diff_files(a, b).ok
+
+
+class TestRendering:
+    def test_render_and_json(self):
+        results = [
+            BenchDiff(name="ok_one"),
+            BenchDiff(name="bad", hard_failures=["snapshot.x: 1 != 2"],
+                      warnings=["wall y"]),
+        ]
+        text = render_diffs(results)
+        assert "ok_one: ok" in text
+        assert "bad: FAIL" in text
+        assert "HARD snapshot.x" in text
+        document = json.loads(diffs_to_json(results))
+        assert document["ok"] is False
+        assert len(document["results"]) == 2
+
+    def test_render_empty(self):
+        assert "no benchmark records" in render_diffs([])
+
+
+class TestCli:
+    def test_exit_codes(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        base_dir = tmp_path / "base"
+        fresh_dir = tmp_path / "fresh"
+        write_bench_json(base_dir, _payload())
+        write_bench_json(fresh_dir, _payload())
+        assert main(
+            ["obs", "diff", str(base_dir), str(fresh_dir)]
+        ) == 0
+        regressed = _payload()
+        regressed["snapshot"]["total_bits"] = 1100
+        write_bench_json(fresh_dir, regressed)
+        assert main(
+            ["obs", "diff", str(base_dir), str(fresh_dir)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "HARD" in out
+
+    def test_usage_errors(self, tmp_path):
+        from repro.__main__ import main
+
+        assert main(["obs", "diff"]) == 2
+        assert main(
+            ["obs", "diff", str(tmp_path), str(tmp_path / "nope")]
+        ) == 2
