@@ -14,6 +14,11 @@ inside one interpreter.  The layer is built from:
 * :mod:`repro.cluster.wire` — the supervisor⇄worker control channel:
   length-prefixed messages whose frame batches reuse the *existing*
   :class:`repro.runtime.transport.Frame` wire format;
+* :mod:`repro.cluster.meshwire` / :mod:`repro.cluster.mesh` — the
+  worker⇄worker data plane: a compact struct-packed frame-train codec
+  and the direct TCP mesh router that carries it (the default
+  ``data_plane="mesh"``; the supervisor relay remains as
+  ``data_plane="relay"``);
 * :mod:`repro.cluster.job` — the serializable job description workers
   rebuild their party shard from;
 * :mod:`repro.cluster.worker` / :mod:`repro.cluster.supervisor` — the
@@ -44,6 +49,7 @@ from repro.cluster.supervisor import ClusterConfig, ClusterResult, ClusterSuperv
 from repro.cluster.drivers import (
     run_balanced_ba_cluster,
     run_cluster_bench,
+    run_gradecast_cluster,
     run_phase_king_cluster,
 )
 
@@ -59,6 +65,7 @@ __all__ = [
     "resume_shard_locally",
     "run_balanced_ba_cluster",
     "run_cluster_bench",
+    "run_gradecast_cluster",
     "run_phase_king_cluster",
     "run_shard_locally",
     "save_checkpoint",

@@ -22,11 +22,12 @@ multi-process substrate:
 from __future__ import annotations
 
 import dataclasses
+import os
 import time
 from pathlib import Path
 from typing import Any, Dict, Optional, Sequence, Tuple
 
-from repro.cluster.job import phase_king_job, replay_job
+from repro.cluster.job import gradecast_job, phase_king_job, replay_job
 from repro.cluster.supervisor import (
     ClusterConfig,
     ClusterResult,
@@ -72,6 +73,39 @@ def run_phase_king_cluster(
     """
     job = phase_king_job(
         inputs, byzantine, checkpoint_interval=checkpoint_interval
+    )
+    supervisor = ClusterSupervisor(
+        job, _config(config, num_workers), run_dir=run_dir
+    )
+    result = supervisor.run(resume=resume)
+    outputs = {
+        member: result.outputs[member] for member in job.target_ids()
+    }
+    return outputs, result
+
+
+def run_gradecast_cluster(
+    n: int,
+    sender: int,
+    value: int,
+    byzantine: Sequence[int] = (),
+    *,
+    num_workers: int = 2,
+    checkpoint_interval: int = 8,
+    config: Optional[ClusterConfig] = None,
+    run_dir: Optional[Path] = None,
+    resume: bool = False,
+) -> Tuple[Dict[int, Any], ClusterResult]:
+    """Gradecast sharded across worker processes.
+
+    Returns ``(honest_outputs, cluster_result)`` — honest outputs are
+    ``(value, grade)`` pairs matching
+    :func:`repro.protocols.gradecast.run_gradecast` on the same
+    configuration.
+    """
+    job = gradecast_job(
+        n, sender, value, byzantine,
+        checkpoint_interval=checkpoint_interval,
     )
     supervisor = ClusterSupervisor(
         job, _config(config, num_workers), run_dir=run_dir
@@ -165,15 +199,25 @@ def run_cluster_bench(
     checkpoint_interval: int = 8,
     results_dir: Optional[Path] = None,
     config: Optional[ClusterConfig] = None,
+    data_planes: Sequence[str] = ("mesh", "relay"),
+    bench_name: str = "cluster",
 ) -> Dict[str, Any]:
     """1-vs-k-worker wall clock for π_ba, with differential parity.
 
     Records π_ba once (hybrid model), then executes the *same* replay
     script single-process (``run_parties``, the parity reference) and at
-    each requested worker count.  Every cluster run must reproduce the
-    reference outputs, ``max_bits_per_party``, and full per-party
-    tallies.  Returns the ``repro-bench/1`` payload (written as
-    ``BENCH_cluster.json`` when ``results_dir`` is given).
+    each requested worker count on each requested data plane.  Every
+    cluster run must reproduce the reference outputs,
+    ``max_bits_per_party``, and full per-party tallies — the mesh and
+    the legacy relay charge *identical* ledgers, so their parity blocks
+    must both read all-true.
+
+    Wall-time keys: the mesh rides under the historical
+    ``cluster_{k}_workers`` names (it is the default data plane — the
+    regression gate compares like against like across commits); the
+    relay's timings land under ``relay_{k}_workers``.  Returns the
+    ``repro-bench/1`` payload (written as ``BENCH_<bench_name>.json``
+    when ``results_dir`` is given).
     """
     from repro.net.adversary import random_corruption
     from repro.params import ProtocolParameters
@@ -204,39 +248,46 @@ def run_cluster_bench(
     apply_func_ops(script, ref_metrics)
 
     parity: Dict[str, Any] = {}
-    restarts: Dict[str, int] = {}
+    restarts: Dict[str, Any] = {}
     last_metrics = ref_metrics
-    for workers in worker_counts:
-        job = replay_job(
-            script,
-            n,
-            name=f"pi-ba-bench-{workers}w",
-            checkpoint_interval=checkpoint_interval,
-        )
-        run_config = dataclasses.replace(
-            config if config is not None else ClusterConfig(),
-            num_workers=workers,
-        )
-        supervisor = ClusterSupervisor(job, run_config)
-        started = clock()
-        result = supervisor.run()
-        wall_times[f"cluster_{workers}_workers"] = clock() - started
-        apply_func_ops(script, result.metrics)
-        parity[str(workers)] = {
-            "outputs": result.outputs == ref_result.outputs,
-            "max_bits_per_party": (
-                result.metrics.max_bits_per_party
-                == ref_metrics.max_bits_per_party
-            ),
-            "tallies": tallies_equal(
-                result.metrics, ref_metrics, range(n)
-            ),
-        }
-        restarts[str(workers)] = result.restarts
-        last_metrics = result.metrics
+    for plane in data_planes:
+        prefix = "cluster" if plane == "mesh" else plane
+        plane_parity: Dict[str, Any] = {}
+        plane_restarts: Dict[str, int] = {}
+        for workers in worker_counts:
+            job = replay_job(
+                script,
+                n,
+                name=f"pi-ba-bench-{plane}-{workers}w",
+                checkpoint_interval=checkpoint_interval,
+            )
+            run_config = dataclasses.replace(
+                config if config is not None else ClusterConfig(),
+                num_workers=workers,
+                data_plane=plane,
+            )
+            supervisor = ClusterSupervisor(job, run_config)
+            started = clock()
+            result = supervisor.run()
+            wall_times[f"{prefix}_{workers}_workers"] = clock() - started
+            apply_func_ops(script, result.metrics)
+            plane_parity[str(workers)] = {
+                "outputs": result.outputs == ref_result.outputs,
+                "max_bits_per_party": (
+                    result.metrics.max_bits_per_party
+                    == ref_metrics.max_bits_per_party
+                ),
+                "tallies": tallies_equal(
+                    result.metrics, ref_metrics, range(n)
+                ),
+            }
+            plane_restarts[str(workers)] = result.restarts
+            last_metrics = result.metrics
+        parity[plane] = plane_parity
+        restarts[plane] = plane_restarts
 
     payload = bench_payload(
-        "cluster",
+        bench_name,
         snapshot=last_metrics.snapshot(),
         phase_breakdown=last_metrics.phase_breakdown(),
         wall_times=wall_times,
@@ -245,9 +296,14 @@ def run_cluster_bench(
             "scheme": scheme_name,
             "seed": seed,
             "worker_counts": list(worker_counts),
+            "data_planes": list(data_planes),
             "checkpoint_interval": checkpoint_interval,
             "replay_rounds": script.num_rounds,
             "replay_messages": script.num_messages,
+            # Wall-time context: k workers only beat 1 when the host
+            # actually grants k cores; on a 1-core box the multi-worker
+            # cells measure pure process overhead.
+            "cpus_available": len(os.sched_getaffinity(0)),
             "parity": parity,
             "restarts": restarts,
             "reference_agreement": reference.agreement,

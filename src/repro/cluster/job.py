@@ -149,6 +149,40 @@ def phase_king_parties(
     return parties
 
 
+def gradecast_parties(
+    n: int,
+    sender: int,
+    value: int,
+    byzantine: Sequence[int] = (),
+) -> List[Party]:
+    """The four-round gradecast primitive over ``range(n)``.
+
+    Mirrors :func:`repro.protocols.gradecast.run_gradecast`'s honest
+    construction: byzantine parties are silent, the designated sender
+    carries the input value, everyone else grades what they hear.
+    """
+    from repro.net.party import SilentParty
+    from repro.protocols.gradecast import GradecastParty
+
+    members = list(range(n))
+    if sender not in members:
+        raise ClusterError(f"gradecast sender {sender} not in range({n})")
+    byzantine_set = set(byzantine)
+    t = max(1, (n - 1) // 3)
+    parties: List[Party] = []
+    for member in members:
+        if member in byzantine_set:
+            parties.append(SilentParty(member))
+        else:
+            parties.append(
+                GradecastParty(
+                    member, members, t, sender,
+                    sender_value=value if member == sender else None,
+                )
+            )
+    return parties
+
+
 def replay_script_parties(n: int, script) -> List[Party]:
     """π_ba's recorded wire schedule as replay machines.
 
@@ -182,6 +216,33 @@ def phase_king_job(
         args={"inputs": dict(inputs), "byzantine": tuple(byzantine)},
         until=honest,
         max_rounds=3 * (f + 2) + 3,
+        checkpoint_interval=checkpoint_interval,
+    )
+
+
+def gradecast_job(
+    n: int,
+    sender: int,
+    value: int,
+    byzantine: Sequence[int] = (),
+    *,
+    name: str = "gradecast",
+    checkpoint_interval: int = 8,
+) -> ClusterJob:
+    """Convenience constructor for a gradecast cluster job."""
+    byzantine_set = set(byzantine)
+    honest = tuple(m for m in range(n) if m not in byzantine_set)
+    return ClusterJob(
+        name=name,
+        n=n,
+        builder="repro.cluster.job:gradecast_parties",
+        args={
+            "sender": sender,
+            "value": value,
+            "byzantine": tuple(byzantine),
+        },
+        until=honest,
+        max_rounds=6,
         checkpoint_interval=checkpoint_interval,
     )
 

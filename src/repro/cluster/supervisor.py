@@ -47,7 +47,7 @@ import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.cluster.checkpoint import (
     ClusterCheckpoint,
@@ -62,6 +62,8 @@ from repro.cluster.wire import (
     HEARTBEAT,
     HELLO,
     JOB,
+    PEERDOWN,
+    PEERS,
     RESUMED,
     ROUND,
     STOP,
@@ -122,6 +124,12 @@ class ClusterConfig:
     #: Cross-process trace id stamped on every job and echoed by every
     #: done; empty string derives a deterministic one from the job.
     trace_id: str = ""
+    #: How party frames move between workers.  ``"mesh"`` (the default)
+    #: ships them point-to-point over direct worker↔worker links and
+    #: reconstructs the authoritative metrics from per-round digests;
+    #: ``"relay"`` is the legacy hub-and-spoke path where every frame
+    #: rides through the supervisor inside control messages.
+    data_plane: str = "mesh"
 
 
 @dataclass
@@ -151,10 +159,23 @@ class _Worker:
     process: subprocess.Popen
     channel: MessageChannel
     log_handle: Any
+    #: Highest heartbeat ``progress`` counter seen — the per-control-
+    #: message liveness deadline resets whenever this advances.
+    last_progress: int = -1
 
 
 class _WorkerDied(Exception):
     """Internal: a worker stopped answering (recoverable)."""
+
+
+class _PeerDied(Exception):
+    """Internal: a *different* worker is dead — the one currently being
+    awaited is alive but blocked on the dead peer's mesh trains."""
+
+    def __init__(self, worker_id: int, reason: str) -> None:
+        super().__init__(f"worker {worker_id} died: {reason}")
+        self.worker_id = worker_id
+        self.reason = reason
 
 
 class ClusterSupervisor:
@@ -168,6 +189,12 @@ class ClusterSupervisor:
     ) -> None:
         self.job = job
         self.config = config if config is not None else ClusterConfig()
+        if self.config.data_plane not in ("mesh", "relay"):
+            raise ClusterError(
+                f"unknown data plane {self.config.data_plane!r} "
+                "(expected 'mesh' or 'relay')"
+            )
+        self._mesh = self.config.data_plane == "mesh"
         self.shards = split_shards(job.n, self.config.num_workers)
         self.run_dir: Optional[Path] = (
             Path(run_dir) if run_dir is not None else None
@@ -198,6 +225,14 @@ class ClusterSupervisor:
         self.checkpoint_round = 0
         self.restarts = 0
         self.workers: Dict[int, _Worker] = {}
+        # Mesh bookkeeping: worker data-plane addresses, halted parties
+        # reported eagerly in done *fields* (the loop's termination
+        # check), and the deferred-done backlog — digests are replayed
+        # into the ledger one round behind, overlapped with the workers
+        # computing the next round.
+        self._mesh_addresses: Dict[int, Tuple[str, int]] = {}
+        self._halted: Set[int] = set()
+        self._backlog: List[Tuple[int, int, Message]] = []
         self._delivery_log: Dict[int, Dict[int, List[Frame]]] = {
             w: {} for w in range(self.config.num_workers)
         }
@@ -248,8 +283,9 @@ class ClusterSupervisor:
             self._load_state()
         self._listener, self._port = open_listener(self.config.host)
         try:
-            for worker_id in range(self.config.num_workers):
-                self._launch(worker_id, self.checkpoint_round)
+            self._launch_all(
+                list(range(self.config.num_workers)), self.checkpoint_round
+            )
             self._round_loop()
             for worker in self.workers.values():
                 try:
@@ -277,11 +313,18 @@ class ClusterSupervisor:
 
     # -- worker lifecycle -----------------------------------------------------
 
-    def _launch(self, worker_id: int, resume_round: int) -> None:
-        """Spawn one worker, accept its connection, hand it the job."""
+    def _launch_all(self, worker_ids: List[int], resume_round: int) -> None:
+        """Spawn workers, accept their connections, hand out the job.
+
+        All processes are spawned *before* any handshake and the job is
+        dispatched as each hello arrives, so worker startup (python
+        import plus shard build) overlaps across the fleet — the legacy
+        serial accept paid the full import cost once per worker.  On
+        the mesh, every worker's ``resumed`` reply carries its data-
+        plane listener address and a ``peers`` address book is
+        broadcast to the whole fleet once all launches finish.
+        """
         assert self.run_dir is not None and self._port is not None
-        log_path = self.run_dir / f"worker-{worker_id}.log"
-        log_handle = log_path.open("ab")
         import repro as _repro_pkg
 
         src_root = str(Path(_repro_pkg.__file__).resolve().parent.parent)
@@ -290,81 +333,146 @@ class ClusterSupervisor:
         env["PYTHONPATH"] = (
             src_root + (os.pathsep + existing if existing else "")
         )
-        process = subprocess.Popen(
-            [
-                sys.executable,
-                "-m",
-                "repro",
-                "cluster",
-                "worker",
-                "--host",
-                self.config.host,
-                "--port",
-                str(self._port),
-                "--worker-id",
-                str(worker_id),
-                "--heartbeat-interval",
-                str(self.config.heartbeat_interval),
-            ],
-            stdout=log_handle,
-            stderr=subprocess.STDOUT,
-            env=env,
-        )
+        spawned: Dict[int, Any] = {}
+        for worker_id in worker_ids:
+            log_path = self.run_dir / f"worker-{worker_id}.log"
+            log_handle = log_path.open("ab")
+            process = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro",
+                    "cluster",
+                    "worker",
+                    "--host",
+                    self.config.host,
+                    "--port",
+                    str(self._port),
+                    "--worker-id",
+                    str(worker_id),
+                    "--heartbeat-interval",
+                    str(self.config.heartbeat_interval),
+                ],
+                stdout=log_handle,
+                stderr=subprocess.STDOUT,
+                env=env,
+            )
+            spawned[worker_id] = (process, log_handle)
+        channels: Dict[int, MessageChannel] = {}
         try:
-            channel = accept_channel(
-                self._listener, timeout=self.config.spawn_timeout
-            )
-            # Control-plane metering: every byte on this channel (job,
-            # round, done, heartbeat, ...) lands in the flow ledger as
-            # a ctl:* cell between INFRA and the worker's pseudo id —
-            # kept out of data-plane totals and parity by kind.
-            channel.set_meter(self._channel_meter(worker_id))
-            hello = channel.recv(timeout=self.config.spawn_timeout)
-        except TimeoutError as exc:
-            process.kill()
-            log_handle.close()
-            raise ClusterError(
-                f"worker {worker_id} did not dial in "
-                f"within {self.config.spawn_timeout}s (see {log_path})"
-            ) from exc
-        if hello.kind != HELLO or hello.fields.get("worker_id") != worker_id:
-            process.kill()
-            log_handle.close()
-            raise ClusterError(
-                f"expected hello from worker {worker_id}, got "
-                f"{hello.kind!r} {hello.fields!r}"
-            )
-        channel.send(
-            Message(
-                JOB,
-                {
+            for _ in worker_ids:
+                # Accept whichever worker dials first; the hello names
+                # it.  Metering starts buffered because the worker id
+                # is unknown until the hello decodes — the buffered
+                # events are replayed through the real meter so the
+                # ctl:hello cell lands exactly as it did under the
+                # serial launch.
+                buffered: List[Tuple[str, str, int]] = []
+                channel = accept_channel(
+                    self._listener, timeout=self.config.spawn_timeout
+                )
+                channel.set_meter(
+                    lambda d, k, b, _events=buffered: _events.append(
+                        (d, k, b)
+                    )
+                )
+                hello = channel.recv(timeout=self.config.spawn_timeout)
+                if hello.kind != HELLO:
+                    raise ClusterError(
+                        f"expected a worker hello, got {hello.kind!r}"
+                    )
+                worker_id = int(hello.fields.get("worker_id", -1))
+                if worker_id not in spawned or worker_id in channels:
+                    raise ClusterError(
+                        f"unexpected hello from worker {worker_id}"
+                    )
+                # Control-plane metering: every byte on this channel
+                # (job, round, done, heartbeat, ...) lands in the flow
+                # ledger as a ctl:* cell between INFRA and the worker's
+                # pseudo id — kept out of data-plane totals by kind.
+                meter = self._channel_meter(worker_id)
+                channel.set_meter(meter)
+                for direction, kind, num_bytes in buffered:
+                    meter(direction, kind, num_bytes)
+                fields: Dict[str, Any] = {
                     "shard": self.shards[worker_id],
                     "resume_round": resume_round,
                     "checkpoint_dir": str(self.run_dir),
                     "checkpoint_stem": f"shard-{worker_id}",
                     "trace_id": self.trace_id,
-                },
-                blob=Message.pack_payload(self.job),
-            )
-        )
-        resumed = channel.recv(timeout=self.config.spawn_timeout)
-        if resumed.kind != RESUMED:
+                    "data_plane": self.config.data_plane,
+                }
+                if self._mesh:
+                    fields["shards"] = self.shards
+                    fields["mesh_host"] = self.config.host
+                channel.send(
+                    Message(
+                        JOB, fields, blob=Message.pack_payload(self.job)
+                    )
+                )
+                channels[worker_id] = channel
+            for worker_id in worker_ids:
+                resumed = channels[worker_id].recv(
+                    timeout=self.config.spawn_timeout
+                )
+                if resumed.kind != RESUMED:
+                    raise ClusterError(
+                        f"worker {worker_id} answered {resumed.kind!r} "
+                        "to its job"
+                    )
+                at_round = int(resumed.fields["next_round"])
+                if at_round != resume_round:
+                    raise ClusterError(
+                        f"worker {worker_id} resumed at round {at_round}, "
+                        f"supervisor pinned round {resume_round}"
+                    )
+                if self._mesh:
+                    self._mesh_addresses[worker_id] = (
+                        str(resumed.fields["mesh_host"]),
+                        int(resumed.fields["mesh_port"]),
+                    )
+                process, log_handle = spawned[worker_id]
+                self.workers[worker_id] = _Worker(
+                    worker_id=worker_id,
+                    shard=self.shards[worker_id],
+                    process=process,
+                    channel=channels[worker_id],
+                    log_handle=log_handle,
+                )
+        except (TimeoutError, ClusterError) as exc:
+            for worker_id, (process, log_handle) in spawned.items():
+                if worker_id in self.workers:
+                    continue  # registered: _teardown owns it now
+                process.kill()
+                log_handle.close()
+                if worker_id in channels:
+                    channels[worker_id].close()
             raise ClusterError(
-                f"worker {worker_id} answered {resumed.kind!r} to its job"
+                f"worker launch failed: {exc} "
+                f"(see worker-*.log in {self.run_dir})"
+            ) from exc
+        if self._mesh:
+            self._broadcast_peers()
+
+    def _broadcast_peers(self) -> None:
+        """Ship the mesh address book to every live worker.
+
+        A send failure here is not fatal: the worker is dead or dying,
+        its own await path will notice, and the relaunch rebroadcasts.
+        """
+        addresses = {
+            str(worker_id): [host, port]
+            for worker_id, (host, port) in sorted(
+                self._mesh_addresses.items()
             )
-        at_round = int(resumed.fields["next_round"])
-        if at_round != resume_round:
-            raise ClusterError(
-                f"worker {worker_id} resumed at round {at_round}, "
-                f"supervisor pinned round {resume_round}"
-            )
-        self.workers[worker_id] = _Worker(
-            worker_id=worker_id,
-            shard=self.shards[worker_id],
-            process=process,
-            channel=channel,
-            log_handle=log_handle,
-        )
+        }
+        for worker_id in sorted(self.workers):
+            try:
+                self.workers[worker_id].channel.send(
+                    Message(PEERS, {"addresses": addresses})
+                )
+            except ClusterError:
+                pass
 
     def _channel_meter(self, worker_id: int) -> Any:
         """A :data:`~repro.cluster.wire.ChannelMeter` for one worker."""
@@ -408,19 +516,38 @@ class ClusterSupervisor:
             except _WorkerDied as exc:
                 reason = str(exc)
                 continue
+            except _PeerDied as exc:
+                # A second worker died while this one was replaying.
+                # Recover it first (the budget bounds the cascade),
+                # then restart this one's recovery from scratch.
+                self._recover(
+                    exc.worker_id, current_round, reason=exc.reason
+                )
+                reason = (
+                    f"peer {exc.worker_id} died during recovery replay"
+                )
+                continue
 
     def _restart_once(self, worker_id: int, current_round: int) -> None:
         old = self.workers.get(worker_id)
         if old is not None:
             self._reap(old)
-        self._launch(worker_id, self.checkpoint_round)
+        self._launch_all([worker_id], self.checkpoint_round)
         worker = self.workers[worker_id]
         # Replay the logged rounds between the worker's checkpoint and
         # the in-flight barrier; its regenerated results (frames,
         # outputs, trace events) are duplicates of what this supervisor
-        # already processed, so they are discarded wholesale.
+        # already processed, so they are discarded wholesale.  On the
+        # mesh the replayed rounds' inbound frames come from the peers'
+        # retained trains (resent by the link handshake's watermark
+        # exchange), so the round messages carry no frames; re-emitted
+        # outbound trains are deduplicated by the receivers.
         for replay_round in range(self.checkpoint_round, current_round):
-            frames = self._delivery_log[worker_id].get(replay_round, [])
+            frames = (
+                []
+                if self._mesh
+                else self._delivery_log[worker_id].get(replay_round, [])
+            )
             worker.channel.send(
                 Message(
                     ROUND,
@@ -437,7 +564,7 @@ class ClusterSupervisor:
                 Message(
                     ROUND,
                     {"round": current_round, "replay": False},
-                    frames=frames,
+                    frames=[] if self._mesh else frames,
                 )
             )
 
@@ -474,9 +601,13 @@ class ClusterSupervisor:
     def _round_loop(self) -> None:
         targets = set(self.job.target_ids())
         for _ in range(self.job.max_rounds):
-            if targets <= set(self.outputs):
+            if targets <= (set(self.outputs) | self._halted):
+                # Mesh: the last rounds' digests may still be queued —
+                # flush them so outputs/metrics/trace are complete.
+                self._flush_backlog()
                 return
             self._step_round()
+        self._flush_backlog()
         raise ClusterError(
             f"cluster run did not terminate in {self.job.max_rounds} rounds"
         )
@@ -485,7 +616,7 @@ class ClusterSupervisor:
         # lint: allow[DET002] reason=round-latency histogram feed; protocol state never reads it
         started = time.monotonic() if self.config.registry else 0.0
         round_index = self.round_index
-        due = self._pop_due(round_index)
+        due = {} if self._mesh else self._pop_due(round_index)
         # Supervisor-side round span, recorded by direct open/close so
         # it never enters the attribution stack (the routed-frame
         # charges below must keep their recorded phases, not ours).
@@ -500,6 +631,8 @@ class ClusterSupervisor:
         )
         for worker_id in sorted(self.workers):
             frames = due.get(worker_id, [])
+            # On the mesh the (empty) log entry is the dispatch marker
+            # recovery consults to re-send an in-flight round.
             self._delivery_log[worker_id][round_index] = frames
             try:
                 self.workers[worker_id].channel.send(
@@ -514,9 +647,15 @@ class ClusterSupervisor:
         victim = self.config.kill_plan.get(round_index)
         if victim is not None:
             self._sigkill(victim)
+        if self._mesh:
+            # Deferred bookkeeping: replay the *previous* round's
+            # digests while the workers compute this one — the ledger
+            # runs one round behind the fleet, charge order unchanged.
+            self._flush_backlog()
         for worker_id in sorted(self.workers):
             self._collect_done(worker_id, round_index)
-        self.metrics.end_round()
+        if not self._mesh:
+            self.metrics.end_round()
         self.span_log.close(round_span)
         self.round_index = round_index + 1
         if self.config.registry is not None:
@@ -551,8 +690,66 @@ class ClusterSupervisor:
             except _WorkerDied as exc:
                 self._recover(worker_id, round_index, reason=str(exc))
                 continue
+            except _PeerDied as exc:
+                # This worker is alive but starved of the dead peer's
+                # trains; recover the peer, then await this one again.
+                self._recover(exc.worker_id, round_index, reason=exc.reason)
+                continue
             break
-        self._process_done(worker_id, message)
+        if self._mesh:
+            # Halt reports ride in the cheap json fields so the round
+            # loop can terminate without unpickling the deferred blob.
+            self._halted.update(
+                int(p) for p in message.fields.get("halted", [])
+            )
+            self._backlog.append((round_index, worker_id, message))
+        else:
+            self._process_done(worker_id, message)
+
+    def _flush_backlog(self) -> None:
+        """Replay queued mesh done messages into the ledger, in order.
+
+        The backlog is appended round-ascending, sorted-worker within a
+        round — the exact order the relay charges in — and every round
+        boundary closes with ``end_round``, so tallies, per-round bits,
+        and flow cells are bit-identical to hub-and-spoke routing.
+        """
+        if not self._backlog:
+            return
+        backlog, self._backlog = self._backlog, []
+        current = backlog[0][0]
+        for round_index, worker_id, message in backlog:
+            if round_index != current:
+                self.metrics.end_round()
+                current = round_index
+            self._process_mesh_done(worker_id, message)
+        self.metrics.end_round()
+
+    def _process_mesh_done(self, worker_id: int, message: Message) -> None:
+        payload = message.payload() or {}
+        rows = payload.get("digest") or []
+        if rows:
+            recipients = {row[1] for row in rows}
+            if not recipients <= self.staged.keys():
+                unknown = sorted(recipients - self.staged.keys())
+                raise ClusterError(
+                    f"worker emitted a frame for unknown party "
+                    f"{unknown[0]}"
+                )
+            # One batched replay per (round, worker), row order exactly
+            # the worker's emission order — the same charge sequence
+            # the relay produces one record_message at a time.
+            self.metrics.replay_digest(rows)
+            if self.config.registry is not None:
+                self._frames_routed.inc(len(rows))
+        self.outputs.update(payload.get("outputs", {}))
+        for party_id in sorted(payload.get("trace", {})):
+            self.trace.preload(party_id, payload["trace"][party_id])
+        span_rows = payload.get("spans") or []
+        if span_rows:
+            self.worker_spans.setdefault(worker_id, []).extend(
+                span_from_wire(row) for row in span_rows
+            )
 
     def _process_done(self, worker_id: int, message: Message) -> None:
         # Flow refinement: workers record the obs phase of each emitted
@@ -595,18 +792,36 @@ class ClusterSupervisor:
     ) -> Message:
         """Receive one expected message, tolerating heartbeats.
 
-        Declares the worker dead (:class:`_WorkerDied`) on connection
-        loss, heartbeat silence past ``heartbeat_timeout``, or total
-        round time past ``round_timeout``.
+        Liveness is judged per *control message in flight*, not per
+        round: the ``round_timeout`` deadline resets whenever the
+        worker demonstrably moves bytes — a heartbeat whose
+        ``progress`` counter advanced, or raw channel bytes trickling
+        in across a recv deadline (a huge body mid-transfer).  A slow
+        worker relaying a 2s train is therefore never conflated with a
+        dead one; only *stalled* progress exhausts the deadline.
+
+        Raises :class:`_WorkerDied` on connection loss, heartbeat
+        silence, or stalled progress past ``round_timeout`` — unless a
+        mesh peer's process is found dead, in which case
+        :class:`_PeerDied` names the actual casualty (this worker is
+        alive, just starved of the dead peer's trains).
         """
         # lint: allow[DET002] reason=liveness deadline for crash detection; protocol state never reads it
         deadline = time.monotonic() + self.config.round_timeout
         while True:
+            received_before = worker.channel.bytes_received
             try:
                 message = worker.channel.recv(
                     timeout=self.config.heartbeat_timeout
                 )
             except TimeoutError as exc:
+                if worker.channel.bytes_received > received_before:
+                    # Mid-message trickle: the worker is alive, just
+                    # slow shipping a big body.  Byte growth is
+                    # progress — reset the deadline and keep reading.
+                    # lint: allow[DET002] reason=liveness deadline for crash detection; protocol state never reads it
+                    deadline = time.monotonic() + self.config.round_timeout
+                    continue
                 raise _WorkerDied(
                     f"worker {worker.worker_id}: no heartbeat for "
                     f"{self.config.heartbeat_timeout}s"
@@ -616,13 +831,41 @@ class ClusterSupervisor:
                     f"worker {worker.worker_id}: {exc}"
                 ) from exc
             if message.kind == HEARTBEAT:
+                reported = int(message.fields.get("progress", -1))
+                if reported > worker.last_progress:
+                    worker.last_progress = reported
+                    # lint: allow[DET002] reason=liveness deadline for crash detection; protocol state never reads it
+                    deadline = time.monotonic() + self.config.round_timeout
                 # lint: allow[DET002] reason=liveness deadline for crash detection; protocol state never reads it
                 if time.monotonic() > deadline:
+                    dead_peer = (
+                        self._find_dead_peer(exclude=worker.worker_id)
+                        if self._mesh
+                        else None
+                    )
+                    if dead_peer is not None:
+                        raise _PeerDied(dead_peer, "process exited")
                     raise _WorkerDied(
                         f"worker {worker.worker_id} heartbeats but "
-                        f"produced no result within "
+                        f"made no progress within "
                         f"{self.config.round_timeout}s"
                     )
+                continue
+            if message.kind == PEERDOWN:
+                peer = int(message.fields.get("peer", -1))
+                reason = str(message.fields.get("reason", "link down"))
+                other = self.workers.get(peer)
+                if (
+                    peer != worker.worker_id
+                    and other is not None
+                    and other.process.poll() is not None
+                ):
+                    raise _PeerDied(
+                        peer,
+                        f"reported by worker {worker.worker_id}: {reason}",
+                    )
+                # The named peer's process is alive (or already
+                # replaced): a transient drop the mesh redial heals.
                 continue
             if message.kind != kind:
                 raise ClusterError(
@@ -639,26 +882,72 @@ class ClusterSupervisor:
                 )
             return message
 
+    def _find_dead_peer(self, exclude: int) -> Optional[int]:
+        """Return the lowest worker id whose process has exited.
+
+        Used when a *live* worker stalls: in the mesh the stall is
+        usually starvation — a dead peer never sent its train — and
+        killing the starved worker would be punishing the victim.
+        """
+        for worker_id in sorted(self.workers):
+            if worker_id == exclude:
+                continue
+            if self.workers[worker_id].process.poll() is not None:
+                return worker_id
+        return None
+
     # -- checkpoint barrier ---------------------------------------------------
 
     def _checkpoint_barrier(self) -> None:
         barrier = self.round_index
-        for worker_id in sorted(self.workers):
+        if self._mesh:
+            # Digest bookkeeping must be current before the durable
+            # snapshot: _save_state pickles metrics/trace/spans.
+            self._flush_backlog()
+        # Workers may drop retained mesh trains strictly below the
+        # *previous* barrier only: a peer recovered from the previous
+        # checkpoint replays from there and still needs those rounds.
+        trim_below = self.checkpoint_round
+        pending = sorted(self.workers)
+        while pending:
+            worker_id = pending.pop(0)
+            need_send = True
             while True:
                 worker = self.workers[worker_id]
-                try:
-                    worker.channel.send(
-                        Message(CHECKPOINT, {"round": barrier})
-                    )
-                except ClusterError as exc:
-                    # Send failure: the connection is gone — same
-                    # recovery path as heartbeat silence.
-                    self._recover(worker_id, barrier, reason=str(exc))
-                    continue
+                if need_send:
+                    try:
+                        worker.channel.send(
+                            Message(
+                                CHECKPOINT,
+                                {"round": barrier, "trim_below": trim_below},
+                            )
+                        )
+                    except ClusterError as exc:
+                        # Send failure: the connection is gone — same
+                        # recovery path as heartbeat silence.
+                        self._recover(worker_id, barrier, reason=str(exc))
+                        continue
+                    need_send = False
                 try:
                     self._await(worker, CHECKPOINTED, round_index=barrier)
                 except _WorkerDied as exc:
                     self._recover(worker_id, barrier, reason=str(exc))
+                    # Recovery replaced the channel: the fresh socket
+                    # holds no stale ack, so the request must go again.
+                    need_send = True
+                    continue
+                except _PeerDied as exc:
+                    self._recover(
+                        exc.worker_id, barrier, reason=exc.reason
+                    )
+                    if exc.worker_id not in pending:
+                        # The recovered peer resumed from the previous
+                        # checkpoint and replayed forward; it has no
+                        # checkpoint file at *this* barrier yet, so it
+                        # must receive the CHECKPOINT request again.
+                        pending.append(exc.worker_id)
+                    # Do NOT resend to the current worker: its channel
+                    # survived and its ack may already be buffered.
                     continue
                 break
         self.checkpoint_round = barrier
@@ -698,6 +987,7 @@ class ClusterSupervisor:
             "job_name": self.job.name,
             "n": self.job.n,
             "num_workers": self.config.num_workers,
+            "data_plane": self.config.data_plane,
             "round": self.round_index,
             "completed": completed,
             "restarts": self.restarts,
@@ -747,11 +1037,18 @@ class ClusterSupervisor:
                 f"resume must use the same count "
                 f"(got {self.config.num_workers})"
             )
+        saved_plane = state.get("data_plane")
+        if saved_plane is not None and saved_plane != self.config.data_plane:
+            raise ClusterError(
+                f"run used data plane {saved_plane!r}; resume must use "
+                f"the same plane (got {self.config.data_plane!r})"
+            )
         container = decode_checkpoint(state["container"])
         self.round_index = int(state["round"])
         self.checkpoint_round = self.round_index
         self.restarts = int(state["restarts"])
         self.outputs = dict(state["outputs"])
+        self._halted = {int(p) for p in self.outputs}
         self.metrics = state["metrics"]
         self.staged = {p: [] for p in range(self.job.n)}
         for frame in container.staged:

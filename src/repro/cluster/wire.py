@@ -39,7 +39,13 @@ kind             dir     meaning
 ``checkpoint``   s → w   write a checkpoint at the current barrier;
                          fields: ``round``
 ``checkpointed`` w → s   ack; fields: ``round``
-``heartbeat``    w → s   liveness beacon (worker-side timer thread)
+``heartbeat``    w → s   liveness beacon (worker-side timer thread);
+                         fields: ``progress`` (moved-bytes counter, so
+                         the supervisor can tell dead from slow)
+``peers``        s → w   mesh address book; fields: ``addresses``
+                         (``{worker_id: [host, port]}``)
+``peerdown``     w → s   a mesh link failed; fields: ``peer``,
+                         ``round``, ``reason``
 ``stop``         s → w   run over; worker exits 0
 ``part``         both    one chunk of an oversized message; fields:
                          ``last`` (bool); blob: a slice of the encoded
@@ -95,12 +101,14 @@ DONE = "done"
 CHECKPOINT = "checkpoint"
 CHECKPOINTED = "checkpointed"
 HEARTBEAT = "heartbeat"
+PEERS = "peers"
+PEERDOWN = "peerdown"
 STOP = "stop"
 PART = "part"
 
 KINDS = (
     HELLO, JOB, RESUMED, ROUND, DONE, CHECKPOINT, CHECKPOINTED,
-    HEARTBEAT, STOP, PART,
+    HEARTBEAT, PEERS, PEERDOWN, STOP, PART,
 )
 
 #: Control-plane byte meter: ``(direction, kind, num_bytes)`` with
@@ -205,6 +213,14 @@ class MessageChannel:
         self._parts: List[bytes] = []  # in-flight chunked reassembly
         self._closed = False
         self._meter = meter
+        #: Raw bytes pulled off the socket, bumped per chunk *during*
+        #: reassembly — a supervisor watching this counter across a
+        #: recv timeout can tell "mid-way through a huge message" from
+        #: "nothing arriving at all".
+        self.bytes_received = 0
+        #: Bytes shipped, excluding heartbeat beacons — the worker's
+        #: control-plane contribution to its progress report.
+        self.data_bytes_sent = 0
         try:
             self._sock.setsockopt(
                 socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
@@ -245,6 +261,8 @@ class MessageChannel:
                 raise ClusterError(
                     f"control channel send failed: {exc}"
                 ) from exc
+            if message.kind != HEARTBEAT:
+                self.data_bytes_sent += sum(len(r) for r in records)
         if self._meter is not None:
             self._meter(
                 "send", message.kind, sum(len(r) for r in records)
@@ -287,6 +305,7 @@ class MessageChannel:
                         "peer closed the control channel mid-message"
                     )
                 raise ChannelClosed("control channel closed by peer")
+            self.bytes_received += len(chunk)
             self._buffer.extend(chunk)
 
     def _absorb_part(self, message: Message) -> None:

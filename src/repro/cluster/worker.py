@@ -32,11 +32,12 @@ from __future__ import annotations
 
 import threading
 from pathlib import Path
-from typing import Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.cluster.checkpoint import load_checkpoint, save_checkpoint
 from repro.cluster.engine import ShardEngine
 from repro.cluster.job import ClusterJob
+from repro.cluster.mesh import MeshRouter
 from repro.cluster.wire import (
     CHECKPOINT,
     CHECKPOINTED,
@@ -44,6 +45,8 @@ from repro.cluster.wire import (
     HEARTBEAT,
     HELLO,
     JOB,
+    PEERDOWN,
+    PEERS,
     RESUMED,
     ROUND,
     STOP,
@@ -55,25 +58,42 @@ from repro.cluster.wire import (
 from repro.errors import ClusterError
 from repro.obs.spans import SpanLog, span_to_wire
 from repro.runtime.trace import TraceRecorder
+from repro.runtime.transport import Frame
 
 #: Default seconds between heartbeat beacons.
 HEARTBEAT_INTERVAL = 0.25
 
 
 class _Heartbeat(threading.Thread):
-    """Beacons liveness on the shared channel until stopped."""
+    """Beacons liveness on the shared channel until stopped.
 
-    def __init__(self, channel: MessageChannel, interval: float) -> None:
+    Each beacon carries a monotonic moved-bytes ``progress`` counter
+    (control sends minus heartbeats, plus mesh traffic) so the
+    supervisor can distinguish "dead" from "slow shipping a huge body":
+    a worker mid-train keeps advancing the counter even though no
+    result message has landed yet.
+    """
+
+    def __init__(
+        self,
+        channel: MessageChannel,
+        interval: float,
+        progress: Optional[Callable[[], int]] = None,
+    ) -> None:
         super().__init__(name="cluster-heartbeat", daemon=True)
         self._channel = channel
         self._interval = interval
+        self._progress = progress
         self._stop = threading.Event()
 
     def run(self) -> None:
         # Event.wait paces the beacon; the worker never reads a clock.
         while not self._stop.wait(self._interval):
+            fields = {}
+            if self._progress is not None:
+                fields["progress"] = int(self._progress())
             try:
-                self._channel.send(Message(HEARTBEAT))
+                self._channel.send(Message(HEARTBEAT, fields))
             except ClusterError:
                 return  # supervisor is gone; main loop will notice too
 
@@ -90,6 +110,7 @@ def worker_main(
     """Run one worker to completion; returns the process exit code."""
     channel = connect_channel(host, port)
     heartbeat: Optional[_Heartbeat] = None
+    router: Optional[MeshRouter] = None
     try:
         channel.send(Message(HELLO, {"worker_id": worker_id}))
         job_msg = channel.recv()
@@ -111,32 +132,84 @@ def worker_main(
         # echoes it so any hop of the conversation can be correlated.
         trace_id = str(job_msg.fields.get("trace_id", ""))
 
+        data_plane = str(job_msg.fields.get("data_plane", "relay"))
+
         trace = TraceRecorder()
         span_log = SpanLog()
-        engine = _build_engine(
+        engine, staged = _build_engine(
             job, shard, resume_round, checkpoint_dir, checkpoint_stem, trace
         )
-        channel.send(Message(RESUMED, {"next_round": engine.next_round}))
 
-        heartbeat = _Heartbeat(channel, heartbeat_interval)
+        peers: List[int] = []
+        owner: Dict[int, int] = {}
+        if data_plane == "mesh":
+            shards = [
+                [int(p) for p in s] for s in job_msg.fields["shards"]
+            ]
+            owner = {p: w for w, s in enumerate(shards) for p in s}
+            peers = sorted(
+                w for w, s in enumerate(shards) if s and w != worker_id
+            )
+            router = MeshRouter(
+                worker_id,
+                host=str(job_msg.fields.get("mesh_host", host)),
+                first_round=engine.next_round,
+            )
+            channel.send(
+                Message(
+                    RESUMED,
+                    {
+                        "next_round": engine.next_round,
+                        "mesh_host": router.address[0],
+                        "mesh_port": router.address[1],
+                    },
+                )
+            )
+        else:
+            channel.send(
+                Message(RESUMED, {"next_round": engine.next_round})
+            )
+
+        def progress() -> int:
+            moved = channel.data_bytes_sent + channel.bytes_received
+            if router is not None:
+                moved += router.progress()
+            return moved
+
+        heartbeat = _Heartbeat(channel, heartbeat_interval, progress)
         heartbeat.start()
 
         while True:
             message = channel.recv()
             if message.kind == STOP:
                 return 0
+            if message.kind == PEERS:
+                if router is not None:
+                    router.update_peers(
+                        _decode_addresses(message.fields["addresses"])
+                    )
+                continue
             if message.kind == CHECKPOINT:
-                # Staged frames are supervisor-owned; the worker's
-                # checkpoint carries party state + counters only.  The
-                # name is versioned by barrier round so the supervisor
-                # can pin a resume to its last fully-acknowledged
-                # barrier even if this worker raced ahead.
+                # The checkpoint name is versioned by barrier round so
+                # the supervisor can pin a resume to its last fully-
+                # acknowledged barrier even if this worker raced ahead.
+                # On the mesh the worker owns its own staging, so the
+                # in-flight frames ride in the checkpoint (sorted for
+                # deterministic bytes); on the relay the supervisor
+                # owns staging and the list is empty.
                 barrier = int(message.fields["round"])
                 save_checkpoint(
                     checkpoint_dir,
                     checkpoint_name(checkpoint_stem, barrier),
-                    engine.snapshot(),
+                    engine.snapshot(
+                        staged=sorted(
+                            staged,
+                            key=lambda f: (f.deliver_round, f.sender, f.seq),
+                        )
+                    ),
                 )
+                if router is not None:
+                    router.trim(int(message.fields.get("trim_below", 0)))
                 channel.send(Message(CHECKPOINTED, {"round": barrier}))
                 continue
             if message.kind != ROUND:
@@ -144,16 +217,102 @@ def worker_main(
                     f"worker {worker_id} cannot handle {message.kind!r}"
                 )
             round_index = int(message.fields["round"])
+            if router is not None:
+                due = [f for f in staged if f.deliver_round <= round_index]
+                staged = [
+                    f for f in staged if f.deliver_round > round_index
+                ]
+            else:
+                due = message.frames
             round_span = span_log.open(
                 "cluster-round", "cluster-round", 0,
                 {"round": round_index, "worker": worker_id,
-                 "frames_in": len(message.frames)},
+                 "frames_in": len(due)},
             )
-            out_frames = engine.step_round(round_index, message.frames)
+            out_frames = engine.step_round(round_index, due)
             round_span.attrs["frames_out"] = len(out_frames)
             span_log.close(round_span)
             span_digest = [span_to_wire(r) for r in span_log.records]
             span_log.records.clear()
+            if router is None:
+                channel.send(
+                    Message(
+                        DONE,
+                        {
+                            "round": round_index,
+                            "replay": bool(
+                                message.fields.get("replay", False)
+                            ),
+                            "trace_id": trace_id,
+                            # Flow refinement: the obs phase of each
+                            # emitted frame, parallel to the frames
+                            # list, so the supervisor can charge its
+                            # flow ledger with the phase recorded at
+                            # emit time.
+                            "phases": engine.last_phases,
+                        },
+                        frames=out_frames,
+                        blob=Message.pack_payload(
+                            {
+                                "outputs": engine.outputs(),
+                                "trace": trace.drain(),
+                                "spans": span_digest,
+                            }
+                        ),
+                    )
+                )
+                continue
+            # -- mesh data plane: route frames peer-to-peer, ship a
+            # metrics digest home instead of the frames themselves.
+            digest: List[Tuple[int, int, int, str]] = []
+            trains: Dict[int, List[Frame]] = {peer: [] for peer in peers}
+            for frame, phase in zip(out_frames, engine.last_phases):
+                digest.append(
+                    (frame.sender, frame.recipient, frame.bits(), phase)
+                )
+                dest = owner.get(frame.recipient)
+                if dest is None:
+                    raise ClusterError(
+                        f"frame for party {frame.recipient} matches no "
+                        "shard in the mesh address book"
+                    )
+                if dest == worker_id:
+                    staged.append(frame)
+                else:
+                    trains[dest].append(frame)
+            # An empty train is still sent: it is the peer's evidence
+            # this worker finished the round (the mesh round barrier).
+            for peer in peers:
+                router.send_train(peer, round_index, trains[peer])
+            while peers:
+                if router.wait_round(round_index, peers, timeout=0.05):
+                    break
+                for failure in router.drain_failures():
+                    channel.send(
+                        Message(
+                            PEERDOWN,
+                            {
+                                "peer": failure.peer,
+                                "round": round_index,
+                                "reason": failure.reason,
+                            },
+                        )
+                    )
+                try:
+                    extra = channel.recv(timeout=0.001)
+                except TimeoutError:
+                    continue
+                if extra.kind == PEERS:
+                    router.update_peers(
+                        _decode_addresses(extra.fields["addresses"])
+                    )
+                    continue
+                raise ClusterError(
+                    f"worker {worker_id} got {extra.kind!r} while "
+                    f"awaiting round {round_index} trains"
+                )
+            if peers:
+                staged.extend(router.collect_round(round_index, peers))
             channel.send(
                 Message(
                     DONE,
@@ -161,18 +320,14 @@ def worker_main(
                         "round": round_index,
                         "replay": bool(message.fields.get("replay", False)),
                         "trace_id": trace_id,
-                        # Flow refinement: the obs phase of each emitted
-                        # frame, parallel to the frames list, so the
-                        # supervisor can charge its flow ledger with the
-                        # phase recorded at emit time.
-                        "phases": engine.last_phases,
+                        "halted": engine.halted_ids(),
                     },
-                    frames=out_frames,
                     blob=Message.pack_payload(
                         {
                             "outputs": engine.outputs(),
                             "trace": trace.drain(),
                             "spans": span_digest,
+                            "digest": digest,
                         }
                     ),
                 )
@@ -184,12 +339,22 @@ def worker_main(
     finally:
         if heartbeat is not None:
             heartbeat.stop()
+        if router is not None:
+            router.close()
         channel.close()
 
 
 def checkpoint_name(stem: str, barrier: int) -> str:
     """Canonical versioned checkpoint name: ``<stem>-r<barrier>``."""
     return f"{stem}-r{barrier}"
+
+
+def _decode_addresses(raw: Dict[str, list]) -> Dict[int, Tuple[str, int]]:
+    """Decode a ``peers`` address book (JSON keys are strings)."""
+    return {
+        int(worker): (str(entry[0]), int(entry[1]))
+        for worker, entry in raw.items()
+    }
 
 
 def _build_engine(
@@ -199,12 +364,15 @@ def _build_engine(
     checkpoint_dir: Path,
     checkpoint_stem: str,
     trace: TraceRecorder,
-) -> ShardEngine:
+) -> "Tuple[ShardEngine, List[Frame]]":
     """Fresh build, or restore from a specific durable checkpoint.
 
     ``resume_round == 0`` means a fresh build (the supervisor replays
     from round 0); a positive value names the barrier the supervisor
     knows every shard has durably reached, so the file must exist.
+    Returns the engine plus the checkpoint's staged frames — empty on
+    the relay plane (staging is supervisor-owned there), the worker's
+    own in-flight frames on the mesh.
     """
     if resume_round > 0:
         name = checkpoint_name(checkpoint_stem, resume_round)
@@ -220,8 +388,8 @@ def _build_engine(
                 f"checkpoint {name!r} holds parties "
                 f"{engine.party_ids}, job assigns {sorted(shard)}"
             )
-        return engine
+        return engine, list(checkpoint.staged)
     parties = [
         party for party in job.build_parties() if party.party_id in set(shard)
     ]
-    return ShardEngine(parties, trace=trace)
+    return ShardEngine(parties, trace=trace), []

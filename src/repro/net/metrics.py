@@ -10,7 +10,7 @@ set of distinct peers (communication locality, à la Boyle et al. [13]).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import NetworkError
 from repro.obs.flow import FUNCTIONALITY, FlowLedger, current_flow_tags
@@ -134,6 +134,79 @@ class CommunicationMetrics:
                 dst=recipient,
                 bits=num_bits,
                 kind=tag_kind or "wire",
+            )
+
+    def replay_digest(
+        self,
+        rows: Iterable[Tuple[int, int, int, str]],
+        kind: str = "frame",
+    ) -> None:
+        """Replay a batch of ``(sender, recipient, bits, phase)`` rows.
+
+        The mesh data plane never routes a frame through the supervisor,
+        so workers ship a per-round digest home and this method replays
+        it into the ledger.  Every row is charged *exactly* as
+        :meth:`record_message` under
+        ``flow_tags(phase=row_phase, kind=kind)`` would charge it —
+        span attribution stays on the supervisor's innermost obs span
+        (or ``(unattributed)``), while the flow ledger gets the worker's
+        recorded protocol phase — so aggregates, per-phase cells, and
+        flow cells are bit-identical to the hub-and-spoke relay path.
+        """
+        span_phase = current_phase() or UNATTRIBUTED
+        flow = self._flow
+        flow_round = len(self._round_bits)
+        # Hot path: a digest batch carries thousands of rows but only
+        # ~n distinct parties, and every ledger update is additive — so
+        # accumulate per-party sums locally and apply each party once.
+        # Commutativity makes this bit-identical to the per-row loop
+        # (sums, counts, peer-set unions, and phase attributions do not
+        # depend on application order).
+        acc: Dict[int, list] = {}
+        total_bits = 0
+        row_count = 0
+        for sender, recipient, num_bits, row_phase in rows:
+            if num_bits < 0:
+                raise NetworkError("message size cannot be negative")
+            total_bits += num_bits
+            row_count += 1
+            entry = acc.get(sender)
+            if entry is None:
+                entry = acc[sender] = [0, 0, 0, 0, set(), set()]
+            entry[0] += num_bits
+            entry[1] += 1
+            entry[4].add(recipient)
+            entry = acc.get(recipient)
+            if entry is None:
+                entry = acc[recipient] = [0, 0, 0, 0, set(), set()]
+            entry[2] += num_bits
+            entry[3] += 1
+            entry[5].add(sender)
+            if flow is not None:
+                flow.charge(
+                    round_index=flow_round,
+                    phase=row_phase or span_phase,
+                    src=sender,
+                    dst=recipient,
+                    bits=num_bits,
+                    kind=kind,
+                )
+        for party_id, (sent_bits, sent_msgs, recv_bits, recv_msgs,
+                       sent_peers, recv_peers) in acc.items():
+            tally = self._tally(party_id)
+            tally.bits_sent += sent_bits
+            tally.messages_sent += sent_msgs
+            tally.peers_sent_to.update(sent_peers)
+            tally.bits_received += recv_bits
+            tally.messages_received += recv_msgs
+            tally.peers_received_from.update(recv_peers)
+            # record_message attributes num_bits to both endpoints, so a
+            # party's attributed sum is its sent + received aggregate.
+            self._attribute(party_id, span_phase, sent_bits + recv_bits)
+        self._current_round_bits += total_bits
+        if row_count:
+            self._phase_messages[span_phase] = (
+                self._phase_messages.get(span_phase, 0) + row_count
             )
 
     def charge_functionality(

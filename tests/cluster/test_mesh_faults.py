@@ -1,0 +1,316 @@
+"""Mesh fault injection: link death, slow trains, SIGKILL, budget.
+
+Three layers of failure tolerance under test:
+
+* the :class:`~repro.cluster.mesh.MeshRouter` itself — a killed TCP
+  link redials, the handshake's watermark exchange resends retained
+  trains, and send-seq dedup means a frame is *delivered once* no
+  matter how many times the link tears (in-process, no subprocesses);
+* the supervisor's per-control-message liveness judgment — a worker
+  slowly trickling a huge body past ``round_timeout`` is NOT declared
+  dead (the regression for the bug where "slow relaying a big train"
+  was conflated with "dead"), while a worker whose progress genuinely
+  stalls still is;
+* whole-process faults on the mesh data plane (``cluster`` marker) —
+  SIGKILL mid-round respawns, re-handshakes, resumes from the durable
+  checkpoint and still charges bit-identical ledgers (no double-charged
+  bits across the replayed rounds), and an exhausted restart budget
+  exits loudly carrying the last failure reason.
+"""
+
+from __future__ import annotations
+
+import time
+from functools import lru_cache
+
+import pytest
+
+from repro.cluster.drivers import (
+    make_scheme,
+    run_balanced_ba_cluster,
+)
+from repro.cluster.job import phase_king_job
+from repro.cluster.mesh import MeshRouter
+from repro.cluster.supervisor import (
+    ClusterConfig,
+    ClusterSupervisor,
+    _Worker,
+    _WorkerDied,
+)
+from repro.cluster.wire import DONE, HEARTBEAT, Message
+from repro.errors import ClusterError
+from repro.net.adversary import random_corruption
+from repro.net.metrics import CommunicationMetrics
+from repro.obs.flow import FlowLedger
+from repro.params import ProtocolParameters
+from repro.runtime.drivers import run_balanced_ba_runtime
+from repro.runtime.replay import tallies_equal
+from repro.runtime.transport import Frame
+from repro.utils.randomness import Randomness
+
+SEED = 2021
+
+
+# -- router-level link faults (in-process, tier-1) ----------------------------
+
+
+def _mesh_pair(chunk_bytes=16):
+    """Two routers with an established link (1 dials 0, by convention)."""
+    a = MeshRouter(0, chunk_bytes=chunk_bytes)
+    b = MeshRouter(1, chunk_bytes=chunk_bytes)
+    a.update_peers({1: b.address})
+    b.update_peers({0: a.address})
+    return a, b
+
+
+def _frames(round_index, tag):
+    return [
+        Frame(0, 9, tag, sent_round=round_index,
+              deliver_round=round_index + 1, seq=seq)
+        for seq in range(3)
+    ]
+
+
+class TestLinkFaults:
+    def test_round_trip_over_live_link(self):
+        a, b = _mesh_pair()
+        try:
+            sent = _frames(0, b"hello")
+            a.send_train(1, 0, sent)
+            assert b.wait_round(0, [0], timeout=5.0)
+            assert b.collect_round(0, [0]) == sent
+        finally:
+            a.close()
+            b.close()
+
+    def test_send_before_link_established_is_replayed(self):
+        """Startup ordering: a train sent before the peer has even
+        dialed in is retained and shipped by the first handshake."""
+        a = MeshRouter(0)
+        b = MeshRouter(1)
+        try:
+            sent = _frames(0, b"early")
+            a.send_train(1, 0, sent)  # no link yet: retained only
+            a.update_peers({1: b.address})
+            b.update_peers({0: a.address})
+            assert b.wait_round(0, [0], timeout=5.0)
+            assert b.collect_round(0, [0]) == sent
+        finally:
+            a.close()
+            b.close()
+
+    def test_link_kill_mid_train_redials_and_dedups(self):
+        """Kill the live link, keep sending: the dialer redials, the
+        handshake watermark resends retained trains, and send-seq dedup
+        delivers every round exactly once."""
+        a, b = _mesh_pair(chunk_bytes=8)  # multi-chunk trains
+        try:
+            first = _frames(0, b"round-zero")
+            a.send_train(1, 0, first)
+            assert b.wait_round(0, [0], timeout=5.0)
+            assert b.collect_round(0, [0]) == first
+
+            # Tear the link out from under the dialer's receiver.
+            b._links[0].sock.close()
+
+            # The sender pushes the next round into the torn link; some
+            # chunks land in a dead TCP buffer, some fail outright.
+            second = _frames(1, b"round-one")
+            a.send_train(1, 1, second)
+            # Redial + retained-train replay must deliver it exactly
+            # once despite any duplicate resend racing the original.
+            assert b.wait_round(1, [0], timeout=5.0)
+            assert b.collect_round(1, [0]) == second
+
+            # The next round flows over the healed link normally.
+            third = _frames(2, b"round-two")
+            a.send_train(1, 2, third)
+            assert b.wait_round(2, [0], timeout=5.0)
+            assert b.collect_round(2, [0]) == third
+            assert a.progress() > 0 and b.progress() > 0
+        finally:
+            a.close()
+            b.close()
+
+    def test_repeated_link_kills_still_converge(self):
+        a, b = _mesh_pair(chunk_bytes=8)
+        try:
+            for round_index in range(4):
+                if round_index in (1, 3):
+                    b._links[0].sock.close()
+                sent = _frames(round_index, b"r%d" % round_index)
+                a.send_train(1, round_index, sent)
+                assert b.wait_round(round_index, [0], timeout=5.0)
+                assert b.collect_round(round_index, [0]) == sent
+        finally:
+            a.close()
+            b.close()
+
+    def test_trim_discards_retained_rounds(self):
+        a, b = _mesh_pair()
+        try:
+            a.send_train(1, 0, _frames(0, b"old"))
+            a.send_train(1, 1, _frames(1, b"new"))
+            assert b.wait_round(1, [0], timeout=5.0)
+            a.trim(1)
+            assert 0 not in a._retained.get(1, {0: None})
+            assert 1 in a._retained[1]
+        finally:
+            a.close()
+            b.close()
+
+
+# -- the per-control-message liveness judgment (unit, tier-1) -----------------
+
+
+class _ScriptedChannel:
+    """A stand-in control channel replaying a recv script.
+
+    Events: ``("trickle", sleep, nbytes)`` — sleep, grow the byte
+    counter, raise TimeoutError (a huge body arriving slowly);
+    ``("beat", sleep, progress)`` — sleep, deliver a heartbeat;
+    ``("msg", message)`` — deliver a message.
+    """
+
+    def __init__(self, events):
+        self._events = list(events)
+        self.bytes_received = 0
+
+    def recv(self, timeout):
+        assert self._events, "recv past the end of the script"
+        event = self._events.pop(0)
+        if event[0] == "trickle":
+            time.sleep(event[1])
+            self.bytes_received += event[2]
+            raise TimeoutError("recv deadline")
+        if event[0] == "beat":
+            time.sleep(event[1])
+            return Message(HEARTBEAT, {"progress": event[2]})
+        return event[1]
+
+
+def _await_harness(events, *, round_timeout=0.25, heartbeat_timeout=5.0):
+    supervisor = ClusterSupervisor(
+        phase_king_job({i: 0 for i in range(4)}),
+        ClusterConfig(
+            num_workers=2,
+            round_timeout=round_timeout,
+            heartbeat_timeout=heartbeat_timeout,
+        ),
+    )
+    worker = _Worker(
+        worker_id=0, shard=[0, 1], process=None, channel=_ScriptedChannel(events),
+        log_handle=None,
+    )
+    return supervisor._await(worker, DONE, round_index=7)
+
+
+class TestSlowTrainIsNotDead:
+    def test_trickling_body_outlives_round_timeout(self):
+        """The satellite bugfix: ~2s of slow train (byte growth across
+        recv deadlines) far past ``round_timeout=0.25`` must NOT be
+        declared dead — liveness is per control message, reset by
+        demonstrable byte progress."""
+        events = [("trickle", 0.1, 4096)] * 8  # ~0.8s of slow body
+        events.append(("msg", Message(DONE, {"round": 7})))
+        message = _await_harness(events, round_timeout=0.25)
+        assert message.kind == DONE
+
+    def test_advancing_progress_heartbeats_keep_worker_alive(self):
+        events = [("beat", 0.1, tick) for tick in range(8)]
+        events.append(("msg", Message(DONE, {"round": 7})))
+        message = _await_harness(events, round_timeout=0.25)
+        assert message.kind == DONE
+
+    def test_stalled_progress_still_dies(self):
+        """Heartbeats whose progress counter never advances exhaust the
+        round deadline: a livelocked worker is still a dead worker."""
+        events = [("beat", 0.1, 5)] * 30
+        with pytest.raises(_WorkerDied, match="no progress"):
+            _await_harness(events, round_timeout=0.25)
+
+    def test_total_silence_still_dies(self):
+        events = [("trickle", 0.05, 0)]  # timeout with zero byte growth
+        with pytest.raises(_WorkerDied, match="no heartbeat"):
+            _await_harness(events, round_timeout=5.0)
+
+
+# -- whole-process mesh faults (cluster marker) -------------------------------
+
+
+@lru_cache(maxsize=None)
+def _setup(n):
+    params = ProtocolParameters()
+    inputs = {i: i % 2 for i in range(n)}
+    plan = random_corruption(
+        n, params.max_corruptions(n), Randomness(SEED).fork("corruption")
+    )
+    return params, inputs, plan
+
+
+@lru_cache(maxsize=None)
+def _reference(n):
+    """(ba_result, transport-charged ledger) for the crash-free run."""
+    params, inputs, plan = _setup(n)
+    ledger = CommunicationMetrics()
+    result, _ = run_balanced_ba_runtime(
+        inputs, plan, make_scheme("snark"), params,
+        Randomness(SEED).fork("protocol"), metrics=ledger,
+    )
+    return result, ledger
+
+
+def _mesh_run(n, *, kill_plan=None, max_restarts=3, flow=None,
+              run_dir=None, resume=False):
+    params, inputs, plan = _setup(n)
+    config = ClusterConfig(
+        num_workers=2,
+        kill_plan=dict(kill_plan or {}),
+        max_restarts=max_restarts,
+        data_plane="mesh",
+        flow=flow,
+    )
+    return run_balanced_ba_cluster(
+        inputs, plan, make_scheme("snark"), params,
+        Randomness(SEED).fork("protocol"),
+        num_workers=2, checkpoint_interval=2,
+        config=config, run_dir=run_dir, resume=resume,
+    )
+
+
+@pytest.mark.cluster
+class TestMeshProcessFaults:
+    def test_sigkill_mid_round_resumes_without_double_charge(self):
+        """SIGKILL a worker mid-round: it respawns, re-handshakes into
+        the mesh, resumes from its checkpoint — and the replayed rounds
+        charge nothing twice (ledger and flow stay bit-identical to the
+        crash-free reference)."""
+        flow = FlowLedger()
+        reference, ref_ledger = _reference(16)
+        result, cluster = _mesh_run(16, kill_plan={3: 1}, flow=flow)
+        assert cluster.restarts == 1
+        assert result.agreement
+        assert result.outputs == reference.outputs
+        assert (
+            result.metrics.max_bits_per_party
+            == reference.metrics.max_bits_per_party
+        )
+        assert tallies_equal(cluster.metrics, ref_ledger, range(16))
+        assert flow.verify_against(cluster.metrics) == []
+        flow.close()
+
+    def test_two_sigkills_different_workers(self):
+        result, cluster = _mesh_run(16, kill_plan={2: 0, 5: 1})
+        assert cluster.restarts == 2
+        assert result.outputs == _reference(16)[0].outputs
+
+    def test_restart_budget_exhaustion_exits_loudly(self, tmp_path):
+        with pytest.raises(
+            ClusterError, match="restart budget.*last failure"
+        ):
+            _mesh_run(
+                16, kill_plan={3: 0}, max_restarts=0, run_dir=tmp_path
+            )
+        # ... and the wreck is resumable from its durable barrier.
+        result, _cluster = _mesh_run(16, run_dir=tmp_path, resume=True)
+        assert result.outputs == _reference(16)[0].outputs

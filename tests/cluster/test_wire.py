@@ -1,4 +1,4 @@
-"""Control-channel codec and socket behavior."""
+"""Control-channel and mesh data-plane codecs, plus socket behavior."""
 
 from __future__ import annotations
 
@@ -9,6 +9,18 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
+from repro.cluster.meshwire import (
+    KIND_HELLO,
+    KIND_TRAIN,
+    MESH_CHUNK_BYTES,
+    MESH_MAGIC,
+    TrainAssembler,
+    decode_chunk,
+    decode_train_body,
+    encode_hello,
+    encode_train_body,
+    split_train,
+)
 from repro.cluster.wire import (
     DONE,
     HEARTBEAT,
@@ -20,8 +32,13 @@ from repro.cluster.wire import (
     accept_channel,
     open_listener,
 )
-from repro.errors import ClusterError
+from repro.errors import (
+    MALFORMED_INPUT_ERRORS,
+    ClusterError,
+    SerializationError,
+)
 from repro.runtime.transport import Frame, _LENGTH
+from tests.strategies import bit_flips, truncations
 
 frames = st.builds(
     Frame,
@@ -234,3 +251,201 @@ class TestListener:
                 second.close()
         finally:
             first.close()
+
+
+# -- mesh data-plane codec ----------------------------------------------------
+
+#: Frames as the mesh ships them: obs ``phase`` labels ride the train's
+#: string table, and ``charge_bits=-1`` (the "charge payload size"
+#: sentinel) must survive the signed header field.
+mesh_frames = st.builds(
+    Frame,
+    sender=st.integers(min_value=0, max_value=1 << 16),
+    recipient=st.integers(min_value=0, max_value=1 << 16),
+    payload=st.binary(max_size=48),
+    sent_round=st.integers(min_value=0, max_value=500),
+    deliver_round=st.integers(min_value=0, max_value=501),
+    charge_bits=st.integers(min_value=-1, max_value=1 << 30),
+    seq=st.integers(min_value=0, max_value=1 << 16),
+    phase=st.sampled_from(["", "setup", "vote", "κ/graded-consensus"]),
+)
+
+trains = st.lists(mesh_frames, max_size=8)
+
+#: (round, train_seq, chunk size) coordinates for split/reassemble runs.
+coords = st.tuples(
+    st.integers(min_value=0, max_value=1 << 20),
+    st.integers(min_value=0, max_value=1 << 20),
+    st.integers(min_value=1, max_value=64),
+)
+
+
+def _assemble(records, assembler=None):
+    """Feed chunk records to an assembler; return the completed bodies."""
+    assembler = assembler or TrainAssembler()
+    completed = []
+    for record in records:
+        done = assembler.add(decode_chunk(record))
+        if done is not None:
+            completed.append(done)
+    return completed
+
+
+class TestTrainBodyCodec:
+    @given(trains)
+    def test_round_trip(self, train):
+        assert decode_train_body(encode_train_body(train)) == train
+
+    def test_empty_train_round_trips(self):
+        assert decode_train_body(encode_train_body([])) == []
+
+    @given(trains.filter(bool).flatmap(
+        lambda t: truncations(encode_train_body(t))
+    ))
+    def test_truncation_raises_not_hangs(self, cut):
+        with pytest.raises(MALFORMED_INPUT_ERRORS):
+            decode_train_body(cut)
+
+    @given(trains.flatmap(lambda t: bit_flips(encode_train_body(t))))
+    def test_bit_flip_never_crashes(self, corrupted):
+        """A flipped bit either decodes to well-typed frames (payload
+        bytes are opaque) or raises a library error — never an
+        unhandled crash."""
+        try:
+            for frame in decode_train_body(corrupted):
+                assert isinstance(frame, Frame)
+        except MALFORMED_INPUT_ERRORS:
+            pass
+
+    def test_trailing_bytes_rejected(self):
+        body = encode_train_body([Frame(0, 1, b"x")])
+        with pytest.raises(SerializationError, match="trailing"):
+            decode_train_body(body + b"\x00")
+
+    def test_unknown_phase_id_rejected(self):
+        body = bytearray(encode_train_body([Frame(0, 1, b"x", phase="p")]))
+        # One phase in the table; point the frame header at id 7.
+        offset = 4 + 2 + 1 + 4 + (4 + 4 + 4 + 4 + 8 + 4)
+        body[offset:offset + 2] = (7).to_bytes(2, "big")
+        with pytest.raises(SerializationError, match="phase id"):
+            decode_train_body(bytes(body))
+
+
+class TestChunkCodec:
+    @given(trains, coords)
+    def test_split_reassemble_round_trip(self, train, coordinates):
+        round_index, train_seq, chunk_bytes = coordinates
+        body = encode_train_body(train)
+        records = split_train(3, 5, round_index, train_seq, body,
+                              chunk_bytes=chunk_bytes)
+        completed = _assemble(records)
+        assert completed == [(round_index, body)]
+        assert decode_train_body(completed[0][1]) == train
+
+    @given(trains, coords, st.randoms(use_true_random=False))
+    def test_reorder_and_duplicate_tolerated(self, train, coordinates, rng):
+        round_index, train_seq, chunk_bytes = coordinates
+        body = encode_train_body(train)
+        records = split_train(3, 5, round_index, train_seq, body,
+                              chunk_bytes=chunk_bytes)
+        noisy = records + rng.sample(records, k=min(3, len(records)))
+        rng.shuffle(noisy)
+        completed = _assemble(noisy)
+        assert completed == [(round_index, body)]
+
+    def test_empty_body_yields_one_barrier_chunk(self):
+        records = split_train(0, 1, 7, 0, b"")
+        assert len(records) == 1
+        assert _assemble(records) == [(7, b"")]
+
+    def test_oversized_body_splits_at_chunk_threshold(self):
+        """A >32 MiB body rides as multiple records and reassembles —
+        the heavy OWF gossip rounds depend on it."""
+        body = b"\xab" * (MESH_CHUNK_BYTES + 1024)
+        records = split_train(0, 1, 2, 0, body)
+        assert len(records) == 2
+        assert _assemble(records) == [(2, body)]
+
+    @given(st.binary(max_size=40).flatmap(
+        lambda b: truncations(split_train(1, 2, 3, 4, b, chunk_bytes=16)[0])
+    ))
+    def test_truncated_record_raises(self, cut):
+        with pytest.raises(MALFORMED_INPUT_ERRORS):
+            decode_chunk(cut)
+
+    @given(st.binary(max_size=40).flatmap(
+        lambda b: bit_flips(split_train(1, 2, 3, 4, b, chunk_bytes=16)[0])
+    ))
+    def test_bit_flipped_record_never_crashes(self, corrupted):
+        try:
+            chunk = decode_chunk(corrupted)
+            assert chunk.kind in (KIND_TRAIN, KIND_HELLO)
+        except MALFORMED_INPUT_ERRORS:
+            pass
+
+    def test_bad_magic_rejected(self):
+        record = bytearray(split_train(1, 2, 3, 4, b"x")[0])
+        record[:4] = b"NOPE"
+        with pytest.raises(SerializationError, match="magic"):
+            decode_chunk(bytes(record))
+        assert MESH_MAGIC != b"NOPE"
+
+    def test_hello_round_trip(self):
+        chunk = decode_chunk(encode_hello(2, 6, have_round=41))
+        assert chunk.kind == KIND_HELLO
+        assert (chunk.src_worker, chunk.dst_worker) == (2, 6)
+        assert chunk.hello_have() == 41
+        assert decode_chunk(encode_hello(0, 1, -1)).hello_have() == -1
+
+
+class TestTrainAssembler:
+    def test_newer_seq_supersedes_torn_train(self):
+        """A torn half-train from before a redial never mixes with its
+        resend: the resend's higher ``train_seq`` evicts it."""
+        torn = split_train(0, 1, 5, train_seq=2,
+                           body=b"old" * 20, chunk_bytes=8)
+        resend_body = b"new" * 20
+        resend = split_train(0, 1, 5, train_seq=3,
+                             body=resend_body, chunk_bytes=8)
+        assembler = TrainAssembler()
+        assert _assemble(torn[:-1], assembler) == []  # torn: last chunk lost
+        assert _assemble(resend, assembler) == [(5, resend_body)]
+
+    def test_stale_seq_discarded_after_supersession(self):
+        fresh_body = b"fresh" * 10
+        stale = split_train(0, 1, 5, train_seq=1, body=b"stale" * 10,
+                            chunk_bytes=8)
+        fresh = split_train(0, 1, 5, train_seq=2, body=fresh_body,
+                            chunk_bytes=8)
+        assembler = TrainAssembler()
+        assert _assemble(fresh[:1], assembler) == []
+        assert _assemble(stale, assembler) == []  # all ignored
+        assert _assemble(fresh[1:], assembler) == [(5, fresh_body)]
+
+    def test_geometry_contradiction_raises(self):
+        a = split_train(0, 1, 5, train_seq=2, body=b"x" * 20,
+                        chunk_bytes=8)
+        b = split_train(0, 1, 5, train_seq=2, body=b"x" * 60,
+                        chunk_bytes=8)
+        assembler = TrainAssembler()
+        assembler.add(decode_chunk(a[0]))
+        with pytest.raises(SerializationError, match="chunks"):
+            assembler.add(decode_chunk(b[-1]))
+
+    def test_size_cap_enforced(self):
+        assembler = TrainAssembler(max_bytes=32)
+        records = split_train(0, 1, 5, 0, b"z" * 64, chunk_bytes=16)
+        with pytest.raises(SerializationError, match="exceeds"):
+            _assemble(records, assembler)
+        assert assembler.pending_rounds() == []
+
+    def test_interleaved_rounds_complete_independently(self):
+        body_a, body_b = b"a" * 24, b"b" * 40
+        recs_a = split_train(0, 1, 10, 0, body_a, chunk_bytes=8)
+        recs_b = split_train(0, 1, 11, 0, body_b, chunk_bytes=8)
+        interleaved = [r for pair in zip(recs_b, recs_a) for r in pair]
+        interleaved += recs_b[len(recs_a):]
+        assembler = TrainAssembler()
+        completed = _assemble(interleaved, assembler)
+        assert completed == [(10, body_a), (11, body_b)]
+        assert assembler.pending_rounds() == []

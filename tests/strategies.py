@@ -27,12 +27,14 @@ from typing import List, Tuple
 from hypothesis import strategies as st
 
 __all__ = [
+    "bit_flips",
     "corruption_sets",
     "fault_schedules",
     "garbage",
     "messages",
     "party_counts",
     "signer_subsets",
+    "truncations",
 ]
 
 #: Protocol sizes that are cheap enough for property tests while still
@@ -44,6 +46,41 @@ messages = st.binary(min_size=0, max_size=64)
 
 #: Malformed wire bytes for decoder / verifier fuzzing.
 garbage = st.binary(min_size=0, max_size=300)
+
+
+def truncations(blob: bytes) -> st.SearchStrategy[bytes]:
+    """Strict prefixes of ``blob`` — every truncation point.
+
+    Feeding these to a decoder asserts the *fail-fast* half of wire
+    robustness: a cut record must raise a library error, never hang
+    waiting for bytes that will not come and never mis-frame.
+    """
+    if not blob:
+        return st.just(b"")
+    return st.integers(min_value=0, max_value=len(blob) - 1).map(
+        lambda end: blob[:end]
+    )
+
+
+def _flip_bit(blob: bytes, bit: int) -> bytes:
+    corrupted = bytearray(blob)
+    corrupted[bit // 8] ^= 1 << (bit % 8)
+    return bytes(corrupted)
+
+
+def bit_flips(blob: bytes) -> st.SearchStrategy[bytes]:
+    """Copies of ``blob`` with exactly one bit flipped.
+
+    Single-bit corruption is the adversarial analogue of a torn or
+    tampered record: decoders must either reject it with a library
+    error or decode something well-typed — by construction they cannot
+    be required to *detect* every flip (payload bytes are opaque).
+    """
+    if not blob:
+        return st.just(b"")
+    return st.integers(min_value=0, max_value=len(blob) * 8 - 1).map(
+        lambda bit: _flip_bit(blob, bit)
+    )
 
 
 def signer_subsets(n: int) -> st.SearchStrategy[frozenset]:

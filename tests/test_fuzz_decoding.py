@@ -55,6 +55,42 @@ class TestSerializationDecoders:
             pass
 
 
+class TestClusterDecoders:
+    @_fuzz
+    @given(data=garbage)
+    def test_mesh_chunk(self, data):
+        from repro.cluster.meshwire import decode_chunk
+
+        try:
+            chunk = decode_chunk(data)
+            assert chunk.num_chunks >= 1
+            assert chunk.chunk_index < chunk.num_chunks
+        except LIBRARY_ERRORS:
+            pass
+
+    @_fuzz
+    @given(data=garbage)
+    def test_mesh_train_body(self, data):
+        from repro.cluster.meshwire import decode_train_body
+
+        try:
+            frames = decode_train_body(data)
+            assert all(frame.bits() >= 0 for frame in frames)
+        except LIBRARY_ERRORS:
+            pass
+
+    @_fuzz
+    @given(data=garbage)
+    def test_control_message(self, data):
+        from repro.cluster.wire import Message
+
+        try:
+            message = Message.decode(data)
+            assert message.kind
+        except LIBRARY_ERRORS:
+            pass
+
+
 class TestCryptoDecoders:
     @_fuzz
     @given(data=garbage)
