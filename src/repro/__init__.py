@@ -25,31 +25,56 @@ Quickstart::
 
     result = quick_ba(n=64, input_bit=1, seed=7)
     assert result.agreement and result.validity
+
+The re-exports below resolve lazily (PEP 562): ``import repro`` pulls in
+no protocol or crypto modules, so worker processes — which import
+``repro.cluster.worker`` through this package on every spawn — pay only
+for what they touch.
 """
 
-from repro.params import DEFAULT_PARAMETERS, ProtocolParameters
-from repro.protocols.balanced_ba import (
-    AdversaryBehavior,
-    BalancedBA,
-    BAResult,
-    run_balanced_ba,
-)
-from repro.srds.owf import OwfSRDS
-from repro.srds.snark_based import SnarkSRDS
+from typing import TYPE_CHECKING, List
 
 __version__ = "1.0.0"
 
-__all__ = [
-    "AdversaryBehavior",
-    "BAResult",
-    "BalancedBA",
-    "DEFAULT_PARAMETERS",
-    "OwfSRDS",
-    "ProtocolParameters",
-    "SnarkSRDS",
-    "quick_ba",
-    "run_balanced_ba",
-]
+#: Lazily re-exported name -> defining module.
+_EXPORTS = {
+    "AdversaryBehavior": "repro.protocols.balanced_ba",
+    "BAResult": "repro.protocols.balanced_ba",
+    "BalancedBA": "repro.protocols.balanced_ba",
+    "DEFAULT_PARAMETERS": "repro.params",
+    "OwfSRDS": "repro.srds.owf",
+    "ProtocolParameters": "repro.params",
+    "SnarkSRDS": "repro.srds.snark_based",
+    "run_balanced_ba": "repro.protocols.balanced_ba",
+}
+
+__all__ = sorted(_EXPORTS) + ["quick_ba"]
+
+if TYPE_CHECKING:  # static importers see the eager names
+    from repro.params import DEFAULT_PARAMETERS, ProtocolParameters
+    from repro.protocols.balanced_ba import (
+        AdversaryBehavior,
+        BalancedBA,
+        BAResult,
+        run_balanced_ba,
+    )
+    from repro.srds.owf import OwfSRDS
+    from repro.srds.snark_based import SnarkSRDS
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> List[str]:
+    return sorted(set(globals()) | set(__all__))
 
 
 def quick_ba(n: int = 64, input_bit: int = 1, seed: int = 0,
@@ -61,7 +86,10 @@ def quick_ba(n: int = 64, input_bit: int = 1, seed: int = 0,
     set at the parameter default (or ``corrupt_fraction``).
     """
     from repro.net.adversary import random_corruption
+    from repro.params import DEFAULT_PARAMETERS, ProtocolParameters
+    from repro.protocols.balanced_ba import run_balanced_ba
     from repro.srds.base_sigs import HashRegistryBase
+    from repro.srds.snark_based import SnarkSRDS
     from repro.utils.randomness import Randomness
 
     params = (

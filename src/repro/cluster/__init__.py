@@ -31,42 +31,71 @@ inside one interpreter.  The layer is built from:
 
 See ``docs/cluster.md`` for the architecture, checkpoint format, and
 the recovery state machine.
+
+Re-exports resolve lazily (PEP 562): the worker main loop imports
+``repro.cluster.worker`` through this package on every process spawn,
+and must not pay for the protocol drivers it never touches.
 """
 
-from repro.cluster.checkpoint import (
-    ClusterCheckpoint,
-    PartyCheckpoint,
-    load_checkpoint,
-    save_checkpoint,
-)
-from repro.cluster.engine import (
-    ShardEngine,
-    resume_shard_locally,
-    run_shard_locally,
-)
-from repro.cluster.job import ClusterJob
-from repro.cluster.supervisor import ClusterConfig, ClusterResult, ClusterSupervisor
-from repro.cluster.drivers import (
-    run_balanced_ba_cluster,
-    run_cluster_bench,
-    run_gradecast_cluster,
-    run_phase_king_cluster,
-)
+from typing import TYPE_CHECKING, List
 
-__all__ = [
-    "ClusterCheckpoint",
-    "ClusterConfig",
-    "ClusterJob",
-    "ClusterResult",
-    "ClusterSupervisor",
-    "PartyCheckpoint",
-    "ShardEngine",
-    "load_checkpoint",
-    "resume_shard_locally",
-    "run_balanced_ba_cluster",
-    "run_cluster_bench",
-    "run_gradecast_cluster",
-    "run_phase_king_cluster",
-    "run_shard_locally",
-    "save_checkpoint",
-]
+#: Lazily re-exported name -> defining module.
+_EXPORTS = {
+    "ClusterCheckpoint": "repro.cluster.checkpoint",
+    "PartyCheckpoint": "repro.cluster.checkpoint",
+    "load_checkpoint": "repro.cluster.checkpoint",
+    "save_checkpoint": "repro.cluster.checkpoint",
+    "ShardEngine": "repro.cluster.engine",
+    "resume_shard_locally": "repro.cluster.engine",
+    "run_shard_locally": "repro.cluster.engine",
+    "ClusterJob": "repro.cluster.job",
+    "ClusterConfig": "repro.cluster.supervisor",
+    "ClusterResult": "repro.cluster.supervisor",
+    "ClusterSupervisor": "repro.cluster.supervisor",
+    "run_balanced_ba_cluster": "repro.cluster.drivers",
+    "run_cluster_bench": "repro.cluster.drivers",
+    "run_gradecast_cluster": "repro.cluster.drivers",
+    "run_phase_king_cluster": "repro.cluster.drivers",
+}
+
+__all__ = sorted(_EXPORTS)
+
+if TYPE_CHECKING:  # static importers see the eager names
+    from repro.cluster.checkpoint import (
+        ClusterCheckpoint,
+        PartyCheckpoint,
+        load_checkpoint,
+        save_checkpoint,
+    )
+    from repro.cluster.drivers import (
+        run_balanced_ba_cluster,
+        run_cluster_bench,
+        run_gradecast_cluster,
+        run_phase_king_cluster,
+    )
+    from repro.cluster.engine import (
+        ShardEngine,
+        resume_shard_locally,
+        run_shard_locally,
+    )
+    from repro.cluster.job import ClusterJob
+    from repro.cluster.supervisor import (
+        ClusterConfig,
+        ClusterResult,
+        ClusterSupervisor,
+    )
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> List[str]:
+    return sorted(set(globals()) | set(__all__))

@@ -727,7 +727,7 @@ class ClusterSupervisor:
 
     def _process_mesh_done(self, worker_id: int, message: Message) -> None:
         payload = message.payload() or {}
-        rows = payload.get("digest") or []
+        rows = self._validate_digest_rows(payload.get("digest") or [])
         if rows:
             recipients = {row[1] for row in rows}
             if not recipients <= self.staged.keys():
@@ -750,6 +750,41 @@ class ClusterSupervisor:
             self.worker_spans.setdefault(worker_id, []).extend(
                 span_from_wire(row) for row in span_rows
             )
+
+    @staticmethod
+    def _validate_digest_rows(
+        rows: object,
+    ) -> List[Tuple[int, int, int, str]]:
+        """Narrow a worker-reported charge digest to replayable rows.
+
+        Digest rows cross the worker pipe, so a compromised or buggy
+        worker controls their shape; the ledger replay trusts its input
+        types, so everything is checked here before any charge lands.
+        """
+        if not isinstance(rows, (list, tuple)):
+            raise ClusterError("mesh digest is not a row sequence")
+        validated: List[Tuple[int, int, int, str]] = []
+        for row in rows:
+            if not isinstance(row, (list, tuple)) or len(row) != 4:
+                raise ClusterError(f"malformed mesh digest row {row!r}")
+            sender, recipient, bits, phase = row
+            if (
+                not isinstance(sender, int)
+                or not isinstance(recipient, int)
+                or not isinstance(bits, int)
+                or isinstance(sender, bool)
+                or isinstance(recipient, bool)
+                or isinstance(bits, bool)
+            ):
+                raise ClusterError(f"malformed mesh digest row {row!r}")
+            if bits < 0:
+                raise ClusterError(
+                    f"mesh digest row claims negative charge {bits}"
+                )
+            if not isinstance(phase, str):
+                raise ClusterError(f"malformed mesh digest row {row!r}")
+            validated.append((sender, recipient, bits, phase))
+        return validated
 
     def _process_done(self, worker_id: int, message: Message) -> None:
         # Flow refinement: workers record the obs phase of each emitted

@@ -136,6 +136,32 @@ class Baseline:
             for key, count in sorted(counts.items())
         ])
 
+    def pruned(self, violations: List[Violation]) -> "Baseline":
+        """A copy with stale budget removed, nothing added.
+
+        Per-key counts are clamped to the violations actually present:
+        entries whose key matches nothing are dropped, over-counted
+        entries shrink.  Pruning is idempotent and can only tighten the
+        ratchet — debt still enters exclusively via ``from_violations``.
+        """
+        current: Dict[_Key, int] = {}
+        for violation in violations:
+            current[violation.baseline_key] = (
+                current.get(violation.baseline_key, 0) + 1
+            )
+        kept: List[BaselineEntry] = []
+        for entry in self.entries:
+            available = current.get(entry.key, 0)
+            if available <= 0:
+                continue
+            take = min(entry.count, available)
+            current[entry.key] = available - take
+            kept.append(BaselineEntry(
+                rule=entry.rule, path=entry.path, symbol=entry.symbol,
+                snippet=entry.snippet, count=take,
+            ))
+        return Baseline(kept)
+
     def apply(self, violations: List[Violation]) -> RatchetOutcome:
         """Split ``violations`` into new vs. legacy; find stale entries."""
         budget: Dict[_Key, int] = {}

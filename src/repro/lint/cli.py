@@ -10,9 +10,15 @@ Subcommands::
         suppressions pass; stale baseline entries warn); exit 1 on new
         violations or annotation errors; exit 2 on usage errors.
 
-    lint baseline [paths...] [--baseline FILE] [--root DIR]
+    lint baseline [paths...] [--baseline FILE] [--root DIR] [--prune]
         Re-snapshot the current violations as the legacy set.  This is
-        the only way debt enters the baseline — review the diff.
+        the only way debt enters the baseline — review the diff.  With
+        ``--prune``, only *remove* stale entries (burned-down debt);
+        nothing is added, so pruning can only tighten the ratchet.
+
+    lint graph [--output FILE] [--root DIR] [--no-cache]
+        Export the cross-module call graph (every module under src/,
+        resolved call edges, import SCCs) as schema-versioned JSON.
 
     lint explain RULE001
         Print a rule's rationale (why the invariant matters to the
@@ -20,11 +26,16 @@ Subcommands::
 
     lint rules
         List every registered rule with severity and summary.
+
+The interprocedural rules (TRU001, SCH001, ASY002) share a per-file
+facts cache at ``<root>/.lint-cache.json`` keyed on content hashes;
+``--no-cache`` forces a cold extraction.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 from pathlib import Path
 from typing import List, Optional
 
@@ -35,6 +46,7 @@ from repro.lint.engine import run_lint
 from repro.lint.model import Severity
 from repro.lint.report import render_json, render_text
 from repro.lint.rules import ALL_RULES, get_rule, rule_ids
+from repro.lint.xmod.cache import CACHE_FILENAME
 
 
 def _build_config(args: argparse.Namespace) -> LintConfig:
@@ -64,9 +76,16 @@ def _build_config(args: argparse.Namespace) -> LintConfig:
     )
 
 
+def _cache_path(config: LintConfig,
+                args: argparse.Namespace) -> Optional[Path]:
+    if getattr(args, "no_cache", False):
+        return None
+    return config.root / CACHE_FILENAME
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     config = _build_config(args)
-    result = run_lint(config)
+    result = run_lint(config, cache_path=_cache_path(config, args))
     if args.no_baseline:
         baseline = Baseline([])
     else:
@@ -90,9 +109,20 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 def _cmd_baseline(args: argparse.Namespace) -> int:
     config = _build_config(args)
-    result = run_lint(config)
-    baseline = Baseline.from_violations(result.violations)
+    result = run_lint(config, cache_path=_cache_path(config, args))
     path = config.resolved_baseline_path()
+    if args.prune:
+        before = Baseline.load(path)
+        baseline = before.pruned(result.violations)
+        baseline.save(path)
+        print(
+            f"baseline -> {path}: pruned "
+            f"{len(before) - len(baseline)} stale entr"
+            f"{'y' if len(before) - len(baseline) == 1 else 'ies'}, "
+            f"{len(baseline)} kept"
+        )
+        return 0
+    baseline = Baseline.from_violations(result.violations)
     baseline.save(path)
     print(
         f"baseline -> {path}: {len(baseline)} entr"
@@ -104,6 +134,34 @@ def _cmd_baseline(args: argparse.Namespace) -> int:
             "note: the baseline tracks this debt for burn-down; new "
             "violations still fail `lint check`."
         )
+    return 0
+
+
+def _cmd_graph(args: argparse.Namespace) -> int:
+    config = _build_config(args)
+    from repro.lint.engine import iter_source_files, load_module
+    from repro.lint.model import ModuleUnit
+    from repro.lint.xmod.cache import build_project
+    from repro.lint.xmod.callgraph import CallGraph
+
+    modules = [
+        loaded
+        for path in iter_source_files(config)
+        if isinstance(loaded := load_module(path, config), ModuleUnit)
+    ]
+    project = build_project(modules, _cache_path(config, args))
+    graph = CallGraph(project)
+    rendered = json.dumps(graph.to_json(), indent=2, sort_keys=True) + "\n"
+    if args.output:
+        Path(args.output).write_text(rendered, encoding="utf-8")
+        print(
+            f"call graph -> {args.output}: "
+            f"{len(project.facts)} modules, "
+            f"{len(project.functions)} functions, "
+            f"{sum(len(edges) for edges in graph.edges.values())} edges"
+        )
+    else:
+        print(rendered, end="")
     return 0
 
 
@@ -169,11 +227,26 @@ def _parser() -> argparse.ArgumentParser:
     check.add_argument("--no-baseline", action="store_true",
                        help="ignore the baseline (report all violations "
                             "as new)")
+    check.add_argument("--no-cache", action="store_true",
+                       help="skip the cross-module facts cache")
 
     baseline = sub.add_parser(
         "baseline", help="snapshot current violations as the legacy set"
     )
     add_common(baseline)
+    baseline.add_argument("--prune", action="store_true",
+                          help="only drop stale entries; add nothing")
+    baseline.add_argument("--no-cache", action="store_true",
+                          help="skip the cross-module facts cache")
+
+    graph = sub.add_parser(
+        "graph", help="export the cross-module call graph as JSON"
+    )
+    add_common(graph)
+    graph.add_argument("--output", default=None,
+                       help="write the JSON document here instead of stdout")
+    graph.add_argument("--no-cache", action="store_true",
+                       help="skip the cross-module facts cache")
 
     explain = sub.add_parser("explain", help="document one rule")
     explain.add_argument("rule_id")
@@ -197,6 +270,8 @@ def cmd_lint(argv: List[str]) -> int:
             return _cmd_check(args)
         if args.subcommand == "baseline":
             return _cmd_baseline(args)
+        if args.subcommand == "graph":
+            return _cmd_graph(args)
         if args.subcommand == "explain":
             return _cmd_explain(args)
         if args.subcommand == "rules":

@@ -75,6 +75,54 @@ class LintConfig:
     #: registered encode/decode round-trip.
     ser001_wire_modules: Tuple[str, ...] = ("campaign/spec.py",)
 
+    # -- interprocedural (xmod) knobs ---------------------------------------
+
+    #: TRU001: modules whose ``decode_*``/``*.decode`` functions ingest
+    #: adversary-controlled bytes.  Their returns are taint sources, and
+    #: inside them every struct-unpacked field that escapes into the
+    #: return value must be individually guarded.
+    tru001_decoder_modules: Tuple[str, ...] = (
+        "cluster/wire.py", "cluster/meshwire.py", "serve/wire.py",
+        "runtime/transport.py",
+    )
+
+    #: TRU001: scopes where ``pickle.loads`` results also count as taint
+    #: sources (checkpoint/control-plane payloads cross trust domains).
+    tru001_pickle_scopes: Tuple[str, ...] = (
+        "cluster/", "serve/", "runtime/",
+    )
+
+    #: TRU001: scopes that are taint *sinks* — protocol and SRDS logic
+    #: must never consume wire-derived data that was not narrowed first.
+    tru001_sink_scopes: Tuple[str, ...] = ("protocols/", "srds/")
+
+    #: TRU001: ledger-charging method names that are sinks wherever they
+    #: are called (the accounting the paper's bit bounds rest on).
+    tru001_sink_methods: Tuple[str, ...] = (
+        "record_message", "replay_digest", "charge_functionality",
+    )
+
+    #: TRU001: name fragments that mark a call as a sanitizer — its
+    #: result is considered narrowed/validated.
+    tru001_sanitizer_markers: Tuple[str, ...] = (
+        "validate", "narrow", "sanitize",
+    )
+
+    #: TRU001: exception names whose raise-guards and try/except
+    #: handlers count as malformed-input validation.
+    tru001_guard_exceptions: Tuple[str, ...] = (
+        "SerializationError", "ClusterError", "GatewayError",
+        "NetworkError", "ReproError", "ConfigurationError",
+        "ValueError", "TypeError", "KeyError", "AssertionError",
+    )
+
+    #: TRU001: how many direct-call levels taint is tracked through.
+    tru001_depth: int = 3
+
+    #: ASY002: scopes whose classes get shared-state lock discipline
+    #: checks (same concurrency surfaces as ASY001).
+    asy002_scopes: Tuple[str, ...] = ("runtime/", "cluster/", "serve/")
+
     #: Baseline file (``None`` = ``root / lint-baseline.json``).
     baseline_path: Optional[Path] = None
 

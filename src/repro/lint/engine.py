@@ -17,12 +17,15 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
 
 from repro.lint.config import LintConfig
-from repro.lint.model import ModuleUnit, Rule, Severity, Violation
+from repro.lint.model import ModuleUnit, ProjectRule, Rule, Severity, Violation
 from repro.lint.pragmas import Pragma, parse_pragmas
 from repro.lint.rules import ALL_RULES, select_rules
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.lint.xmod.project import ProjectUnit
 
 #: Meta-rule ids (engine-emitted; not in the rule registry).
 MALFORMED_PRAGMA = "LNT000"
@@ -38,6 +41,9 @@ class LintResult:
     suppressed: List[Tuple[Violation, Pragma]] = field(default_factory=list)
     meta_violations: List[Violation] = field(default_factory=list)
     files_checked: int = 0
+    #: The cross-module view, present when any ProjectRule ran (the CLI
+    #: reuses it for ``lint graph`` without a second extraction).
+    project: "Optional[ProjectUnit]" = None
 
     @property
     def errors(self) -> List[Violation]:
@@ -101,28 +107,61 @@ def _relative(path: Path, root: Path) -> str:
 def run_lint(
     config: LintConfig,
     rules: Optional[Tuple[Rule, ...]] = None,
+    cache_path: Optional[Path] = None,
 ) -> LintResult:
-    """Run ``rules`` (default: config-selected) over the configured tree."""
+    """Run ``rules`` (default: config-selected) over the configured tree.
+
+    Per-file rules run module by module; :class:`ProjectRule` subclasses
+    run once against the assembled cross-module
+    :class:`~repro.lint.xmod.project.ProjectUnit` (``cache_path``
+    enables the content-hash facts cache for that pass).  Pragma hygiene
+    runs last so a pragma that suppresses only a project-level finding
+    is correctly counted as used.
+    """
     if rules is None:
         rules = select_rules(config.rules) if config.rules else ALL_RULES
     active_ids = {rule.meta.rule_id for rule in rules}
+    file_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
     result = LintResult()
+    modules: List[ModuleUnit] = []
     for path in iter_source_files(config):
         loaded = load_module(path, config)
         if isinstance(loaded, Violation):
             result.meta_violations.append(loaded)
             continue
         result.files_checked += 1
-        module = loaded
-        for rule in rules:
+        modules.append(loaded)
+
+    def record(module: ModuleUnit, violation: Violation) -> None:
+        pragma = module.pragmas.suppression_for(
+            violation.rule_id, violation.line
+        )
+        if pragma is not None:
+            result.suppressed.append((violation, pragma))
+        else:
+            result.violations.append(violation)
+
+    for module in modules:
+        for rule in file_rules:
             for violation in rule.check(module, config):
-                pragma = module.pragmas.suppression_for(
-                    violation.rule_id, violation.line
-                )
-                if pragma is not None:
-                    result.suppressed.append((violation, pragma))
+                record(module, violation)
+
+    if project_rules:
+        from repro.lint.xmod.cache import build_project
+
+        project = build_project(modules, cache_path)
+        result.project = project
+        by_rel = {module.rel: module for module in modules}
+        for rule in project_rules:
+            for violation in rule.check_project(project, by_rel, config):
+                module_for = by_rel.get(violation.path)
+                if module_for is not None:
+                    record(module_for, violation)
                 else:
                     result.violations.append(violation)
+
+    for module in modules:
         # Pragma hygiene: malformed pragmas are errors, unused ones
         # warnings (a suppression must never outlive its violation).
         for problem in module.pragmas.problems:

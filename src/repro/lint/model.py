@@ -30,6 +30,7 @@ from repro.lint.pragmas import PragmaIndex
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.lint.config import LintConfig
+    from repro.lint.xmod.project import ProjectUnit
 
 
 class Severity(enum.Enum):
@@ -244,4 +245,55 @@ class Rule:
             fix_hint=fix_hint if fix_hint is not None else self.meta.fix_hint,
             symbol=module.symbol_at(line),
             snippet=module.snippet_at(line),
+        )
+
+
+class ProjectRule(Rule):
+    """Base class for cross-module (interprocedural) rules.
+
+    The engine collects every :class:`ModuleUnit` first, builds one
+    :class:`repro.lint.xmod.project.ProjectUnit`, and calls
+    :meth:`check_project` once per rule.  Violations still carry a
+    per-file ``path``/``line`` so pragma suppression and the baseline
+    ratchet work unchanged.
+    """
+
+    def check(
+        self, module: ModuleUnit, config: "LintConfig"
+    ) -> Iterator[Violation]:
+        """Project rules do not run per-module."""
+        return iter(())
+
+    def check_project(
+        self, project: "ProjectUnit", modules: Dict[str, ModuleUnit],
+        config: "LintConfig",
+    ) -> Iterator[Violation]:
+        """Yield violations found across ``project``.
+
+        ``modules`` maps relative path -> loaded :class:`ModuleUnit`
+        (for symbol/snippet rendering via :meth:`project_violation`).
+        """
+        raise NotImplementedError
+
+    def project_violation(
+        self,
+        modules: Dict[str, ModuleUnit],
+        rel: str,
+        line: int,
+        message: str,
+        fix_hint: Optional[str] = None,
+        col: int = 0,
+    ) -> Violation:
+        """Build a :class:`Violation` at ``rel:line``."""
+        module = modules.get(rel)
+        return Violation(
+            rule_id=self.meta.rule_id,
+            severity=self.meta.severity,
+            path=rel,
+            line=line,
+            col=col,
+            message=message,
+            fix_hint=fix_hint if fix_hint is not None else self.meta.fix_hint,
+            symbol=module.symbol_at(line) if module else "<module>",
+            snippet=module.snippet_at(line) if module else "",
         )

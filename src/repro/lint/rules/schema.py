@@ -1,0 +1,369 @@
+"""SCH001 — wire-schema drift between paired encoders and decoders.
+
+A codec bug in this codebase is silent until two processes disagree at
+runtime — the worst possible place for a Byzantine-agreement testbed to
+discover that ``encode_X`` and ``decode_X`` drifted apart.  This rule
+statically pairs both sides of every wire schema through the artifacts
+they necessarily share, and fails the build on asymmetry:
+
+**Struct-framed codecs.**  Module-level ``struct.Struct`` constants are
+the pairing key: every ``CONST.pack(...)`` site and every ``CONST.
+unpack*`` binding — in any module, cross-module uses included — must
+agree with the format string's field count (arity drift), and the
+identifiers feeding each pack position must agree *positionally* with
+the canonical field names established by the decoder's unpack tuple
+(order drift: ``pack(frame.recipient, frame.sender, ...)`` against a
+decoder that unpacks ``sender, recipient, ...``).  Name pairing is
+affix-tolerant (``sent`` pairs with ``sent_round``) and skips
+constants, computed expressions, and ALL_CAPS tag names — only a
+position whose identifier *matches a different canonical position* is
+drift; unknown names are never guessed at.
+
+**Dataclass-framed codecs.**  A dataclass with an ``encode`` method is
+a wire schema too: every declared field must be read somewhere in the
+``encode`` closure (the method itself plus the ``self.*`` helpers it
+calls), otherwise the field rides the constructor but never the wire —
+the classic "added a field, forgot the codec" drift.  Symmetrically,
+any constructor call of such a dataclass (decoders live in other
+modules, so this is checked project-wide) must only use keywords that
+are declared fields of the class or its bases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.config import LintConfig
+from repro.lint.model import ModuleUnit, ProjectRule, RuleMeta, Severity, Violation
+from repro.lint.xmod.project import (
+    CallNode,
+    ClassFacts,
+    FunctionFacts,
+    ProjectUnit,
+    UnpackFact,
+)
+
+#: Format characters that consume one value regardless of repeat count.
+_STRING_CODES = "sp"
+#: Format characters that consume no value.
+_PAD_CODE = "x"
+_BYTE_ORDER = "@=<>!"
+
+
+def struct_field_count(fmt: str) -> int:
+    """Number of values a ``struct`` format string packs/unpacks."""
+    count = 0
+    digits = ""
+    for char in fmt:
+        if char in _BYTE_ORDER or char.isspace():
+            digits = ""
+            continue
+        if char.isdigit():
+            digits += char
+            continue
+        repeat = int(digits) if digits else 1
+        digits = ""
+        if char in _STRING_CODES:
+            count += 1
+        elif char != _PAD_CODE:
+            count += repeat
+    return count
+
+
+def _is_tag_name(ident: str) -> bool:
+    """ALL_CAPS identifiers are protocol tags, not field names."""
+    stripped = ident.lstrip("_")
+    return bool(stripped) and stripped == stripped.upper()
+
+
+def _names_pair(left: str, right: str) -> bool:
+    """Affix-tolerant field-name equality (``sent`` ~ ``sent_round``)."""
+    a, b = left.lower(), right.lower()
+    return (
+        a == b
+        or a.endswith("_" + b) or b.endswith("_" + a)
+        or a.startswith(b + "_") or b.startswith(a + "_")
+    )
+
+
+class SchemaDriftRule(ProjectRule):
+    """Encoder/decoder pairs must agree on field count and order."""
+
+    meta = RuleMeta(
+        rule_id="SCH001",
+        name="wire-schema-drift",
+        severity=Severity.ERROR,
+        summary=(
+            "paired encoders and decoders must agree on struct field "
+            "count, field order, and dataclass field coverage"
+        ),
+        rationale=(
+            "Every wire schema lives in two places — the pack and the "
+            "unpack, the dataclass and its codec — and nothing at "
+            "runtime checks they agree until two processes disagree. "
+            "Drift (a reordered struct field, a dataclass field the "
+            "encoder never reads) silently corrupts frames, charges, "
+            "and round indices, invalidating the bit-accounting the "
+            "paper's O(polylog) claims rest on."
+        ),
+        fix_hint=(
+            "make the pack argument order match the decoder's unpack "
+            "tuple, update both sides of the codec together, and "
+            "encode every declared dataclass field"
+        ),
+    )
+
+    # -- struct codec inventory ----------------------------------------------
+
+    @staticmethod
+    def _const_of(callee: str, project: ProjectUnit) -> Optional[str]:
+        """Qualified struct const a ``CONST.pack``/``unpack*`` call uses."""
+        if "." not in callee:
+            return None
+        head, _tail = callee.rsplit(".", 1)
+        return head if head in project.struct_consts else None
+
+    def _pack_sites(
+        self, project: ProjectUnit,
+    ) -> List[Tuple[str, str, FunctionFacts, CallNode, int]]:
+        """Every ``CONST.pack*`` call: (const, module, function, call,
+        index of the first packed-value argument)."""
+        sites = []
+        for _qualified, (modname, function) in sorted(
+            project.functions.items()
+        ):
+            for call in function.calls:
+                tail = call.callee.rsplit(".", 1)[-1]
+                if tail not in ("pack", "pack_into"):
+                    continue
+                const = self._const_of(call.callee, project)
+                if const is None:
+                    continue
+                skip = 2 if tail == "pack_into" else 0
+                sites.append((const, modname, function, call, skip))
+        return sites
+
+    def _unpack_sites(
+        self, project: ProjectUnit,
+    ) -> List[Tuple[str, str, FunctionFacts, UnpackFact]]:
+        sites = []
+        for _qualified, (modname, function) in sorted(
+            project.functions.items()
+        ):
+            for unpack in function.unpacks:
+                const = self._const_of(unpack.callee, project)
+                if const is not None:
+                    sites.append((const, modname, function, unpack))
+        return sites
+
+    # -- struct checks --------------------------------------------------------
+
+    def _check_structs(
+        self,
+        project: ProjectUnit,
+        modules: Dict[str, ModuleUnit],
+    ) -> Iterator[Violation]:
+        pack_sites = self._pack_sites(project)
+        unpack_sites = self._unpack_sites(project)
+
+        # Canonical field names per const: the first unpack tuple (in
+        # module/line order) with the full field count names the schema.
+        canonical: Dict[str, List[str]] = {}
+        for const, _modname, _function, unpack in unpack_sites:
+            nfields = struct_field_count(project.struct_consts[const])
+            if const not in canonical and len(unpack.fields) == nfields:
+                canonical[const] = list(unpack.fields)
+
+        for const, modname, function, call, skip in pack_sites:
+            nfields = struct_field_count(project.struct_consts[const])
+            rel = project.facts[modname].rel
+            values = len(call.arg_roots) - skip
+            if values != nfields:
+                yield self.project_violation(
+                    modules, rel, call.line,
+                    message=(
+                        f"{function.qualname}() packs {values} value(s) "
+                        f"into {const.rsplit('.', 1)[-1]} "
+                        f"({project.struct_consts[const]!r} has "
+                        f"{nfields} field(s))"
+                    ),
+                )
+                continue
+            names = canonical.get(const)
+            if names is None:
+                continue
+            for index in range(nfields):
+                position = index + skip
+                kind = call.arg_kinds[position]
+                ident = call.arg_idents[position]
+                if kind not in ("name", "attr") or ident is None:
+                    continue
+                if _is_tag_name(ident) or ident.startswith("_"):
+                    continue
+                if _names_pair(ident, names[index]):
+                    continue
+                moved_to = [
+                    j for j, name in enumerate(names)
+                    if j != index and _names_pair(ident, name)
+                ]
+                if not moved_to:
+                    continue
+                line = (
+                    call.arg_lines[position]
+                    if position < len(call.arg_lines) else call.line
+                )
+                yield self.project_violation(
+                    modules, rel, line,
+                    message=(
+                        f"{function.qualname}() packs {ident!r} at "
+                        f"{const.rsplit('.', 1)[-1]} position {index} "
+                        f"({names[index]!r}), but the decoder unpacks "
+                        f"{ident!r} at position {moved_to[0]} — "
+                        "encoder/decoder field order drift"
+                    ),
+                )
+
+        for const, modname, function, unpack in unpack_sites:
+            nfields = struct_field_count(project.struct_consts[const])
+            rel = project.facts[modname].rel
+            if len(unpack.fields) != nfields:
+                yield self.project_violation(
+                    modules, rel, unpack.line,
+                    message=(
+                        f"{function.qualname}() unpacks "
+                        f"{const.rsplit('.', 1)[-1]} into "
+                        f"{len(unpack.fields)} name(s) "
+                        f"({project.struct_consts[const]!r} has "
+                        f"{nfields} field(s))"
+                    ),
+                )
+                continue
+            names = canonical.get(const)
+            if names is None or unpack.fields == names:
+                continue
+            for index, ident in enumerate(unpack.fields):
+                if ident.startswith("_") or _is_tag_name(ident):
+                    continue
+                if _names_pair(ident, names[index]):
+                    continue
+                moved_to = [
+                    j for j, name in enumerate(names)
+                    if j != index and _names_pair(ident, name)
+                ]
+                if not moved_to:
+                    continue
+                yield self.project_violation(
+                    modules, rel, unpack.line,
+                    message=(
+                        f"{function.qualname}() unpacks {ident!r} at "
+                        f"{const.rsplit('.', 1)[-1]} position {index}, "
+                        f"but the canonical decoder binds {ident!r} at "
+                        f"position {moved_to[0]} — decoder/decoder "
+                        "field order drift"
+                    ),
+                )
+
+    # -- dataclass codec checks ----------------------------------------------
+
+    @staticmethod
+    def _field_names(project: ProjectUnit, qualified: str,
+                     depth: int = 0) -> Set[str]:
+        """Declared field names of a dataclass and its dataclass bases."""
+        if depth > 8:
+            return set()
+        entry = project.classes.get(qualified)
+        if entry is None:
+            return set()
+        _modname, klass = entry
+        names = {name for name, _line in klass.fields}
+        for base in klass.bases:
+            names |= SchemaDriftRule._field_names(project, base, depth + 1)
+        return names
+
+    @staticmethod
+    def _encode_closure(klass: ClassFacts) -> Set[str]:
+        """``self.*`` names reachable from ``encode`` one helper deep."""
+        reads = set(klass.self_reads.get("encode", ()))
+        for name in list(reads):
+            if name in klass.methods:
+                reads |= set(klass.self_reads.get(name, ()))
+        return reads
+
+    def _wire_dataclasses(
+        self, project: ProjectUnit,
+    ) -> Dict[str, Tuple[str, ClassFacts]]:
+        """Round-trip wire schemas: an ``encode`` paired with a decoder.
+
+        One-way encoders (verification keys flattened into hash input,
+        constant-size proof tags) legitimately skip context fields;
+        coverage drift is only meaningful when something decodes the
+        bytes back.
+        """
+        return {
+            qualified: (modname, klass)
+            for qualified, (modname, klass) in project.classes.items()
+            if klass.is_dataclass and klass.fields
+            and "encode" in klass.methods
+            and any(
+                method.startswith(("decode", "from_"))
+                for method in klass.methods
+            )
+        }
+
+    def _check_dataclasses(
+        self,
+        project: ProjectUnit,
+        modules: Dict[str, ModuleUnit],
+    ) -> Iterator[Violation]:
+        wire_classes = self._wire_dataclasses(project)
+        for qualified in sorted(wire_classes):
+            modname, klass = wire_classes[qualified]
+            rel = project.facts[modname].rel
+            covered = self._encode_closure(klass)
+            for name, line in klass.fields:
+                if name in covered:
+                    continue
+                yield self.project_violation(
+                    modules, rel, line,
+                    message=(
+                        f"dataclass field {name!r} is never read by "
+                        f"{klass.name}.encode() or its helpers — the "
+                        "field rides the constructor but not the wire"
+                    ),
+                )
+        # Constructor keyword drift: decoders (anywhere in the project)
+        # must construct wire dataclasses with declared fields only.
+        for _qualified, (modname, function) in sorted(
+            project.functions.items()
+        ):
+            rel = project.facts[modname].rel
+            for call in function.calls:
+                target = call.callee
+                if target not in wire_classes:
+                    continue
+                fields = self._field_names(project, target)
+                for keyword in sorted(call.kw_roots):
+                    if keyword in fields:
+                        continue
+                    yield self.project_violation(
+                        modules, rel,
+                        call.kw_lines.get(keyword, call.line),
+                        message=(
+                            f"{function.qualname}() constructs "
+                            f"{target.rsplit('.', 1)[-1]} with "
+                            f"{keyword!r}, which is not a declared "
+                            "field of the dataclass — constructor/"
+                            "schema drift"
+                        ),
+                    )
+
+    # -- entry point ---------------------------------------------------------
+
+    def check_project(
+        self,
+        project: ProjectUnit,
+        modules: Dict[str, ModuleUnit],
+        config: LintConfig,
+    ) -> Iterator[Violation]:
+        yield from self._check_structs(project, modules)
+        yield from self._check_dataclasses(project, modules)

@@ -1,0 +1,39 @@
+"""repro.lint.xmod — the project-wide (cross-module) analysis layer.
+
+The per-file rules of :mod:`repro.lint.rules` see one
+:class:`~repro.lint.model.ModuleUnit` at a time, which is exactly the
+wrong granularity for the failure modes an adaptive adversary exploits
+first: a value decoded off the wire in ``cluster/meshwire.py`` reaching
+protocol logic in another module without validation, or an
+encoder/decoder pair drifting apart across files.  This package builds
+the shared project view those checks need:
+
+* :mod:`repro.lint.xmod.project` — per-module **fact extraction**
+  (functions, calls with import-resolved targets, an intraprocedural
+  taint digest, struct codec uses, class/lock/mutation inventories)
+  into JSON-serializable :class:`~repro.lint.xmod.project.ModuleFacts`,
+  assembled into one :class:`~repro.lint.xmod.project.ProjectUnit`;
+* :mod:`repro.lint.xmod.callgraph` — cross-module call resolution, the
+  strongly-connected-component decomposition used for cache
+  invalidation, and the schema-versioned JSON export behind
+  ``python -m repro lint graph``;
+* :mod:`repro.lint.xmod.cache` — a content-hash-keyed facts cache
+  (``.lint-cache.json``) so ``lint check`` re-extracts only edited
+  files (plus their import SCC) instead of the whole tree.
+
+The interprocedural rule families that consume this view live with the
+other rules: TRU001 (:mod:`repro.lint.rules.trust`), SCH001
+(:mod:`repro.lint.rules.schema`), and ASY002
+(:mod:`repro.lint.rules.asyncsafety`).  Everything here is stdlib
+``ast`` only — same zero-dependency contract as the per-file engine.
+"""
+
+from repro.lint.xmod.callgraph import CALLGRAPH_SCHEMA, CallGraph
+from repro.lint.xmod.project import ModuleFacts, ProjectUnit
+
+__all__ = [
+    "CALLGRAPH_SCHEMA",
+    "CallGraph",
+    "ModuleFacts",
+    "ProjectUnit",
+]

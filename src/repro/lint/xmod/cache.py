@@ -1,0 +1,120 @@
+"""Content-hash-keyed facts cache behind the project pass.
+
+``lint check`` runs on every commit, but the tree rarely changes much
+between runs: the cache stores each module's extracted
+:class:`~repro.lint.xmod.project.ModuleFacts` keyed by the file's
+sha256, so an unchanged file costs one hash instead of an AST walk.
+
+Invalidation is by **import strongly-connected component**: when a file
+changes, it re-extracts along with every module in its SCC of the
+import graph.  Facts are deliberately resolution-free (imports are
+recorded as dotted origin strings, never baked into other modules'
+facts), so this is conservative — but it is also the *contract* the
+cache tests pin via :attr:`ProjectUnit.reanalyzed`, and it keeps the
+invalidation story explainable: "your edit re-analyzes your import
+cycle, nothing else".
+
+The cache file (default ``.lint-cache.json`` at the lint root) is
+best-effort: unreadable, stale-schema, or unwritable caches degrade to
+a full re-extraction, never to an error.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Set
+
+from repro.lint.model import ModuleUnit
+from repro.lint.xmod.callgraph import import_graph, strongly_connected
+from repro.lint.xmod.project import (
+    ModuleFacts,
+    ProjectUnit,
+    content_hash,
+    extract_facts,
+)
+
+#: Bump whenever fact extraction changes shape or semantics — a schema
+#: mismatch silently discards the cache.
+CACHE_SCHEMA = "repro-lint-xmod-cache/1"
+
+#: Default cache filename, resolved against the lint root.
+CACHE_FILENAME = ".lint-cache.json"
+
+
+def _load_entries(path: Path) -> Dict[str, Dict[str, Any]]:
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(payload, dict) or payload.get("schema") != CACHE_SCHEMA:
+        return {}
+    entries = payload.get("entries")
+    return entries if isinstance(entries, dict) else {}
+
+
+def _save_entries(path: Path,
+                  entries: Dict[str, Dict[str, Any]]) -> None:
+    document = {"schema": CACHE_SCHEMA, "entries": entries}
+    try:
+        path.write_text(
+            json.dumps(document, sort_keys=True), encoding="utf-8"
+        )
+    except OSError:
+        # A read-only checkout still gets a correct (uncached) run.
+        pass
+
+
+def build_project(
+    modules: Iterable[ModuleUnit],
+    cache_path: Optional[Path] = None,
+) -> ProjectUnit:
+    """Assemble the :class:`ProjectUnit`, reusing cached facts.
+
+    With ``cache_path=None`` every module is extracted fresh (the
+    ``--no-cache`` path and the default for ad-hoc fixture runs).
+    """
+    module_list = list(modules)
+    if cache_path is None:
+        return ProjectUnit.from_modules(module_list)
+
+    cached = _load_entries(cache_path)
+    facts: Dict[str, ModuleFacts] = {}
+    units_by_module: Dict[str, ModuleUnit] = {}
+    changed: Set[str] = set()
+
+    for unit in module_list:
+        sha = content_hash(unit.source)
+        entry = cached.get(unit.rel)
+        restored: Optional[ModuleFacts] = None
+        if entry is not None and entry.get("sha") == sha:
+            try:
+                restored = ModuleFacts.from_json(entry["facts"])
+            except (KeyError, TypeError, ValueError):
+                restored = None
+        if restored is None:
+            restored = extract_facts(unit)
+            changed.add(restored.module)
+        facts[restored.module] = restored
+        units_by_module[restored.module] = unit
+
+    # Conservative ripple: a changed module re-extracts its whole import
+    # SCC (mutual importers evolve together; singleton SCCs are free).
+    if changed:
+        components = strongly_connected(import_graph(ProjectUnit(facts)))
+        ripple: Set[str] = set()
+        for component in components:
+            if changed & set(component):
+                ripple.update(component)
+        for modname in ripple - changed:
+            facts[modname] = extract_facts(units_by_module[modname])
+        changed |= ripple
+
+    entries: Dict[str, Dict[str, Any]] = {
+        mod.rel: {"sha": mod.sha, "facts": mod.to_json()}
+        for mod in facts.values()
+    }
+    _save_entries(cache_path, entries)
+
+    reanalyzed: List[str] = sorted(changed)
+    return ProjectUnit(facts, reanalyzed=reanalyzed)

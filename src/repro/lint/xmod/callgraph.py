@@ -1,0 +1,192 @@
+"""Cross-module call graph and import-SCC decomposition.
+
+Built on top of :class:`~repro.lint.xmod.project.ProjectUnit`: every
+function fact's call sites are resolved to fully-qualified project
+functions where possible (imports were already resolved per-module at
+extraction time; this layer adds ``self.``-method dispatch through base
+classes and unique-method-name resolution for calls on untyped locals).
+
+Two consumers:
+
+* ``python -m repro lint graph`` exports the graph as schema-versioned
+  JSON (:data:`CALLGRAPH_SCHEMA`) — one node per function/method, one
+  edge per resolved call site, plus the module-level import graph and
+  its strongly-connected components;
+* the facts cache invalidates by import-SCC: when a file changes, the
+  modules whose facts may embed assumptions about it are exactly its
+  SCC in the import graph (mutual imports re-extract together).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.lint.xmod.project import ProjectUnit
+
+#: Version tag stamped into every ``lint graph`` export.  Bump when the
+#: JSON shape changes so downstream tooling can detect drift.
+CALLGRAPH_SCHEMA = "repro-lint-callgraph/1"
+
+
+def import_graph(project: ProjectUnit) -> Dict[str, Set[str]]:
+    """Module-level dependency edges restricted to project modules.
+
+    An edge ``a -> b`` means ``a`` imports a name whose origin lives in
+    module ``b`` (prefix-matched, so ``from repro.cluster.wire import
+    Message`` links to ``repro.cluster.wire``).
+    """
+    modules = set(project.facts)
+    edges: Dict[str, Set[str]] = {name: set() for name in modules}
+    for name, facts in project.facts.items():
+        for origin in facts.imports.values():
+            target = _owning_module(origin, modules)
+            if target is not None and target != name:
+                edges[name].add(target)
+    return edges
+
+
+def _owning_module(dotted: str, modules: Set[str]) -> Optional[str]:
+    """Longest project module that is a prefix of ``dotted``."""
+    parts = dotted.split(".")
+    for cut in range(len(parts), 0, -1):
+        candidate = ".".join(parts[:cut])
+        if candidate in modules:
+            return candidate
+    return None
+
+
+def strongly_connected(edges: Dict[str, Set[str]]) -> List[List[str]]:
+    """Tarjan's SCC over the import graph, iteratively (deep trees are
+    real: ``repro.__init__`` sits atop every module)."""
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    components: List[List[str]] = []
+    counter = 0
+
+    for root in sorted(edges):
+        if root in index:
+            continue
+        work: List[Tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_index = work[-1]
+            if child_index == 0:
+                index[node] = lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            children = sorted(edges.get(node, ()))
+            for position in range(child_index, len(children)):
+                child = children[position]
+                if child not in index:
+                    work[-1] = (node, position + 1)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(sorted(component))
+    return components
+
+
+def scc_of(module: str, components: List[List[str]]) -> List[str]:
+    for component in components:
+        if module in component:
+            return component
+    return [module]
+
+
+class CallGraph:
+    """Resolved function-level call edges over a :class:`ProjectUnit`."""
+
+    def __init__(self, project: ProjectUnit) -> None:
+        self.project = project
+        #: caller qualified name -> sorted list of (callee, line)
+        self.edges: Dict[str, List[Tuple[str, int]]] = {}
+        #: callee qualified name -> callers
+        self.reverse: Dict[str, Set[str]] = {}
+        for qualified, (modname, function) in project.functions.items():
+            resolved: Set[Tuple[str, int]] = set()
+            for call in function.calls:
+                target = project.resolve_call(modname, function, call)
+                if target is not None and target in project.functions:
+                    resolved.add((target, call.line))
+                    self.reverse.setdefault(target, set()).add(qualified)
+            self.edges[qualified] = sorted(resolved)
+
+    def callees(self, qualified: str) -> List[str]:
+        return sorted({target for target, _ in self.edges.get(qualified, ())})
+
+    def callers(self, qualified: str) -> List[str]:
+        return sorted(self.reverse.get(qualified, ()))
+
+    def reachable(self, roots: List[str], depth: int) -> Set[str]:
+        """Functions reachable from ``roots`` within ``depth`` calls."""
+        seen: Set[str] = set(roots)
+        frontier = list(roots)
+        for _ in range(depth):
+            next_frontier: List[str] = []
+            for node in frontier:
+                for target in self.callees(node):
+                    if target not in seen:
+                        seen.add(target)
+                        next_frontier.append(target)
+            frontier = next_frontier
+            if not frontier:
+                break
+        return seen
+
+    # -- export --------------------------------------------------------------
+
+    def to_json(self) -> Dict[str, Any]:
+        """The ``lint graph`` document: modules, functions, edges, SCCs."""
+        imports = import_graph(self.project)
+        components = strongly_connected(imports)
+        nodes = []
+        for qualified in sorted(self.project.functions):
+            modname, function = self.project.functions[qualified]
+            nodes.append({
+                "id": qualified,
+                "module": modname,
+                "name": function.qualname,
+                "line": function.line,
+                "is_async": function.is_async,
+                "class": function.class_name,
+            })
+        edges = [
+            {"caller": caller, "callee": callee, "line": line}
+            for caller in sorted(self.edges)
+            for callee, line in self.edges[caller]
+        ]
+        return {
+            "schema": CALLGRAPH_SCHEMA,
+            "modules": [
+                {
+                    "name": name,
+                    "path": facts.rel,
+                    "sha256": facts.sha,
+                    "imports": sorted(imports.get(name, ())),
+                }
+                for name, facts in sorted(self.project.facts.items())
+            ],
+            "functions": nodes,
+            "edges": edges,
+            "sccs": [component for component in components
+                     if len(component) > 1] or [],
+        }

@@ -19,70 +19,96 @@ state machines — unchanged — over an asyncio event loop:
 
 See ``docs/runtime.md`` for the architecture and the differential
 guarantees tying the runtime to :class:`SynchronousNetwork`.
+
+Re-exports resolve lazily (PEP 562): cluster workers import
+:class:`Frame` through :mod:`repro.runtime.transport` on every process
+spawn and must not pay for the protocol drivers in
+:mod:`repro.runtime.drivers`.
 """
 
-from repro.runtime.drivers import (
-    run_balanced_ba_runtime,
-    run_gradecast_runtime,
-    run_phase_king_runtime,
-)
-from repro.runtime.faults import (
-    FaultPlan,
-    LinkDelay,
-    Partition,
-    adversarial_schedule,
-    crash_corrupted,
-    crash_everyone,
-    partition_halves,
-)
-from repro.runtime.replay import (
-    RecordingLedger,
-    ReplayParty,
-    ReplayScript,
-    replay_over_simulator,
-    tallies_equal,
-)
-from repro.runtime.synchronizer import (
-    RoundSynchronizer,
-    RuntimeResult,
-    run_parties,
-    run_parties_async,
-)
-from repro.runtime.trace import TraceRecorder, load_jsonl, wall_clock_recorder
-from repro.runtime.transport import (
-    AsyncLocalTransport,
-    Frame,
-    TcpTransport,
-    Transport,
-    make_transport,
-)
+from typing import TYPE_CHECKING, List
 
-__all__ = [
-    "AsyncLocalTransport",
-    "FaultPlan",
-    "Frame",
-    "LinkDelay",
-    "Partition",
-    "RecordingLedger",
-    "ReplayParty",
-    "ReplayScript",
-    "RoundSynchronizer",
-    "RuntimeResult",
-    "TcpTransport",
-    "TraceRecorder",
-    "Transport",
-    "adversarial_schedule",
-    "crash_corrupted",
-    "crash_everyone",
-    "load_jsonl",
-    "make_transport",
-    "partition_halves",
-    "replay_over_simulator",
-    "run_balanced_ba_runtime",
-    "run_gradecast_runtime",
-    "run_parties",
-    "run_parties_async",
-    "run_phase_king_runtime",
-    "tallies_equal",
-    "wall_clock_recorder",
-]
+#: Lazily re-exported name -> defining module.
+_EXPORTS = {
+    "run_balanced_ba_runtime": "repro.runtime.drivers",
+    "run_gradecast_runtime": "repro.runtime.drivers",
+    "run_phase_king_runtime": "repro.runtime.drivers",
+    "FaultPlan": "repro.runtime.faults",
+    "LinkDelay": "repro.runtime.faults",
+    "Partition": "repro.runtime.faults",
+    "adversarial_schedule": "repro.runtime.faults",
+    "crash_corrupted": "repro.runtime.faults",
+    "crash_everyone": "repro.runtime.faults",
+    "partition_halves": "repro.runtime.faults",
+    "RecordingLedger": "repro.runtime.replay",
+    "ReplayParty": "repro.runtime.replay",
+    "ReplayScript": "repro.runtime.replay",
+    "replay_over_simulator": "repro.runtime.replay",
+    "tallies_equal": "repro.runtime.replay",
+    "RoundSynchronizer": "repro.runtime.synchronizer",
+    "RuntimeResult": "repro.runtime.synchronizer",
+    "run_parties": "repro.runtime.synchronizer",
+    "run_parties_async": "repro.runtime.synchronizer",
+    "TraceRecorder": "repro.runtime.trace",
+    "load_jsonl": "repro.runtime.trace",
+    "wall_clock_recorder": "repro.runtime.trace",
+    "AsyncLocalTransport": "repro.runtime.transport",
+    "Frame": "repro.runtime.transport",
+    "TcpTransport": "repro.runtime.transport",
+    "Transport": "repro.runtime.transport",
+    "make_transport": "repro.runtime.transport",
+}
+
+__all__ = sorted(_EXPORTS)
+
+if TYPE_CHECKING:  # static importers see the eager names
+    from repro.runtime.drivers import (
+        run_balanced_ba_runtime,
+        run_gradecast_runtime,
+        run_phase_king_runtime,
+    )
+    from repro.runtime.faults import (
+        FaultPlan,
+        LinkDelay,
+        Partition,
+        adversarial_schedule,
+        crash_corrupted,
+        crash_everyone,
+        partition_halves,
+    )
+    from repro.runtime.replay import (
+        RecordingLedger,
+        ReplayParty,
+        ReplayScript,
+        replay_over_simulator,
+        tallies_equal,
+    )
+    from repro.runtime.synchronizer import (
+        RoundSynchronizer,
+        RuntimeResult,
+        run_parties,
+        run_parties_async,
+    )
+    from repro.runtime.trace import TraceRecorder, load_jsonl, wall_clock_recorder
+    from repro.runtime.transport import (
+        AsyncLocalTransport,
+        Frame,
+        TcpTransport,
+        Transport,
+        make_transport,
+    )
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> List[str]:
+    return sorted(set(globals()) | set(__all__))

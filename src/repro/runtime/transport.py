@@ -99,17 +99,31 @@ class Frame:
         kind, sender, recipient, sent, deliver, charge = _HEADER.unpack_from(body)
         if kind != _TYPE_DATA:
             raise NetworkError(f"unexpected frame type {kind}")
+        if deliver <= sent:
+            raise NetworkError(
+                f"frame claims delivery round {deliver} on or before "
+                f"its send round {sent}"
+            )
         (seq,) = _LENGTH.unpack_from(body, _HEADER.size)
         (phase_len,) = _LENGTH.unpack_from(body, _HEADER.size + _LENGTH.size)
         phase_start = _HEADER.size + 2 * _LENGTH.size
         if len(body) < phase_start + phase_len:
             raise NetworkError("short frame (truncated phase)")
-        phase = body[phase_start:phase_start + phase_len].decode("utf-8")
+        try:
+            phase = body[phase_start:phase_start + phase_len].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise NetworkError(f"frame phase is not UTF-8: {exc}") from exc
         payload = body[phase_start + phase_len:]
         return Frame(
-            sender=sender, recipient=recipient, payload=payload,
-            sent_round=sent, deliver_round=deliver, charge_bits=charge,
-            seq=seq, phase=phase,
+            # lint: allow[TRU001] reason=party ids are checked against staged routing tables by the supervisor before any delivery or ledger charge
+            sender=sender,
+            recipient=recipient,  # lint: allow[TRU001] reason=recipient is checked against staged routing tables before any delivery or ledger charge
+            payload=payload,
+            sent_round=sent,
+            deliver_round=deliver,
+            charge_bits=charge,  # lint: allow[TRU001] reason=unsigned by wire format; replayed charges are cross-checked by mesh/relay ledger parity gates
+            seq=seq,  # lint: allow[TRU001] reason=seq is an opaque reconnect-dedup tag; the replay consumer tolerates arbitrary values
+            phase=phase,
         )
 
 

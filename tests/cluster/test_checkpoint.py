@@ -35,16 +35,25 @@ tallies = st.builds(
     peers_received_from=st.sets(st.integers(min_value=0, max_value=255)),
 )
 
-frames = st.builds(
-    Frame,
-    sender=st.integers(min_value=0, max_value=255),
-    recipient=st.integers(min_value=0, max_value=255),
-    payload=st.binary(max_size=64),
-    sent_round=st.integers(min_value=0, max_value=1000),
-    deliver_round=st.integers(min_value=0, max_value=1001),
-    charge_bits=st.integers(min_value=-1, max_value=1 << 20),
-    seq=st.integers(min_value=0, max_value=1 << 20),
-)
+@st.composite
+def frames(draw):
+    # Delivery is strictly after send (the decoder rejects anything
+    # else), so the delay is drawn separately and added on.  Charges are
+    # wire-canonical (>= 0): the Frame codec resolves the -1
+    # charge-by-payload sentinel on encode, so only resolved charges
+    # survive an exact-equality round trip (the mesh codec, which
+    # preserves -1, is exercised in test_wire's mesh section).
+    sent_round = draw(st.integers(min_value=0, max_value=1000))
+    delay = draw(st.integers(min_value=1, max_value=16))
+    return Frame(
+        sender=draw(st.integers(min_value=0, max_value=255)),
+        recipient=draw(st.integers(min_value=0, max_value=255)),
+        payload=draw(st.binary(max_size=64)),
+        sent_round=sent_round,
+        deliver_round=sent_round + delay,
+        charge_bits=draw(st.integers(min_value=0, max_value=1 << 20)),
+        seq=draw(st.integers(min_value=0, max_value=1 << 20)),
+    )
 
 
 @st.composite
@@ -71,7 +80,7 @@ def cluster_checkpoints(draw):
     return ClusterCheckpoint(
         next_round=draw(st.integers(min_value=0, max_value=10_000)),
         parties=parties,
-        staged=draw(st.lists(frames, max_size=8)),
+        staged=draw(st.lists(frames(), max_size=8)),
     )
 
 

@@ -1,0 +1,29 @@
+"""ASY002 fixture (bad): shared containers mutated outside the lock."""
+
+import threading
+
+
+class MeshState:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._inbox = {}
+        self._journal = []
+
+    def start(self):
+        worker = threading.Thread(target=self._pump)
+        worker.start()
+
+    def _pump(self):
+        with self._lock:
+            self._inbox.update(ready=True)
+        self._journal.append("pumped")
+
+    def drop(self, key):
+        # `_inbox` is lock-affine (mutated under the lock in `_pump`)
+        # but this mutation skips the lock.
+        self._inbox.pop(key, None)
+
+    async def drain(self):
+        # `_journal` is written from the `_pump` thread *and* this
+        # event-loop coroutine, with no lock on either side.
+        self._journal.append("drained")

@@ -1,0 +1,40 @@
+"""ASY002 fixture (ok): locked mutations and sanctioned single writers."""
+
+import threading
+
+
+class MeshState:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._inbox = {}
+        self._journal = []
+
+    def start(self):
+        worker = threading.Thread(target=self._pump)
+        worker.start()
+
+    def _pump(self):
+        with self._lock:
+            self._inbox.update(ready=True)
+            self._journal.append("pumped")
+
+    def drop(self, key):
+        with self._lock:
+            self._inbox.pop(key, None)
+
+    async def drain(self):
+        with self._lock:
+            self._journal.append("drained")
+
+
+class SingleWriter:
+    """Both mutation sites live on the event loop — no lock required."""
+
+    def __init__(self):
+        self._queue = []
+
+    async def push(self, item):
+        self._queue.append(item)
+
+    async def flush(self):
+        self._queue.clear()

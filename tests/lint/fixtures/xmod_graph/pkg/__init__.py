@@ -1,0 +1,1 @@
+"""Synthetic package for the call-graph golden and cache tests."""

@@ -1,0 +1,11 @@
+"""Graph fixture: one half of a deliberate import cycle."""
+
+from xmod_graph.pkg.b import helper
+
+
+def alpha(x):
+    return helper(x) + 1
+
+
+def orphan():
+    return 0

@@ -1,0 +1,11 @@
+"""Graph fixture: the other half of the import cycle."""
+
+import xmod_graph.pkg.a as a_mod
+
+
+def helper(x):
+    return x * 2
+
+
+def beta(x):
+    return a_mod.alpha(x)

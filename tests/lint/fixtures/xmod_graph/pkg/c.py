@@ -1,0 +1,5 @@
+"""Graph fixture: an island module outside the cycle."""
+
+
+def gamma():
+    return 3

@@ -1,0 +1,7 @@
+"""SCH001 fixture (bad): constructor keyword not declared on the schema."""
+
+from xmod_sch_bad.codec import Ticket
+
+
+def build_ticket():
+    return Ticket(kind=1, charge_bits=2, stamp=3)

@@ -1,0 +1,38 @@
+"""SCH001 fixture (bad): struct and dataclass codecs that drifted apart."""
+
+import struct
+from dataclasses import dataclass
+
+_RECORD = struct.Struct(">III")
+_TICKET = struct.Struct(">II")
+
+
+def decode_record(data):
+    sender, recipient, charge_bits = _RECORD.unpack_from(data, 0)
+    return sender, recipient, charge_bits
+
+
+def encode_record(sender, recipient, charge_bits):
+    # Field order drift: sender/recipient swapped against the decoder.
+    return _RECORD.pack(recipient, sender, charge_bits)
+
+
+def encode_short(sender, recipient):
+    # Arity drift: two values into a three-field format.
+    return _RECORD.pack(sender, recipient)
+
+
+@dataclass
+class Ticket:
+    kind: int
+    charge_bits: int
+    note: str
+
+    def encode(self):
+        # Coverage drift: `note` rides the constructor but not the wire.
+        return _TICKET.pack(self.kind, self.charge_bits)
+
+    @classmethod
+    def from_bytes(cls, data):
+        kind, charge_bits = _TICKET.unpack_from(data, 0)
+        return cls(kind=kind, charge_bits=charge_bits, note="")

@@ -1,0 +1,7 @@
+"""SCH001 fixture (ok): constructors use declared fields only."""
+
+from xmod_sch_ok.codec import Ticket
+
+
+def build_ticket():
+    return Ticket(kind=1, charge_bits=2)

@@ -1,0 +1,37 @@
+"""SCH001 fixture (ok): both sides of each schema agree."""
+
+import struct
+from dataclasses import dataclass
+
+_RECORD = struct.Struct(">III")
+_TICKET = struct.Struct(">II")
+_TAG = 9
+
+
+def decode_record(data):
+    sender, recipient, charge_bits = _RECORD.unpack_from(data, 0)
+    return sender, recipient, charge_bits
+
+
+def encode_record(sender, recipient, charge_bits):
+    return _RECORD.pack(sender, recipient, charge_bits)
+
+
+def encode_aliased(frame):
+    # Affix-tolerant pairing: `sender_id` ~ `sender`; ALL_CAPS tags and
+    # computed expressions are never order-checked.
+    return _RECORD.pack(frame.sender_id, frame.recipient_id, _TAG)
+
+
+@dataclass
+class Ticket:
+    kind: int
+    charge_bits: int
+
+    def encode(self):
+        return _TICKET.pack(self.kind, self.charge_bits)
+
+    @classmethod
+    def from_bytes(cls, data):
+        kind, charge_bits = _TICKET.unpack_from(data, 0)
+        return cls(kind=kind, charge_bits=charge_bits)

@@ -1,0 +1,27 @@
+"""TRU001 fixture (bad): a decoder guarding one escaping field, not both."""
+
+import struct
+from dataclasses import dataclass
+
+
+class SerializationError(ValueError):
+    pass
+
+
+_HEADER = struct.Struct(">II")
+
+
+@dataclass
+class Header:
+    round_index: int
+    charge_bits: int
+
+
+def decode_header(data: bytes) -> Header:
+    round_index, charge_bits = _HEADER.unpack_from(data, 0)
+    if round_index > 1 << 20:
+        raise SerializationError("round out of range")
+    return Header(
+        round_index=round_index,
+        charge_bits=charge_bits,
+    )

@@ -1,0 +1,5 @@
+"""TRU001 fixture: a protocol-scope sink function."""
+
+
+def advance_round(round_index):
+    return round_index + 1

@@ -1,0 +1,23 @@
+"""TRU001 fixture (ok): sanctioned ingress patterns only.
+
+``route_frame`` decodes under ``try/except`` over the malformed-input
+exception (guarded construction); ``route_validated`` narrows through a
+``validate_*`` sanitizer before charging the ledger.
+"""
+
+from xmod_tru_ok.cluster.wire import SerializationError, decode_header, validate_header
+
+
+def route_frame(data, ledger):
+    try:
+        header = decode_header(data)
+    except SerializationError:
+        return None
+    ledger.record_message(header.round_index, header.charge_bits)
+    return header
+
+
+def route_validated(data, ledger):
+    header = validate_header(decode_header(data))
+    ledger.record_message(header.round_index, header.charge_bits)
+    return header

@@ -1,0 +1,35 @@
+"""TRU001 fixture (ok): every escaping field individually guarded."""
+
+import struct
+from dataclasses import dataclass
+
+
+class SerializationError(ValueError):
+    pass
+
+
+_HEADER = struct.Struct(">II")
+
+
+@dataclass
+class Header:
+    round_index: int
+    charge_bits: int
+
+
+def decode_header(data: bytes) -> Header:
+    round_index, charge_bits = _HEADER.unpack_from(data, 0)
+    if round_index > 1 << 20:
+        raise SerializationError("round out of range")
+    if charge_bits > 1 << 30:
+        raise SerializationError("charge out of range")
+    return Header(
+        round_index=round_index,
+        charge_bits=charge_bits,
+    )
+
+
+def validate_header(header):
+    if header.round_index < 0:
+        raise SerializationError("negative round")
+    return header

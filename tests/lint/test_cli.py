@@ -96,6 +96,49 @@ def test_no_subcommand_is_usage_error(capsys):
     assert cmd_lint([]) == 2
 
 
+def test_baseline_prune_drops_burned_down_debt(tree, capsys):
+    cmd_lint(["baseline", "--root", str(tree)])
+    # Burn the debt down: the violating file becomes clean.
+    proto = tree / "src" / "protocols" / "proto.py"
+    proto.write_text("def run():\n    return 0\n", encoding="utf-8")
+    capsys.readouterr()
+    assert cmd_lint(["baseline", "--root", str(tree), "--prune"]) == 0
+    out = capsys.readouterr().out
+    assert "pruned 1 stale entry" in out
+    payload = json.loads(
+        (tree / "lint-baseline.json").read_text(encoding="utf-8")
+    )
+    assert payload["entries"] == []
+    # Idempotent: a second prune removes nothing.
+    assert cmd_lint(["baseline", "--root", str(tree), "--prune"]) == 0
+    assert "pruned 0 stale entries" in capsys.readouterr().out
+
+
+def test_graph_exports_schema_versioned_json(tree, tmp_path, capsys):
+    out_path = tmp_path / "callgraph.json"
+    code = cmd_lint([
+        "graph", "--root", str(tree), "--output", str(out_path),
+    ])
+    assert code == 0
+    assert "call graph ->" in capsys.readouterr().out
+    payload = json.loads(out_path.read_text(encoding="utf-8"))
+    assert payload["schema"] == "repro-lint-callgraph/1"
+    assert [m["name"] for m in payload["modules"]] == ["protocols.proto"]
+    assert any(f["name"] == "run" for f in payload["functions"])
+    # The cache file landed beside the tree root and is reused.
+    assert (tree / ".lint-cache.json").exists()
+    assert cmd_lint([
+        "graph", "--root", str(tree), "--output", str(out_path),
+    ]) == 0
+
+
+def test_graph_no_cache_writes_nothing(tree, capsys):
+    assert cmd_lint(["graph", "--root", str(tree), "--no-cache"]) == 0
+    assert not (tree / ".lint-cache.json").exists()
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == "repro-lint-callgraph/1"
+
+
 def test_check_on_fixture_tree_with_explicit_paths(capsys):
     code = cmd_lint([
         "check", "--root", str(FIXTURES),

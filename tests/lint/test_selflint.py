@@ -89,6 +89,66 @@ def test_seeded_wall_clock_in_balanced_ba_fails_the_gate(tmp_path):
     assert violation.symbol == "_seeded_probe"
 
 
+def _meshwire_copy(tmp_path):
+    src = REPO_ROOT / "src" / "repro" / "cluster" / "meshwire.py"
+    dst = tmp_path / "src" / "repro" / "cluster" / "meshwire.py"
+    dst.parent.mkdir(parents=True)
+    shutil.copy(src, dst)
+    return dst, LintConfig(root=tmp_path, paths=("src",))
+
+
+def test_deleting_one_mesh_validation_guard_fails_tru001(tmp_path):
+    # The acceptance mutation: drop the chunk_index range check from the
+    # mesh chunk decoder and the trust-boundary gate must bite.
+    dst, config = _meshwire_copy(tmp_path)
+    baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
+    assert baseline.apply(run_lint(config).violations).new == []
+
+    text = dst.read_text(encoding="utf-8")
+    guard = (
+        "    if chunk_index >= num_chunks:\n"
+        "        raise SerializationError(\n"
+        '            f"chunk index {chunk_index} out of range "\n'
+        '            f"(num_chunks={num_chunks})"\n'
+        "        )\n"
+    )
+    assert guard in text
+    dst.write_text(text.replace(guard, "", 1), encoding="utf-8")
+
+    after = baseline.apply(run_lint(config).violations)
+    assert [v.rule_id for v in after.new] == ["TRU001"]
+    assert "chunk_index" in after.new[0].message
+    assert "escape" in after.new[0].message
+
+
+def test_reordering_one_frame_pack_field_fails_sch001(tmp_path):
+    # The acceptance mutation: swap sender/recipient in the mesh frame
+    # encoder and the schema-drift gate must bite on both positions.
+    dst, config = _meshwire_copy(tmp_path)
+    baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
+    assert baseline.apply(run_lint(config).violations).new == []
+
+    text = dst.read_text(encoding="utf-8")
+    ordered = (
+        "            _FRAME.pack(\n"
+        "                frame.sender,\n"
+        "                frame.recipient,\n"
+    )
+    swapped = (
+        "            _FRAME.pack(\n"
+        "                frame.recipient,\n"
+        "                frame.sender,\n"
+    )
+    assert ordered in text
+    dst.write_text(text.replace(ordered, swapped, 1), encoding="utf-8")
+
+    after = baseline.apply(run_lint(config).violations)
+    assert [v.rule_id for v in after.new] == ["SCH001", "SCH001"]
+    messages = " | ".join(v.message for v in after.new)
+    assert "field order drift" in messages
+    assert "'recipient'" in messages and "'sender'" in messages
+
+
 def test_fixture_tree_is_excluded_from_the_repo_run():
     # The deliberately-bad fixtures must never pollute the repo gate.
     result = _repo_result()
