@@ -71,6 +71,17 @@ Commands:
   same port, and graceful SIGTERM drain.  ``serve bench`` records the
   pipelined repeated-BA throughput (``BENCH_gateway.json``) with
   bit-tally parity against a one-shot run.
+* ``aba [n] [--seed S] [--policy latency|adversarial] [--latency NAME]
+  [--adaptive NAME] [--bench DIR]`` — the asynchronous baseline: run
+  MMR14 common-coin binary agreement over the adversarially-scheduled
+  asyncio model (no round synchronizer), print the decision, round
+  count, and per-party bits; ``--latency`` picks a delivery model
+  (fixed/uniform/lognormal/partition-heal/random-delay), ``--policy
+  adversarial`` hands delivery *order* to a seeded adversary,
+  ``--adaptive`` arms a mid-run corruption strategy
+  (adaptive-coin/adaptive-first-aux).  ``--bench DIR`` instead sweeps
+  all models and both n in {16, 64} against π_ba on identical cells and
+  writes ``BENCH_aba.json``.
 * ``campaign {run,replay,minimize,list}`` — adversarial conformance
   campaigns: sweep Byzantine strategies x fault schedules x protocol
   configs with invariant checking (``run --budget 25 --seed 0``),
@@ -237,6 +248,88 @@ def _cmd_runtime(n: int, kind: str, trace_dir=None,
         if flow_problems:
             return 1
     return 0 if parity else 1
+
+
+def _cmd_aba(args) -> int:
+    import pathlib
+
+    from repro.asynchrony.adaptive import ADAPTIVE_STRATEGIES
+    from repro.asynchrony.bench import MAX_EXPECTED_ROUNDS, run_aba_bench
+    from repro.asynchrony.driver import run_aba
+    from repro.net.latency import LATENCY_MODEL_NAMES
+
+    n = 16
+    seed = 2025
+    policy = "latency"
+    latency = None
+    adaptive = None
+    bench_dir = None
+    rest = list(args)
+    while rest:
+        arg = rest.pop(0)
+        if arg == "--seed":
+            if not rest or not rest[0].lstrip("-").isdigit():
+                print("--seed needs an integer")
+                return 2
+            seed = int(rest.pop(0))
+        elif arg == "--policy":
+            if not rest or rest[0] not in ("latency", "adversarial"):
+                print("--policy needs one of: latency, adversarial")
+                return 2
+            policy = rest.pop(0)
+        elif arg == "--latency":
+            if not rest or rest[0] not in LATENCY_MODEL_NAMES:
+                print(f"--latency needs one of: "
+                      f"{', '.join(LATENCY_MODEL_NAMES)}")
+                return 2
+            latency = rest.pop(0)
+        elif arg == "--adaptive":
+            if not rest or rest[0] not in ADAPTIVE_STRATEGIES:
+                print(f"--adaptive needs one of: "
+                      f"{', '.join(sorted(ADAPTIVE_STRATEGIES))}")
+                return 2
+            adaptive = rest.pop(0)
+        elif arg == "--bench":
+            if not rest:
+                print("--bench needs a results directory")
+                return 2
+            bench_dir = pathlib.Path(rest.pop(0))
+        elif arg.isdigit():
+            n = int(arg)
+        else:
+            print("usage: aba [n] [--seed S] "
+                  "[--policy latency|adversarial] [--latency NAME] "
+                  "[--adaptive NAME] [--bench DIR]")
+            return 2
+
+    if bench_dir is not None:
+        payload = run_aba_bench(results_dir=bench_dir)
+        print(f"BENCH_aba.json -> {bench_dir} "
+              f"(round gate: <= {MAX_EXPECTED_ROUNDS})")
+        for row in payload["extra"]["comparison"]:
+            print(
+                f"  n={row['n']:<3} "
+                f"aba={format_bits(row['aba_max_bits_per_party'])}/party "
+                f"pi_ba={format_bits(row['pi_ba_max_bits_per_party'])}/party "
+                f"ratio={row['ratio_aba_over_pi_ba']:.2f}"
+            )
+        return 0
+
+    result = run_aba(
+        n, seed=seed, policy=policy, latency=latency, adaptive=adaptive
+    )
+    model = latency or ("(adversary picks order)"
+                        if policy == "adversarial" else "fixed")
+    print(f"aba: n={n} seed={seed} policy={policy} latency={model}"
+          + (f" adaptive={adaptive}" if adaptive else ""))
+    agreed = result.agreed_value
+    print(
+        f"  decided={agreed} rounds={result.rounds} "
+        f"deliveries={result.deliveries:,} "
+        f"corrupted={result.corrupted or '[]'} "
+        f"max/party={format_bits(result.metrics.max_bits_per_party)}"
+    )
+    return 0 if agreed is not None else 1
 
 
 def _cmd_attacks() -> int:
@@ -692,6 +785,8 @@ def main(argv) -> int:
     command, *args = argv
     if command == "ba":
         return _cmd_ba(int(args[0]) if args else 64)
+    if command == "aba":
+        return _cmd_aba(args)
     if command == "attacks":
         return _cmd_attacks()
     if command == "tree":

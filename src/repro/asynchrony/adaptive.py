@@ -1,0 +1,194 @@
+"""The adaptive adversary: corrupt *after* observing the execution.
+
+Every corruption strategy in :mod:`repro.campaign.catalog` is *static*:
+the corrupted set is fixed before the first message flows, which is
+exactly the model the paper's proofs assume.  King–Saia-style adaptive
+adversaries are strictly stronger — they watch the protocol (committee
+draws, coin outcomes, who speaks first) and only then choose whom to
+corrupt.  This module is the seam for probing that gap empirically.
+
+:class:`AdaptiveCorruption` is the *budget ledger*: the single place a
+corruption is spent, enforced at corruption time (never at plan-build
+time, because by construction there is no plan until the run ends).
+Strategies receive the ledger plus the run's observation hooks —
+the scheduler's ``wire_observer`` (every send, before delivery) and the
+ABA coin's ``subscribe`` (every round's coin bit, at first query) — and
+call :meth:`AdaptiveCorruption.try_corrupt`; a successful spend also
+flips the party at the scheduler (:meth:`~repro.asynchrony.scheduler.
+AsyncScheduler.corrupt`, worst-case silence).
+
+The final :meth:`AdaptiveCorruption.plan` snapshot is an ordinary
+:class:`~repro.net.adversary.CorruptionPlan`, so the campaign invariant
+layer judges an adaptive run with the same machinery as a static one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.net.adversary import CorruptionPlan
+from repro.net.party import Envelope
+from repro.protocols.aba import MSG_AUX, MSG_BVAL, decode_aba_message
+from repro.errors import SerializationError
+
+
+class AdaptiveCorruption:
+    """Mutable corruption ledger with the budget enforced at spend time."""
+
+    def __init__(self, n: int, budget: int) -> None:
+        if budget < 0:
+            raise ConfigurationError("corruption budget cannot be negative")
+        self.n = n
+        self.budget = budget
+        self._corrupted: List[int] = []
+        self._on_corrupt: List[Callable[[int], None]] = []
+
+    def on_corrupt(self, callback: Callable[[int], None]) -> None:
+        """Run ``callback(party_id)`` on every successful corruption
+        (the driver wires the scheduler's silencing switch here)."""
+        self._on_corrupt.append(callback)
+
+    @property
+    def corrupted(self) -> List[int]:
+        """Corrupted ids in corruption order (a copy)."""
+        return list(self._corrupted)
+
+    @property
+    def remaining(self) -> int:
+        """Corruptions the budget still allows."""
+        return self.budget - len(self._corrupted)
+
+    def corrupt(self, party_id: int) -> None:
+        """Spend one corruption; loud failure beyond the budget."""
+        if not 0 <= party_id < self.n:
+            raise ConfigurationError(f"party id {party_id} out of range")
+        if party_id in self._corrupted:
+            return
+        if self.remaining <= 0:
+            raise ConfigurationError(
+                f"adaptive adversary exceeded its corruption budget "
+                f"of {self.budget}"
+            )
+        self._corrupted.append(party_id)
+        for callback in self._on_corrupt:
+            callback(party_id)
+
+    def try_corrupt(self, party_id: int) -> bool:
+        """Spend one corruption if the budget allows; ``False`` if not
+        (or if the party is already corrupted)."""
+        if party_id in self._corrupted or self.remaining <= 0:
+            return False
+        self.corrupt(party_id)
+        return True
+
+    def plan(self) -> CorruptionPlan:
+        """The run's final corruption set as a static plan snapshot."""
+        return CorruptionPlan(
+            corrupted=frozenset(self._corrupted),
+            n=self.n,
+            budget=self.budget,
+        )
+
+
+class AdaptiveStrategy:
+    """Base class: observation hooks an adaptive strategy may implement.
+
+    The ABA driver calls :meth:`observe_wire` for every charged send
+    and :meth:`observe_coin` for every round's coin bit.  Strategies
+    spend corruptions through the ledger handed to :meth:`bind`.
+    """
+
+    name = "adaptive"
+
+    def __init__(self) -> None:
+        self.ledger: Optional[AdaptiveCorruption] = None
+
+    def bind(self, ledger: AdaptiveCorruption) -> None:
+        self.ledger = ledger
+
+    def observe_wire(self, now: float, envelope: Envelope) -> None:
+        """Called at send time for every (charged) envelope."""
+
+    def observe_coin(self, round_index: int, bit: int) -> None:
+        """Called once per ABA round at the first coin query."""
+
+
+class CoinChaserStrategy(AdaptiveStrategy):
+    """Corrupt the parties whose estimate agrees with the coin.
+
+    Watches BVAL traffic to learn each party's latest estimate; when
+    round ``r``'s coin lands, it corrupts (up to the budget) the honest
+    parties observed voting the coin's value in round ``r`` — the
+    parties about to decide.  A static adversary cannot express this:
+    the target set *is* the coin outcome.
+    """
+
+    name = "adaptive-coin"
+
+    def __init__(self) -> None:
+        super().__init__()
+        # party → latest (round, bval value) observed on the wire.
+        self._last_vote: Dict[int, tuple] = {}
+
+    def observe_wire(self, now: float, envelope: Envelope) -> None:
+        try:
+            tag, round_index, value = decode_aba_message(envelope.payload)
+        except SerializationError:
+            return
+        if tag == MSG_BVAL and value in (0, 1):
+            seen = self._last_vote.get(envelope.sender)
+            if seen is None or round_index >= seen[0]:
+                self._last_vote[envelope.sender] = (round_index, value)
+
+    def observe_coin(self, round_index: int, bit: int) -> None:
+        assert self.ledger is not None
+        for party_id in sorted(self._last_vote):
+            seen_round, value = self._last_vote[party_id]
+            if seen_round == round_index and value == bit:
+                if not self.ledger.try_corrupt(party_id):
+                    return
+
+    def describe(self) -> str:
+        return "corrupts coin-agreeing voters after each coin flip"
+
+
+class FirstResponderStrategy(AdaptiveStrategy):
+    """Corrupt the first parties to reach the AUX stage.
+
+    The fastest parties are the ones driving the round toward its
+    threshold; silencing them as they speak is the classic "kill the
+    early birds" adaptive attack on committee-speed protocols.
+    """
+
+    name = "adaptive-first-aux"
+
+    def observe_wire(self, now: float, envelope: Envelope) -> None:
+        assert self.ledger is not None
+        try:
+            tag, _round_index, _value = decode_aba_message(envelope.payload)
+        except SerializationError:
+            return
+        if tag == MSG_AUX and self.ledger.remaining > 0:
+            self.ledger.try_corrupt(envelope.sender)
+
+    def describe(self) -> str:
+        return "corrupts the first parties to broadcast AUX"
+
+
+#: Strategy registry keyed by name (used by campaign and CLI).
+ADAPTIVE_STRATEGIES: Dict[str, Callable[[], AdaptiveStrategy]] = {
+    CoinChaserStrategy.name: CoinChaserStrategy,
+    FirstResponderStrategy.name: FirstResponderStrategy,
+}
+
+
+def adaptive_strategy_by_name(name: str) -> AdaptiveStrategy:
+    """Construct a registered adaptive strategy."""
+    factory = ADAPTIVE_STRATEGIES.get(name)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown adaptive strategy {name!r}; "
+            f"known: {sorted(ADAPTIVE_STRATEGIES)}"
+        )
+    return factory()

@@ -36,6 +36,7 @@ KIND_PI_BA = "pi_ba"
 KIND_PHASE_KING = "phase_king"
 KIND_GRADECAST = "gradecast"
 KIND_DOLEV_STRONG = "dolev_strong"
+KIND_ABA = "aba"
 KIND_SRDS_ROBUST = "srds-robust"
 KIND_SRDS_FORGE = "srds-forge"
 
@@ -60,6 +61,10 @@ class Strategy:
             Dolev-Strong): the sender equivocates.
         srds_adversary: factory for the Fig. 1 / Fig. 2 adversary object
             (robustness / forgery kinds only).
+        adaptive: name of a :mod:`repro.asynchrony.adaptive` strategy
+            (ABA kind only) — corruptions are chosen *during* the run
+            from wire/coin observations, so ``plan_kind`` is ``none``
+            and the budget is enforced at corruption time.
         expect_violation: planted over-threshold strategy; invariant
             violations are the expected outcome.
     """
@@ -73,6 +78,7 @@ class Strategy:
     ] = None
     equivocating_sender: bool = False
     srds_adversary: Optional[Callable[[], object]] = None
+    adaptive: Optional[str] = None
     expect_violation: bool = False
 
     def applies_to(self, kind: str) -> bool:
@@ -230,7 +236,13 @@ def _srds(name: str) -> Callable[[], object]:
 # -- the default catalog -----------------------------------------------------
 
 
-_BA_KINDS = (KIND_PI_BA, KIND_PHASE_KING, KIND_GRADECAST, KIND_DOLEV_STRONG)
+_BA_KINDS = (
+    KIND_PI_BA,
+    KIND_PHASE_KING,
+    KIND_GRADECAST,
+    KIND_DOLEV_STRONG,
+    KIND_ABA,
+)
 
 
 def _default_strategies() -> List[Strategy]:
@@ -296,6 +308,39 @@ def _default_strategies() -> List[Strategy]:
             ),
             kinds=(KIND_PI_BA,),
             plan_kind="committee",
+        ),
+        Strategy(
+            name="aba-equivocate",
+            description=(
+                "corrupt ABA parties spam both BVAL values plus "
+                "per-recipient split AUX votes every round"
+            ),
+            kinds=(KIND_ABA,),
+            plan_kind="random",
+            equivocating_sender=True,
+        ),
+        # Adaptive adversaries (asynchronous ABA only): the corrupted
+        # set is chosen mid-run from coin/wire observations, with the
+        # budget enforced at corruption time by repro.asynchrony.
+        Strategy(
+            name="adaptive-coin",
+            description=(
+                "adaptively corrupt the parties whose estimate agrees "
+                "with each round's coin — the about-to-decide set"
+            ),
+            kinds=(KIND_ABA,),
+            plan_kind="none",
+            adaptive="adaptive-coin",
+        ),
+        Strategy(
+            name="adaptive-first-aux",
+            description=(
+                "adaptively corrupt the first parties observed "
+                "reaching the AUX stage (kill the early birds)"
+            ),
+            kinds=(KIND_ABA,),
+            plan_kind="none",
+            adaptive="adaptive-first-aux",
         ),
         Strategy(
             name="over-threshold",

@@ -3,11 +3,13 @@
 Subcommands::
 
     campaign run [--budget N] [--seed S] [--include-planted]
-                 [--results-dir DIR]
+                 [--results-dir DIR] [--only CONFIG[,CONFIG...]]
         Sweep the first N cells of the strategy x schedule x protocol
         matrix; print one line per run, emit repro specs for failures,
         write BENCH_campaign.json, exit non-zero on *unexpected*
-        failures.
+        failures.  ``--only`` restricts the sweep to the named protocol
+        configs (e.g. ``--only aba,aba-unanimous`` for the asynchronous
+        cells).
 
     campaign replay <spec...>
         Re-execute one repro-spec line exactly and print its verdict.
@@ -55,12 +57,19 @@ def _print_outcome(outcome: RunOutcome) -> None:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    only = None
+    if args.only:
+        only = [name for name in args.only.split(",") if name]
+        if not only:
+            print("error: --only given but no config names parsed")
+            return 2
     summary = run_campaign(
         args.budget,
         args.seed,
         include_planted=args.include_planted,
         results_dir=args.results_dir,
         emit=print,
+        only=only,
     )
     print(
         f"campaign: {len(summary.outcomes)} runs, {summary.passed} passed, "
@@ -143,6 +152,9 @@ def cmd_campaign(argv: List[str]) -> int:
                        help="include the planted over-threshold strategies")
     run_p.add_argument("--results-dir", default="benchmarks/results",
                        help="where BENCH_campaign.json lands")
+    run_p.add_argument("--only", default=None, metavar="CONFIG[,CONFIG...]",
+                       help="restrict the sweep to these protocol configs "
+                            "(comma-separated; unknown names are loud)")
     run_p.set_defaults(func=_cmd_run)
 
     replay_p = sub.add_parser("replay", help="re-execute one repro spec")

@@ -16,12 +16,18 @@ signature* the minimizer preserves):
   verification (the adversary beat robustness);
 * ``srds-forgery`` — the Fig. 2 adversary produced a verifying
   signature on a fresh message (unforgeability broken).
+
+Asynchronous ABA runs reuse the same stable names through
+:func:`check_aba_invariants`, which adds churn excusals: parties that
+departed mid-run or joined late are excused from *producing* an output
+(graceful degradation), but any output they did produce still counts
+for agreement and validity.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -47,6 +53,74 @@ def check_ba_invariants(
     violations: List[Violation] = []
     honest_outputs = {p: outputs.get(p) for p in honest}
     missing = sorted(p for p, v in honest_outputs.items() if v is None)
+    if missing:
+        violations.append(
+            Violation("no-output", f"honest parties without output: {missing}")
+        )
+    decided = {v for v in honest_outputs.values() if v is not None}
+    if len(decided) > 1:
+        violations.append(
+            Violation(
+                "agreement",
+                f"honest outputs split: {sorted(decided)} "
+                f"({ {p: v for p, v in sorted(honest_outputs.items())} })",
+            )
+        )
+    honest_inputs = {inputs[p] for p in honest if p in inputs}
+    if len(honest_inputs) == 1 and decided:
+        (unanimous,) = honest_inputs
+        if decided != {unanimous}:
+            violations.append(
+                Violation(
+                    "validity",
+                    f"honest inputs unanimous on {unanimous}, "
+                    f"outputs {sorted(decided)}",
+                )
+            )
+    if (
+        measured_bits is not None
+        and budget_bits is not None
+        and measured_bits > budget_bits
+    ):
+        violations.append(
+            Violation(
+                "bits-budget",
+                f"max_bits_per_party {measured_bits} exceeds analytic "
+                f"budget {budget_bits} "
+                f"(ratio {measured_bits / budget_bits:.2f})",
+            )
+        )
+    return violations
+
+
+def check_aba_invariants(
+    inputs: Dict[int, int],
+    outputs: Dict[int, Optional[int]],
+    honest: List[int],
+    *,
+    departed: Iterable[int] = (),
+    joined_late: Iterable[int] = (),
+    measured_bits: Optional[int] = None,
+    budget_bits: Optional[int] = None,
+) -> List[Violation]:
+    """Asynchronous ABA guarantees, with churn-aware liveness.
+
+    Agreement and validity are judged over *every* honest output —
+    a late joiner or a departing party that decided the wrong value is
+    a loud failure, not churn noise.  Only the ``no-output`` (liveness)
+    check excuses ``departed`` (honest parties that left mid-run) and
+    ``joined_late`` (parties absent at the start): the model does not
+    owe them a decision, which is exactly the graceful-degradation
+    contract the churn schedules probe.
+    """
+    violations: List[Violation] = []
+    excused = set(departed) | set(joined_late)
+    honest_outputs = {p: outputs.get(p) for p in honest}
+    missing = sorted(
+        p
+        for p, v in honest_outputs.items()
+        if v is None and p not in excused
+    )
     if missing:
         violations.append(
             Violation("no-output", f"honest parties without output: {missing}")

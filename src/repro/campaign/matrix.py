@@ -2,12 +2,14 @@
 
 A :class:`ProtocolConfig` names one concrete protocol instantiation —
 π_ba with a specific SRDS scheme, the phase-king committee BA (split or
-unanimous inputs), gradecast, the Dolev-Strong baseline, or one of the
-SRDS security experiments — together with the party count and the fault
-schedules that are meaningful for it (the in-process π_ba execution
-exposes only the reordering seam; the runtime drivers take the full
+unanimous inputs), gradecast, the Dolev-Strong baseline, the
+asynchronous MMR14 ABA, or one of the SRDS security experiments —
+together with the party count and the fault schedules that are
+meaningful for it (the in-process π_ba execution exposes only the
+reordering seam; the runtime drivers take the full
 crash/delay/partition repertoire; the SRDS experiments and Dolev-Strong
-are synchronous one-shots).
+are synchronous one-shots; the ABA configs take the asynchronous
+latency / adversarial-order / churn set).
 
 :func:`enumerate_cells` produces the deterministic cell order the
 sweep consumes: round-robin across configs so a bounded ``--budget``
@@ -20,6 +22,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.campaign.catalog import (
+    KIND_ABA,
     KIND_DOLEV_STRONG,
     KIND_GRADECAST,
     KIND_PHASE_KING,
@@ -44,6 +47,17 @@ _RUNTIME_FULL = (
     "crash-corrupted",
     "partition-early",
     "crash-everyone",
+)
+# Asynchronous (AsyncScheduler) configs: latency models, the
+# worst-case delivery-order adversary, and churn join/leave/collapse.
+_ASYNC_FULL = (
+    "none",
+    "latency-uniform",
+    "latency-lognormal",
+    "adversarial-order",
+    "churn-join",
+    "churn-leave",
+    "churn-collapse",
 )
 
 
@@ -143,6 +157,19 @@ _DEFAULT: List[ProtocolConfig] = [
         scheme="snark",
         schedules=("none", "kill-worker"),
         backend="cluster",
+    ),
+    ProtocolConfig(
+        name="aba",
+        kind=KIND_ABA,
+        n=16,
+        schedules=_ASYNC_FULL,
+    ),
+    ProtocolConfig(
+        name="aba-unanimous",
+        kind=KIND_ABA,
+        n=16,
+        unanimous_inputs=True,
+        schedules=_ASYNC_FULL,
     ),
 ]
 

@@ -19,9 +19,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace as dc_replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.campaign.catalog import (
+    KIND_ABA,
     KIND_DOLEV_STRONG,
     KIND_GRADECAST,
     KIND_PHASE_KING,
@@ -34,6 +35,7 @@ from repro.campaign.catalog import (
 )
 from repro.campaign.invariants import (
     Violation,
+    check_aba_invariants,
     check_ba_invariants,
     check_broadcast_invariants,
     check_gradecast_invariants,
@@ -204,6 +206,10 @@ def execute_spec(
             _run_gradecast(outcome, config, strategy, plan, fault_plan)
         elif config.kind == KIND_DOLEV_STRONG:
             _run_dolev_strong(outcome, config, strategy, plan, rng)
+        elif config.kind == KIND_ABA:
+            _run_aba(
+                outcome, config, strategy, schedule, plan, fault_plan, rng
+            )
         elif config.kind == KIND_SRDS_ROBUST:
             _run_srds(outcome, config, strategy, plan, params, rng, forge=False)
         elif config.kind == KIND_SRDS_FORGE:
@@ -309,6 +315,65 @@ def _run_pi_ba_cluster_backend(
         config=cluster_config,
     )
     return result
+
+
+def _run_aba(
+    outcome: RunOutcome,
+    config: ProtocolConfig,
+    strategy: Strategy,
+    schedule: Schedule,
+    plan: CorruptionPlan,
+    fault_plan: Optional[FaultPlan],
+    rng: Randomness,
+) -> None:
+    """MMR14 ABA over the asynchronous scheduler.
+
+    The schedule selects the delivery model: ``adversarial-order``
+    switches the scheduler to its worst-case delivery-order policy (a
+    by-name seam, like ``kill-worker``); the ``latency-*`` schedules
+    carry their :class:`~repro.net.latency.LatencyModel` inside the
+    fault plan built above; the churn schedules carry joins/crashes.
+    Churn spends the same ``f`` tolerance as corruption, so an adaptive
+    strategy's budget is whatever the static plan and the churn set
+    left over — the combined adversary never exceeds the model.
+    """
+    from repro.asynchrony.driver import run_aba
+    from repro.protocols.cost_model import aba_per_party_budget
+
+    inputs = _inputs_for(config)
+    crashes = dict(fault_plan.crashes) if fault_plan is not None else {}
+    joins = dict(fault_plan.joins) if fault_plan is not None else {}
+    f = max(0, (config.n - 1) // 3)
+    churned = (set(crashes) | set(joins)) - plan.corrupted
+    result = run_aba(
+        config.n,
+        seed=rng.fork("aba-seed").random_int(2**63),
+        inputs=inputs,
+        policy=(
+            "adversarial" if schedule.name == "adversarial-order"
+            else "latency"
+        ),
+        latency=fault_plan.latency if fault_plan is not None else None,
+        fault_plan=fault_plan,
+        corrupted=set(plan.corrupted),
+        byzantine=(
+            "equivocate" if strategy.equivocating_sender else "silent"
+        ),
+        adaptive=strategy.adaptive,
+        adaptive_budget=max(0, f - len(plan.corrupted) - len(churned)),
+    )
+    honest = [p for p in range(config.n) if p not in result.corrupted]
+    outcome.measured_bits = result.metrics.max_bits_per_party
+    outcome.budget_bits = aba_per_party_budget(config.n, result.rounds)
+    outcome.violations = check_aba_invariants(
+        result.inputs,
+        result.outputs,
+        honest,
+        departed=[p for p in honest if p in crashes],
+        joined_late=[p for p in honest if p in joins],
+        measured_bits=outcome.measured_bits,
+        budget_bits=outcome.budget_bits,
+    )
 
 
 def _run_phase_king(
@@ -476,18 +541,28 @@ def run_campaign(
     catalog: Optional[StrategyCatalog] = None,
     matrix=None,
     emit=None,
+    only: Optional[Sequence[str]] = None,
 ) -> CampaignSummary:
     """Sweep the first ``budget`` cells of the matrix.
 
-    Writes ``BENCH_campaign.json`` under ``results_dir`` when given.
-    ``emit`` is an optional line sink (the CLI passes ``print``).
+    ``only`` restricts the sweep to the named protocol configs (each
+    name validated against the matrix, so a typo is loud rather than an
+    empty sweep).  Writes ``BENCH_campaign.json`` under ``results_dir``
+    when given.  ``emit`` is an optional line sink (the CLI passes
+    ``print``).
     """
     if budget < 1:
         raise ConfigurationError("campaign budget must be >= 1")
     catalog = catalog if catalog is not None else default_catalog()
     cells = enumerate_cells(
         seed, matrix=matrix, catalog=catalog, include_planted=include_planted
-    )[:budget]
+    )
+    if only is not None:
+        for name in only:
+            config_by_name(name, matrix)  # loud on unknown names
+        wanted = set(only)
+        cells = [cell for cell in cells if cell.config.name in wanted]
+    cells = cells[:budget]
     say = emit if emit is not None else (lambda line: None)
     outcomes: List[RunOutcome] = []
     for index, cell in enumerate(cells):

@@ -16,9 +16,15 @@ from typing import Callable, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.net.adversary import CorruptionPlan
+from repro.net.latency import (
+    LogNormalLatency,
+    RandomDelayLatency,
+    UniformLatency,
+)
 from repro.runtime.faults import (
     FaultPlan,
     adversarial_schedule,
+    churn_schedule,
     crash_corrupted,
     crash_everyone,
     partition_halves,
@@ -85,13 +91,90 @@ def _reorder_dup(n: int, plan: CorruptionPlan, rng: Randomness) -> FaultPlan:
 
 
 def _random_delay(n: int, plan: CorruptionPlan, rng: Randomness) -> FaultPlan:
-    return adversarial_schedule(
-        rng.fork("sched"),
+    """The historical ``random_delay_*`` knobs as a first-class
+    :class:`~repro.net.latency.RandomDelayLatency` model.
+
+    :class:`RandomDelayLatency` reproduces the legacy draw exactly
+    (same fork labels, same bernoulli-then-range sequence), so this
+    schedule's delivery pattern is pinned byte-identical to the knob
+    form — ``tests/net/test_latency.py`` asserts the equality.
+    """
+    return FaultPlan(
         reorder=True,
-        duplicate_probability=0.0,
-        random_delay_probability=0.15,
-        random_delay_max=2,
+        latency=RandomDelayLatency(probability=0.15, max_rounds=2),
+        rng=rng.fork("sched"),
     )
+
+
+def _latency_uniform(
+    n: int, plan: CorruptionPlan, rng: Randomness
+) -> FaultPlan:
+    return FaultPlan(
+        latency=UniformLatency(low=0, high=2), rng=rng.fork("sched")
+    )
+
+
+def _latency_lognormal(
+    n: int, plan: CorruptionPlan, rng: Randomness
+) -> FaultPlan:
+    return FaultPlan(latency=LogNormalLatency(), rng=rng.fork("sched"))
+
+
+def _adversarial_order(
+    n: int, plan: CorruptionPlan, rng: Randomness
+) -> Optional[FaultPlan]:
+    """No wire-level faults: the *scheduler* is the adversary.
+
+    The asynchronous runner reads this schedule's name and switches the
+    :class:`~repro.asynchrony.scheduler.AsyncScheduler` to its
+    worst-case "adversary picks the next delivery" policy (same
+    by-name seam as ``kill-worker``); the fault plan stays empty.
+    """
+    return None
+
+
+def _churn_parties(
+    n: int, plan: CorruptionPlan, rng: Randomness, label: str
+) -> List[int]:
+    """A seeded honest subset sized to the *remaining* fault budget.
+
+    Churn spends the same ``f = (n-1)//3`` tolerance the Byzantine
+    corruptions draw from: a leaver is a crash fault, a late joiner is
+    absent for the early rounds, and either way the protocol only owes
+    graceful degradation while the combined count stays within ``f``.
+    """
+    f = max(0, (n - 1) // 3)
+    budget = f - len(plan.corrupted)
+    if budget <= 0:
+        return []
+    honest = [p for p in range(n) if p not in plan.corrupted]
+    return sorted(rng.fork(label).sample(honest, min(budget, len(honest))))
+
+
+def _churn_join(
+    n: int, plan: CorruptionPlan, rng: Randomness
+) -> Optional[FaultPlan]:
+    parties = _churn_parties(n, plan, rng, "join")
+    if not parties:
+        return None  # budget exhausted; degenerates to the baseline
+    return churn_schedule({p: 2 for p in parties})
+
+
+def _churn_leave(
+    n: int, plan: CorruptionPlan, rng: Randomness
+) -> Optional[FaultPlan]:
+    parties = _churn_parties(n, plan, rng, "leave")
+    if not parties:
+        return None  # budget exhausted; degenerates to the baseline
+    return churn_schedule({}, {p: 3 for p in parties})
+
+
+def _churn_collapse(
+    n: int, plan: CorruptionPlan, rng: Randomness
+) -> FaultPlan:
+    # Half the parties leave at round 1 — the survivors cannot reach
+    # the 2f+1 quorum, so the run must stall loudly.
+    return crash_everyone(range((n + 1) // 2), round_index=1)
 
 
 def _crash_corrupted(
@@ -166,6 +249,48 @@ _DEFAULT: List[Schedule] = [
         "SIGKILL one cluster worker mid-round; the supervisor must "
         "restart it from its durable checkpoint (cluster backend only)",
         _kill_worker,
+    ),
+    Schedule(
+        "latency-uniform",
+        "asynchronous delivery with uniform per-message latency",
+        _latency_uniform,
+        needs_runtime=True,
+    ),
+    Schedule(
+        "latency-lognormal",
+        "asynchronous delivery with heavy-tailed (lognormal) latency",
+        _latency_lognormal,
+        needs_runtime=True,
+    ),
+    Schedule(
+        "adversarial-order",
+        "the scheduler itself is the adversary: a seeded draw picks "
+        "each next delivery from the oldest-pending window "
+        "(asynchronous configs only)",
+        _adversarial_order,
+        needs_runtime=True,
+    ),
+    Schedule(
+        "churn-join",
+        "budget-bounded churn: up to f - |corrupted| honest parties "
+        "join late (absent before round 2)",
+        _churn_join,
+        needs_runtime=True,
+    ),
+    Schedule(
+        "churn-leave",
+        "budget-bounded churn: up to f - |corrupted| honest parties "
+        "leave (crash) at round 3",
+        _churn_leave,
+        needs_runtime=True,
+    ),
+    Schedule(
+        "churn-collapse",
+        "MODEL-BREAKING: half the parties leave at round 1 — below "
+        "the 2f+1 quorum, the stall must be loud",
+        _churn_collapse,
+        needs_runtime=True,
+        model_breaking=True,
     ),
 ]
 

@@ -217,6 +217,9 @@ class ClusterSupervisor:
         if self.config.flow is not None:
             self.metrics.attach_flow(self.config.flow)
         self.trace = TraceRecorder()
+        # Per-party event counts already persisted to trace-<pid>.seg
+        # delta files (see _save_trace_segments).
+        self._trace_saved: Dict[int, int] = {}
         self.outputs: Dict[int, Any] = {}
         self.staged: Dict[int, List[Frame]] = {
             p: [] for p in range(job.n)
@@ -1006,6 +1009,43 @@ class ClusterSupervisor:
 
     # -- durable supervisor state --------------------------------------------
 
+    def _save_trace_segments(self) -> Dict[int, int]:
+        """Persist per-party trace *deltas*; return authoritative counts.
+
+        Snapshotting the whole trace made every checkpoint O(total
+        events recorded so far); the segment files make a checkpoint
+        O(events since the last one).  Each call appends one pickled
+        ``(start_index, new_events)`` chunk per party with fresh events
+        to ``trace-<pid>.seg`` (fsynced), and the manifest records only
+        the per-party event count.  :func:`read_state` replays the
+        chunks — truncating to each chunk's start index, then to the
+        manifest count — so a chunk re-appended after a crash between
+        the segment write and the manifest rename is harmless, and a
+        resumed trace is byte-identical to the old full-snapshot form
+        (the resume-parity tests pin this).
+        """
+        assert self.run_dir is not None
+        counts: Dict[int, int] = {}
+        for party_id in self.trace.party_ids:
+            events = self.trace.events_of(party_id)
+            counts[party_id] = len(events)
+            saved = self._trace_saved.get(party_id, 0)
+            if saved > len(events):
+                saved = 0  # fresh recorder in a reused run dir: rewrite
+            if len(events) == saved:
+                continue
+            path = self.run_dir / f"trace-{party_id}.seg"
+            with path.open("ab") as handle:
+                pickle.dump(
+                    (saved, events[saved:]),
+                    handle,
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._trace_saved[party_id] = len(events)
+        return counts
+
     def _save_state(self, completed: bool) -> None:
         assert self.run_dir is not None
         container = ClusterCheckpoint(
@@ -1029,10 +1069,10 @@ class ClusterSupervisor:
             "container": encode_checkpoint(container),
             "outputs": dict(self.outputs),
             "metrics": self.metrics,
-            "trace_events": {
-                party_id: self.trace.events_of(party_id)
-                for party_id in self.trace.party_ids
-            },
+            # Delta checkpointing: the manifest carries only per-party
+            # event *counts*; the events live in trace-<pid>.seg files
+            # (read_state materializes "trace_events" from them).
+            "trace_segments": self._save_trace_segments(),
             # Observability carry-over (wire dicts, not live objects):
             # a resumed run keeps the same trace id and does not lose
             # the spans of the rounds before the checkpoint.
@@ -1095,6 +1135,11 @@ class ClusterSupervisor:
         self.trace = TraceRecorder()
         for party_id in sorted(state["trace_events"]):
             self.trace.preload(party_id, state["trace_events"][party_id])
+        # Future saves append deltas after the materialized prefix.
+        self._trace_saved = {
+            party_id: len(events)
+            for party_id, events in state["trace_events"].items()
+        }
         self.trace_id = str(state.get("trace_id", "")) or self.trace_id
         self.span_log = SpanLog()
         self.span_log.preload(
@@ -1163,7 +1208,57 @@ def read_state(run_dir: Path) -> Optional[Dict[str, Any]]:
         raise ClusterError(
             f"{path} is not {STATE_FORMAT} supervisor state"
         )
+    if "trace_events" not in state:
+        # Delta-checkpointed manifest: materialize the per-party event
+        # streams from the trace-<pid>.seg chunk files so every
+        # consumer (resume, status, tests) sees the legacy shape.
+        # Legacy manifests with inline "trace_events" skip this.
+        state["trace_events"] = _read_trace_segments(
+            Path(run_dir), state.get("trace_segments", {})
+        )
     return state
+
+
+def _read_trace_segments(
+    run_dir: Path, segments: Dict[int, int]
+) -> Dict[int, List[Dict[str, Any]]]:
+    """Replay per-party ``trace-<pid>.seg`` delta chunks into streams.
+
+    Each chunk is ``(start_index, events)``: the stream is truncated to
+    ``start_index`` and the chunk appended — so re-appended chunks
+    (a crash between the segment fsync and the manifest rename) resolve
+    to the same stream.  The manifest count is authoritative: fewer
+    materialized events than the count is loud corruption; extra events
+    beyond it (a chunk whose manifest never landed) are trimmed.
+    """
+    trace_events: Dict[int, List[Dict[str, Any]]] = {}
+    for party_id, count in sorted(segments.items()):
+        path = run_dir / f"trace-{party_id}.seg"
+        events: List[Dict[str, Any]] = []
+        if path.exists():
+            try:
+                with path.open("rb") as handle:
+                    while True:
+                        try:
+                            start, chunk = pickle.load(handle)
+                        except EOFError:
+                            break
+                        del events[start:]
+                        events.extend(chunk)
+            except ClusterError:
+                raise
+            except Exception as exc:  # pickle raises a zoo of types
+                raise ClusterError(
+                    f"corrupt trace segment {path}: {exc}"
+                ) from exc
+        if len(events) < count:
+            raise ClusterError(
+                f"trace segments for party {party_id} in {run_dir} "
+                f"hold {len(events)} events; manifest expects {count}"
+            )
+        del events[count:]
+        trace_events[party_id] = events
+    return trace_events
 
 
 def describe_run(run_dir: Path) -> Dict[str, Any]:

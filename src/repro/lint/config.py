@@ -49,7 +49,7 @@ class LintConfig:
     #: logic must use the injected logical clock so replays are exact).
     det002_scopes: Tuple[str, ...] = (
         "protocols/", "srds/", "runtime/", "campaign/", "cluster/",
-        "serve/",
+        "serve/", "asynchrony/",
     )
 
     #: ACC001: scopes in which raw transport/socket/queue sends are
@@ -59,16 +59,22 @@ class LintConfig:
     #: ASY001: scopes in which dropped task handles / unawaited
     #: coroutines are flagged — the asyncio execution layers, where a
     #: garbage-collected pump stalls a round barrier nondeterministically.
-    asy001_scopes: Tuple[str, ...] = ("runtime/", "cluster/", "serve/")
+    asy001_scopes: Tuple[str, ...] = (
+        "runtime/", "cluster/", "serve/", "asynchrony/",
+    )
 
     #: OBS001: instrumented modules — every metrics charge they make
     #: must happen under an active ``repro.obs`` phase span.  The
     #: cluster and gateway layers joined in PR 7: their data-plane
     #: charges feed the flow ledger's per-phase cells, so an unspanned
     #: charge there lands in ``(unattributed)`` and erodes the flow
-    #: coverage gate; genuine control-plane sites carry pragmas.
+    #: coverage gate; genuine control-plane sites carry pragmas.  The
+    #: asynchronous scheduler and ABA protocol charge under spans too —
+    #: their bits must attribute for the BENCH_aba comparison to mean
+    #: anything.
     obs001_instrumented: Tuple[str, ...] = (
-        "protocols/balanced_ba.py", "cluster/", "serve/",
+        "protocols/balanced_ba.py", "protocols/aba.py", "cluster/",
+        "serve/", "asynchrony/",
     )
 
     #: SER001: wire modules — every top-level dataclass must have a
@@ -121,7 +127,9 @@ class LintConfig:
 
     #: ASY002: scopes whose classes get shared-state lock discipline
     #: checks (same concurrency surfaces as ASY001).
-    asy002_scopes: Tuple[str, ...] = ("runtime/", "cluster/", "serve/")
+    asy002_scopes: Tuple[str, ...] = (
+        "runtime/", "cluster/", "serve/", "asynchrony/",
+    )
 
     #: Baseline file (``None`` = ``root / lint-baseline.json``).
     baseline_path: Optional[Path] = None

@@ -28,6 +28,19 @@ class Envelope:
         return 8 * len(self.payload)
 
 
+@dataclass(frozen=True)
+class PhasedEnvelope(Envelope):
+    """An envelope stamped with the obs phase that produced it.
+
+    The delivery layers (``RoundSynchronizer._ship``, the asynchronous
+    scheduler) read ``phase`` via ``getattr`` and prefer it over the
+    span active at ship time — event-driven protocols produce envelopes
+    outside any round loop, so the phase must travel with the message.
+    """
+
+    phase: str = ""
+
+
 class Party(abc.ABC):
     """A state machine driven by the synchronous network.
 
@@ -62,3 +75,52 @@ class SilentParty(Party):
 
     def step(self, round_index: int, inbox: Sequence[Envelope]) -> List[Envelope]:
         return []
+
+
+class AsyncParty(abc.ABC):
+    """A message-driven state machine for the asynchronous model.
+
+    Where :class:`Party` is clocked (one :meth:`~Party.step` per round),
+    an :class:`AsyncParty` is *reactive*: the scheduler calls
+    :meth:`start` once, then :meth:`on_message` for every delivered
+    envelope, in an order the network adversary controls.  There is no
+    round barrier and no delivery promise — correctness may rely only on
+    eventual delivery.
+
+    Completion is signaled through :attr:`decided` / :attr:`output`
+    (set via :meth:`decide`); unlike the synchronous :attr:`Party.halted`
+    a decided party keeps processing messages, because asynchronous
+    protocols typically need decided parties to keep relaying so that
+    stragglers terminate too.
+    """
+
+    def __init__(self, party_id: int) -> None:
+        self.party_id = party_id
+        self.decided = False
+        self.output: Optional[Any] = None
+
+    @abc.abstractmethod
+    def start(self) -> List[Envelope]:
+        """Fire the protocol's initial messages."""
+
+    @abc.abstractmethod
+    def on_message(self, envelope: Envelope) -> List[Envelope]:
+        """React to one delivered envelope; return outgoing envelopes."""
+
+    def decide(self, output: Any) -> None:
+        """Record this party's (irrevocable) decision."""
+        if self.decided:
+            return
+        self.decided = True
+        self.output = output
+
+    def send(
+        self, recipient: int, payload: bytes, phase: str = ""
+    ) -> Envelope:
+        """Convenience constructor for an outgoing (phase-tagged) envelope."""
+        return PhasedEnvelope(
+            sender=self.party_id,
+            recipient=recipient,
+            payload=payload,
+            phase=phase,
+        )

@@ -26,6 +26,7 @@ flatter it.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.params import ProtocolParameters, ceil_log2
 
@@ -194,3 +195,42 @@ def pi_ba_per_party_budget(
     # peers per tree level on the way down.
     total += 2 * committee * height * payload_bits
     return int(slack * total)
+
+
+def aba_per_party_budget(
+    n: int,
+    rounds: int,
+    coin_committee_size: Optional[int] = None,
+    message_bits: int = 40,
+    slack: float = 4.0,
+) -> int:
+    """Analytic ceiling on ``max_bits_per_party`` for one MMR14 ABA run.
+
+    The asynchronous baseline costs Θ(n) bits per party per round: each
+    round an honest party broadcasts at most four constant-size messages
+    (its own BVAL estimate, the f+1-relay BVAL for the other bit, AUX,
+    and CONF) to every peer, counted sent + received, plus one common
+    coin charged at the f_ct committee realization cost.  One extra
+    round covers the BVAL(r+1) burst already in flight when the decision
+    lands.
+
+    This is the counterpoint to :func:`pi_ba_per_party_budget`: linear
+    in ``n`` where the paper's protocol is polylog — ``BENCH_aba.json``
+    records the measured gap on identical ``(n, seed)`` cells.  The
+    campaign checks asynchronous executions against this ceiling, so an
+    ABA change that smuggles in an extra Ω(n) factor (say, re-relaying
+    every message) blows through it at moderate n.
+
+    Args:
+        n: number of parties (and broadcast fan-out).
+        rounds: the decided round observed in the run being judged.
+        coin_committee_size: parties charged per coin invocation
+            (default ``n`` — ABA's coin is not committee-sampled).
+        message_bits: ceiling on one encoded ABA message (three LEB128
+            varints plus framing slack).
+        slack: multiplicative headroom over the composed analytic cost.
+    """
+    committee = coin_committee_size if coin_committee_size is not None else n
+    wire_per_round = 2 * 4 * n * message_bits
+    coin_bits = committee_coin_toss(committee).bits_per_party
+    return int(slack * (max(0, rounds) + 1) * (wire_per_round + coin_bits))

@@ -37,6 +37,7 @@ _EXPORTS = {
     "LinkDelay": "repro.runtime.faults",
     "Partition": "repro.runtime.faults",
     "adversarial_schedule": "repro.runtime.faults",
+    "churn_schedule": "repro.runtime.faults",
     "crash_corrupted": "repro.runtime.faults",
     "crash_everyone": "repro.runtime.faults",
     "partition_halves": "repro.runtime.faults",
@@ -72,6 +73,7 @@ if TYPE_CHECKING:  # static importers see the eager names
         LinkDelay,
         Partition,
         adversarial_schedule,
+        churn_schedule,
         crash_corrupted,
         crash_everyone,
         partition_halves,

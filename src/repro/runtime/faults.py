@@ -37,6 +37,15 @@ RoundSynchronizer`, not by transports — transports stay honest):
   of the simulator's canonical (sender, seq) order.  Honest protocol
   logic must tolerate this (the paper's model promises delivery within
   the round, never an order).
+* **latency** — a pluggable :class:`~repro.net.latency.LatencyModel`
+  adds per-message extra rounds on top of the deterministic link delays
+  (the seeded generalization of the historical ``random_delay_*``
+  knobs; the asynchronous scheduler shares the same models).
+* **join (churn)** — the party is *absent* until its join round: it
+  takes no step, and messages that would be delivered to it before it
+  joins are dropped before the transport (nobody is listening; nothing
+  is charged).  Combined with crashes this models mid-protocol
+  join/leave churn.
 """
 
 from __future__ import annotations
@@ -46,6 +55,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, TypeVar
 
 from repro.errors import ConfigurationError
 from repro.net.adversary import CorruptionPlan
+from repro.net.latency import LatencyModel
 from repro.utils.randomness import Randomness
 
 T = TypeVar("T")
@@ -94,6 +104,8 @@ class FaultPlan:
 
     Attributes:
         crashes: party id → first round at which the party stops stepping.
+        joins: party id → first round at which the party is *present*
+            (churn: absent parties take no step and receive nothing).
         delays: deterministic per-link delays.
         partitions: link-severing windows.
         reorder: randomize within-round inbox order (needs ``rng``).
@@ -101,18 +113,23 @@ class FaultPlan:
             seeing the frame twice (needs ``rng`` if > 0).
         random_delay_probability / random_delay_max: per-message chance
             of a uniform 1..max extra-round delay (needs ``rng`` if > 0).
+        latency: optional :class:`~repro.net.latency.LatencyModel`
+            adding seeded per-message extra rounds (needs ``rng`` if the
+            model draws).
         rng: the seeded source driving all probabilistic choices.  Forked
             per decision point, so the schedule is independent of event
             loop interleaving.
     """
 
     crashes: Dict[int, int] = field(default_factory=dict)
+    joins: Dict[int, int] = field(default_factory=dict)
     delays: List[LinkDelay] = field(default_factory=list)
     partitions: List[Partition] = field(default_factory=list)
     reorder: bool = False
     duplicate_probability: float = 0.0
     random_delay_probability: float = 0.0
     random_delay_max: int = 0
+    latency: Optional[LatencyModel] = None
     rng: Optional[Randomness] = None
     # Observability: how often each fault kind actually fired this
     # execution (fed into the repro.obs metrics registry by the
@@ -126,6 +143,7 @@ class FaultPlan:
             self.reorder
             or self.duplicate_probability > 0
             or self.random_delay_probability > 0
+            or (self.latency is not None and self.latency.needs_rng)
         )
         if needs_rng and self.rng is None:
             raise ConfigurationError(
@@ -144,6 +162,11 @@ class FaultPlan:
                 raise ConfigurationError(
                     f"crash round for party {party} must be >= 0"
                 )
+        for party, round_index in self.joins.items():
+            if round_index < 0:
+                raise ConfigurationError(
+                    f"join round for party {party} must be >= 0"
+                )
 
     # -- queries used by the synchronizer ------------------------------------
 
@@ -158,6 +181,14 @@ class FaultPlan:
         """Whether the party has crashed by the given round."""
         crash_round = self.crashes.get(party_id)
         return crash_round is not None and round_index >= crash_round
+
+    def is_absent(self, party_id: int, round_index: int) -> bool:
+        """Whether the party has not yet joined (churn)."""
+        join_round = self.joins.get(party_id)
+        if join_round is not None and round_index < join_round:
+            self._note("churn-absent")
+            return True
+        return False
 
     def drops(self, sent_round: int, sender: int, recipient: int) -> bool:
         """Whether the link is severed for this send."""
@@ -181,6 +212,10 @@ class FaultPlan:
             coin = self._fork(f"delay/{sent_round}/{sender}/{recipient}/{seq}")
             if coin.bernoulli(self.random_delay_probability):
                 delay += coin.random_int_range(1, self.random_delay_max)
+        if self.latency is not None:
+            delay += self.latency.extra_rounds(
+                self.rng, sent_round, sender, recipient, seq
+            )
         if delay > 0:
             self._note("delay")
         return delay
@@ -219,7 +254,8 @@ class FaultPlan:
         random_part = (
             self.random_delay_max if self.random_delay_probability > 0 else 0
         )
-        return deterministic + random_part
+        latency_part = self.latency.bound if self.latency is not None else 0
+        return deterministic + random_part + latency_part
 
 
 # -- builders composing with the corruption model ---------------------------
@@ -277,6 +313,28 @@ def crash_everyone(
     if round_index < 0:
         raise ConfigurationError("crash round must be >= 0")
     return FaultPlan(crashes={p: round_index for p in party_ids})
+
+
+def churn_schedule(
+    joiners: Dict[int, int],
+    leavers: Optional[Dict[int, int]] = None,
+) -> FaultPlan:
+    """Mid-protocol join/leave churn as a fault plan.
+
+    ``joiners`` maps party id → join round (absent before it);
+    ``leavers`` maps party id → leave round (modeled as a crash: the
+    party stops stepping, in-flight messages still land).  A party in
+    both maps joins late *and* leaves — its join must precede its leave.
+    """
+    leavers = leavers or {}
+    for party, join_round in joiners.items():
+        leave_round = leavers.get(party)
+        if leave_round is not None and leave_round <= join_round:
+            raise ConfigurationError(
+                f"party {party} would leave (round {leave_round}) before "
+                f"joining (round {join_round})"
+            )
+    return FaultPlan(crashes=dict(leavers), joins=dict(joiners))
 
 
 def partition_halves(

@@ -163,6 +163,9 @@ class RoundSynchronizer:
                     self._trace(party_id, trace_mod.CRASH, round_index)
                     self._count_fault("crash")
                 continue
+            if self.faults.is_absent(party_id, round_index):
+                self._count_fault("churn-absent")
+                continue
             if party.halted:
                 continue
             runnable.append(party_id)
@@ -248,6 +251,20 @@ class RoundSynchronizer:
         )
         if delay > 0:
             self._count_fault("delay")
+        if self.faults.is_absent(
+            envelope.recipient, round_index + 1 + delay
+        ):
+            # Churn: nobody is listening yet at the delivery round, so
+            # the frame dies before the transport (and is not charged).
+            self._trace(
+                sender,
+                trace_mod.DROP,
+                round_index,
+                peer=envelope.recipient,
+                bits=envelope.size_bits(),
+            )
+            self._count_fault("churn-drop")
+            return
         frame = Frame(
             sender=sender,
             recipient=envelope.recipient,

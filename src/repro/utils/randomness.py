@@ -65,6 +65,15 @@ class Randomness:
         """Biased coin: ``True`` with the given probability."""
         return self._rng.random() < probability
 
+    def uniform(self, low: float, high: float) -> float:
+        """Uniform float in ``[low, high]`` (latency-model draws)."""
+        return self._rng.uniform(low, high)
+
+    def lognormal(self, mu: float = 0.0, sigma: float = 1.0) -> float:
+        """Log-normal draw: ``exp(N(mu, sigma))`` — the heavy-tailed
+        link-latency shape the asynchrony models use."""
+        return self._rng.lognormvariate(mu, sigma)
+
     def shuffle(self, items: List[T]) -> None:
         """In-place Fisher-Yates shuffle."""
         self._rng.shuffle(items)

@@ -1,0 +1,1 @@
+"""Tests for the asynchronous execution model (repro.asynchrony)."""

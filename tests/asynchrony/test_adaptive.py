@@ -1,0 +1,156 @@
+"""Adaptive corruption: budget enforcement at spend time, strategy seams.
+
+The ledger is the single choke point — a strategy can watch anything
+(wire traffic, coin outcomes) but every corruption must pass
+:meth:`AdaptiveCorruption.corrupt`, which enforces the budget *at
+corruption time*.  That is the property separating "strictly stronger
+than static" from "unbounded": an adaptive adversary with budget ``f``
+is still an ``f``-adversary.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.asynchrony.adaptive import (
+    ADAPTIVE_STRATEGIES,
+    AdaptiveCorruption,
+    AdaptiveStrategy,
+    CoinChaserStrategy,
+    FirstResponderStrategy,
+    adaptive_strategy_by_name,
+)
+from repro.asynchrony.driver import run_aba
+
+
+# -- the ledger --------------------------------------------------------------
+
+
+class TestLedger:
+    def test_budget_enforced_at_corruption_time(self):
+        ledger = AdaptiveCorruption(n=8, budget=2)
+        ledger.corrupt(1)
+        ledger.corrupt(4)
+        assert ledger.remaining == 0
+        with pytest.raises(ConfigurationError, match="budget"):
+            ledger.corrupt(5)
+        assert ledger.corrupted == [1, 4]  # the failed spend changed nothing
+
+    def test_try_corrupt_refuses_quietly(self):
+        ledger = AdaptiveCorruption(n=8, budget=1)
+        assert ledger.try_corrupt(3)
+        assert not ledger.try_corrupt(3)  # already corrupted: no respend
+        assert not ledger.try_corrupt(5)  # budget exhausted
+        assert ledger.corrupted == [3]
+
+    def test_recorrupting_is_free(self):
+        ledger = AdaptiveCorruption(n=8, budget=1)
+        ledger.corrupt(2)
+        ledger.corrupt(2)  # no-op, not a second spend
+        assert ledger.remaining == 0
+
+    def test_out_of_range_and_negative_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveCorruption(n=8, budget=-1)
+        ledger = AdaptiveCorruption(n=8, budget=1)
+        with pytest.raises(ConfigurationError):
+            ledger.corrupt(8)
+
+    def test_callbacks_fire_per_spend(self):
+        ledger = AdaptiveCorruption(n=8, budget=2)
+        seen = []
+        ledger.on_corrupt(seen.append)
+        ledger.corrupt(6)
+        ledger.corrupt(6)
+        ledger.try_corrupt(1)
+        assert seen == [6, 1]
+
+    def test_plan_snapshot_is_a_static_plan(self):
+        ledger = AdaptiveCorruption(n=8, budget=2)
+        ledger.corrupt(7)
+        plan = ledger.plan()
+        assert plan.corrupted == frozenset({7})
+        assert plan.n == 8
+        assert plan.budget == 2
+
+
+# -- the registry ------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_known_names_construct_fresh_instances(self):
+        for name in ADAPTIVE_STRATEGIES:
+            first = adaptive_strategy_by_name(name)
+            second = adaptive_strategy_by_name(name)
+            assert first.name == name
+            assert first is not second  # stateful: one instance per run
+
+    def test_unknown_name_is_loud(self):
+        with pytest.raises(ConfigurationError):
+            adaptive_strategy_by_name("adaptive-oracle")
+
+    def test_registry_covers_the_shipped_strategies(self):
+        assert ADAPTIVE_STRATEGIES[CoinChaserStrategy.name] is CoinChaserStrategy
+        assert (
+            ADAPTIVE_STRATEGIES[FirstResponderStrategy.name]
+            is FirstResponderStrategy
+        )
+
+
+# -- strategies driving real runs --------------------------------------------
+
+
+class GreedyStrategy(AdaptiveStrategy):
+    """Tries to corrupt every sender it observes — the budget must hold."""
+
+    name = "adaptive-greedy-test"
+
+    def observe_wire(self, now, envelope):
+        assert self.ledger is not None
+        self.ledger.try_corrupt(envelope.sender)
+
+
+class TestAdaptiveRuns:
+    def test_default_budget_is_f_minus_static(self):
+        result = run_aba(16, seed=2, adaptive="adaptive-coin")
+        f = (16 - 1) // 3
+        assert len(result.corrupted) <= f
+        honest = set(range(16)) - set(result.corrupted)
+        assert set(result.outputs) == honest
+        assert result.agreed_value in (0, 1)
+
+    def test_first_responder_respects_explicit_budget(self):
+        result = run_aba(16, seed=2, adaptive="adaptive-first-aux", adaptive_budget=2)
+        assert len(result.corrupted) <= 2
+        assert set(result.outputs) == set(range(16)) - set(result.corrupted)
+
+    def test_zero_budget_means_no_corruption(self):
+        result = run_aba(16, seed=2, adaptive="adaptive-first-aux", adaptive_budget=0)
+        assert result.corrupted == []
+        assert set(result.outputs) == set(range(16))
+
+    def test_greedy_strategy_is_capped_by_the_ledger(self):
+        result = run_aba(16, seed=3, adaptive=GreedyStrategy(), adaptive_budget=3)
+        assert len(result.corrupted) == 3  # greed spends the whole budget
+        assert set(result.outputs) == set(range(16)) - set(result.corrupted)
+        assert result.agreed_value in (0, 1)
+
+    def test_adaptive_stacks_with_static_corruption(self):
+        result = run_aba(
+            16,
+            seed=3,
+            corrupted={0},
+            adaptive=GreedyStrategy(),
+            adaptive_budget=2,
+        )
+        assert 0 in result.corrupted
+        assert len(result.corrupted) <= 3
+        assert set(result.outputs) == set(range(16)) - set(result.corrupted)
+
+    def test_adaptive_runs_replay_exactly(self):
+        a = run_aba(16, seed=11, adaptive="adaptive-coin")
+        b = run_aba(16, seed=11, adaptive="adaptive-coin")
+        assert a.corrupted == b.corrupted
+        assert a.trace == b.trace
+        assert a.outputs == b.outputs

@@ -1,0 +1,73 @@
+"""The marked async-model suite: n=64 scale runs and the BENCH gate.
+
+These are the acceptance-criteria runs — ABA must decide for
+n ∈ {16, 64} under at least three latency models *and* the
+adversarial-order scheduler, with the observed round count inside
+:data:`~repro.asynchrony.bench.MAX_EXPECTED_ROUNDS` (2x the MMR14
+expected-round bound).  Excluded from tier-1 by the ``async_model``
+marker (n=64 cells cost seconds each); CI runs them in the dedicated
+asynchrony job via ``pytest -m async_model``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.asynchrony.bench import MAX_EXPECTED_ROUNDS, run_aba_bench
+from repro.asynchrony.driver import run_aba
+
+pytestmark = pytest.mark.async_model
+
+MODELS = ("uniform", "lognormal", "partition-heal")
+
+
+@pytest.mark.parametrize("n", [16, 64])
+@pytest.mark.parametrize("latency", MODELS)
+def test_decides_under_latency_models(n, latency):
+    result = run_aba(n, seed=11, latency=latency)
+    assert set(result.outputs) == set(range(n))
+    assert result.agreed_value in (0, 1)
+    assert result.rounds <= MAX_EXPECTED_ROUNDS
+
+
+@pytest.mark.parametrize("n", [16, 64])
+def test_decides_under_adversarial_order(n):
+    result = run_aba(n, seed=11, policy="adversarial")
+    assert set(result.outputs) == set(range(n))
+    assert result.agreed_value in (0, 1)
+    assert result.rounds <= MAX_EXPECTED_ROUNDS
+
+
+@pytest.mark.parametrize("n", [16, 64])
+def test_byzantine_max_tolerance_at_scale(n):
+    f = (n - 1) // 3
+    result = run_aba(
+        n, seed=11, corrupted=set(range(f)), byzantine="silent"
+    )
+    honest = set(range(n)) - set(range(f))
+    assert set(result.outputs) == honest
+    assert result.agreed_value in (0, 1)
+
+
+def test_bench_payload_compares_aba_to_pi_ba(tmp_path):
+    payload = run_aba_bench(
+        party_counts=(16,), seed=7, results_dir=tmp_path
+    )
+    written = json.loads((tmp_path / "BENCH_aba.json").read_text())
+    assert written["extra"] == payload["extra"]
+    rows = payload["extra"]["comparison"]
+    assert [row["n"] for row in rows] == [16]
+    for row in rows:
+        assert row["aba_max_bits_per_party"] > 0
+        assert row["pi_ba_max_bits_per_party"] > 0
+        assert row["ratio_aba_over_pi_ba"] == pytest.approx(
+            row["aba_max_bits_per_party"]
+            / max(1, row["pi_ba_max_bits_per_party"])
+        )
+    cells = payload["extra"]["aba_cells"]
+    modes = {cell["mode"] for cell in cells}
+    assert "adversarial" in modes and len(modes) >= 4
+    for cell in cells:
+        assert cell["rounds"] <= MAX_EXPECTED_ROUNDS

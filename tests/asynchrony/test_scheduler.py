@@ -1,0 +1,158 @@
+"""AsyncScheduler: determinism/replay, churn, loud stalls, config errors.
+
+The determinism contract is the subsystem's foundation: a run is a pure
+function of ``(parties, seed, policy, latency model, fault plan)``, and
+the recorded delivery trace is the replay witness.  Everything else —
+the campaign's repro lines, the BENCH gate, the Hypothesis properties —
+leans on it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, NetworkError
+from repro.net.latency import LATENCY_MODEL_NAMES
+from repro.protocols.aba import ABAParty, CommonCoin
+from repro.asynchrony.driver import run_aba
+from repro.asynchrony.scheduler import AsyncScheduler, run_async_parties
+from repro.runtime.faults import FaultPlan, churn_schedule, crash_everyone
+from repro.utils.randomness import Randomness
+
+
+def _parties(n: int, seed: int = 1):
+    coin = CommonCoin(Randomness(seed))
+    return [ABAParty(p, range(n), p % 2, coin) for p in range(n)]
+
+
+# -- determinism and replay --------------------------------------------------
+
+
+class TestDeterminism:
+    def test_same_seed_replays_exactly(self):
+        a = run_aba(16, seed=5, policy="adversarial")
+        b = run_aba(16, seed=5, policy="adversarial")
+        assert a.trace == b.trace
+        assert a.outputs == b.outputs
+        assert a.rounds == b.rounds
+        assert a.deliveries == b.deliveries
+        assert (
+            a.metrics.max_bits_per_party == b.metrics.max_bits_per_party
+        )
+
+    def test_different_seed_changes_the_schedule(self):
+        a = run_aba(16, seed=1, policy="adversarial")
+        b = run_aba(16, seed=2, policy="adversarial")
+        assert a.trace != b.trace
+
+    @pytest.mark.parametrize("name", LATENCY_MODEL_NAMES)
+    def test_every_latency_model_is_replayable(self, name):
+        a = run_aba(16, seed=9, latency=name)
+        b = run_aba(16, seed=9, latency=name)
+        assert a.trace == b.trace
+        assert a.outputs == b.outputs
+        assert a.agreed_value in (0, 1)
+
+    def test_trace_is_the_replay_witness(self):
+        result = run_aba(16, seed=5, policy="adversarial")
+        # One row per delivery, counter strictly increasing from 1.
+        assert len(result.trace) == result.deliveries
+        counters = [row[0] for row in result.trace]
+        assert counters == list(range(1, result.deliveries + 1))
+
+
+# -- the completion contract -------------------------------------------------
+
+
+class TestCompletion:
+    def test_all_honest_parties_decide(self):
+        result = run_aba(16, seed=3)
+        assert set(result.outputs) == set(range(16))
+        assert result.agreed_value in (0, 1)
+        assert result.virtual_time > 0
+
+    def test_stall_is_loud_and_names_the_undecided(self):
+        # n=4 with two silenced parties: the 2f+1 = 3 BVAL quorum is
+        # unreachable, traffic dries up, and the scheduler must raise —
+        # naming exactly the honest parties left hanging.
+        with pytest.raises(NetworkError, match=r"undecided.*\[0, 3\]"):
+            run_aba(4, seed=1, corrupted={1, 2})
+
+    def test_delivery_cap_is_loud(self):
+        with pytest.raises(NetworkError, match="cap"):
+            run_aba(16, seed=1, max_deliveries=10)
+
+    def test_corrupted_outputs_are_suppressed(self):
+        result = run_aba(16, seed=4, corrupted={3, 5}, byzantine="silent")
+        assert result.corrupted == [3, 5]
+        assert 3 not in result.outputs and 5 not in result.outputs
+        assert set(result.outputs) == set(range(16)) - {3, 5}
+
+    def test_equivocators_are_excused_not_silenced(self):
+        # An equivocator keeps talking (its sends are charged) but never
+        # decides; the run must still complete without it.
+        result = run_aba(16, seed=4, corrupted={3}, byzantine="equivocate")
+        assert 3 not in result.outputs
+        assert set(result.outputs) == set(range(16)) - {3}
+        assert result.metrics.tally_of(3).bits_sent > 0
+
+
+# -- churn -------------------------------------------------------------------
+
+
+class TestChurn:
+    def test_late_joiners_are_excused_from_liveness(self):
+        plan = churn_schedule({0: 2, 1: 2})
+        result = run_aba(16, seed=6, fault_plan=plan)
+        # Everyone the model owes a decision decided, on one bit.
+        assert set(range(2, 16)) <= set(result.outputs)
+        assert result.agreed_value in (0, 1)
+
+    def test_leavers_degrade_gracefully(self):
+        plan = churn_schedule({}, {0: 3, 1: 3})
+        result = run_aba(16, seed=6, fault_plan=plan)
+        assert set(range(2, 16)) <= set(result.outputs)
+        assert result.agreed_value in (0, 1)
+
+    def test_collapse_below_quorum_stalls_loudly(self):
+        plan = crash_everyone(range(8), round_index=1)
+        with pytest.raises(NetworkError):
+            run_aba(16, seed=6, fault_plan=plan)
+
+    def test_join_before_leave_enforced(self):
+        with pytest.raises(ConfigurationError):
+            churn_schedule({0: 3}, {0: 2})
+
+
+# -- configuration errors ----------------------------------------------------
+
+
+class TestConfiguration:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AsyncScheduler(_parties(4), policy="clairvoyant")
+
+    def test_adversarial_policy_requires_rng(self):
+        with pytest.raises(ConfigurationError):
+            AsyncScheduler(_parties(4), policy="adversarial")
+
+    def test_duplicate_party_ids_rejected(self):
+        parties = _parties(4)
+        with pytest.raises(ConfigurationError):
+            AsyncScheduler(parties + [parties[0]])
+
+    def test_empty_party_set_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AsyncScheduler([])
+
+    def test_corrupt_and_excuse_validate_ids(self):
+        scheduler = AsyncScheduler(_parties(4))
+        with pytest.raises(ConfigurationError):
+            scheduler.corrupt(9)
+        with pytest.raises(ConfigurationError):
+            scheduler.excuse(9)
+
+    def test_facade_runs_to_agreement(self):
+        result = run_async_parties(_parties(4), rng=Randomness(2))
+        assert set(result.outputs) == {0, 1, 2, 3}
+        assert len(set(result.outputs.values())) == 1

@@ -1,0 +1,195 @@
+"""Campaign integration for the asynchronous ABA cells.
+
+Unmarked tests stay tier-1 cheap (single n=16 ABA cells run in tens of
+milliseconds); the full strategy × schedule sweep over the ABA configs
+is ``@pytest.mark.campaign`` like the other matrix sweeps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.catalog import KIND_ABA, default_catalog
+from repro.campaign.invariants import check_aba_invariants
+from repro.campaign.matrix import config_by_name, enumerate_cells
+from repro.campaign.runner import execute_spec
+from repro.campaign.schedules import schedule_by_name
+from repro.campaign.spec import CampaignSpec
+from repro.net.adversary import CorruptionPlan
+from repro.utils.randomness import Randomness
+
+
+def _spec(**overrides):
+    fields = dict(
+        config="aba", strategy="honest", schedule="none", n=16, seed=0
+    )
+    fields.update(overrides)
+    return CampaignSpec(**fields)
+
+
+# -- invariants --------------------------------------------------------------
+
+
+class TestABAInvariants:
+    def test_clean_run_has_no_violations(self):
+        violations = check_aba_invariants(
+            {0: 0, 1: 1, 2: 0}, {0: 0, 1: 0, 2: 0}, [0, 1, 2]
+        )
+        assert violations == []
+
+    def test_missing_output_is_a_liveness_violation(self):
+        violations = check_aba_invariants(
+            {0: 0, 1: 1}, {0: 0}, [0, 1]
+        )
+        assert [v.name for v in violations] == ["no-output"]
+
+    def test_churned_parties_are_excused_from_liveness_only(self):
+        violations = check_aba_invariants(
+            {0: 0, 1: 1, 2: 0},
+            {0: 0},
+            [0, 1, 2],
+            departed=[1],
+            joined_late=[2],
+        )
+        assert violations == []
+
+    def test_churned_party_with_wrong_output_still_flags_agreement(self):
+        # Excusal covers liveness, never safety: a leaver that *did*
+        # decide the other value is a loud agreement split.
+        violations = check_aba_invariants(
+            {0: 0, 1: 1},
+            {0: 0, 1: 1},
+            [0, 1],
+            departed=[1],
+        )
+        assert [v.name for v in violations] == ["agreement"]
+
+    def test_unanimous_inputs_pin_the_decision(self):
+        violations = check_aba_invariants(
+            {0: 1, 1: 1}, {0: 0, 1: 0}, [0, 1]
+        )
+        assert [v.name for v in violations] == ["validity"]
+
+    def test_bits_over_budget_flagged(self):
+        violations = check_aba_invariants(
+            {0: 0, 1: 0},
+            {0: 0, 1: 0},
+            [0, 1],
+            measured_bits=200,
+            budget_bits=100,
+        )
+        assert [v.name for v in violations] == ["bits-budget"]
+
+
+# -- catalog / matrix / schedules wiring -------------------------------------
+
+
+class TestWiring:
+    def test_aba_strategy_roster(self):
+        names = [s.name for s in default_catalog().for_kind(KIND_ABA)]
+        assert names == [
+            "honest",
+            "random-silent",
+            "aba-equivocate",
+            "adaptive-coin",
+            "adaptive-first-aux",
+        ]
+
+    def test_adaptive_strategies_carry_registry_names(self):
+        catalog = default_catalog()
+        for name in ("adaptive-coin", "adaptive-first-aux"):
+            strategy = catalog.get(name)
+            assert strategy.adaptive == name
+            assert strategy.plan_kind == "none"
+
+    def test_aba_configs_enumerate_async_schedules(self):
+        for config_name in ("aba", "aba-unanimous"):
+            config = config_by_name(config_name)
+            assert config.kind == KIND_ABA
+            assert "adversarial-order" in config.schedules
+            assert "churn-join" in config.schedules
+            assert "churn-collapse" in config.schedules
+        cells = enumerate_cells(seed=0)
+        aba_cells = [c for c in cells if c.config.kind == KIND_ABA]
+        assert len(aba_cells) == 2 * 5 * 7  # configs x strategies x schedules
+
+    def test_churn_schedules_respect_the_remaining_budget(self):
+        rng = Randomness(3).fork("cell")
+        f = (16 - 1) // 3
+        # Budget fully spent on Byzantine corruption: churn degenerates.
+        full = CorruptionPlan(corrupted=frozenset(range(f)), n=16)
+        assert schedule_by_name("churn-join").build(16, full, rng) is None
+        assert schedule_by_name("churn-leave").build(16, full, rng) is None
+        # Half-spent: churn spends only the remainder, on honest parties.
+        half = CorruptionPlan(corrupted=frozenset(range(2)), n=16)
+        plan = schedule_by_name("churn-leave").build(16, half, rng)
+        assert plan is not None
+        assert len(plan.crashes) == f - 2
+        assert not set(plan.crashes) & half.corrupted
+
+
+# -- single cells (tier-1 cheap) ---------------------------------------------
+
+class TestABACells:
+    def test_honest_baseline_passes(self):
+        outcome = execute_spec(_spec())
+        assert not outcome.failed
+        assert outcome.measured_bits is not None
+        assert outcome.budget_bits is not None
+        assert outcome.measured_bits <= outcome.budget_bits
+
+    def test_deterministic(self):
+        a = execute_spec(_spec(strategy="adaptive-coin", schedule="churn-join"))
+        b = execute_spec(_spec(strategy="adaptive-coin", schedule="churn-join"))
+        assert a.spec == b.spec
+        assert a.signature == b.signature
+        assert a.measured_bits == b.measured_bits
+
+    def test_unanimous_validity_under_adversarial_order(self):
+        outcome = execute_spec(
+            _spec(config="aba-unanimous", schedule="adversarial-order")
+        )
+        assert not outcome.failed
+
+    def test_equivocators_survive_latency_models(self):
+        outcome = execute_spec(
+            _spec(strategy="aba-equivocate", schedule="latency-lognormal")
+        )
+        assert not outcome.failed
+
+    def test_adaptive_with_churn_stays_within_combined_budget(self):
+        outcome = execute_spec(
+            _spec(strategy="adaptive-first-aux", schedule="churn-leave")
+        )
+        assert not outcome.failed
+
+    def test_churn_collapse_fails_loudly_as_expected(self):
+        outcome = execute_spec(_spec(schedule="churn-collapse"))
+        assert outcome.failed
+        assert outcome.expected_failure  # model-breaking schedule
+        assert not outcome.unexpected
+        assert outcome.error_type is not None
+        assert outcome.signature[0].startswith("error:")
+
+
+# -- the full sweep (marked) -------------------------------------------------
+
+
+@pytest.mark.campaign
+def test_aba_matrix_sweep_has_no_unexpected_outcomes():
+    cells = [
+        c for c in enumerate_cells(seed=2) if c.config.kind == KIND_ABA
+    ]
+    assert len(cells) == 70
+    outcomes = [execute_spec(c.spec) for c in cells]
+    unexpected = [o for o in outcomes if o.unexpected]
+    assert unexpected == []
+    # Every loud failure is a churn-collapse cell, and vice versa.
+    failed = {o.spec.schedule for o in outcomes if o.failed}
+    assert failed <= {"churn-collapse"}
+    within_budget = [
+        o
+        for o in outcomes
+        if o.measured_bits is not None and o.budget_bits is not None
+    ]
+    assert all(o.measured_bits <= o.budget_bits for o in within_budget)

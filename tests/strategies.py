@@ -14,6 +14,9 @@ property-test modules so new tests compose the same vocabulary:
   fault plans.
 * ``messages`` / ``garbage`` — protocol payloads and malformed wire
   bytes for decoder fuzzing.
+* ``delivery_orderings()`` — seeded asynchronous-scheduler
+  configurations (seed, policy, latency model): each one names a
+  complete adversarial delivery ordering for ``repro.asynchrony``.
 
 Profiles: ``tests/conftest.py`` registers ``ci`` (small, deterministic
 budgets) and ``dev`` (wider exploration) Hypothesis profiles; select
@@ -29,10 +32,13 @@ from hypothesis import strategies as st
 __all__ = [
     "bit_flips",
     "corruption_sets",
+    "delivery_orderings",
     "fault_schedules",
     "garbage",
+    "latency_model_names",
     "messages",
     "party_counts",
+    "scheduler_policies",
     "signer_subsets",
     "truncations",
 ]
@@ -102,6 +108,38 @@ def corruption_sets(n: int, t: int | None = None) -> st.SearchStrategy[frozenset
     return st.frozensets(
         st.integers(min_value=0, max_value=n - 1), min_size=0, max_size=t
     )
+
+
+#: The asynchronous scheduler's policies
+#: (:data:`repro.asynchrony.scheduler.POLICIES`).
+scheduler_policies = st.sampled_from(["latency", "adversarial"])
+
+#: Named latency models :func:`repro.net.latency.latency_model_by_name`
+#: accepts (kept as plain strings so this module stays import-light).
+latency_model_names = st.sampled_from(
+    ["fixed", "uniform", "lognormal", "partition-heal", "random-delay"]
+)
+
+
+@st.composite
+def delivery_orderings(draw) -> dict:
+    """One seeded scheduler configuration — a complete delivery ordering.
+
+    The asynchronous model's determinism contract makes ``(seed, policy,
+    latency model)`` a *name* for an entire adversarial schedule: the
+    adversary's every choice is a fork of the seed.  Generating these
+    triples therefore quantifies ABA properties over delivery orderings
+    without enumerating orderings explicitly.  Under the
+    ``"adversarial"`` policy the latency model shapes only timestamps
+    (the picker ignores them), so ``latency`` may be ``None`` there.
+    """
+    policy = draw(scheduler_policies)
+    latency = draw(st.one_of(st.none(), latency_model_names))
+    return {
+        "seed": draw(st.integers(min_value=0, max_value=2**32 - 1)),
+        "policy": policy,
+        "latency": latency,
+    }
 
 
 @st.composite
